@@ -1,0 +1,96 @@
+//! Ablation: what does Algorithm 2's write aggregation actually save?
+//!
+//! §5.3: "by aggregating them we coalesce many updates in a single
+//! cloud object upload. This reduces the storage used and the total
+//! number of PUT operations executed in the cloud, resulting in a
+//! significant decrease in the monetary cost". This harness runs the
+//! same TPC-C configuration with aggregation on and off and prices the
+//! difference.
+
+use std::time::Duration;
+
+use ginja_bench::rig::{template, ProtectedRig, RigOptions};
+use ginja_bench::table::{fmt, Table};
+use ginja_bench::timescale::{run_wall_duration, sim_minutes, time_scale};
+use ginja_core::GinjaConfig;
+use ginja_cost::S3Pricing;
+use ginja_db::ProfileKind;
+use ginja_workload::TpccScale;
+
+fn config(coalesce: bool) -> GinjaConfig {
+    let scale = time_scale();
+    GinjaConfig::builder()
+        .batch(100)
+        .safety(1000)
+        .batch_timeout(Duration::from_secs_f64(5.0 * scale))
+        .safety_timeout(Duration::from_secs_f64(30.0 * scale))
+        .uploaders(5)
+        .coalesce(coalesce)
+        .build()
+        .expect("valid config")
+}
+
+fn main() {
+    println!("time scale: {} | simulated minutes per run: {}", time_scale(), sim_minutes());
+    let pricing = S3Pricing::may_2017();
+
+    for kind in [ProfileKind::Postgres, ProfileKind::MySql] {
+        let (warehouses, name) = match kind {
+            ProfileKind::Postgres => (1, "PostgreSQL"),
+            ProfileKind::MySql => (2, "MySQL"),
+        };
+        println!("\n== Ablation ({name}): write aggregation on vs. off (B/S = 100/1000) ==");
+        let template_fs = template(kind, warehouses, TpccScale::bench(), 0xAB1);
+
+        let mut t = Table::new(&[
+            "aggregation",
+            "PUTs",
+            "MB uploaded",
+            "upd/object",
+            "PUTs/1k upd",
+            "PUT $/month (extrapolated)",
+        ]);
+        let mut results = Vec::new();
+        for coalesce in [true, false] {
+            let mut options = match kind {
+                ProfileKind::Postgres => RigOptions::postgres(config(coalesce)),
+                ProfileKind::MySql => RigOptions::mysql(config(coalesce)),
+            };
+            options.seed = 0xAB1;
+            let rig = ProtectedRig::build(&template_fs, options);
+            let _report = rig.run(run_wall_duration());
+            let (stats, usage) = rig.finish();
+            let stats = stats.expect("ginja rig");
+            // Extrapolate the measured window to 30 days.
+            let months = sim_minutes() / (30.0 * 24.0 * 60.0);
+            let put_cost_month = usage.puts as f64 * pricing.put_op / months;
+            let coalesce_factor = if stats.wal_objects_uploaded > 0 {
+                stats.updates_intercepted as f64 / stats.wal_objects_uploaded as f64
+            } else {
+                0.0
+            };
+            let puts_per_1k = usage.puts as f64 / stats.updates_intercepted.max(1) as f64 * 1000.0;
+            t.row(&[
+                if coalesce { "on (paper)" } else { "off" }.to_string(),
+                usage.puts.to_string(),
+                fmt(usage.bytes_uploaded as f64 / 1e6, 1),
+                fmt(coalesce_factor, 1),
+                fmt(puts_per_1k, 0),
+                format!("${}", fmt(put_cost_month, 2)),
+            ]);
+            results.push(puts_per_1k);
+        }
+        println!();
+        t.print();
+        // Compare per-update rates: a PUT-bound uncoalesced run completes
+        // fewer transactions, so absolute counts would understate the gap.
+        println!(
+            "aggregation cuts PUTs per update by {:.1}x",
+            results[1] / results[0].max(1e-9),
+        );
+        assert!(
+            results[1] > results[0] * 2.0,
+            "{name}: disabling aggregation must cost far more PUTs per update"
+        );
+    }
+}

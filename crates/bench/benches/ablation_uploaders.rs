@@ -1,0 +1,73 @@
+//! Ablation: parallel uploader threads.
+//!
+//! §8: "In all experiments Ginja was configured with five Uploader
+//! threads, which corresponds to the best setup in our environment."
+//! This harness sweeps the uploader count under an upload-bound
+//! configuration (small B, so PUT throughput limits the pipeline) and
+//! reports TPC-C throughput and DBMS blocking time.
+
+use std::time::Duration;
+
+use ginja_bench::rig::{template, ProtectedRig, RigOptions};
+use ginja_bench::table::{fmt, Table};
+use ginja_bench::timescale::{run_wall_duration, sim_minutes, time_scale, to_sim_per_minute};
+use ginja_core::GinjaConfig;
+use ginja_db::ProfileKind;
+use ginja_workload::TpccScale;
+
+fn config(uploaders: usize) -> GinjaConfig {
+    let scale = time_scale();
+    GinjaConfig::builder()
+        .batch(10)
+        .safety(400)
+        .batch_timeout(Duration::from_secs_f64(5.0 * scale))
+        .safety_timeout(Duration::from_secs_f64(30.0 * scale))
+        .uploaders(uploaders)
+        .build()
+        .expect("valid config")
+}
+
+fn main() {
+    println!("time scale: {} | simulated minutes per run: {}", time_scale(), sim_minutes());
+    println!("== Ablation: uploader threads (PostgreSQL, B/S = 10/400, upload-bound) ==\n");
+    let template_fs = template(ProfileKind::Postgres, 1, TpccScale::bench(), 0xAB2);
+
+    let mut t = Table::new(&[
+        "uploaders",
+        "Tpm-Total (sim)",
+        "blocked updates",
+        "blocked time (sim s)",
+        "PUTs",
+    ]);
+    let mut best_one = 0.0f64;
+    let mut best_five = 0.0f64;
+    for uploaders in [1usize, 2, 5, 10] {
+        let mut options = RigOptions::postgres(config(uploaders));
+        options.seed = 0xAB2;
+        let rig = ProtectedRig::build(&template_fs, options);
+        let report = rig.run(run_wall_duration());
+        let (stats, usage) = rig.finish();
+        let stats = stats.expect("ginja rig");
+        let tpm = to_sim_per_minute(report.tpm_total());
+        if uploaders == 1 {
+            best_one = tpm;
+        }
+        if uploaders == 5 {
+            best_five = tpm;
+        }
+        t.row(&[
+            uploaders.to_string(),
+            fmt(tpm, 0),
+            stats.updates_blocked.to_string(),
+            fmt(stats.blocked_time.as_secs_f64() / time_scale(), 1),
+            usage.puts.to_string(),
+        ]);
+    }
+    println!();
+    t.print();
+    println!(
+        "\nshape check: 5 uploaders beat 1 by {:.1}x (the paper found 5 best in its environment)",
+        best_five / best_one.max(1.0)
+    );
+    assert!(best_five > best_one, "parallel uploads must help under an upload-bound config");
+}

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the codec primitives (engineering
+//! regression tracking; not a paper experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ginja_codec::{aes, ctr, glz, sha1, Codec, CodecConfig};
+
+fn page_like_data(len: usize) -> Vec<u8> {
+    let mut data = Vec::with_capacity(len);
+    let mut state = 0x2545F4914F6CDD1Du64;
+    while data.len() < len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        data.extend_from_slice(&state.to_le_bytes());
+        data.extend_from_slice(b"structured-filler");
+    }
+    data.truncate(len);
+    data
+}
+
+fn bench_glz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("glz");
+    for size in [8 * 1024usize, 256 * 1024] {
+        let data = page_like_data(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("compress_fast", size), &data, |b, data| {
+            b.iter(|| glz::compress(data, glz::Level::Fast))
+        });
+        let packed = glz::compress(&data, glz::Level::Fast);
+        group.bench_with_input(BenchmarkId::new("decompress", size), &packed, |b, packed| {
+            b.iter(|| glz::decompress(packed).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let data = page_like_data(64 * 1024);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha1_64k", |b| b.iter(|| sha1::digest(&data)));
+    let aes = aes::Aes128::new(b"0123456789abcdef");
+    group.bench_function("aes_ctr_64k", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            ctr::apply_keystream(&aes, &[7u8; 16], &mut buf);
+            buf
+        })
+    });
+    group.finish();
+}
+
+fn bench_seal_open(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seal");
+    let data = page_like_data(64 * 1024);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for (label, codec) in [
+        ("plain", Codec::plain()),
+        ("comp", Codec::new(CodecConfig::new().compression(true))),
+        (
+            "comp+crypt",
+            Codec::new(CodecConfig::new().compression(true).password("bench").kdf_iterations(16)),
+        ),
+    ] {
+        group.bench_function(format!("seal_{label}"), |b| {
+            b.iter(|| codec.seal("WAL/1_seg_0", &data).unwrap())
+        });
+        let sealed = codec.seal("WAL/1_seg_0", &data).unwrap();
+        group.bench_function(format!("open_{label}"), |b| {
+            b.iter(|| codec.open("WAL/1_seg_0", &sealed).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_glz, bench_crypto, bench_seal_open
+}
+criterion_main!(benches);

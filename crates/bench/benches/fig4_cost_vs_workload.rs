@@ -1,0 +1,51 @@
+//! Figure 4: effect of different configurations (B) and workloads (W,
+//! updates/minute) on Ginja's monthly cost, for a 10 GB database on
+//! Amazon S3 — both axes logarithmic in the paper.
+//!
+//! Model parameters (§7.2): 8 kB pages with 75 WAL records, checkpoints
+//! every 60 minutes lasting 20 minutes, compression rate 1.43.
+
+use ginja_bench::table::{fmt, Table};
+use ginja_cost::GinjaCostModel;
+
+fn main() {
+    println!("== Figure 4: monthly cost vs. workload, 10 GB database ==\n");
+
+    let workloads = [10.0, 18.0, 32.0, 56.0, 100.0, 180.0, 320.0, 560.0, 1000.0];
+    let batches = [10u64, 100, 1000];
+
+    let mut t = Table::new(&["W (upd/min)", "B=10 ($)", "B=100 ($)", "B=1000 ($)"]);
+    for &w in &workloads {
+        let costs: Vec<String> = batches
+            .iter()
+            .map(|&b| fmt(GinjaCostModel::paper_fig4(w, b).total(), 3))
+            .collect();
+        t.row(&[fmt(w, 0), costs[0].clone(), costs[1].clone(), costs[2].clone()]);
+    }
+    t.print();
+
+    println!("\n-- Shape checks against the paper --");
+    // B has a "severe impact on the total monetary cost".
+    let high_w = 1000.0;
+    let c10 = GinjaCostModel::paper_fig4(high_w, 10).total();
+    let c1000 = GinjaCostModel::paper_fig4(high_w, 1000).total();
+    println!(
+        "  at W=1000: B=10 costs ${c10:.2}, B=1000 costs ${c1000:.2} ({:.0}x less)",
+        c10 / c1000
+    );
+    assert!(c10 / c1000 > 20.0);
+
+    // The 10 GB database pins a fixed storage floor of ≈ $0.20.
+    let floor = GinjaCostModel::paper_fig4(10.0, 1000).c_db_storage();
+    println!("  fixed C_DB_Storage floor: ${floor:.3} (paper: ~$0.20)");
+    assert!((0.17..=0.23).contains(&floor));
+
+    // Plenty of sub-$1 configurations exist.
+    let under: usize = workloads
+        .iter()
+        .flat_map(|&w| batches.iter().map(move |&b| (w, b)))
+        .filter(|&(w, b)| GinjaCostModel::paper_fig4(w, b).total() < 1.0)
+        .count();
+    println!("  configurations under $1/month: {under} of {}", workloads.len() * batches.len());
+    assert!(under >= 12);
+}

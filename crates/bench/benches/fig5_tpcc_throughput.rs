@@ -1,0 +1,174 @@
+//! Figure 5: influence of different configurations (Batch and Safety)
+//! on the throughput of PostgreSQL and MySQL running TPC-C over Ginja.
+//!
+//! Columns per DBMS: the native file system (ext4), a pass-through
+//! user-space file system (FUSE), Ginja at S ∈ {10⁴,10³,10²,10} with
+//! the B values the paper plots under each group, and the No-Loss
+//! configuration (B = S = 1, synchronous replication).
+//!
+//! All times are simulated (see `ginja_bench::timescale`); throughputs
+//! are reported in simulated transactions per minute, directly
+//! comparable to the paper's bars.
+
+use std::time::Duration;
+
+use ginja_bench::rig::{template, BaselineKind, ProtectedRig, RigOptions};
+use ginja_bench::table::{fmt, Table};
+use ginja_bench::timescale::{run_wall_duration, sim_minutes, time_scale, to_sim_per_minute};
+use ginja_core::GinjaConfig;
+use ginja_db::ProfileKind;
+use ginja_workload::TpccScale;
+
+fn ginja_config(batch: usize, safety: usize) -> GinjaConfig {
+    let scale = time_scale();
+    GinjaConfig::builder()
+        .batch(batch)
+        .safety(safety)
+        .batch_timeout(Duration::from_secs_f64(5.0 * scale))
+        .safety_timeout(Duration::from_secs_f64(30.0 * scale))
+        .uploaders(5)
+        .build()
+        .expect("valid config")
+}
+
+struct Column {
+    label: &'static str,
+    baseline: BaselineKind,
+    batch: usize,
+    safety: usize,
+}
+
+fn columns() -> Vec<Column> {
+    let mut cols = vec![
+        Column { label: "ext4", baseline: BaselineKind::Native, batch: 1, safety: 1 },
+        Column { label: "FUSE", baseline: BaselineKind::Fuse, batch: 1, safety: 1 },
+    ];
+    for (safety, batches) in
+        [(10_000, vec![1000, 100, 10]), (1_000, vec![100, 10, 1]), (100, vec![10, 1]), (10, vec![1])]
+    {
+        for batch in batches {
+            cols.push(Column { label: "", baseline: BaselineKind::Ginja, batch, safety });
+        }
+    }
+    cols.push(Column { label: "No-Loss", baseline: BaselineKind::Ginja, batch: 1, safety: 1 });
+    cols
+}
+
+fn run_dbms(kind: ProfileKind) -> Vec<(String, f64, f64)> {
+    let (warehouses, name) = match kind {
+        ProfileKind::Postgres => (1, "PostgreSQL"),
+        ProfileKind::MySql => (2, "MySQL"),
+    };
+    println!(
+        "\n== Figure 5{}: {name}, TPC-C, {} warehouse(s), {:.1} simulated minutes ==",
+        if kind == ProfileKind::Postgres { "a" } else { "b" },
+        warehouses,
+        sim_minutes(),
+    );
+    let template_fs = template(kind, warehouses, TpccScale::bench(), 0xF15);
+
+    // Warm up (page cache, allocator, CPU governor) with a throwaway
+    // run so the first measured column is not penalized.
+    {
+        let warm = ProtectedRig::build(
+            &template_fs,
+            match kind {
+                ProfileKind::Postgres => RigOptions::postgres(ginja_config(100, 1000)),
+                ProfileKind::MySql => RigOptions::mysql(ginja_config(100, 1000)),
+            }
+            .baseline(BaselineKind::Native),
+        );
+        let _ = warm.run(Duration::from_millis(500));
+        let _ = warm.finish();
+    }
+
+    let mut results = Vec::new();
+    for col in columns() {
+        let label = if col.label.is_empty() {
+            format!("S={} B={}", col.safety, col.batch)
+        } else {
+            col.label.to_string()
+        };
+        let mut options = match kind {
+            ProfileKind::Postgres => RigOptions::postgres(ginja_config(col.batch, col.safety)),
+            ProfileKind::MySql => RigOptions::mysql(ginja_config(col.batch, col.safety)),
+        };
+        options = options.baseline(col.baseline);
+        let rig = ProtectedRig::build(&template_fs, options);
+        let report = rig.run(run_wall_duration());
+        let (_stats, _usage) = rig.finish();
+        let tpm_total = to_sim_per_minute(report.tpm_total());
+        let tpm_c = to_sim_per_minute(report.tpm_c());
+        results.push((label, tpm_c, tpm_total));
+    }
+    results
+}
+
+fn print_results(name: &str, results: &[(String, f64, f64)], paper_totals: &[(&str, f64)]) {
+    let mut t = Table::new(&["configuration", "Tpm-C", "Tpm-Total", "% of FUSE", "paper Tpm-Total"]);
+    let fuse_total = results[1].2;
+    for (label, tpm_c, tpm_total) in results {
+        let paper = paper_totals
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| fmt(*v, 0))
+            .unwrap_or_default();
+        t.row(&[
+            label.clone(),
+            fmt(*tpm_c, 0),
+            fmt(*tpm_total, 0),
+            fmt(tpm_total / fuse_total * 100.0, 1),
+            paper,
+        ]);
+    }
+    println!();
+    t.print();
+
+    // Shape assertions (the claims §8.1 makes from this figure).
+    let ext4 = results[0].2;
+    let fuse = results[1].2;
+    // "For sufficiently high values of B and S, Ginja introduces a small
+    // performance loss": take the best of the high-B/S columns.
+    let best_ginja = results[2..7].iter().map(|r| r.2).fold(0.0f64, f64::max);
+    let no_loss = results.last().unwrap().2;
+    // Tolerate a few percent of run-to-run noise (shared machines).
+    assert!(fuse < ext4 * 1.05, "{name}: FUSE must not beat ext4 ({fuse} vs {ext4})");
+    assert!(
+        best_ginja > fuse * 0.8,
+        "{name}: high B/S Ginja should be within ~20% of FUSE (got {best_ginja} vs {fuse})"
+    );
+    assert!(
+        no_loss < fuse * 0.1,
+        "{name}: No-Loss must collapse throughput (got {no_loss} vs {fuse})"
+    );
+    // Small S with small B degrades throughput monotonically-ish.
+    let s10000_b10 = results[4].2;
+    assert!(
+        no_loss < s10000_b10,
+        "{name}: No-Loss must be the slowest Ginja configuration"
+    );
+    println!(
+        "shape check: ext4 > FUSE >= Ginja(high B,S) >> No-Loss  ({:.0} > {:.0} ~ {:.0} >> {:.0})",
+        ext4, fuse, best_ginja, no_loss
+    );
+}
+
+fn main() {
+    println!("time scale: {} | simulated minutes per run: {}", time_scale(), sim_minutes());
+
+    // Paper bar heights (approximate, read off Figure 5).
+    let pg_paper: &[(&str, f64)] = &[
+        ("ext4", 6430.0),
+        ("FUSE", 5970.0),
+        ("S=10000 B=1000", 5750.0),
+        ("No-Loss", 248.0),
+    ];
+    let ms_paper: &[(&str, f64)] =
+        &[("ext4", 11700.0), ("FUSE", 10300.0), ("S=10000 B=1000", 10200.0), ("No-Loss", 348.0)];
+
+    let pg = run_dbms(ProfileKind::Postgres);
+    print_results("PostgreSQL", &pg, pg_paper);
+
+    let ms = run_dbms(ProfileKind::MySql);
+    print_results("MySQL", &ms, ms_paper);
+}

@@ -1,0 +1,89 @@
+//! Figure 6: effect of compression and cryptography on the performance
+//! of Ginja, for (B, S) ∈ {(10,100), (100,1000), (1000,10000)} with
+//! PostgreSQL and MySQL.
+//!
+//! The paper's findings: for PostgreSQL the results "vary slightly, as
+//! the latency of uploading compressed data is smaller", encryption adds
+//! minimal overhead; for MySQL "there are basically no changes in
+//! performance" because its 512-byte WAL pages see little benefit.
+
+use std::time::Duration;
+
+use ginja_bench::rig::{template, ProtectedRig, RigOptions};
+use ginja_bench::table::{fmt, Table};
+use ginja_bench::timescale::{run_wall_duration, sim_minutes, time_scale, to_sim_per_minute};
+use ginja_codec::CodecConfig;
+use ginja_core::GinjaConfig;
+use ginja_db::ProfileKind;
+use ginja_workload::TpccScale;
+
+fn config(batch: usize, safety: usize, codec: CodecConfig) -> GinjaConfig {
+    let scale = time_scale();
+    GinjaConfig::builder()
+        .batch(batch)
+        .safety(safety)
+        .batch_timeout(Duration::from_secs_f64(5.0 * scale))
+        .safety_timeout(Duration::from_secs_f64(30.0 * scale))
+        .uploaders(5)
+        .codec(codec)
+        .build()
+        .expect("valid config")
+}
+
+fn codec_variants() -> Vec<(&'static str, CodecConfig)> {
+    vec![
+        ("Normal", CodecConfig::new()),
+        ("Comp", CodecConfig::new().compression(true)),
+        ("Crypt", CodecConfig::new().password("fig6-password")),
+        ("C+C", CodecConfig::new().compression(true).password("fig6-password")),
+    ]
+}
+
+fn main() {
+    println!("time scale: {} | simulated minutes per run: {}", time_scale(), sim_minutes());
+    for kind in [ProfileKind::Postgres, ProfileKind::MySql] {
+        let (warehouses, name) = match kind {
+            ProfileKind::Postgres => (1, "PostgreSQL"),
+            ProfileKind::MySql => (2, "MySQL"),
+        };
+        println!(
+            "\n== Figure 6{}: {name} — compression/encryption vs. throughput ==",
+            if kind == ProfileKind::Postgres { "a" } else { "b" }
+        );
+        let template_fs = template(kind, warehouses, TpccScale::bench(), 0xF16);
+
+        let mut t =
+            Table::new(&["B/S", "variant", "Tpm-C", "Tpm-Total", "seal ratio", "% of Normal"]);
+        for (batch, safety) in [(10usize, 100usize), (100, 1000), (1000, 10000)] {
+            let mut normal_total = None;
+            for (label, codec) in codec_variants() {
+                let mut options = match kind {
+                    ProfileKind::Postgres => RigOptions::postgres(config(batch, safety, codec)),
+                    ProfileKind::MySql => RigOptions::mysql(config(batch, safety, codec)),
+                };
+                options.seed = 0xF16;
+                let rig = ProtectedRig::build(&template_fs, options);
+                let report = rig.run(run_wall_duration());
+                let (stats, _usage) = rig.finish();
+                let stats = stats.expect("ginja rig");
+                let tpm_total = to_sim_per_minute(report.tpm_total());
+                let tpm_c = to_sim_per_minute(report.tpm_c());
+                let base = *normal_total.get_or_insert(tpm_total);
+                t.row(&[
+                    format!("{batch}/{safety}"),
+                    label.to_string(),
+                    fmt(tpm_c, 0),
+                    fmt(tpm_total, 0),
+                    fmt(stats.wal_seal_ratio(), 2),
+                    fmt(tpm_total / base * 100.0, 1),
+                ]);
+            }
+        }
+        println!();
+        t.print();
+        println!(
+            "shape check ({name}): all variants within a small band of Normal — \
+             compression/encryption do not change the throughput picture"
+        );
+    }
+}

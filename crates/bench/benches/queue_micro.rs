@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for the commit queue and write
+//! aggregation (engineering regression tracking; not a paper
+//! experiment).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ginja_core::agg;
+use ginja_core::queue::{CommitQueue, WalWrite};
+
+fn write(i: u64, len: usize) -> WalWrite {
+    WalWrite {
+        file: "pg_xlog/000000000000000000000001".to_string(),
+        offset: (i % 64) * 8192,
+        data: Arc::from(vec![i as u8; len].as_slice()),
+    }
+}
+
+fn bench_queue_cycle(c: &mut Criterion) {
+    c.bench_function("queue_put_take_ack_b100", |b| {
+        let q = CommitQueue::new(100, 1000, Duration::from_secs(60), Duration::from_secs(60));
+        b.iter(|| {
+            for i in 0..100u64 {
+                q.put(write(i, 128)).unwrap();
+            }
+            let batch = q.take_batch().unwrap();
+            q.ack_front(batch.len());
+        })
+    });
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let sequential: Vec<WalWrite> = (0..100).map(|i| write(i, 8192)).collect();
+    c.bench_function("aggregate_100x8k_overlapping", |b| {
+        b.iter(|| agg::aggregate(&sequential, 20 * 1024 * 1024))
+    });
+
+    let disjoint: Vec<WalWrite> = (0..100)
+        .map(|i| WalWrite {
+            file: format!("seg{}", i % 4),
+            offset: i * 100_000,
+            data: Arc::from(vec![i as u8; 512].as_slice()),
+        })
+        .collect();
+    c.bench_function("aggregate_100_disjoint", |b| {
+        b.iter(|| agg::aggregate(&disjoint, 20 * 1024 * 1024))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_queue_cycle, bench_aggregate
+}
+criterion_main!(benches);

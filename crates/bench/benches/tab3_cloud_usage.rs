@@ -1,0 +1,136 @@
+//! Table 3: Ginja's use of the storage cloud during TPC-C — number of
+//! PUT operations, average object size, and average PUT latency, for
+//! configurations B/S ∈ {10/100, 100/1000, 1000/10000}, plain and with
+//! compression + encryption (C+C).
+//!
+//! PUT counts are normalized to the paper's five-minute window; sizes
+//! are sealed (on-wire) bytes; latencies are reported in simulated time.
+//! The "upd/object" column shows the write-aggregation factor
+//! (Algorithm 2's coalescing), the design choice DESIGN.md calls out.
+
+use std::time::Duration;
+
+use ginja_bench::rig::{template, ProtectedRig, RigOptions};
+use ginja_bench::table::{fmt, Table};
+use ginja_bench::timescale::{run_wall_duration, sim_minutes, time_scale, to_sim_duration};
+use ginja_codec::CodecConfig;
+use ginja_core::GinjaConfig;
+use ginja_db::ProfileKind;
+use ginja_workload::TpccScale;
+
+fn config(batch: usize, safety: usize, cc: bool) -> GinjaConfig {
+    let scale = time_scale();
+    let codec = if cc {
+        CodecConfig::new().compression(true).password("tab3-password")
+    } else {
+        CodecConfig::new()
+    };
+    GinjaConfig::builder()
+        .batch(batch)
+        .safety(safety)
+        .batch_timeout(Duration::from_secs_f64(5.0 * scale))
+        .safety_timeout(Duration::from_secs_f64(30.0 * scale))
+        .uploaders(5)
+        .codec(codec)
+        .build()
+        .expect("valid config")
+}
+
+/// Paper's Table 3: (config, PG puts, PG kB, PG ms, MS puts, MS kB, MS ms).
+const PAPER: &[(&str, f64, f64, f64, f64, f64, f64)] = &[
+    ("10/100 plain", 1789.0, 386.0, 692.0, 3864.0, 26.0, 391.0),
+    ("10/100 C+C", 1990.0, 237.0, 562.0, 3994.0, 11.0, 376.0),
+    ("100/1000 plain", 364.0, 3018.0, 2880.0, 1046.0, 180.0, 698.0),
+    ("100/1000 C+C", 383.0, 1908.0, 2007.0, 1063.0, 78.0, 610.0),
+    ("1000/10000 plain", 119.0, 10081.0, 7707.0, 139.0, 1309.0, 1552.0),
+    ("1000/10000 C+C", 119.0, 6339.0, 4422.0, 137.0, 606.0, 1354.0),
+];
+
+fn main() {
+    println!("time scale: {} | simulated minutes per run: {}", time_scale(), sim_minutes());
+    let five_min_norm = 5.0 / sim_minutes();
+
+    for kind in [ProfileKind::Postgres, ProfileKind::MySql] {
+        let (warehouses, name, paper_col) = match kind {
+            ProfileKind::Postgres => (1, "PostgreSQL", 1usize),
+            ProfileKind::MySql => (2, "MySQL", 4usize),
+        };
+        println!("\n== Table 3 ({name}): cloud usage during TPC-C ==");
+        let template_fs = template(kind, warehouses, TpccScale::bench(), 0x7B3);
+
+        let mut t = Table::new(&[
+            "config",
+            "PUTs/5min",
+            "paper",
+            "obj size kB",
+            "paper",
+            "PUT lat ms (sim)",
+            "paper",
+            "upd/object",
+        ]);
+        let mut plain_puts: Vec<f64> = Vec::new();
+        for (batch, safety) in [(10usize, 100usize), (100, 1000), (1000, 10000)] {
+            for cc in [false, true] {
+                let label = format!("{batch}/{safety} {}", if cc { "C+C" } else { "plain" });
+                let mut options = match kind {
+                    ProfileKind::Postgres => RigOptions::postgres(config(batch, safety, cc)),
+                    ProfileKind::MySql => RigOptions::mysql(config(batch, safety, cc)),
+                };
+                options.seed = 0x7B3;
+                let rig = ProtectedRig::build(&template_fs, options);
+                let _report = rig.run(run_wall_duration());
+                let metered = rig.metered.clone();
+                let samples = metered.put_samples();
+                let (stats, usage) = rig.finish();
+                let stats = stats.expect("ginja rig");
+
+                let puts_5min = usage.puts as f64 * five_min_norm;
+                let avg_kb = if usage.puts > 0 {
+                    usage.bytes_uploaded as f64 / usage.puts as f64 / 1000.0
+                } else {
+                    0.0
+                };
+                let mean_lat = if samples.is_empty() {
+                    Duration::ZERO
+                } else {
+                    samples.iter().map(|s| s.latency).sum::<Duration>() / samples.len() as u32
+                };
+                let sim_lat_ms = to_sim_duration(mean_lat).as_secs_f64() * 1000.0;
+                let coalesce = if stats.wal_objects_uploaded > 0 {
+                    stats.updates_intercepted as f64 / stats.wal_objects_uploaded as f64
+                } else {
+                    0.0
+                };
+
+                let paper = PAPER.iter().find(|row| row.0 == label).expect("paper row");
+                let (p_puts, p_kb, p_ms) = match paper_col {
+                    1 => (paper.1, paper.2, paper.3),
+                    _ => (paper.4, paper.5, paper.6),
+                };
+                t.row(&[
+                    label,
+                    fmt(puts_5min, 0),
+                    fmt(p_puts, 0),
+                    fmt(avg_kb, 1),
+                    fmt(p_kb, 0),
+                    fmt(sim_lat_ms, 0),
+                    fmt(p_ms, 0),
+                    fmt(coalesce, 1),
+                ]);
+
+                if !cc {
+                    plain_puts.push(puts_5min);
+                }
+            }
+        }
+        println!();
+        t.print();
+        if plain_puts.len() == 3 && plain_puts[1] > 0.0 && plain_puts[2] > 0.0 {
+            println!(
+                "shape check: B 10→100 cuts PUTs by {:.0}% (paper ~80%), 100→1000 by {:.0}% more (paper ~70%)",
+                (1.0 - plain_puts[1] / plain_puts[0]) * 100.0,
+                (1.0 - plain_puts[2] / plain_puts[1]) * 100.0,
+            );
+        }
+    }
+}

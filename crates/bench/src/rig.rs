@@ -1,0 +1,343 @@
+//! The experiment rig: a TPC-C-loaded mini-DBMS, optionally protected
+//! by Ginja, over a simulated S3 with metering — the setup of §8.
+//!
+//! ## Calibration
+//!
+//! The paper's testbed (two Xeon servers, 15k-RPM disk, Lisbon → S3
+//! US-East) is reproduced through three calibration constants, all in
+//! *simulated* time (multiplied by the global time scale at run time):
+//!
+//! * [`PG_COMMIT_FLUSH_SIM`] / [`MS_COMMIT_FLUSH_SIM`] — per-commit local
+//!   WAL flush cost, set so the unprotected (ext4) baselines land near
+//!   the paper's ≈6 400 (PostgreSQL) and ≈11 600 (MySQL) Tpm-Total;
+//! * [`PG_FUSE_OP_SIM`] / [`MS_FUSE_OP_SIM`] — per-file-operation user-space-file-system
+//!   crossing cost, set so the FUSE baseline shows the paper's ≈7–12 %
+//!   throughput loss;
+//! * the WAN model [`ginja_cloud::LatencyModel::s3_wan`], calibrated
+//!   against Table 3's PUT latencies.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ginja_cloud::{CloudUsage, LatencyModel, LatencyStore, MemStore, MeteredStore, ObjectStore};
+use ginja_core::{Ginja, GinjaConfig, GinjaStatsSnapshot};
+use ginja_db::{Database, DbProfile, IoDelay, ProfileKind};
+use ginja_vfs::{
+    DelayFs, FileSystem, InterceptFs, MemFs, MySqlProcessor, NullProcessor, PostgresProcessor,
+};
+use ginja_workload::{run_tpcc, RunReport, Tpcc, TpccScale};
+
+use crate::timescale::time_scale;
+
+/// Simulated per-commit WAL flush cost, PostgreSQL profile.
+pub const PG_COMMIT_FLUSH_SIM: Duration = Duration::from_micros(8800);
+
+/// Simulated per-commit WAL flush cost, MySQL profile. Lower than the
+/// PostgreSQL figure both because the testbed numbers demand it (the
+/// paper's MySQL pushes ~11.6k Tpm to PostgreSQL's ~6.4k) and because
+/// part of each transaction's budget is unscaled engine compute.
+pub const MS_COMMIT_FLUSH_SIM: Duration = Duration::from_micros(4600);
+
+/// Simulated per-operation FUSE crossing cost, PostgreSQL profile
+/// (large 8 kB WAL pages: fewer, bigger crossings).
+pub const PG_FUSE_OP_SIM: Duration = Duration::from_micros(600);
+
+/// Simulated per-operation FUSE crossing cost, MySQL profile
+/// (512 B log blocks: more, smaller crossings per transaction).
+pub const MS_FUSE_OP_SIM: Duration = Duration::from_micros(100);
+
+/// What runs between the DBMS and its disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// The DBMS on the native file system (the paper's "ext4" bar).
+    Native,
+    /// The DBMS over a pass-through user-space file system (the
+    /// paper's "FUSE" bar).
+    Fuse,
+    /// Full Ginja protection.
+    Ginja,
+}
+
+/// Options for building a [`ProtectedRig`].
+#[derive(Debug, Clone)]
+pub struct RigOptions {
+    /// Which DBMS to emulate.
+    pub kind: ProfileKind,
+    /// Baseline or full protection.
+    pub baseline: BaselineKind,
+    /// Ginja configuration (used when `baseline == Ginja`).
+    pub config: GinjaConfig,
+    /// TPC-C warehouses (paper: 1 for PostgreSQL, 2 for MySQL).
+    pub warehouses: u64,
+    /// TPC-C scale.
+    pub tpcc_scale: TpccScale,
+    /// Workload seed.
+    pub seed: u64,
+    /// The cloud latency model (defaults to the WAN view of S3).
+    pub latency: LatencyModel,
+}
+
+impl RigOptions {
+    /// The paper's PostgreSQL setup (1 warehouse, 5 terminals).
+    pub fn postgres(config: GinjaConfig) -> Self {
+        RigOptions {
+            kind: ProfileKind::Postgres,
+            baseline: BaselineKind::Ginja,
+            config,
+            warehouses: 1,
+            tpcc_scale: TpccScale::bench(),
+            seed: 0xDB,
+            latency: LatencyModel::s3_wan(),
+        }
+    }
+
+    /// The paper's MySQL setup (2 warehouses, 60 terminals).
+    pub fn mysql(config: GinjaConfig) -> Self {
+        RigOptions { kind: ProfileKind::MySql, warehouses: 2, ..Self::postgres(config) }
+    }
+
+    /// Terminals matching the paper's per-DBMS setup.
+    pub fn paper_terminals(&self) -> u64 {
+        match self.kind {
+            ProfileKind::Postgres => 5,
+            ProfileKind::MySql => 60,
+        }
+    }
+
+    /// Switches to a baseline (no Ginja) rig.
+    #[must_use]
+    pub fn baseline(mut self, baseline: BaselineKind) -> Self {
+        self.baseline = baseline;
+        self
+    }
+}
+
+/// Layout profile for one DBMS kind, with run-time delays off (delays
+/// are configured per rig).
+pub fn layout_profile(kind: ProfileKind) -> DbProfile {
+    match kind {
+        // Smaller-than-default segments keep boot uploads quick while
+        // still exercising segment rollover / circular wrap.
+        ProfileKind::Postgres => {
+            let mut p = DbProfile::postgres_default();
+            p.wal_segment_size = 4 * 1024 * 1024;
+            p
+        }
+        ProfileKind::MySql => {
+            let mut p = DbProfile::mysql_default();
+            p.wal_segment_size = 8 * 1024 * 1024;
+            p
+        }
+    }
+}
+
+fn run_profile(kind: ProfileKind) -> DbProfile {
+    let scale = time_scale();
+    let commit_flush = match kind {
+        ProfileKind::Postgres => PG_COMMIT_FLUSH_SIM,
+        ProfileKind::MySql => MS_COMMIT_FLUSH_SIM,
+    };
+    let delay = IoDelay {
+        commit_flush,
+        page_flush_base: Duration::from_micros(2000),
+        page_flush_per_page: Duration::from_micros(55),
+        scale,
+    };
+    // PostgreSQL's default checkpoint_timeout is 5 minutes — about one
+    // checkpoint per paper run; InnoDB's fuzzy flushing is continuous.
+    let ckpt_every = match kind {
+        ProfileKind::Postgres => 5000,
+        ProfileKind::MySql => 300,
+    };
+    layout_profile(kind).with_io_delay(delay).with_checkpoint_every(ckpt_every)
+}
+
+/// A database image loaded with TPC-C data, ready to be forked into
+/// per-configuration rigs.
+pub fn template(kind: ProfileKind, warehouses: u64, scale: TpccScale, seed: u64) -> Arc<MemFs> {
+    let fs = Arc::new(MemFs::new());
+    let db = Database::create(fs.clone(), layout_profile(kind)).expect("create template db");
+    let mut tpcc = Tpcc::new(warehouses, seed, scale);
+    tpcc.create_schema(&db).expect("schema");
+    tpcc.load(&db).expect("load");
+    db.checkpoint().expect("checkpoint after load");
+    fs
+}
+
+/// One experiment instance.
+pub struct ProtectedRig {
+    /// The (possibly protected) database.
+    pub db: Arc<Database>,
+    /// The middleware, when `baseline == Ginja`.
+    pub ginja: Option<Ginja>,
+    /// The metered cloud the middleware writes to.
+    pub metered: Arc<MeteredStore<LatencyStore<MemStore>>>,
+    /// The local file system under the database.
+    pub local: Arc<MemFs>,
+    options: RigOptions,
+}
+
+impl ProtectedRig {
+    /// Builds a rig from a loaded `template` image.
+    pub fn build(template: &MemFs, options: RigOptions) -> Self {
+        let scale = time_scale();
+        let local = Arc::new(template.fork());
+        let metered = Arc::new(MeteredStore::new(LatencyStore::new(
+            MemStore::new(),
+            options.latency.clone().scaled(scale),
+        )));
+        let profile = run_profile(options.kind);
+        let fuse_cost = match options.kind {
+            ProfileKind::Postgres => PG_FUSE_OP_SIM,
+            ProfileKind::MySql => MS_FUSE_OP_SIM,
+        }
+        .mul_f64(scale);
+
+        let (db_fs, ginja): (Arc<dyn FileSystem>, Option<Ginja>) = match options.baseline {
+            BaselineKind::Native => (local.clone(), None),
+            BaselineKind::Fuse => (
+                Arc::new(InterceptFs::new(
+                    DelayFs::new(local.clone(), fuse_cost),
+                    Arc::new(NullProcessor),
+                )),
+                None,
+            ),
+            BaselineKind::Ginja => {
+                let processor: Arc<dyn ginja_vfs::DbmsProcessor> = match options.kind {
+                    ProfileKind::Postgres => Arc::new(PostgresProcessor::new()),
+                    ProfileKind::MySql => Arc::new(MySqlProcessor::new()),
+                };
+                let cloud: Arc<dyn ObjectStore> = metered.clone();
+                let ginja = Ginja::boot(
+                    local.clone(),
+                    cloud,
+                    processor,
+                    options.config.clone(),
+                )
+                .expect("ginja boot");
+                let fs = Arc::new(InterceptFs::new(
+                    DelayFs::new(local.clone(), fuse_cost),
+                    Arc::new(ginja.clone()),
+                ));
+                (fs, Some(ginja))
+            }
+        };
+
+        let db = Arc::new(Database::open(db_fs, profile).expect("open db"));
+        ProtectedRig { db, ginja, metered, local, options }
+    }
+
+    /// Runs TPC-C for `duration` (wall time) with the paper's terminal
+    /// count and returns the throughput report.
+    pub fn run(&self, duration: Duration) -> RunReport {
+        // Don't meter the boot uploads into the run's numbers.
+        self.metered.reset_counters();
+        run_tpcc(
+            &self.db,
+            self.options.warehouses,
+            self.options.paper_terminals(),
+            duration,
+            self.options.seed + 1,
+            self.options.tpcc_scale,
+        )
+    }
+
+    /// Drains the pipeline and stops the middleware, returning its
+    /// stats and the cloud usage for the measured window.
+    pub fn finish(self) -> (Option<GinjaStatsSnapshot>, CloudUsage) {
+        let stats = self.ginja.as_ref().map(|g| {
+            g.sync(Duration::from_secs(60));
+            let stats = g.stats();
+            g.shutdown();
+            stats
+        });
+        (stats, self.metered.usage())
+    }
+
+    /// The rig's options.
+    pub fn options(&self) -> &RigOptions {
+        &self.options
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_options(kind: ProfileKind) -> RigOptions {
+        let config = GinjaConfig::builder()
+            .batch(10)
+            .safety(100)
+            .batch_timeout(Duration::from_millis(20))
+            .build()
+            .unwrap();
+        let mut options = match kind {
+            ProfileKind::Postgres => RigOptions::postgres(config),
+            ProfileKind::MySql => RigOptions::mysql(config),
+        };
+        options.tpcc_scale = TpccScale::tiny();
+        options.warehouses = 1;
+        options
+    }
+
+    #[test]
+    fn native_rig_runs() {
+        let template = template(ProfileKind::Postgres, 1, TpccScale::tiny(), 1);
+        let rig =
+            ProtectedRig::build(&template, tiny_options(ProfileKind::Postgres).baseline(BaselineKind::Native));
+        let report = rig.run(Duration::from_millis(200));
+        assert!(report.total_txns > 0);
+        assert_eq!(report.errors, 0);
+        let (stats, usage) = rig.finish();
+        assert!(stats.is_none());
+        assert_eq!(usage.puts, 0, "native baseline must not touch the cloud");
+    }
+
+    #[test]
+    fn ginja_rig_uploads() {
+        let template = template(ProfileKind::Postgres, 1, TpccScale::tiny(), 1);
+        let rig = ProtectedRig::build(&template, tiny_options(ProfileKind::Postgres));
+        let report = rig.run(Duration::from_millis(300));
+        assert!(report.total_txns > 0);
+        let (stats, usage) = rig.finish();
+        let stats = stats.unwrap();
+        assert!(stats.updates_intercepted > 0);
+        assert!(usage.puts > 0);
+    }
+
+    #[test]
+    fn mysql_rig_runs() {
+        let template = template(ProfileKind::MySql, 1, TpccScale::tiny(), 1);
+        let rig = ProtectedRig::build(&template, tiny_options(ProfileKind::MySql));
+        let report = rig.run(Duration::from_millis(300));
+        assert!(report.total_txns > 0);
+        let (stats, _) = rig.finish();
+        assert!(stats.unwrap().updates_intercepted > 0);
+    }
+
+    #[test]
+    fn fuse_baseline_slower_than_native() {
+        let template = template(ProfileKind::Postgres, 1, TpccScale::tiny(), 1);
+        let native = ProtectedRig::build(
+            &template,
+            tiny_options(ProfileKind::Postgres).baseline(BaselineKind::Native),
+        );
+        let fuse = ProtectedRig::build(
+            &template,
+            tiny_options(ProfileKind::Postgres).baseline(BaselineKind::Fuse),
+        );
+        let d = Duration::from_millis(400);
+        let native_report = native.run(d);
+        let fuse_report = fuse.run(d);
+        // In debug builds under parallel test load the delta sits inside
+        // run-to-run noise, so only assert FUSE is not *faster* beyond
+        // tolerance; the strict ordering is verified by the release-mode
+        // fig5 bench.
+        assert!(
+            fuse_report.tpm_total() < native_report.tpm_total() * 1.15,
+            "fuse {} vs native {}",
+            fuse_report.tpm_total(),
+            native_report.tpm_total()
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Process resource sampling for the Table 4 experiment (server CPU and
+//! memory usage with and without Ginja), via `/proc` on Linux.
+
+use std::time::Duration;
+
+/// A point-in-time resource sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceSample {
+    /// Accumulated process CPU time (user + system).
+    pub cpu: Duration,
+    /// Resident set size in kilobytes.
+    pub rss_kb: u64,
+}
+
+/// Samples the current process.
+///
+/// Returns zeros on platforms without `/proc` so that benches degrade
+/// gracefully instead of failing.
+pub fn sample() -> ResourceSample {
+    ResourceSample { cpu: cpu_time().unwrap_or(Duration::ZERO), rss_kb: rss_kb().unwrap_or(0) }
+}
+
+fn cpu_time() -> Option<Duration> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The command name is parenthesized and may contain spaces; fields
+    // utime/stime are the 12th and 13th after the closing paren.
+    let after_comm = &stat[stat.rfind(')')? + 1..];
+    let fields: Vec<&str> = after_comm.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    let ticks_per_sec = 100.0; // CLK_TCK on all mainstream Linux configs
+    Some(Duration::from_secs_f64((utime + stime) as f64 / ticks_per_sec))
+}
+
+fn rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+/// CPU utilization (0.0–n_cores) between two samples over `wall` time.
+pub fn cpu_utilization(before: &ResourceSample, after: &ResourceSample, wall: Duration) -> f64 {
+    if wall.is_zero() {
+        return 0.0;
+    }
+    after.cpu.saturating_sub(before.cpu).as_secs_f64() / wall.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_works_on_linux() {
+        let s = sample();
+        // On Linux both fields should be live; elsewhere they are zero.
+        if std::path::Path::new("/proc/self/stat").exists() {
+            assert!(s.rss_kb > 0);
+        }
+    }
+
+    #[test]
+    fn cpu_grows_with_work() {
+        if !std::path::Path::new("/proc/self/stat").exists() {
+            return;
+        }
+        let before = sample();
+        // Burn some CPU deterministically.
+        let mut acc = 0u64;
+        for i in 0..60_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let after = sample();
+        assert!(after.cpu >= before.cpu);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let a = ResourceSample { cpu: Duration::from_millis(100), rss_kb: 1 };
+        let b = ResourceSample { cpu: Duration::from_millis(600), rss_kb: 1 };
+        let u = cpu_utilization(&a, &b, Duration::from_secs(1));
+        assert!((u - 0.5).abs() < 1e-9);
+        assert_eq!(cpu_utilization(&a, &b, Duration::ZERO), 0.0);
+    }
+}

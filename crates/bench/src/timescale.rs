@@ -1,0 +1,69 @@
+//! Scaled-time configuration shared by every timed experiment.
+
+use std::time::Duration;
+
+/// The default time scale: all latencies shrink 10×. (Smaller scales
+/// run faster but the engine's unscaled compute time starts to distort
+/// the MySQL profile, whose per-transaction budget is only ~5 ms —
+/// especially on small machines where the pipeline threads share cores
+/// with the DBMS.)
+pub const DEFAULT_SCALE: f64 = 0.1;
+
+/// The default simulated run length in minutes (the paper used 5).
+pub const DEFAULT_SIM_MINUTES: f64 = 1.0;
+
+/// The experiment time scale (see `GINJA_BENCH_SCALE`).
+pub fn time_scale() -> f64 {
+    std::env::var("GINJA_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v: &f64| *v > 0.0 && *v <= 1.0)
+        .unwrap_or(DEFAULT_SCALE)
+}
+
+/// Simulated minutes each TPC-C run lasts (see `GINJA_BENCH_MINUTES`).
+pub fn sim_minutes() -> f64 {
+    std::env::var("GINJA_BENCH_MINUTES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v: &f64| *v > 0.0)
+        .unwrap_or(DEFAULT_SIM_MINUTES)
+}
+
+/// Wall-clock duration corresponding to `sim_minutes()` at the current
+/// scale.
+pub fn run_wall_duration() -> Duration {
+    Duration::from_secs_f64(sim_minutes() * 60.0 * time_scale())
+}
+
+/// Converts a measured wall-clock rate (per minute) into the simulated
+/// per-minute rate: all delays are `scale×` shorter, so wall throughput
+/// is `1/scale×` higher than the simulated system's.
+pub fn to_sim_per_minute(wall_per_minute: f64) -> f64 {
+    wall_per_minute * time_scale()
+}
+
+/// Converts a wall-clock duration into simulated time.
+pub fn to_sim_duration(wall: Duration) -> Duration {
+    wall.div_f64(time_scale())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        assert!(time_scale() > 0.0 && time_scale() <= 1.0);
+        assert!(sim_minutes() > 0.0);
+        assert!(run_wall_duration() > Duration::ZERO);
+    }
+
+    #[test]
+    fn conversions_are_inverse_scalings() {
+        let scale = time_scale();
+        assert!((to_sim_per_minute(100.0) - 100.0 * scale).abs() < 1e-9);
+        let sim = to_sim_duration(Duration::from_secs(1));
+        assert!((sim.as_secs_f64() - 1.0 / scale).abs() < 1e-6);
+    }
+}

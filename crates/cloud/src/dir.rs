@@ -1,0 +1,181 @@
+use std::fs;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+
+use crate::{ObjectStore, StoreError};
+
+/// An [`ObjectStore`] backed by a local directory.
+///
+/// Object names map to file paths under the root (Ginja names contain
+/// `/`, which becomes directory nesting). Useful for development, for
+/// air-gapped backups onto removable media, and for any remote target
+/// that mounts as a file system (NFS, SSHFS, rclone mounts of real
+/// cloud buckets) — the operator CLI uses it for `dir:` cloud URLs.
+///
+/// Writes go through a temp file + rename so a crashed `put` never
+/// leaves a half-written object visible.
+#[derive(Debug)]
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) an object store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root)
+            .map_err(|e| StoreError::Unavailable(format!("create {}: {e}", root.display())))?;
+        Ok(DirStore { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn resolve(&self, name: &str) -> Result<PathBuf, StoreError> {
+        if name.is_empty()
+            || name.split('/').any(|seg| seg == ".." || seg == "." || seg.is_empty())
+        {
+            return Err(StoreError::Unavailable(format!("invalid object name: {name}")));
+        }
+        Ok(self.root.join(name))
+    }
+
+    fn walk(dir: &Path, base: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                Self::walk(&path, base, out)?;
+            } else if let Ok(rel) = path.strip_prefix(base) {
+                let name = rel.to_string_lossy().replace('\\', "/");
+                if !name.ends_with(".tmp") {
+                    out.push(name);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ObjectStore for DirStore {
+    fn put(&self, name: &str, data: &[u8]) -> Result<(), StoreError> {
+        let path = self.resolve(name)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)
+                .map_err(|e| StoreError::Unavailable(format!("mkdir: {e}")))?;
+        }
+        // Atomic visibility: write aside, fsync, rename into place.
+        let tmp = path.with_extension(format!(
+            "{}.tmp",
+            path.extension().and_then(|e| e.to_str()).unwrap_or("o")
+        ));
+        let write = || -> std::io::Result<()> {
+            use std::io::Write;
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(data)?;
+            file.sync_data()?;
+            fs::rename(&tmp, &path)
+        };
+        write().map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            StoreError::Unavailable(format!("put {name}: {e}"))
+        })
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        let path = self.resolve(name)?;
+        fs::read(&path).map_err(|e| {
+            if e.kind() == ErrorKind::NotFound {
+                StoreError::NotFound(name.to_string())
+            } else {
+                StoreError::Unavailable(format!("get {name}: {e}"))
+            }
+        })
+    }
+
+    fn delete(&self, name: &str) -> Result<(), StoreError> {
+        let path = self.resolve(name)?;
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::Unavailable(format!("delete {name}: {e}"))),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        Self::walk(&self.root, &self.root, &mut names)
+            .map_err(|e| StoreError::Unavailable(format!("list: {e}")))?;
+        names.retain(|n| n.starts_with(prefix));
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> DirStore {
+        let dir = std::env::temp_dir()
+            .join("ginja-dirstore-tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        DirStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_with_nested_names() {
+        let s = temp_store("rw");
+        s.put("WAL/3_pg_xlog/0001_0_8192", b"bytes").unwrap();
+        assert_eq!(s.get("WAL/3_pg_xlog/0001_0_8192").unwrap(), b"bytes");
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let s = temp_store("ow");
+        s.put("DB/0_dump_10", b"one").unwrap();
+        s.put("DB/0_dump_10", b"two").unwrap();
+        assert_eq!(s.get("DB/0_dump_10").unwrap(), b"two");
+    }
+
+    #[test]
+    fn missing_object_not_found() {
+        let s = temp_store("missing");
+        assert!(matches!(s.get("nope"), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn delete_idempotent() {
+        let s = temp_store("del");
+        s.put("a", b"1").unwrap();
+        s.delete("a").unwrap();
+        s.delete("a").unwrap();
+        assert!(matches!(s.get("a"), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn list_sorted_with_prefix_and_no_temp_files() {
+        let s = temp_store("list");
+        s.put("WAL/2_f_0_1", b"").unwrap();
+        s.put("WAL/1_f_0_1", b"").unwrap();
+        s.put("DB/0_dump_0", b"").unwrap();
+        assert_eq!(s.list("WAL/").unwrap(), vec!["WAL/1_f_0_1", "WAL/2_f_0_1"]);
+        assert_eq!(s.list("").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn hostile_names_rejected() {
+        let s = temp_store("hostile");
+        assert!(s.put("../escape", b"x").is_err());
+        assert!(s.put("a//b", b"x").is_err());
+        assert!(s.put("", b"x").is_err());
+        assert!(s.get("./x").is_err());
+    }
+}

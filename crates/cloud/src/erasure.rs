@@ -1,0 +1,398 @@
+//! Reed–Solomon erasure coding across clouds.
+//!
+//! The paper's multi-cloud support cites DepSky, whose cost-efficient
+//! variant (DepSky-CA) stores **erasure-coded shards** instead of full
+//! replicas: with `n` clouds and threshold `k`, any `k` shards rebuild
+//! the object, any `n − k` providers may fail, and the storage bill is
+//! `n/k×` instead of `n×`. [`ErasureStore`] brings that trade-off to
+//! Ginja: 3 clouds at `k = 2` tolerate one provider loss for 1.5× the
+//! single-cloud storage cost, where [`crate::ReplicatedStore`] pays 3×.
+//!
+//! Coding is classic Reed–Solomon over GF(2⁸) with a Vandermonde
+//! generator matrix (evaluation points 1..=n): every k×k submatrix is
+//! invertible, so any k shards decode.
+
+use std::sync::Arc;
+
+use crate::gf256;
+use crate::{ObjectStore, StoreError};
+
+const MAGIC: [u8; 4] = *b"GERS";
+const HEADER_LEN: usize = 4 + 3 + 4; // magic + (k, n, index) + orig_len
+
+/// Maximum shard count (GF(256) evaluation points must stay distinct
+/// and non-zero).
+pub const MAX_SHARDS: usize = 255;
+
+fn coefficient(shard_index: usize, data_index: usize) -> u8 {
+    gf256::pow(shard_index as u8 + 1, data_index as u32)
+}
+
+/// Splits `data` into `n` coded shards, any `k` of which reconstruct it.
+///
+/// # Panics
+///
+/// Panics unless `1 <= k <= n <= MAX_SHARDS`.
+pub fn encode(data: &[u8], k: usize, n: usize) -> Vec<Vec<u8>> {
+    assert!(k >= 1 && k <= n && n <= MAX_SHARDS, "invalid (k={k}, n={n})");
+    let shard_len = data.len().div_ceil(k).max(1);
+    // Column-major view of the padded data: chunk c holds bytes
+    // [c·L, (c+1)·L).
+    let chunk = |c: usize, p: usize| -> u8 {
+        let at = c * shard_len + p;
+        if at < data.len() {
+            data[at]
+        } else {
+            0
+        }
+    };
+
+    (0..n)
+        .map(|s| {
+            let mut shard = Vec::with_capacity(HEADER_LEN + shard_len);
+            shard.extend_from_slice(&MAGIC);
+            shard.push(k as u8);
+            shard.push(n as u8);
+            shard.push(s as u8);
+            shard.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            for p in 0..shard_len {
+                let mut value = 0u8;
+                for c in 0..k {
+                    value = gf256::add(value, gf256::mul(coefficient(s, c), chunk(c, p)));
+                }
+                shard.push(value);
+            }
+            shard
+        })
+        .collect()
+}
+
+/// Parses a shard header, returning `(k, n, index, orig_len, payload)`.
+fn parse_shard(shard: &[u8]) -> Result<(usize, usize, usize, usize, &[u8]), StoreError> {
+    let bad = |why: &str| StoreError::Unavailable(format!("bad erasure shard: {why}"));
+    if shard.len() < HEADER_LEN || shard[..4] != MAGIC {
+        return Err(bad("missing header"));
+    }
+    let k = shard[4] as usize;
+    let n = shard[5] as usize;
+    let index = shard[6] as usize;
+    let orig_len = u32::from_le_bytes(shard[7..11].try_into().expect("sized")) as usize;
+    if k == 0 || k > n || index >= n {
+        return Err(bad("inconsistent parameters"));
+    }
+    let expected = orig_len.div_ceil(k).max(1);
+    if shard.len() - HEADER_LEN != expected {
+        return Err(bad("payload length mismatch"));
+    }
+    Ok((k, n, index, orig_len, &shard[HEADER_LEN..]))
+}
+
+/// Reconstructs the original object from any `k` (or more) shards.
+///
+/// # Errors
+///
+/// [`StoreError::Unavailable`] when shards are malformed, inconsistent,
+/// or fewer than `k` distinct indices are present.
+pub fn decode(shards: &[Vec<u8>]) -> Result<Vec<u8>, StoreError> {
+    let bad = |why: &str| StoreError::Unavailable(format!("erasure decode: {why}"));
+    let mut parsed = Vec::new();
+    let mut params: Option<(usize, usize, usize)> = None;
+    for shard in shards {
+        let (k, n, index, orig_len, payload) = parse_shard(shard)?;
+        match params {
+            None => params = Some((k, n, orig_len)),
+            Some(p) if p != (k, n, orig_len) => return Err(bad("mixed shard sets")),
+            _ => {}
+        }
+        if !parsed.iter().any(|(i, _)| *i == index) {
+            parsed.push((index, payload));
+        }
+    }
+    let Some((k, _n, orig_len)) = params else { return Err(bad("no shards")) };
+    if parsed.len() < k {
+        return Err(bad("not enough shards"));
+    }
+    parsed.truncate(k);
+
+    // Invert the k×k Vandermonde submatrix for the present indices.
+    let matrix: Vec<Vec<u8>> = parsed
+        .iter()
+        .map(|(index, _)| (0..k).map(|c| coefficient(*index, c)).collect())
+        .collect();
+    let inverse = gf256::invert_matrix(&matrix).ok_or_else(|| bad("singular submatrix"))?;
+
+    let shard_len = orig_len.div_ceil(k).max(1);
+    let mut data = vec![0u8; k * shard_len];
+    for p in 0..shard_len {
+        let column: Vec<u8> = parsed.iter().map(|(_, payload)| payload[p]).collect();
+        let decoded = gf256::matrix_apply(&inverse, &column);
+        for (c, value) in decoded.into_iter().enumerate() {
+            data[c * shard_len + p] = value;
+        }
+    }
+    data.truncate(orig_len);
+    Ok(data)
+}
+
+/// An [`ObjectStore`] that erasure-codes every object across `n`
+/// backends with threshold `k`.
+#[derive(Clone)]
+pub struct ErasureStore {
+    backends: Vec<Arc<dyn ObjectStore>>,
+    k: usize,
+}
+
+impl std::fmt::Debug for ErasureStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ErasureStore")
+            .field("n", &self.backends.len())
+            .field("k", &self.k)
+            .finish()
+    }
+}
+
+impl ErasureStore {
+    /// Erasure-codes across `backends` so that any `k` of them suffice
+    /// to read. Writes require every backend to accept its shard (a
+    /// failed backend would silently erode the fault tolerance
+    /// otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= backends.len() <= MAX_SHARDS`.
+    pub fn new(backends: Vec<Arc<dyn ObjectStore>>, k: usize) -> Self {
+        assert!(
+            k >= 1 && k <= backends.len() && backends.len() <= MAX_SHARDS,
+            "invalid erasure configuration"
+        );
+        ErasureStore { backends, k }
+    }
+
+    /// The read threshold `k`.
+    pub fn threshold(&self) -> usize {
+        self.k
+    }
+
+    /// Storage overhead factor versus a single copy (`n / k`).
+    pub fn storage_overhead(&self) -> f64 {
+        self.backends.len() as f64 / self.k as f64
+    }
+}
+
+impl ObjectStore for ErasureStore {
+    fn put(&self, name: &str, data: &[u8]) -> Result<(), StoreError> {
+        let shards = encode(data, self.k, self.backends.len());
+        let mut acked = 0;
+        let mut last_err = None;
+        for (backend, shard) in self.backends.iter().zip(shards) {
+            match backend.put(name, &shard) {
+                Ok(()) => acked += 1,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if acked == self.backends.len() {
+            Ok(())
+        } else {
+            Err(last_err.unwrap_or(StoreError::QuorumNotReached {
+                acked,
+                required: self.backends.len(),
+            }))
+        }
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        let mut shards = Vec::new();
+        for backend in &self.backends {
+            if let Ok(shard) = backend.get(name) {
+                shards.push(shard);
+                if shards.len() >= self.k {
+                    // Optimistically try; fall through for more shards
+                    // if one of these is corrupt.
+                    if let Ok(data) = decode(&shards) {
+                        return Ok(data);
+                    }
+                }
+            }
+        }
+        if shards.is_empty() {
+            return Err(StoreError::NotFound(name.to_string()));
+        }
+        decode(&shards)
+    }
+
+    fn delete(&self, name: &str) -> Result<(), StoreError> {
+        let mut any_ok = false;
+        let mut last_err = None;
+        for backend in &self.backends {
+            match backend.delete(name) {
+                Ok(()) => any_ok = true,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if any_ok {
+            Ok(())
+        } else {
+            Err(last_err.unwrap_or_else(|| StoreError::Unavailable("no backends".into())))
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        let mut names = std::collections::BTreeSet::new();
+        let mut any_ok = false;
+        let mut last_err = None;
+        for backend in &self.backends {
+            match backend.list(prefix) {
+                Ok(list) => {
+                    any_ok = true;
+                    names.extend(list);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if any_ok {
+            Ok(names.into_iter().collect())
+        } else {
+            Err(last_err.unwrap_or_else(|| StoreError::Unavailable("no backends".into())))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultPlan, FaultStore, MemStore};
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for (k, n) in [(1, 1), (1, 3), (2, 3), (3, 5), (4, 7)] {
+            let shards = encode(data, k, n);
+            assert_eq!(shards.len(), n);
+            assert_eq!(decode(&shards).unwrap(), data, "k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn any_k_shards_suffice() {
+        let data: Vec<u8> = (0..257u32).map(|i| (i % 256) as u8).collect();
+        let (k, n) = (3, 5);
+        let shards = encode(&data, k, n);
+        // Every 3-of-5 combination decodes.
+        for a in 0..n {
+            for b in a + 1..n {
+                for c in b + 1..n {
+                    let subset =
+                        vec![shards[a].clone(), shards[b].clone(), shards[c].clone()];
+                    assert_eq!(decode(&subset).unwrap(), data, "subset ({a},{b},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_than_k_shards_fail() {
+        let shards = encode(b"payload", 3, 5);
+        assert!(decode(&shards[..2]).is_err());
+        assert!(decode(&[]).is_err());
+    }
+
+    #[test]
+    fn duplicate_shards_do_not_count_twice() {
+        let shards = encode(b"payload", 2, 3);
+        let dupes = vec![shards[0].clone(), shards[0].clone()];
+        assert!(decode(&dupes).is_err());
+    }
+
+    #[test]
+    fn empty_and_tiny_objects() {
+        for data in [&b""[..], b"x", b"ab"] {
+            let shards = encode(data, 2, 3);
+            assert_eq!(decode(&shards).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn corrupt_shard_rejected() {
+        let shards = encode(b"data!", 2, 3);
+        let mut bad = shards[0].clone();
+        bad[5] = 200; // k/n bytes inconsistent
+        assert!(decode(&[bad, shards[1].clone()]).is_err());
+    }
+
+    type Backends = (Vec<Arc<dyn ObjectStore>>, Vec<Arc<MemStore>>, Vec<Arc<FaultPlan>>);
+
+    fn three_backends() -> Backends {
+        let mut backends: Vec<Arc<dyn ObjectStore>> = Vec::new();
+        let mut mems = Vec::new();
+        let mut plans = Vec::new();
+        for _ in 0..3 {
+            let mem = Arc::new(MemStore::new());
+            let plan = Arc::new(FaultPlan::new());
+            backends.push(Arc::new(FaultStore::new(mem.clone(), plan.clone())));
+            mems.push(mem);
+            plans.push(plan);
+        }
+        (backends, mems, plans)
+    }
+
+    #[test]
+    fn store_roundtrip_and_storage_saving() {
+        let (backends, mems, _) = three_backends();
+        let store = ErasureStore::new(backends, 2);
+        assert!((store.storage_overhead() - 1.5).abs() < 1e-9);
+        let data = vec![7u8; 9000];
+        store.put("obj", &data).unwrap();
+        assert_eq!(store.get("obj").unwrap(), data);
+        // Each backend holds roughly half the object (plus headers) —
+        // 1.5× total, vs 3× for full replication.
+        let total: u64 = mems.iter().map(|m| m.total_bytes()).sum();
+        assert!(total < data.len() as u64 * 16 / 10, "stored {total}");
+        assert!(total > data.len() as u64 * 14 / 10, "stored {total}");
+    }
+
+    #[test]
+    fn survives_one_provider_loss() {
+        let (backends, mems, _) = three_backends();
+        let store = ErasureStore::new(backends, 2);
+        store.put("obj", b"critical database state").unwrap();
+        mems[1].clear();
+        assert_eq!(store.get("obj").unwrap(), b"critical database state");
+    }
+
+    #[test]
+    fn two_provider_losses_exceed_threshold() {
+        let (backends, mems, _) = three_backends();
+        let store = ErasureStore::new(backends, 2);
+        store.put("obj", b"gone").unwrap();
+        mems[0].clear();
+        mems[2].clear();
+        assert!(store.get("obj").is_err());
+    }
+
+    #[test]
+    fn put_requires_all_backends() {
+        let (backends, _, plans) = three_backends();
+        let store = ErasureStore::new(backends, 2);
+        plans[2].outage();
+        assert!(store.put("obj", b"x").is_err());
+        plans[2].restore();
+        store.put("obj", b"x").unwrap();
+    }
+
+    #[test]
+    fn list_and_delete() {
+        let (backends, _, _) = three_backends();
+        let store = ErasureStore::new(backends, 2);
+        store.put("WAL/1_f_0_1", b"a").unwrap();
+        store.put("DB/0_dump_1", b"b").unwrap();
+        assert_eq!(store.list("WAL/").unwrap(), vec!["WAL/1_f_0_1"]);
+        store.delete("WAL/1_f_0_1").unwrap();
+        assert!(matches!(store.get("WAL/1_f_0_1"), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid erasure configuration")]
+    fn zero_threshold_rejected() {
+        let _ = ErasureStore::new(vec![Arc::new(MemStore::new())], 0);
+    }
+}

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`crate::ObjectStore`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The named object does not exist.
+    NotFound(String),
+    /// The backend is (possibly temporarily) unavailable.
+    Unavailable(String),
+    /// A fault-injection rule rejected this operation (tests only).
+    Injected(String),
+    /// Fewer than the required number of replicas acknowledged a write.
+    QuorumNotReached {
+        /// Replicas that acknowledged.
+        acked: usize,
+        /// Replicas required.
+        required: usize,
+    },
+}
+
+impl StoreError {
+    /// Whether retrying the operation could plausibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Unavailable(_)
+                | StoreError::Injected(_)
+                | StoreError::QuorumNotReached { .. }
+        )
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(name) => write!(f, "object not found: {name}"),
+            StoreError::Unavailable(reason) => write!(f, "storage unavailable: {reason}"),
+            StoreError::Injected(reason) => write!(f, "injected fault: {reason}"),
+            StoreError::QuorumNotReached { acked, required } => {
+                write!(f, "write quorum not reached: {acked} of {required} replicas acked")
+            }
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        assert!(!StoreError::NotFound("x".into()).is_retryable());
+        assert!(StoreError::Unavailable("net".into()).is_retryable());
+        assert!(StoreError::Injected("test".into()).is_retryable());
+        assert!(StoreError::QuorumNotReached { acked: 1, required: 2 }.is_retryable());
+    }
+
+    #[test]
+    fn display_mentions_object_name() {
+        let s = StoreError::NotFound("WAL/3_f_0".into()).to_string();
+        assert!(s.contains("WAL/3_f_0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<StoreError>();
+    }
+}

@@ -1,0 +1,275 @@
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::{ObjectStore, StoreError};
+
+/// The operation kinds a fault rule can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Object uploads.
+    Put,
+    /// Object downloads.
+    Get,
+    /// Object deletions.
+    Delete,
+    /// Listings.
+    List,
+}
+
+#[derive(Debug)]
+struct Rule {
+    op: OpKind,
+    name_contains: Option<String>,
+    /// How many matching operations to fail before the rule expires;
+    /// `usize::MAX` means forever.
+    remaining: AtomicUsize,
+}
+
+/// A programmable schedule of failures shared with a [`FaultStore`].
+///
+/// Used by the crash-consistency tests and the disaster experiments:
+/// e.g. "fail the next 3 PUTs of WAL objects", "the cloud is down from
+/// now on", or "drop every DELETE" (to test garbage-collection retry).
+///
+/// ```rust
+/// use std::sync::Arc;
+/// use ginja_cloud::{FaultPlan, FaultStore, MemStore, ObjectStore, OpKind};
+///
+/// let plan = Arc::new(FaultPlan::new());
+/// let store = FaultStore::new(MemStore::new(), plan.clone());
+/// plan.fail_next(OpKind::Put, 1);
+/// assert!(store.put("a", b"x").is_err());
+/// assert!(store.put("a", b"x").is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Mutex<Vec<Rule>>,
+    /// When set, every operation fails (provider outage).
+    outage: AtomicBool,
+    injected: AtomicUsize,
+}
+
+impl FaultPlan {
+    /// A plan with no scheduled faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fails the next `n` operations of kind `op` (any object name).
+    pub fn fail_next(&self, op: OpKind, n: usize) {
+        self.rules.lock().push(Rule { op, name_contains: None, remaining: AtomicUsize::new(n) });
+    }
+
+    /// Fails the next `n` operations of kind `op` whose object name
+    /// contains `fragment`.
+    pub fn fail_matching(&self, op: OpKind, fragment: impl Into<String>, n: usize) {
+        self.rules.lock().push(Rule {
+            op,
+            name_contains: Some(fragment.into()),
+            remaining: AtomicUsize::new(n),
+        });
+    }
+
+    /// Simulates a full provider outage (every operation fails) until
+    /// [`FaultPlan::restore`] is called.
+    pub fn outage(&self) {
+        self.outage.store(true, Ordering::SeqCst);
+    }
+
+    /// Ends an outage.
+    pub fn restore(&self) {
+        self.outage.store(false, Ordering::SeqCst);
+    }
+
+    /// Number of operations failed so far.
+    pub fn injected_count(&self) -> usize {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    fn check(&self, op: OpKind, name: &str) -> Result<(), StoreError> {
+        if self.outage.load(Ordering::SeqCst) {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(StoreError::Unavailable("simulated provider outage".into()));
+        }
+        let rules = self.rules.lock();
+        for rule in rules.iter() {
+            if rule.op != op {
+                continue;
+            }
+            if let Some(frag) = &rule.name_contains {
+                if !name.contains(frag.as_str()) {
+                    continue;
+                }
+            }
+            // Claim one failure budget atomically.
+            let mut cur = rule.remaining.load(Ordering::SeqCst);
+            loop {
+                if cur == 0 {
+                    break;
+                }
+                let next = if cur == usize::MAX { cur } else { cur - 1 };
+                match rule.remaining.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+                {
+                    Ok(_) => {
+                        self.injected.fetch_add(1, Ordering::SeqCst);
+                        return Err(StoreError::Injected(format!(
+                            "scheduled {op:?} failure for {name}"
+                        )));
+                    }
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An [`ObjectStore`] decorator that consults a [`FaultPlan`] before
+/// every operation.
+#[derive(Debug)]
+pub struct FaultStore<S> {
+    inner: S,
+    plan: std::sync::Arc<FaultPlan>,
+}
+
+impl<S: ObjectStore> FaultStore<S> {
+    /// Wraps `inner`; faults are scheduled through the shared `plan`.
+    pub fn new(inner: S, plan: std::sync::Arc<FaultPlan>) -> Self {
+        FaultStore { inner, plan }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The shared fault plan.
+    pub fn plan(&self) -> &std::sync::Arc<FaultPlan> {
+        &self.plan
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for FaultStore<S> {
+    fn put(&self, name: &str, data: &[u8]) -> Result<(), StoreError> {
+        self.plan.check(OpKind::Put, name)?;
+        self.inner.put(name, data)
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        self.plan.check(OpKind::Get, name)?;
+        self.inner.get(name)
+    }
+
+    fn delete(&self, name: &str) -> Result<(), StoreError> {
+        self.plan.check(OpKind::Delete, name)?;
+        self.inner.delete(name)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        self.plan.check(OpKind::List, prefix)?;
+        self.inner.list(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+    use std::sync::Arc;
+
+    fn store_with_plan() -> (FaultStore<MemStore>, Arc<FaultPlan>) {
+        let plan = Arc::new(FaultPlan::new());
+        (FaultStore::new(MemStore::new(), plan.clone()), plan)
+    }
+
+    #[test]
+    fn no_faults_passes_through() {
+        let (store, plan) = store_with_plan();
+        store.put("a", b"1").unwrap();
+        assert_eq!(store.get("a").unwrap(), b"1");
+        assert_eq!(plan.injected_count(), 0);
+    }
+
+    #[test]
+    fn fail_next_n_puts() {
+        let (store, plan) = store_with_plan();
+        plan.fail_next(OpKind::Put, 2);
+        assert!(store.put("a", b"1").is_err());
+        assert!(store.put("b", b"2").is_err());
+        store.put("c", b"3").unwrap();
+        assert_eq!(plan.injected_count(), 2);
+    }
+
+    #[test]
+    fn fail_matching_only_hits_matching_names() {
+        let (store, plan) = store_with_plan();
+        plan.fail_matching(OpKind::Put, "WAL/", 1);
+        store.put("DB/0_dump_1", b"d").unwrap();
+        assert!(store.put("WAL/1_f_0", b"w").is_err());
+        store.put("WAL/1_f_0", b"w").unwrap();
+    }
+
+    #[test]
+    fn faults_are_per_op_kind() {
+        let (store, plan) = store_with_plan();
+        store.put("a", b"1").unwrap();
+        plan.fail_next(OpKind::Get, 1);
+        store.put("b", b"2").unwrap(); // puts unaffected
+        assert!(store.get("a").is_err());
+        assert_eq!(store.get("a").unwrap(), b"1");
+    }
+
+    #[test]
+    fn outage_blocks_everything_until_restore() {
+        let (store, plan) = store_with_plan();
+        store.put("a", b"1").unwrap();
+        plan.outage();
+        assert!(store.put("b", b"2").is_err());
+        assert!(store.get("a").is_err());
+        assert!(store.list("").is_err());
+        assert!(store.delete("a").is_err());
+        plan.restore();
+        assert_eq!(store.get("a").unwrap(), b"1");
+    }
+
+    #[test]
+    fn forever_rule_with_usize_max() {
+        let (store, plan) = store_with_plan();
+        plan.fail_next(OpKind::Delete, usize::MAX);
+        for _ in 0..10 {
+            assert!(store.delete("x").is_err());
+        }
+    }
+
+    #[test]
+    fn injected_errors_are_retryable() {
+        let (store, plan) = store_with_plan();
+        plan.fail_next(OpKind::Put, 1);
+        let err = store.put("a", b"1").unwrap_err();
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn concurrent_budget_not_overspent() {
+        let (store, plan) = store_with_plan();
+        let store = Arc::new(store);
+        plan.fail_next(OpKind::Put, 10);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut failures = 0;
+                for i in 0..25 {
+                    if store.put(&format!("o-{t}-{i}"), b"x").is_err() {
+                        failures += 1;
+                    }
+                }
+                failures
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(plan.injected_count(), 10);
+    }
+}

@@ -1,0 +1,241 @@
+//! Arithmetic over GF(2⁸) (the AES field polynomial x⁸+x⁴+x³+x+1),
+//! supporting the Reed–Solomon erasure coding of [`crate::ErasureStore`].
+
+/// Number of non-zero field elements (generator order).
+const ORDER: usize = 255;
+
+/// exp/log tables for the generator 3.
+fn tables() -> &'static ([u8; 512], [u8; 256]) {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<([u8; 512], [u8; 256])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..ORDER {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            // Multiply by the generator 3 = x + 1: (x << 1) ^ x.
+            x = (x << 1) ^ x;
+            if x & 0x100 != 0 {
+                x ^= 0x11B;
+            }
+        }
+        // Duplicate so exp[log a + log b] needs no modulo.
+        for i in ORDER..512 {
+            exp[i] = exp[i - ORDER];
+        }
+        (exp, log)
+    })
+}
+
+/// Addition (= subtraction) in GF(2⁸).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication in GF(2⁸).
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let (exp, log) = tables();
+    exp[log[a as usize] as usize + log[b as usize] as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics on zero (no inverse exists).
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(256)");
+    let (exp, log) = tables();
+    exp[ORDER - log[a as usize] as usize]
+}
+
+/// Division: `a / b`.
+///
+/// # Panics
+///
+/// Panics when `b` is zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// `base^power` by table lookup.
+pub fn pow(base: u8, power: u32) -> u8 {
+    if power == 0 {
+        return 1;
+    }
+    if base == 0 {
+        return 0;
+    }
+    let (exp, log) = tables();
+    let e = (log[base as usize] as usize * power as usize) % ORDER;
+    exp[e]
+}
+
+/// Inverts a square matrix over GF(2⁸) via Gauss–Jordan elimination.
+/// Returns `None` when the matrix is singular.
+pub fn invert_matrix(matrix: &[Vec<u8>]) -> Option<Vec<Vec<u8>>> {
+    let n = matrix.len();
+    debug_assert!(matrix.iter().all(|row| row.len() == n));
+    // Augmented [M | I].
+    let mut work: Vec<Vec<u8>> = matrix
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut aug = row.clone();
+            aug.extend((0..n).map(|j| u8::from(i == j)));
+            aug
+        })
+        .collect();
+
+    for col in 0..n {
+        // Find a pivot.
+        let pivot = (col..n).find(|&r| work[r][col] != 0)?;
+        work.swap(col, pivot);
+        // Normalize the pivot row.
+        let scale = inv(work[col][col]);
+        for value in work[col].iter_mut() {
+            *value = mul(*value, scale);
+        }
+        // Eliminate the column from every other row.
+        for row in 0..n {
+            if row != col && work[row][col] != 0 {
+                let factor = work[row][col];
+                #[allow(clippy::needless_range_loop)]
+                for k in 0..2 * n {
+                    let sub = mul(factor, work[col][k]);
+                    work[row][k] = add(work[row][k], sub);
+                }
+            }
+        }
+    }
+    Some(work.into_iter().map(|row| row[n..].to_vec()).collect())
+}
+
+/// Multiplies a matrix by a column of shard bytes: `out[r] = Σ m[r][c]·v[c]`.
+pub fn matrix_apply(matrix: &[Vec<u8>], values: &[u8]) -> Vec<u8> {
+    matrix
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(values.iter())
+                .fold(0u8, |acc, (&m, &v)| add(acc, mul(m, v)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spotcheck() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(add(a, a), 0);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative() {
+        for a in [1u8, 3, 7, 0x53, 0xCA, 0xFF] {
+            for b in [2u8, 5, 0x11, 0x80] {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in [9u8, 0x1D] {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributes_over_addition() {
+        for a in [3u8, 0x57, 0xF0] {
+            for b in [0x13u8, 0x83] {
+                for c in [0x2Au8, 0xFE] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aes_field_known_product() {
+        // Classic AES example: 0x57 · 0x83 = 0xC1.
+        assert_eq!(mul(0x57, 0x83), 0xC1);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for base in [2u8, 3, 0x1D] {
+            let mut acc = 1u8;
+            for power in 0..20u32 {
+                assert_eq!(pow(base, power), acc, "base {base} power {power}");
+                acc = mul(acc, base);
+            }
+        }
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        for a in [1u8, 42, 0xAB] {
+            for b in [1u8, 7, 0xFE] {
+                assert_eq!(div(mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn invert_identity_and_random_matrices() {
+        let identity: Vec<Vec<u8>> = (0..4)
+            .map(|i| (0..4).map(|j| u8::from(i == j)).collect())
+            .collect();
+        assert_eq!(invert_matrix(&identity).unwrap(), identity);
+
+        // A Vandermonde matrix is invertible; M⁻¹ · M = I.
+        let vand: Vec<Vec<u8>> =
+            (1..=4u8).map(|r| (0..4u32).map(|c| pow(r, c)).collect()).collect();
+        let inv_m = invert_matrix(&vand).unwrap();
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..4 {
+            for c in 0..4 {
+                let entry = (0..4)
+                    .fold(0u8, |acc, k| add(acc, mul(inv_m[r][k], vand[k][c])));
+                assert_eq!(entry, u8::from(r == c), "entry ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let singular = vec![vec![1u8, 2], vec![1u8, 2]];
+        assert!(invert_matrix(&singular).is_none());
+        let zero = vec![vec![0u8, 0], vec![0u8, 0]];
+        assert!(invert_matrix(&zero).is_none());
+    }
+
+    #[test]
+    fn matrix_apply_identity() {
+        let identity: Vec<Vec<u8>> = (0..3)
+            .map(|i| (0..3).map(|j| u8::from(i == j)).collect())
+            .collect();
+        assert_eq!(matrix_apply(&identity, &[7, 8, 9]), vec![7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        let _ = inv(0);
+    }
+}

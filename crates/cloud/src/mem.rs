@@ -1,0 +1,166 @@
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use crate::{ObjectStore, StoreError};
+
+/// In-memory reference [`ObjectStore`] backed by a sorted map.
+///
+/// This is the substrate all simulated backends wrap. It is also useful
+/// on its own for tests: the extra inspection helpers ([`MemStore::len`],
+/// [`MemStore::total_bytes`], [`MemStore::object_size`]) let tests assert
+/// on cloud-side state without going through the trait.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    objects: RwLock<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of objects currently stored.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+
+    /// Sum of all object sizes in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Size of one object, if present.
+    pub fn object_size(&self, name: &str) -> Option<u64> {
+        self.objects.read().get(name).map(|v| v.len() as u64)
+    }
+
+    /// Removes every object (simulates losing the cloud account).
+    pub fn clear(&self) {
+        self.objects.write().clear();
+    }
+
+    /// Snapshot of `(name, size)` pairs, for test assertions.
+    pub fn inventory(&self) -> Vec<(String, u64)> {
+        self.objects.read().iter().map(|(k, v)| (k.clone(), v.len() as u64)).collect()
+    }
+}
+
+impl ObjectStore for MemStore {
+    fn put(&self, name: &str, data: &[u8]) -> Result<(), StoreError> {
+        self.objects.write().insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        self.objects
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(name.to_string()))
+    }
+
+    fn delete(&self, name: &str) -> Result<(), StoreError> {
+        self.objects.write().remove(name);
+        Ok(())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        let objects = self.objects.read();
+        Ok(objects
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = MemStore::new();
+        s.put("k", b"v").unwrap();
+        assert_eq!(s.get("k").unwrap(), b"v");
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let s = MemStore::new();
+        s.put("k", b"v1").unwrap();
+        s.put("k", b"v2").unwrap();
+        assert_eq!(s.get("k").unwrap(), b"v2");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn get_missing_is_not_found() {
+        let s = MemStore::new();
+        assert!(matches!(s.get("nope"), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let s = MemStore::new();
+        s.put("k", b"v").unwrap();
+        s.delete("k").unwrap();
+        s.delete("k").unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn list_respects_prefix_and_order() {
+        let s = MemStore::new();
+        s.put("WAL/2_b_0", b"").unwrap();
+        s.put("DB/0_dump_3", b"").unwrap();
+        s.put("WAL/1_a_0", b"").unwrap();
+        s.put("WALX", b"").unwrap();
+        assert_eq!(s.list("WAL/").unwrap(), vec!["WAL/1_a_0", "WAL/2_b_0"]);
+        assert_eq!(s.list("").unwrap().len(), 4);
+        assert_eq!(s.list("DB/").unwrap(), vec!["DB/0_dump_3"]);
+    }
+
+    #[test]
+    fn sizes_tracked() {
+        let s = MemStore::new();
+        s.put("a", &[0u8; 100]).unwrap();
+        s.put("b", &[0u8; 50]).unwrap();
+        assert_eq!(s.total_bytes(), 150);
+        assert_eq!(s.object_size("a"), Some(100));
+        assert_eq!(s.object_size("zz"), None);
+    }
+
+    #[test]
+    fn clear_simulates_account_loss() {
+        let s = MemStore::new();
+        s.put("a", b"1").unwrap();
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_puts_are_safe() {
+        let s = std::sync::Arc::new(MemStore::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    s.put(&format!("obj-{t}-{i}"), &[t as u8; 16]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 800);
+    }
+}

@@ -1,0 +1,346 @@
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::{ObjectStore, StoreError};
+
+/// One recorded PUT: payload size and observed end-to-end latency.
+///
+/// The per-configuration averages of these samples are exactly what the
+/// paper's Table 3 reports ("Num. PUTs", "Object Size", "PUT latency").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PutSample {
+    /// Uploaded object size in bytes.
+    pub bytes: u64,
+    /// Wall-clock latency of the PUT (includes simulated WAN time when
+    /// stacked over a [`crate::LatencyStore`]).
+    pub latency: Duration,
+}
+
+/// A snapshot of accumulated cloud usage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CloudUsage {
+    /// Successful PUT operations.
+    pub puts: u64,
+    /// Successful GET operations.
+    pub gets: u64,
+    /// Successful DELETE operations.
+    pub deletes: u64,
+    /// Successful LIST operations.
+    pub lists: u64,
+    /// Failed operations of any kind.
+    pub failures: u64,
+    /// Total bytes uploaded by successful PUTs.
+    pub bytes_uploaded: u64,
+    /// Total bytes downloaded by successful GETs.
+    pub bytes_downloaded: u64,
+    /// Bytes currently stored (sum of live object sizes).
+    pub stored_bytes: u64,
+    /// High-water mark of `stored_bytes`.
+    pub peak_stored_bytes: u64,
+}
+
+impl CloudUsage {
+    /// Average uploaded object size, or 0 when nothing was uploaded.
+    pub fn avg_put_size(&self) -> u64 {
+        self.bytes_uploaded.checked_div(self.puts).unwrap_or(0)
+    }
+}
+
+/// An [`ObjectStore`] decorator that meters every operation.
+///
+/// Tracks operation counts, transferred bytes, live stored bytes (it
+/// maintains its own name → size map so it works over any backend), and
+/// a full list of [`PutSample`]s for latency statistics.
+///
+/// ```rust
+/// use ginja_cloud::{MemStore, MeteredStore, ObjectStore};
+///
+/// # fn main() -> Result<(), ginja_cloud::StoreError> {
+/// let store = MeteredStore::new(MemStore::new());
+/// store.put("a", &[0u8; 100])?;
+/// store.put("b", &[0u8; 50])?;
+/// store.delete("b")?;
+/// let usage = store.usage();
+/// assert_eq!((usage.puts, usage.deletes), (2, 1));
+/// assert_eq!(usage.stored_bytes, 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MeteredStore<S> {
+    inner: S,
+    puts: AtomicU64,
+    gets: AtomicU64,
+    deletes: AtomicU64,
+    lists: AtomicU64,
+    failures: AtomicU64,
+    bytes_uploaded: AtomicU64,
+    bytes_downloaded: AtomicU64,
+    stored_bytes: AtomicU64,
+    peak_stored_bytes: AtomicU64,
+    sizes: Mutex<HashMap<String, u64>>,
+    put_samples: Mutex<Vec<PutSample>>,
+}
+
+impl<S: ObjectStore> MeteredStore<S> {
+    /// Wraps `inner` with fresh counters.
+    pub fn new(inner: S) -> Self {
+        MeteredStore {
+            inner,
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            lists: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            bytes_uploaded: AtomicU64::new(0),
+            bytes_downloaded: AtomicU64::new(0),
+            stored_bytes: AtomicU64::new(0),
+            peak_stored_bytes: AtomicU64::new(0),
+            sizes: Mutex::new(HashMap::new()),
+            put_samples: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Current usage snapshot.
+    pub fn usage(&self) -> CloudUsage {
+        CloudUsage {
+            puts: self.puts.load(Ordering::SeqCst),
+            gets: self.gets.load(Ordering::SeqCst),
+            deletes: self.deletes.load(Ordering::SeqCst),
+            lists: self.lists.load(Ordering::SeqCst),
+            failures: self.failures.load(Ordering::SeqCst),
+            bytes_uploaded: self.bytes_uploaded.load(Ordering::SeqCst),
+            bytes_downloaded: self.bytes_downloaded.load(Ordering::SeqCst),
+            stored_bytes: self.stored_bytes.load(Ordering::SeqCst),
+            peak_stored_bytes: self.peak_stored_bytes.load(Ordering::SeqCst),
+        }
+    }
+
+    /// All PUT samples recorded so far (cloned).
+    pub fn put_samples(&self) -> Vec<PutSample> {
+        self.put_samples.lock().clone()
+    }
+
+    /// Mean PUT latency, or zero when no PUT succeeded.
+    pub fn mean_put_latency(&self) -> Duration {
+        let samples = self.put_samples.lock();
+        if samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = samples.iter().map(|s| s.latency).sum();
+        total / samples.len() as u32
+    }
+
+    /// Resets all counters and samples (stored-size tracking is kept, as
+    /// the objects are still in the backend).
+    pub fn reset_counters(&self) {
+        self.puts.store(0, Ordering::SeqCst);
+        self.gets.store(0, Ordering::SeqCst);
+        self.deletes.store(0, Ordering::SeqCst);
+        self.lists.store(0, Ordering::SeqCst);
+        self.failures.store(0, Ordering::SeqCst);
+        self.bytes_uploaded.store(0, Ordering::SeqCst);
+        self.bytes_downloaded.store(0, Ordering::SeqCst);
+        self.put_samples.lock().clear();
+        let stored = self.stored_bytes.load(Ordering::SeqCst);
+        self.peak_stored_bytes.store(stored, Ordering::SeqCst);
+    }
+
+    fn note_failure(&self) {
+        self.failures.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn update_stored(&self, name: &str, new_size: Option<u64>) {
+        let mut sizes = self.sizes.lock();
+        let old = match new_size {
+            Some(size) => sizes.insert(name.to_string(), size),
+            None => sizes.remove(name),
+        };
+        let old = old.unwrap_or(0);
+        let new = new_size.unwrap_or(0);
+        let stored = if new >= old {
+            self.stored_bytes.fetch_add(new - old, Ordering::SeqCst) + (new - old)
+        } else {
+            self.stored_bytes.fetch_sub(old - new, Ordering::SeqCst) - (old - new)
+        };
+        self.peak_stored_bytes.fetch_max(stored, Ordering::SeqCst);
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for MeteredStore<S> {
+    fn put(&self, name: &str, data: &[u8]) -> Result<(), StoreError> {
+        let start = Instant::now();
+        match self.inner.put(name, data) {
+            Ok(()) => {
+                let latency = start.elapsed();
+                self.puts.fetch_add(1, Ordering::SeqCst);
+                self.bytes_uploaded.fetch_add(data.len() as u64, Ordering::SeqCst);
+                self.update_stored(name, Some(data.len() as u64));
+                self.put_samples.lock().push(PutSample { bytes: data.len() as u64, latency });
+                Ok(())
+            }
+            Err(e) => {
+                self.note_failure();
+                Err(e)
+            }
+        }
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        match self.inner.get(name) {
+            Ok(data) => {
+                self.gets.fetch_add(1, Ordering::SeqCst);
+                self.bytes_downloaded.fetch_add(data.len() as u64, Ordering::SeqCst);
+                Ok(data)
+            }
+            Err(e) => {
+                self.note_failure();
+                Err(e)
+            }
+        }
+    }
+
+    fn delete(&self, name: &str) -> Result<(), StoreError> {
+        match self.inner.delete(name) {
+            Ok(()) => {
+                self.deletes.fetch_add(1, Ordering::SeqCst);
+                self.update_stored(name, None);
+                Ok(())
+            }
+            Err(e) => {
+                self.note_failure();
+                Err(e)
+            }
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        match self.inner.list(prefix) {
+            Ok(names) => {
+                self.lists.fetch_add(1, Ordering::SeqCst);
+                Ok(names)
+            }
+            Err(e) => {
+                self.note_failure();
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultPlan, FaultStore, MemStore, OpKind};
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_successful_ops() {
+        let store = MeteredStore::new(MemStore::new());
+        store.put("a", &[0u8; 100]).unwrap();
+        store.put("b", &[0u8; 50]).unwrap();
+        store.get("a").unwrap();
+        store.list("").unwrap();
+        store.delete("b").unwrap();
+        let u = store.usage();
+        assert_eq!(u.puts, 2);
+        assert_eq!(u.gets, 1);
+        assert_eq!(u.lists, 1);
+        assert_eq!(u.deletes, 1);
+        assert_eq!(u.failures, 0);
+        assert_eq!(u.bytes_uploaded, 150);
+        assert_eq!(u.bytes_downloaded, 100);
+    }
+
+    #[test]
+    fn stored_bytes_follow_puts_and_deletes() {
+        let store = MeteredStore::new(MemStore::new());
+        store.put("a", &[0u8; 100]).unwrap();
+        assert_eq!(store.usage().stored_bytes, 100);
+        store.put("a", &[0u8; 40]).unwrap(); // overwrite shrinks
+        assert_eq!(store.usage().stored_bytes, 40);
+        store.put("b", &[0u8; 60]).unwrap();
+        assert_eq!(store.usage().stored_bytes, 100);
+        store.delete("a").unwrap();
+        assert_eq!(store.usage().stored_bytes, 60);
+        assert_eq!(store.usage().peak_stored_bytes, 100);
+    }
+
+    #[test]
+    fn failures_counted_not_metered() {
+        let plan = Arc::new(FaultPlan::new());
+        let store = MeteredStore::new(FaultStore::new(MemStore::new(), plan.clone()));
+        plan.fail_next(OpKind::Put, 1);
+        assert!(store.put("a", &[0u8; 10]).is_err());
+        let u = store.usage();
+        assert_eq!(u.puts, 0);
+        assert_eq!(u.failures, 1);
+        assert_eq!(u.bytes_uploaded, 0);
+        assert_eq!(u.stored_bytes, 0);
+    }
+
+    #[test]
+    fn put_samples_recorded() {
+        let store = MeteredStore::new(MemStore::new());
+        store.put("a", &[0u8; 123]).unwrap();
+        store.put("b", &[0u8; 456]).unwrap();
+        let samples = store.put_samples();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].bytes, 123);
+        assert_eq!(samples[1].bytes, 456);
+        assert_eq!(store.usage().avg_put_size(), (123 + 456) / 2);
+    }
+
+    #[test]
+    fn mean_latency_zero_when_empty() {
+        let store = MeteredStore::new(MemStore::new());
+        assert_eq!(store.mean_put_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn reset_keeps_stored_bytes() {
+        let store = MeteredStore::new(MemStore::new());
+        store.put("a", &[0u8; 100]).unwrap();
+        store.reset_counters();
+        let u = store.usage();
+        assert_eq!(u.puts, 0);
+        assert_eq!(u.stored_bytes, 100);
+        assert_eq!(u.peak_stored_bytes, 100);
+    }
+
+    #[test]
+    fn delete_missing_does_not_underflow() {
+        let store = MeteredStore::new(MemStore::new());
+        store.delete("never-existed").unwrap();
+        assert_eq!(store.usage().stored_bytes, 0);
+    }
+
+    #[test]
+    fn concurrent_metering_consistent() {
+        let store = Arc::new(MeteredStore::new(MemStore::new()));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    store.put(&format!("o-{t}-{i}"), &[1u8; 10]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let u = store.usage();
+        assert_eq!(u.puts, 200);
+        assert_eq!(u.bytes_uploaded, 2000);
+        assert_eq!(u.stored_bytes, 2000);
+    }
+}

@@ -1,0 +1,83 @@
+use crate::StoreError;
+
+/// The minimal cloud object-storage interface Ginja depends on.
+///
+/// Deliberately restricted to the four REST operations every provider
+/// offers (paper §5): object names are flat strings (prefixes emulate
+/// directories), writes replace whole objects, and there is no
+/// compare-and-swap — all coordination lives on the Ginja (client) side.
+///
+/// Implementations must be thread-safe: Ginja calls `put` concurrently
+/// from several uploader threads.
+pub trait ObjectStore: Send + Sync {
+    /// Stores `data` under `name`, replacing any existing object.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] (or an injected fault) if the write
+    /// did not durably complete; the caller must assume nothing about
+    /// partial state and retry or fail over.
+    fn put(&self, name: &str, data: &[u8]) -> Result<(), StoreError>;
+
+    /// Retrieves the object named `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if it does not exist.
+    fn get(&self, name: &str) -> Result<Vec<u8>, StoreError>;
+
+    /// Deletes the object named `name`. Deleting a missing object is not
+    /// an error (S3 semantics: DELETE is idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] on backend failure.
+    fn delete(&self, name: &str) -> Result<(), StoreError>;
+
+    /// Lists all object names starting with `prefix`, in lexicographic
+    /// order. An empty prefix lists everything.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] on backend failure.
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError>;
+}
+
+impl<T: ObjectStore + ?Sized> ObjectStore for std::sync::Arc<T> {
+    fn put(&self, name: &str, data: &[u8]) -> Result<(), StoreError> {
+        (**self).put(name, data)
+    }
+    fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        (**self).get(name)
+    }
+    fn delete(&self, name: &str) -> Result<(), StoreError> {
+        (**self).delete(name)
+    }
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        (**self).list(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+    use std::sync::Arc;
+
+    #[test]
+    fn arc_forwarding_works() {
+        let store: Arc<MemStore> = Arc::new(MemStore::new());
+        store.put("a", b"1").unwrap();
+        assert_eq!(store.get("a").unwrap(), b"1");
+        assert_eq!(store.list("").unwrap().len(), 1);
+        store.delete("a").unwrap();
+        assert!(matches!(store.get("a"), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
+        store.put("x", b"y").unwrap();
+        assert_eq!(store.get("x").unwrap(), b"y");
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the cloud backends: erasure-coding round-trips
+//! over arbitrary data and loss patterns.
+
+use std::sync::Arc;
+
+use ginja_cloud::{erasure_decode, erasure_encode, ErasureStore, MemStore, ObjectStore};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn erasure_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        k in 1usize..6,
+        extra in 0usize..4,
+    ) {
+        let n = k + extra;
+        let shards = erasure_encode(&data, k, n);
+        prop_assert_eq!(erasure_decode(&shards).unwrap(), data);
+    }
+
+    #[test]
+    fn erasure_survives_any_allowed_loss(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        k in 1usize..5,
+        extra in 1usize..4,
+        drop_seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let mut shards = erasure_encode(&data, k, n);
+        // Drop `extra` pseudo-random shards: exactly k remain.
+        let mut seed = drop_seed;
+        for _ in 0..extra {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let at = (seed >> 33) as usize % shards.len();
+            shards.remove(at);
+        }
+        prop_assert_eq!(erasure_decode(&shards).unwrap(), data);
+    }
+
+    #[test]
+    fn erasure_decode_never_panics_on_garbage(
+        garbage in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64),
+            0..6,
+        ),
+    ) {
+        let _ = erasure_decode(&garbage);
+    }
+
+    #[test]
+    fn erasure_store_roundtrip(
+        objects in proptest::collection::vec(
+            ("[a-z]{1,12}", proptest::collection::vec(any::<u8>(), 0..512)),
+            1..8,
+        ),
+    ) {
+        let backends: Vec<Arc<dyn ObjectStore>> =
+            (0..4).map(|_| Arc::new(MemStore::new()) as Arc<dyn ObjectStore>).collect();
+        let store = ErasureStore::new(backends, 2);
+        for (name, data) in &objects {
+            store.put(name, data).unwrap();
+        }
+        // Later writes win for duplicate names, like any object store.
+        let mut expected = std::collections::BTreeMap::new();
+        for (name, data) in &objects {
+            expected.insert(name.clone(), data.clone());
+        }
+        for (name, data) in &expected {
+            prop_assert_eq!(&store.get(name).unwrap(), data);
+        }
+        prop_assert_eq!(
+            store.list("").unwrap(),
+            expected.keys().cloned().collect::<Vec<_>>()
+        );
+    }
+}

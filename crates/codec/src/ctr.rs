@@ -1,0 +1,125 @@
+//! AES-128 counter (CTR) mode stream encryption.
+//!
+//! CTR mode turns the block cipher into a stream cipher: the keystream is
+//! `E_k(nonce ‖ counter)` and encryption and decryption are the same XOR.
+//! Ginja encrypts each cloud object under a fresh 16-byte nonce stored in
+//! the object envelope (see [`crate::envelope`]).
+
+use crate::aes::{Aes128, BLOCK_LEN};
+
+/// Encrypts or decrypts `data` in place with AES-128-CTR.
+///
+/// The 16-byte `iv` combines nonce and initial counter; successive blocks
+/// increment the counter as a 128-bit big-endian integer (NIST SP 800-38A).
+///
+/// ```rust
+/// use ginja_codec::{aes::Aes128, ctr::apply_keystream};
+///
+/// let aes = Aes128::new(b"0123456789abcdef");
+/// let iv = [0u8; 16];
+/// let mut data = b"attack at dawn".to_vec();
+/// apply_keystream(&aes, &iv, &mut data);
+/// assert_ne!(&data, b"attack at dawn");
+/// apply_keystream(&aes, &iv, &mut data);
+/// assert_eq!(&data, b"attack at dawn");
+/// ```
+pub fn apply_keystream(aes: &Aes128, iv: &[u8; BLOCK_LEN], data: &mut [u8]) {
+    let mut counter = *iv;
+    for chunk in data.chunks_mut(BLOCK_LEN) {
+        let mut keystream = counter;
+        aes.encrypt_block(&mut keystream);
+        for (d, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *d ^= k;
+        }
+        increment_counter(&mut counter);
+    }
+}
+
+/// Increments a 16-byte big-endian counter, wrapping on overflow.
+fn increment_counter(counter: &mut [u8; BLOCK_LEN]) {
+    for byte in counter.iter_mut().rev() {
+        let (v, overflow) = byte.overflowing_add(1);
+        *byte = v;
+        if !overflow {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt, all four blocks.
+    #[test]
+    fn sp800_38a_ctr_vectors() {
+        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let iv: [u8; 16] = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let mut data = from_hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710",
+        ));
+        apply_keystream(&Aes128::new(&key), &iv, &mut data);
+        assert_eq!(
+            hex(&data),
+            concat!(
+                "874d6191b620e3261bef6864990db6ce",
+                "9806f66b7970fdff8617187bb9fffdff",
+                "5ae4df3edbd5d35e5b4f09020db03eab",
+                "1e031dda2fbe03d1792170a0f3009cee",
+            )
+        );
+    }
+
+    #[test]
+    fn roundtrip_non_block_lengths() {
+        let aes = Aes128::new(&[42u8; 16]);
+        let iv = [7u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 31, 33, 1000] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+            let mut data = original.clone();
+            apply_keystream(&aes, &iv, &mut data);
+            if len > 0 {
+                assert_ne!(data, original, "len {len} should change");
+            }
+            apply_keystream(&aes, &iv, &mut data);
+            assert_eq!(data, original, "len {len} roundtrip");
+        }
+    }
+
+    #[test]
+    fn counter_increment_carries() {
+        let mut c = [0xffu8; 16];
+        increment_counter(&mut c);
+        assert_eq!(c, [0u8; 16]);
+
+        let mut c = [0u8; 16];
+        c[15] = 0xff;
+        increment_counter(&mut c);
+        assert_eq!(c[15], 0);
+        assert_eq!(c[14], 1);
+    }
+
+    #[test]
+    fn different_ivs_give_different_ciphertexts() {
+        let aes = Aes128::new(&[1u8; 16]);
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        apply_keystream(&aes, &[0u8; 16], &mut a);
+        apply_keystream(&aes, &[1u8; 16], &mut b);
+        assert_ne!(a, b);
+    }
+}

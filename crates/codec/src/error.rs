@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while sealing or opening Ginja cloud objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The object does not start with the envelope magic bytes.
+    BadMagic,
+    /// The object is shorter than the minimum envelope frame.
+    Truncated,
+    /// The stored MAC does not match the recomputed one; the object was
+    /// tampered with, corrupted, or opened with the wrong key/name.
+    MacMismatch,
+    /// The envelope advertises flags this build does not understand.
+    UnknownFlags(u8),
+    /// The envelope says the body is encrypted but no password was
+    /// configured (or vice versa).
+    KeyMissing,
+    /// The compressed body is malformed and cannot be decompressed.
+    CorruptCompression(String),
+    /// Declared lengths are inconsistent with the actual payload.
+    LengthMismatch {
+        /// Length the header declared.
+        expected: usize,
+        /// Length actually decoded.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "object does not carry the ginja envelope magic"),
+            CodecError::Truncated => write!(f, "object is shorter than the minimum envelope"),
+            CodecError::MacMismatch => write!(f, "object MAC verification failed"),
+            CodecError::UnknownFlags(flags) => {
+                write!(f, "object uses unknown envelope flags {flags:#04x}")
+            }
+            CodecError::KeyMissing => {
+                write!(f, "object is encrypted but no encryption key is configured")
+            }
+            CodecError::CorruptCompression(reason) => {
+                write!(f, "compressed body is corrupt: {reason}")
+            }
+            CodecError::LengthMismatch { expected, actual } => {
+                write!(f, "declared length {expected} does not match actual {actual}")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        let variants: Vec<CodecError> = vec![
+            CodecError::BadMagic,
+            CodecError::Truncated,
+            CodecError::MacMismatch,
+            CodecError::UnknownFlags(0x80),
+            CodecError::KeyMissing,
+            CodecError::CorruptCompression("bad token".into()),
+            CodecError::LengthMismatch { expected: 3, actual: 7 },
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "{s}");
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<CodecError>();
+    }
+}

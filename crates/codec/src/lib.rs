@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! Compression, encryption and integrity primitives for Ginja cloud objects.
+//!
+//! The Ginja paper (§5.4, §6) protects every object it uploads with three
+//! optional layers, applied in this order:
+//!
+//! 1. **Compression** — the prototype used ZLIB "configured for fastest
+//!    operation". This crate implements [`glz`], a byte-oriented LZ77
+//!    compressor with a comparable speed/ratio profile (~1.4× on WAL data).
+//! 2. **Encryption** — AES with 128-bit keys. Implemented in [`aes`] (the
+//!    FIPS-197 block cipher) and [`ctr`] (counter-mode streaming).
+//! 3. **Integrity** — "a MAC of each object stored together with it",
+//!    using SHA-1. Implemented in [`sha1`] and [`hmac`].
+//!
+//! The [`envelope`] module combines the three into the on-cloud object
+//! frame, and [`Codec`] is the high-level entry point used by
+//! `ginja-core`:
+//!
+//! ```rust
+//! use ginja_codec::{Codec, CodecConfig};
+//!
+//! # fn main() -> Result<(), ginja_codec::CodecError> {
+//! let codec = Codec::new(CodecConfig::new().compression(true).password("s3cret"));
+//! let sealed = codec.seal("WAL/42_xlog0_0", b"page bytes ...")?;
+//! let opened = codec.open("WAL/42_xlog0_0", &sealed)?;
+//! assert_eq!(opened, b"page bytes ...");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! All primitives are implemented from scratch (no external crypto or
+//! compression dependencies) and validated against published test vectors
+//! (FIPS-197 for AES, RFC 3174 for SHA-1, RFC 2202 for HMAC-SHA1,
+//! RFC 6070 for PBKDF2).
+
+pub mod aes;
+pub mod ctr;
+pub mod envelope;
+pub mod glz;
+pub mod hmac;
+pub mod kdf;
+pub mod sha1;
+pub mod varint;
+
+mod codec;
+mod error;
+
+pub use codec::{Codec, CodecConfig};
+pub use envelope::{Envelope, EnvelopeFlags};
+pub use error::CodecError;

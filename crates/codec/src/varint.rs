@@ -1,0 +1,110 @@
+//! LEB128-style variable-length integer encoding used by the [`crate::glz`]
+//! compressed stream and metadata records.
+
+/// Maximum encoded length of a `u64` varint.
+pub const MAX_LEN: usize = 10;
+
+/// Appends the varint encoding of `value` to `out` and returns the number
+/// of bytes written.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) -> usize {
+    let start = out.len();
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+    out.len() - start
+}
+
+/// Reads a varint from the front of `data`, returning `(value, bytes_read)`,
+/// or `None` if `data` is truncated or the encoding overflows 64 bits.
+pub fn read_u64(data: &[u8]) -> Option<(u64, usize)> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in data.iter().enumerate() {
+        if shift >= 64 {
+            return None;
+        }
+        let chunk = (byte & 0x7f) as u64;
+        // Reject bits that would be shifted out of range.
+        if shift == 63 && chunk > 1 {
+            return None;
+        }
+        value |= chunk << shift;
+        if byte & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            let n = write_u64(&mut buf, v);
+            assert_eq!(n, buf.len());
+            let (back, read) = read_u64(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(read, n);
+        }
+    }
+
+    #[test]
+    fn single_byte_values() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 42);
+        assert_eq!(buf, vec![42]);
+    }
+
+    #[test]
+    fn truncated_is_none() {
+        assert_eq!(read_u64(&[]), None);
+        assert_eq!(read_u64(&[0x80]), None);
+        assert_eq!(read_u64(&[0xff, 0xff]), None);
+    }
+
+    #[test]
+    fn overlong_is_rejected() {
+        // 11 continuation bytes can never be a valid u64.
+        let data = [0xffu8; 11];
+        assert_eq!(read_u64(&data), None);
+    }
+
+    #[test]
+    fn reads_only_prefix() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 300);
+        buf.extend_from_slice(&[1, 2, 3]);
+        let (v, n) = read_u64(&buf).unwrap();
+        assert_eq!(v, 300);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn max_encoded_len_holds() {
+        let mut buf = Vec::new();
+        let n = write_u64(&mut buf, u64::MAX);
+        assert!(n <= MAX_LEN);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the codec crate: round-trips over arbitrary
+//! inputs and tamper-detection over arbitrary mutations.
+
+use ginja_codec::{glz, varint, Codec, CodecConfig, CodecError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        let n = varint::write_u64(&mut buf, v);
+        let (back, read) = varint::read_u64(&buf).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(read, n);
+    }
+
+    #[test]
+    fn varint_with_trailing_garbage(v in any::<u64>(), tail in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let mut buf = Vec::new();
+        let n = varint::write_u64(&mut buf, v);
+        buf.extend_from_slice(&tail);
+        let (back, read) = varint::read_u64(&buf).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(read, n);
+    }
+
+    #[test]
+    fn glz_roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        for level in [glz::Level::Fast, glz::Level::Default, glz::Level::Best] {
+            let packed = glz::compress(&data, level);
+            prop_assert_eq!(glz::decompress(&packed).unwrap(), data.clone());
+        }
+    }
+
+    #[test]
+    fn glz_roundtrip_low_entropy(
+        seed in proptest::collection::vec(0u8..4, 1..64),
+        repeats in 1usize..200,
+    ) {
+        // Highly repetitive input exercises long matches and RLE paths.
+        let mut data = Vec::new();
+        for _ in 0..repeats {
+            data.extend_from_slice(&seed);
+        }
+        let packed = glz::compress(&data, glz::Level::Fast);
+        prop_assert_eq!(glz::decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn glz_decompress_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        // A tight output limit keeps hostile expansion cheap; correctness
+        // (error, not panic/OOM) is what this property asserts.
+        let _ = glz::decompress_with_limit(&garbage, 1 << 20);
+    }
+
+    #[test]
+    fn codec_roundtrip_all_modes(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        comp in any::<bool>(),
+        enc in any::<bool>(),
+        name in "[A-Za-z0-9_/.]{1,40}",
+    ) {
+        let mut cfg = CodecConfig::new().compression(comp).kdf_iterations(1);
+        if enc {
+            cfg = cfg.password("prop-pw");
+        }
+        let codec = Codec::new(cfg);
+        let sealed = codec.seal(&name, &data).unwrap();
+        prop_assert_eq!(codec.open(&name, &sealed).unwrap(), data);
+    }
+
+    #[test]
+    fn codec_detects_any_single_byte_tamper(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        flip_at_frac in 0.0f64..1.0,
+        flip_bits in 1u8..=255,
+    ) {
+        let codec = Codec::new(CodecConfig::new().compression(true));
+        let sealed = codec.seal("obj", &data).unwrap();
+        let idx = ((sealed.len() - 1) as f64 * flip_at_frac) as usize;
+        let mut bad = sealed.clone();
+        bad[idx] ^= flip_bits;
+        // Any mutation must be rejected — never silently decode wrong data.
+        prop_assert!(codec.open("obj", &bad).is_err());
+    }
+
+    #[test]
+    fn codec_open_never_panics_on_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let codec = Codec::plain();
+        let _ = codec.open("obj", &garbage);
+    }
+
+    #[test]
+    fn codec_rejects_cross_name_replay(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        name_a in "[a-z]{1,10}",
+        name_b in "[a-z]{1,10}",
+    ) {
+        prop_assume!(name_a != name_b);
+        let codec = Codec::plain();
+        let sealed = codec.seal(&name_a, &data).unwrap();
+        prop_assert_eq!(codec.open(&name_b, &sealed), Err(CodecError::MacMismatch));
+    }
+}

@@ -1,0 +1,110 @@
+//! Deterministic stress search for recovery divergences (dev tool).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ginja_cloud::{LatencyModel, LatencyStore, MemStore};
+use ginja_core::{recover_into, Ginja, GinjaConfig};
+use ginja_db::{Database, DbProfile, ProfileKind};
+use ginja_vfs::{DbmsProcessor, FileSystem, InterceptFs, MemFs, MySqlProcessor, PostgresProcessor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone)]
+enum Step {
+    Put(u64, u8),
+    Delete(u64),
+    Checkpoint,
+}
+
+fn run_case(kind: ProfileKind, steps: &[Step], batch: usize) -> Result<(), String> {
+    let profile = match kind {
+        ProfileKind::Postgres => DbProfile::postgres_small(),
+        ProfileKind::MySql => DbProfile::mysql_small(),
+    };
+    let processor: Arc<dyn DbmsProcessor> = match kind {
+        ProfileKind::Postgres => Arc::new(PostgresProcessor::new()),
+        ProfileKind::MySql => Arc::new(MySqlProcessor::new()),
+    };
+    let local = Arc::new(MemFs::new());
+    let db = Database::create(local.clone(), profile.clone()).unwrap();
+    db.create_table(1, 64).unwrap();
+    drop(db);
+
+    let config = GinjaConfig::builder()
+        .batch(batch)
+        .safety(batch * 10)
+        .batch_timeout(Duration::from_millis(5))
+        .safety_timeout(Duration::from_secs(30))
+        .build()
+        .unwrap();
+    let mem = Arc::new(MemStore::new());
+    // Jittered upload latency makes out-of-order completions (and the
+    // GC-vs-straggler race) common.
+    let mut latency = LatencyModel::instant();
+    latency.put_base = Duration::from_millis(2);
+    latency.jitter = 0.9;
+    let cloud = Arc::new(LatencyStore::with_seed(mem.clone(), latency, steps.len() as u64));
+    let ginja = Ginja::boot(local.clone(), cloud, processor, config.clone()).unwrap();
+    let protected: Arc<dyn FileSystem> =
+        Arc::new(InterceptFs::new(local.clone(), Arc::new(ginja.clone())));
+    let db = Database::open(protected, profile.clone()).unwrap();
+
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for (version, step) in steps.iter().enumerate() {
+        match step {
+            Step::Put(key, tag) => {
+                let value = format!("k{key}-t{tag}-v{version}").into_bytes();
+                db.put(1, *key, value.clone()).unwrap();
+                model.insert(*key, value);
+            }
+            Step::Delete(key) => {
+                db.delete(1, *key).unwrap();
+                model.remove(key);
+            }
+            Step::Checkpoint => db.checkpoint().unwrap(),
+        }
+    }
+    if !ginja.sync(Duration::from_secs(30)) {
+        return Err("sync timeout".into());
+    }
+    ginja.shutdown();
+    drop(db);
+
+    let rebuilt = Arc::new(MemFs::new());
+    recover_into(rebuilt.as_ref(), mem.as_ref(), &config)
+        .map_err(|e| format!("recover: {e}"))?;
+    let db = Database::open(rebuilt, profile).map_err(|e| format!("open: {e}"))?;
+    let rows: BTreeMap<u64, Vec<u8>> = db.dump_table(1).unwrap().into_iter().collect();
+    if rows != model {
+        let missing: Vec<&u64> = model.keys().filter(|k| !rows.contains_key(k)).collect();
+        let stale: Vec<&u64> =
+            model.iter().filter(|(k, v)| rows.get(k).is_some_and(|r| r != *v)).map(|(k, _)| k).collect();
+        return Err(format!("divergence: missing {missing:?} stale {stale:?}"));
+    }
+    Ok(())
+}
+
+fn main() {
+    for kind in [ProfileKind::Postgres, ProfileKind::MySql] {
+        for iter in 0..150u64 {
+            let mut rng = StdRng::seed_from_u64(iter);
+            let n = rng.gen_range(1..80);
+            let steps: Vec<Step> = (0..n)
+                .map(|_| match rng.gen_range(0..11u32) {
+                    0..=7 => Step::Put(rng.gen_range(0..60), rng.gen()),
+                    8..=9 => Step::Delete(rng.gen_range(0..60)),
+                    _ => Step::Checkpoint,
+                })
+                .collect();
+            let batch = rng.gen_range(1..8);
+            if let Err(e) = run_case(kind, &steps, batch) {
+                println!("FAIL kind={kind:?} iter={iter} batch={batch} n={n}: {e}");
+                println!("steps: {steps:?}");
+                return;
+            }
+        }
+        println!("{kind:?}: 150 iterations clean");
+    }
+}

@@ -1,0 +1,273 @@
+//! The Continuous-Archiving baseline (paper §9, Related Work).
+//!
+//! PostgreSQL's built-in disaster-tolerance mechanism "consists of
+//! performing a file-system-level backup of the database directory and
+//! setting a process (the archiver) that periodically backs up completed
+//! WAL segments … However, the archiver process only operates over
+//! completed WAL segments, and thus it does not provide any fine-grained
+//! control over the RPO."
+//!
+//! [`SegmentArchiver`] implements exactly that policy behind the same
+//! [`IoProcessor`] interception point Ginja uses, so the two can be
+//! compared head-to-head: after the same disaster, Ginja loses at most
+//! `S` updates while the archiver loses *every* update in the unfinished
+//! segment — thousands of them with 16 MB segments (the
+//! `baseline_archiver` bench quantifies the gap).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use ginja_cloud::ObjectStore;
+use ginja_codec::Codec;
+use ginja_vfs::{DbmsProcessor, FileSystem, IoClass, IoProcessor, WriteEvent};
+use parking_lot::Mutex;
+
+use crate::config::GinjaConfig;
+use crate::GinjaError;
+
+/// Prefix for archived base-backup files.
+const BASE_PREFIX: &str = "ARCHIVE/base/";
+
+/// Prefix for archived completed segments.
+const SEG_PREFIX: &str = "ARCHIVE/seg/";
+
+/// Statistics of an archiver run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArchiverStats {
+    /// Completed WAL segments uploaded.
+    pub segments_archived: u64,
+    /// Updates observed in the (never-archived) current segment since
+    /// the last completed one — the archiver's data-loss exposure.
+    pub updates_since_last_archive: u64,
+}
+
+struct ArchiverInner {
+    /// Segments already archived.
+    archived: BTreeSet<String>,
+    /// The segment currently being written.
+    current: Option<String>,
+    stats: ArchiverStats,
+}
+
+/// A completed-segments-only archiver (PostgreSQL `archive_command`
+/// semantics) expressed as an [`IoProcessor`].
+pub struct SegmentArchiver {
+    fs: Arc<dyn FileSystem>,
+    cloud: Arc<dyn ObjectStore>,
+    processor: Arc<dyn DbmsProcessor>,
+    codec: Codec,
+    inner: Mutex<ArchiverInner>,
+}
+
+impl std::fmt::Debug for SegmentArchiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentArchiver").finish_non_exhaustive()
+    }
+}
+
+impl SegmentArchiver {
+    /// Takes a base backup of the database files and starts archiving.
+    ///
+    /// # Errors
+    ///
+    /// File-system, codec and cloud errors propagate.
+    pub fn start(
+        fs: Arc<dyn FileSystem>,
+        cloud: Arc<dyn ObjectStore>,
+        processor: Arc<dyn DbmsProcessor>,
+        config: &GinjaConfig,
+    ) -> Result<Self, GinjaError> {
+        let codec = Codec::new(config.codec.clone());
+        // Base backup: every database file, plus current WAL segments.
+        for path in fs.list("")? {
+            if processor.is_db_file(&path) || path.starts_with(processor.wal_prefix()) {
+                let name = format!("{BASE_PREFIX}{path}");
+                let sealed = codec.seal(&name, &fs.read_all(&path)?)?;
+                cloud.put(&name, &sealed)?;
+            }
+        }
+        Ok(SegmentArchiver {
+            fs,
+            cloud,
+            processor,
+            codec,
+            inner: Mutex::new(ArchiverInner {
+                archived: BTreeSet::new(),
+                current: None,
+                stats: ArchiverStats::default(),
+            }),
+        })
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ArchiverStats {
+        self.inner.lock().stats
+    }
+
+    fn archive_segment(&self, segment: &str) {
+        // Synchronous, as PostgreSQL's archive_command is: read the
+        // completed file, seal, upload. Failures leave it unarchived
+        // (it will not be retried here — the baseline is deliberately
+        // as simple as the mechanism it models).
+        let Ok(content) = self.fs.read_all(segment) else { return };
+        let name = format!("{SEG_PREFIX}{segment}");
+        let Ok(sealed) = self.codec.seal(&name, &content) else { return };
+        if self.cloud.put(&name, &sealed).is_ok() {
+            let mut inner = self.inner.lock();
+            inner.archived.insert(segment.to_string());
+            inner.stats.segments_archived += 1;
+            inner.stats.updates_since_last_archive = 0;
+        }
+    }
+}
+
+impl IoProcessor for SegmentArchiver {
+    fn on_write(&self, event: &WriteEvent) {
+        if self.processor.classify(event) != IoClass::WalAppend {
+            return;
+        }
+        let to_archive = {
+            let mut inner = self.inner.lock();
+            inner.stats.updates_since_last_archive += 1;
+            match inner.current.clone() {
+                Some(current) if current != event.path => {
+                    // The log moved to a new segment: the previous one is
+                    // complete and eligible for archiving.
+                    inner.current = Some(event.path.clone());
+                    (!inner.archived.contains(&current)).then_some(current)
+                }
+                None => {
+                    inner.current = Some(event.path.clone());
+                    None
+                }
+                _ => None,
+            }
+        };
+        if let Some(segment) = to_archive {
+            self.archive_segment(&segment);
+        }
+    }
+}
+
+/// Restores an archive into `fs`: base backup first, then every
+/// archived segment over it.
+///
+/// # Errors
+///
+/// Cloud and codec errors propagate.
+pub fn restore_archive(
+    fs: &dyn FileSystem,
+    cloud: &dyn ObjectStore,
+    config: &GinjaConfig,
+) -> Result<u64, GinjaError> {
+    let codec = Codec::new(config.codec.clone());
+    let mut files = 0;
+    for prefix in [BASE_PREFIX, SEG_PREFIX] {
+        for name in cloud.list(prefix)? {
+            let sealed = cloud.get(&name)?;
+            let data = codec.open(&name, &sealed)?;
+            let path = name.strip_prefix(prefix).expect("listed by prefix");
+            fs.delete(path)?;
+            fs.write(path, 0, &data, false)?;
+            files += 1;
+        }
+    }
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ginja_cloud::MemStore;
+    use ginja_db::{Database, DbProfile};
+    use ginja_vfs::{InterceptFs, MemFs, PostgresProcessor};
+
+    fn config() -> GinjaConfig {
+        GinjaConfig::builder().build().unwrap()
+    }
+
+    /// Small segments so the test completes several of them.
+    fn profile() -> DbProfile {
+        let mut p = DbProfile::postgres_small();
+        p.wal_segment_size = 16 * 1024;
+        p
+    }
+
+    fn protected_by_archiver() -> (Database, Arc<SegmentArchiver>, Arc<MemStore>) {
+        let local = Arc::new(MemFs::new());
+        let db = Database::create(local.clone(), profile()).unwrap();
+        db.create_table(1, 64).unwrap();
+        drop(db);
+        let cloud = Arc::new(MemStore::new());
+        let archiver = Arc::new(
+            SegmentArchiver::start(
+                local.clone(),
+                cloud.clone(),
+                Arc::new(PostgresProcessor::new()),
+                &config(),
+            )
+            .unwrap(),
+        );
+        let fs: Arc<dyn FileSystem> = Arc::new(InterceptFs::new(local, archiver.clone()));
+        let db = Database::open(fs, profile()).unwrap();
+        (db, archiver, cloud)
+    }
+
+    #[test]
+    fn archives_completed_segments_only() {
+        let (db, archiver, cloud) = protected_by_archiver();
+        for i in 0..1000u64 {
+            db.put(1, i % 50, format!("v{i:045}").into_bytes()).unwrap();
+        }
+        let stats = archiver.stats();
+        assert!(stats.segments_archived >= 2, "{stats:?}");
+        assert!(
+            stats.updates_since_last_archive > 0,
+            "the tail segment is never archived"
+        );
+        assert!(!cloud.list("ARCHIVE/seg/").unwrap().is_empty());
+    }
+
+    #[test]
+    fn restore_loses_the_unfinished_segment() {
+        let (db, archiver, cloud) = protected_by_archiver();
+        for i in 0..1000u64 {
+            db.put(1, i, format!("v{i:045}").into_bytes()).unwrap();
+        }
+        let exposed = archiver.stats().updates_since_last_archive;
+        assert!(exposed > 0);
+        drop(db); // disaster
+
+        let rebuilt = Arc::new(MemFs::new());
+        restore_archive(rebuilt.as_ref(), cloud.as_ref(), &config()).unwrap();
+        let db = Database::open(rebuilt, profile()).unwrap();
+
+        // Everything before the exposure window survives (a couple of
+        // events at segment boundaries are block-level, not commit-level,
+        // so allow that much slack in the bookkeeping)…
+        let survivors = (1000 - exposed).saturating_sub(2);
+        for i in 0..survivors {
+            assert_eq!(
+                db.get(1, i).unwrap().unwrap(),
+                format!("v{i:045}").into_bytes(),
+                "key {i}"
+            );
+        }
+        // …and the unfinished segment's updates are gone (this is the
+        // coarse RPO the paper criticizes).
+        assert_eq!(db.get(1, 999).unwrap(), None);
+    }
+
+    #[test]
+    fn no_segments_completed_means_base_backup_only() {
+        let (db, archiver, cloud) = protected_by_archiver();
+        db.put(1, 1, b"only".to_vec()).unwrap();
+        assert_eq!(archiver.stats().segments_archived, 0);
+        drop(db);
+
+        let rebuilt = Arc::new(MemFs::new());
+        restore_archive(rebuilt.as_ref(), cloud.as_ref(), &config()).unwrap();
+        let db = Database::open(rebuilt, profile()).unwrap();
+        assert_eq!(db.get(1, 1).unwrap(), None, "nothing after the base backup survives");
+    }
+}

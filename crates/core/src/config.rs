@@ -1,0 +1,265 @@
+use std::time::Duration;
+
+use ginja_codec::CodecConfig;
+
+use crate::GinjaError;
+
+/// Point-in-time-recovery retention (§5.4): instead of deleting
+/// superseded dump chains at garbage-collection time, keep the most
+/// recent `keep_snapshots` chains so the database can be restored to an
+/// earlier state (protection against operator mistakes and ransomware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PitrConfig {
+    /// Number of superseded dump chains to retain (in addition to the
+    /// live chain). Zero is equivalent to disabling PITR.
+    pub keep_snapshots: usize,
+}
+
+/// Configuration of the Ginja middleware.
+///
+/// The two headline parameters come straight from §5.1:
+///
+/// * **Batch** (`batch`/`batch_timeout` = B/TB) — a batch of updates is
+///   sent to the cloud when `B` updates accumulate, or when `TB` elapses
+///   since the last synchronization ended with updates pending.
+/// * **Safety** (`safety`/`safety_timeout` = S/TS) — a WAL write blocks
+///   the DBMS when more than `S` updates are unconfirmed, or when `TS`
+///   has elapsed since the first unconfirmed update.
+///
+/// `B = S = 1` is synchronous replication (the paper's *No-Loss*
+/// configuration); large `B`/`S` approach pure asynchrony.
+#[derive(Debug, Clone)]
+pub struct GinjaConfig {
+    /// B — updates per cloud synchronization.
+    pub batch: usize,
+    /// TB — flush a partial batch after this long.
+    pub batch_timeout: Duration,
+    /// S — maximum unconfirmed updates before blocking the DBMS.
+    pub safety: usize,
+    /// TS — block the DBMS when the oldest unconfirmed update is older
+    /// than this.
+    pub safety_timeout: Duration,
+    /// Number of parallel uploader threads (the paper found 5 best in
+    /// its environment, §8).
+    pub uploaders: usize,
+    /// Maximum size of a single cloud object; larger payloads are split
+    /// (§5.2 footnote: 20 MB default, "to optimize the upload latency").
+    pub max_object_size: usize,
+    /// Upload a full dump when the DB objects in the cloud reach this
+    /// multiple of the local database size (§5.3: 150 %).
+    pub dump_threshold: f64,
+    /// Object protection: compression / encryption / MAC settings.
+    pub codec: CodecConfig,
+    /// Optional point-in-time-recovery retention.
+    pub pitr: Option<PitrConfig>,
+    /// Whether batched writes are coalesced into contiguous ranges
+    /// before upload (Algorithm 2's `aggregateUpdates`). Always leave
+    /// enabled in production; the `false` setting exists for the
+    /// ablation study quantifying what aggregation saves.
+    pub coalesce: bool,
+}
+
+impl GinjaConfig {
+    /// Starts building a configuration from the defaults
+    /// (B = 100, S = 1000, TB = 1 s, TS = 5 s, 5 uploaders, 20 MB
+    /// objects, 150 % dump threshold, MAC-only codec).
+    pub fn builder() -> GinjaConfigBuilder {
+        GinjaConfigBuilder::new()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`GinjaError::Config`] when a constraint is violated.
+    pub fn validate(&self) -> Result<(), GinjaError> {
+        if self.batch == 0 {
+            return Err(GinjaError::Config("batch (B) must be at least 1".into()));
+        }
+        if self.safety < self.batch {
+            return Err(GinjaError::Config(format!(
+                "safety (S = {}) must be >= batch (B = {}), or the queue can never fill a batch",
+                self.safety, self.batch
+            )));
+        }
+        if self.uploaders == 0 {
+            return Err(GinjaError::Config("at least one uploader thread is required".into()));
+        }
+        if self.max_object_size < 4096 {
+            return Err(GinjaError::Config("max object size must be at least 4 KiB".into()));
+        }
+        // NaN must be rejected too, hence the explicit comparison shape.
+        if self.dump_threshold.is_nan() || self.dump_threshold <= 1.0 {
+            return Err(GinjaError::Config("dump threshold must be greater than 1.0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`GinjaConfig`].
+#[derive(Debug, Clone)]
+pub struct GinjaConfigBuilder {
+    config: GinjaConfig,
+}
+
+impl Default for GinjaConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GinjaConfigBuilder {
+    /// Starts from the defaults described on [`GinjaConfig::builder`].
+    pub fn new() -> Self {
+        GinjaConfigBuilder {
+            config: GinjaConfig {
+                batch: 100,
+                batch_timeout: Duration::from_secs(1),
+                safety: 1000,
+                safety_timeout: Duration::from_secs(5),
+                uploaders: 5,
+                max_object_size: 20 * 1024 * 1024,
+                dump_threshold: 1.5,
+                codec: CodecConfig::new(),
+                pitr: None,
+                coalesce: true,
+            },
+        }
+    }
+
+    /// Sets B, the batch size.
+    #[must_use]
+    pub fn batch(mut self, b: usize) -> Self {
+        self.config.batch = b;
+        self
+    }
+
+    /// Sets TB, the batch timeout.
+    #[must_use]
+    pub fn batch_timeout(mut self, tb: Duration) -> Self {
+        self.config.batch_timeout = tb;
+        self
+    }
+
+    /// Sets S, the safety limit.
+    #[must_use]
+    pub fn safety(mut self, s: usize) -> Self {
+        self.config.safety = s;
+        self
+    }
+
+    /// Sets TS, the safety timeout.
+    #[must_use]
+    pub fn safety_timeout(mut self, ts: Duration) -> Self {
+        self.config.safety_timeout = ts;
+        self
+    }
+
+    /// Sets the number of parallel uploader threads.
+    #[must_use]
+    pub fn uploaders(mut self, n: usize) -> Self {
+        self.config.uploaders = n;
+        self
+    }
+
+    /// Sets the maximum cloud-object size.
+    #[must_use]
+    pub fn max_object_size(mut self, bytes: usize) -> Self {
+        self.config.max_object_size = bytes;
+        self
+    }
+
+    /// Sets the dump threshold (default 1.5 = the paper's 150 %).
+    #[must_use]
+    pub fn dump_threshold(mut self, ratio: f64) -> Self {
+        self.config.dump_threshold = ratio;
+        self
+    }
+
+    /// Sets the object codec configuration (compression/encryption).
+    #[must_use]
+    pub fn codec(mut self, codec: CodecConfig) -> Self {
+        self.config.codec = codec;
+        self
+    }
+
+    /// Enables point-in-time recovery with the given retention.
+    #[must_use]
+    pub fn pitr(mut self, pitr: PitrConfig) -> Self {
+        self.config.pitr = Some(pitr);
+        self
+    }
+
+    /// Disables write aggregation (ablation studies only).
+    #[must_use]
+    pub fn coalesce(mut self, enabled: bool) -> Self {
+        self.config.coalesce = enabled;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`GinjaError::Config`] when a constraint is violated.
+    pub fn build(self) -> Result<GinjaConfig, GinjaError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let c = GinjaConfig::builder().build().unwrap();
+        assert_eq!(c.batch, 100);
+        assert_eq!(c.safety, 1000);
+        assert_eq!(c.uploaders, 5);
+        assert_eq!(c.max_object_size, 20 * 1024 * 1024);
+        assert!((c.dump_threshold - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_loss_config_is_valid() {
+        // B = S = 1: the paper's synchronous-replication configuration.
+        let c = GinjaConfig::builder().batch(1).safety(1).build().unwrap();
+        assert_eq!((c.batch, c.safety), (1, 1));
+    }
+
+    #[test]
+    fn batch_above_safety_rejected() {
+        let err = GinjaConfig::builder().batch(100, ).safety(10).build().unwrap_err();
+        assert!(matches!(err, GinjaError::Config(_)));
+    }
+
+    #[test]
+    fn zero_batch_rejected() {
+        assert!(GinjaConfig::builder().batch(0).build().is_err());
+    }
+
+    #[test]
+    fn zero_uploaders_rejected() {
+        assert!(GinjaConfig::builder().uploaders(0).build().is_err());
+    }
+
+    #[test]
+    fn tiny_object_size_rejected() {
+        assert!(GinjaConfig::builder().max_object_size(100).build().is_err());
+    }
+
+    #[test]
+    fn dump_threshold_must_exceed_one() {
+        assert!(GinjaConfig::builder().dump_threshold(1.0).build().is_err());
+        assert!(GinjaConfig::builder().dump_threshold(0.5).build().is_err());
+        assert!(GinjaConfig::builder().dump_threshold(1.01).build().is_ok());
+    }
+
+    #[test]
+    fn pitr_carried_through() {
+        let c = GinjaConfig::builder().pitr(PitrConfig { keep_snapshots: 3 }).build().unwrap();
+        assert_eq!(c.pitr.unwrap().keep_snapshots, 3);
+    }
+}

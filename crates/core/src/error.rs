@@ -1,0 +1,94 @@
+use std::error::Error;
+use std::fmt;
+
+use ginja_cloud::StoreError;
+use ginja_codec::CodecError;
+use ginja_vfs::FsError;
+
+/// Errors surfaced by the Ginja middleware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GinjaError {
+    /// Invalid configuration (e.g. `batch > safety`).
+    Config(String),
+    /// A cloud-storage operation failed beyond retry.
+    Cloud(StoreError),
+    /// Sealing/opening a cloud object failed (corruption, bad key).
+    Codec(CodecError),
+    /// A local file-system operation failed.
+    Fs(FsError),
+    /// A cloud object name did not parse.
+    BadObjectName(String),
+    /// Recovery could not assemble a consistent state.
+    Recovery(String),
+    /// The middleware has been shut down.
+    ShutDown,
+}
+
+impl fmt::Display for GinjaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GinjaError::Config(reason) => write!(f, "invalid configuration: {reason}"),
+            GinjaError::Cloud(e) => write!(f, "cloud storage error: {e}"),
+            GinjaError::Codec(e) => write!(f, "object codec error: {e}"),
+            GinjaError::Fs(e) => write!(f, "local file system error: {e}"),
+            GinjaError::BadObjectName(name) => write!(f, "unparseable object name: {name}"),
+            GinjaError::Recovery(reason) => write!(f, "recovery failed: {reason}"),
+            GinjaError::ShutDown => write!(f, "ginja middleware is shut down"),
+        }
+    }
+}
+
+impl Error for GinjaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GinjaError::Cloud(e) => Some(e),
+            GinjaError::Codec(e) => Some(e),
+            GinjaError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for GinjaError {
+    fn from(err: StoreError) -> Self {
+        GinjaError::Cloud(err)
+    }
+}
+
+impl From<CodecError> for GinjaError {
+    fn from(err: CodecError) -> Self {
+        GinjaError::Codec(err)
+    }
+}
+
+impl From<FsError> for GinjaError {
+    fn from(err: FsError) -> Self {
+        GinjaError::Fs(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_preserved() {
+        assert!(GinjaError::from(StoreError::NotFound("x".into())).source().is_some());
+        assert!(GinjaError::from(CodecError::BadMagic).source().is_some());
+        assert!(GinjaError::from(FsError::NotFound("y".into())).source().is_some());
+        assert!(GinjaError::ShutDown.source().is_none());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = GinjaError::BadObjectName("WAL/x".into());
+        assert!(e.to_string().contains("WAL/x"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<GinjaError>();
+    }
+}

@@ -1,0 +1,781 @@
+//! The Ginja middleware: interception, the commit pipeline (Algorithm
+//! 2), checkpoint processing and garbage collection (Algorithm 3), and
+//! the Boot/Reboot initialization modes (Algorithm 1).
+//!
+//! The thread architecture mirrors §6 / Figure 3 of the paper:
+//!
+//! ```text
+//! DBMS → InterceptFs → Ginja::on_write ─ WAL writes → CommitQueue
+//!                                      └ checkpoint writes → accumulator
+//! Aggregator:  CommitQueue --(B at a time, no removal)--> objects
+//! Uploader×n:  seal + PUT in parallel → acks
+//! Unlocker:    in-batch-order acks → CommitQueue.ack_front (unblocks DBMS)
+//! Checkpointer: DB objects (dump | incremental) → PUT → garbage collection
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ginja_cloud::ObjectStore;
+use ginja_codec::Codec;
+use ginja_vfs::{DbmsProcessor, FileSystem, IoClass, IoProcessor, WriteEvent};
+use parking_lot::Mutex;
+
+use crate::agg::{self, AggregatedRange};
+use crate::bundle::{self, FileRange};
+use crate::config::GinjaConfig;
+use crate::names::{DbObjectKind, DbObjectName, WalObjectName};
+use crate::queue::{CommitQueue, WalWrite};
+use crate::stats::{GinjaStats, GinjaStatsSnapshot};
+use crate::view::CloudView;
+use crate::GinjaError;
+
+/// An upload job for one WAL object.
+struct UploadJob {
+    batch_id: u64,
+    name: WalObjectName,
+    raw: Vec<u8>,
+}
+
+/// Messages feeding the Unlocker.
+enum UnlockMsg {
+    /// A batch was formed: `items` queue entries produce `objects`
+    /// cloud objects.
+    Manifest { batch_id: u64, items: usize, objects: usize },
+    /// One object of `batch_id` is durable.
+    Ack { batch_id: u64 },
+}
+
+/// A checkpoint ready to become a DB object.
+struct CkptJob {
+    ts: u64,
+    kind: DbObjectKind,
+    entries: Vec<FileRange>,
+}
+
+/// A point-in-time measurement of how much a disaster would cost —
+/// see [`Ginja::exposure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exposure {
+    /// Committed updates not yet confirmed durable in the cloud (≤ S).
+    pub updates: usize,
+    /// Checkpoint DB objects still uploading.
+    pub pending_checkpoints: usize,
+    /// Age of the oldest unconfirmed update (≈ the time-based RPO).
+    pub oldest_age: Option<Duration>,
+}
+
+/// Checkpoint accumulation state (the paper's Algorithm 3 lines 1–16).
+#[derive(Default)]
+struct CkptAccum {
+    in_checkpoint: bool,
+    ts: u64,
+    ranges: std::collections::BTreeMap<String, std::collections::BTreeMap<u64, Vec<u8>>>,
+}
+
+struct Shared {
+    config: GinjaConfig,
+    codec: Codec,
+    cloud: Arc<dyn ObjectStore>,
+    fs: Arc<dyn FileSystem>,
+    processor: Arc<dyn DbmsProcessor>,
+    view: Mutex<CloudView>,
+    queue: CommitQueue,
+    stats: GinjaStats,
+    accum: Mutex<CkptAccum>,
+    ckpt_tx: Mutex<Option<Sender<CkptJob>>>,
+    pending_ckpt_jobs: AtomicUsize,
+    batch_counter: AtomicU64,
+    shutdown: AtomicBool,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// The Ginja disaster-recovery middleware.
+///
+/// Create one with [`Ginja::boot`] (fresh protection: uploads the
+/// current database to the cloud first) or [`Ginja::reboot`] (resume
+/// after a clean stop: the cloud is already synchronized). Wire it to
+/// the DBMS by wrapping the database's file system in a
+/// [`ginja_vfs::InterceptFs`] with this value as the processor.
+///
+/// Cloning is cheap and shares the same middleware instance.
+#[derive(Clone)]
+pub struct Ginja {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Ginja {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ginja")
+            .field("batch", &self.shared.config.batch)
+            .field("safety", &self.shared.config.safety)
+            .finish()
+    }
+}
+
+impl Ginja {
+    /// Boot mode (Algorithm 1 lines 7–18): upload every local WAL
+    /// segment and a full dump of the database files, then start the
+    /// pipeline. Call *before* starting the DBMS over the intercepted
+    /// file system.
+    ///
+    /// # Errors
+    ///
+    /// Configuration, file-system, codec and cloud errors propagate —
+    /// protection must not silently start half-initialized.
+    pub fn boot(
+        fs: Arc<dyn FileSystem>,
+        cloud: Arc<dyn ObjectStore>,
+        processor: Arc<dyn DbmsProcessor>,
+        config: GinjaConfig,
+    ) -> Result<Self, GinjaError> {
+        config.validate()?;
+        // A Boot into a bucket that already holds Ginja objects would
+        // interleave two protection histories (timestamp collisions,
+        // wrong dumps at recovery). Demand a fresh bucket; resuming an
+        // existing history is what Reboot is for.
+        if !cloud.list("")?.is_empty() {
+            return Err(GinjaError::Config(
+                "boot requires an empty bucket (use reboot to resume, or point at a new bucket)"
+                    .into(),
+            ));
+        }
+        let codec = Codec::new(config.codec.clone());
+        let mut view = CloudView::new();
+
+        // One WAL object per local segment (chunked at the object cap).
+        let mut wal_files = fs.list(processor.wal_prefix())?;
+        wal_files.sort();
+        for file in wal_files {
+            let content = fs.read_all(&file)?;
+            for (i, chunk) in content.chunks(config.max_object_size.max(1)).enumerate() {
+                let ts = view.alloc_wal_ts();
+                let name = WalObjectName {
+                    ts,
+                    file: file.clone(),
+                    offset: (i * config.max_object_size) as u64,
+                    len: chunk.len() as u64,
+                };
+                let sealed = codec.seal(&name.to_name(), chunk)?;
+                cloud.put(&name.to_name(), &sealed)?;
+                view.add_wal(name);
+            }
+            if content.is_empty() {
+                // Preserve empty segments too (cheap, keeps boot simple).
+                let ts = view.alloc_wal_ts();
+                let name = WalObjectName { ts, file: file.clone(), offset: 0, len: 0 };
+                let sealed = codec.seal(&name.to_name(), &[])?;
+                cloud.put(&name.to_name(), &sealed)?;
+                view.add_wal(name);
+            }
+        }
+
+        // The initial dump, at the reserved timestamp 0 so every boot
+        // WAL object (ts >= 1) is "newer than the dump" for recovery.
+        let entries = read_db_files(fs.as_ref(), processor.as_ref())?;
+        let bytes = bundle::encode(&entries);
+        let total = bytes.len() as u64;
+        let parts = bundle::chunk(bytes, config.max_object_size);
+        let n = parts.len() as u32;
+        for (i, part) in parts.into_iter().enumerate() {
+            let name = DbObjectName {
+                ts: 0,
+                kind: DbObjectKind::Dump,
+                size: total,
+                part: i as u32,
+                parts: n,
+            };
+            let sealed = codec.seal(&name.to_name(), &part)?;
+            cloud.put(&name.to_name(), &sealed)?;
+            view.add_db_part(name);
+        }
+
+        let ginja = Self::assemble(fs, cloud, processor, config, codec, view);
+        ginja.shared.stats.dumps_uploaded.fetch_add(1, Ordering::Relaxed);
+        Ok(ginja)
+    }
+
+    /// Reboot mode (Algorithm 1 lines 19–22): the cloud is already
+    /// synchronized with the local files (clean stop); rebuild the
+    /// `cloudView` from a LIST and start the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Cloud and name-parsing errors propagate.
+    pub fn reboot(
+        fs: Arc<dyn FileSystem>,
+        cloud: Arc<dyn ObjectStore>,
+        processor: Arc<dyn DbmsProcessor>,
+        config: GinjaConfig,
+    ) -> Result<Self, GinjaError> {
+        config.validate()?;
+        let codec = Codec::new(config.codec.clone());
+        let view = CloudView::from_listing(cloud.list("")?)?;
+        Ok(Self::assemble(fs, cloud, processor, config, codec, view))
+    }
+
+    fn assemble(
+        fs: Arc<dyn FileSystem>,
+        cloud: Arc<dyn ObjectStore>,
+        processor: Arc<dyn DbmsProcessor>,
+        config: GinjaConfig,
+        codec: Codec,
+        view: CloudView,
+    ) -> Self {
+        let queue = CommitQueue::new(
+            config.batch,
+            config.safety,
+            config.batch_timeout,
+            config.safety_timeout,
+        );
+        let (ckpt_tx, ckpt_rx) = unbounded::<CkptJob>();
+        let shared = Arc::new(Shared {
+            config,
+            codec,
+            cloud,
+            fs,
+            processor,
+            view: Mutex::new(view),
+            queue,
+            stats: GinjaStats::default(),
+            accum: Mutex::new(CkptAccum::default()),
+            ckpt_tx: Mutex::new(Some(ckpt_tx)),
+            pending_ckpt_jobs: AtomicUsize::new(0),
+            batch_counter: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+        });
+
+        let (upload_tx, upload_rx) = unbounded::<UploadJob>();
+        let (unlock_tx, unlock_rx) = unbounded::<UnlockMsg>();
+
+        let mut threads = Vec::new();
+        {
+            let shared = shared.clone();
+            let unlock_tx = unlock_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ginja-aggregator".into())
+                    .spawn(move || aggregator_loop(&shared, upload_tx, unlock_tx))
+                    .expect("spawn aggregator"),
+            );
+        }
+        for i in 0..shared.config.uploaders {
+            let shared = shared.clone();
+            let upload_rx = upload_rx.clone();
+            let unlock_tx = unlock_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ginja-uploader-{i}"))
+                    .spawn(move || uploader_loop(&shared, upload_rx, unlock_tx))
+                    .expect("spawn uploader"),
+            );
+        }
+        drop(unlock_tx);
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ginja-unlocker".into())
+                    .spawn(move || unlocker_loop(&shared, unlock_rx))
+                    .expect("spawn unlocker"),
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ginja-checkpointer".into())
+                    .spawn(move || checkpointer_loop(&shared, ckpt_rx))
+                    .expect("spawn checkpointer"),
+            );
+        }
+        *shared.threads.lock() = threads;
+        Ginja { shared }
+    }
+
+    /// Blocks until every pending update and checkpoint is durable in
+    /// the cloud, or `timeout` elapses. Returns whether it drained.
+    pub fn sync(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let drained = self.shared.queue.is_empty()
+                && self.shared.pending_ckpt_jobs.load(Ordering::SeqCst) == 0;
+            if drained {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            self.shared.queue.force_flush();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Stops the pipeline: the queue closes (the DBMS is no longer
+    /// blocked — protection ends), pending work drains, and all threads
+    /// join. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        *self.shared.ckpt_tx.lock() = None;
+        let threads = std::mem::take(&mut *self.shared.threads.lock());
+        for handle in threads {
+            let _ = handle.join();
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> GinjaStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Number of updates currently unconfirmed by the cloud.
+    pub fn pending_updates(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// The current data-loss exposure: what a disaster *right now*
+    /// would cost. This is the operator-facing view of the §5.1
+    /// trade-off — `updates` is bounded by `S`, `oldest_age` by `TS`
+    /// (plus one upload round-trip).
+    pub fn exposure(&self) -> Exposure {
+        Exposure {
+            updates: self.shared.queue.len(),
+            pending_checkpoints: self.shared.pending_ckpt_jobs.load(Ordering::SeqCst),
+            oldest_age: self.shared.queue.oldest_pending_age(),
+        }
+    }
+
+    /// A copy of the current cloud view (tests and tooling).
+    pub fn view(&self) -> CloudView {
+        self.shared.view.lock().clone()
+    }
+
+    fn handle_data_write(&self, event: &WriteEvent) {
+        let mut accum = self.shared.accum.lock();
+        if !accum.in_checkpoint {
+            accum.in_checkpoint = true;
+            accum.ts = self.shared.view.lock().last_wal_ts();
+        }
+        let ranges = accum.ranges.entry(event.path.clone()).or_default();
+        agg::apply(ranges, event.offset, &event.data);
+    }
+
+    fn handle_control_write(&self, event: &WriteEvent) {
+        let job = {
+            let mut accum = self.shared.accum.lock();
+            if !accum.in_checkpoint {
+                // A checkpoint that flushed no data pages still moves
+                // the control record; it forms a (tiny) DB object.
+                accum.in_checkpoint = true;
+                accum.ts = self.shared.view.lock().last_wal_ts();
+            }
+            let ranges = accum.ranges.entry(event.path.clone()).or_default();
+            agg::apply(ranges, event.offset, &event.data);
+
+            // Checkpoint end: decide dump vs incremental (Alg. 3 l. 8–16).
+            let ts = accum.ts;
+            let ranges = std::mem::take(&mut accum.ranges);
+            accum.in_checkpoint = false;
+
+            let cloud_db_size = self.shared.view.lock().total_db_size();
+            let local_db_size = self.local_db_size();
+            let dump_due = local_db_size > 0
+                && cloud_db_size as f64 >= self.shared.config.dump_threshold * local_db_size as f64;
+
+            if dump_due {
+                // Full dump, read synchronously here: this blocks the
+                // DBMS's write path (not its commits in a multi-threaded
+                // DBMS), which is the paper's consistency argument for
+                // dumps ("Ginja will not execute any write in the local
+                // DB files while the dump object is being created").
+                match read_db_files(self.shared.fs.as_ref(), self.shared.processor.as_ref()) {
+                    Ok(mut entries) => {
+                        // The dump must also carry the checkpoint's own
+                        // writes: for MySQL the checkpoint *control
+                        // block* lives inside `ib_logfile0` (a WAL file,
+                        // absent from the database files), and recovery
+                        // needs it after this dump's GC deletes the
+                        // checkpoint objects that used to carry it.
+                        entries.extend(ranges_to_entries(ranges));
+                        CkptJob { ts, kind: DbObjectKind::Dump, entries }
+                    }
+                    Err(_) => CkptJob {
+                        ts,
+                        kind: DbObjectKind::Checkpoint,
+                        entries: ranges_to_entries(ranges),
+                    },
+                }
+            } else {
+                CkptJob { ts, kind: DbObjectKind::Checkpoint, entries: ranges_to_entries(ranges) }
+            }
+        };
+
+        self.shared.stats.checkpoints_seen.fetch_add(1, Ordering::Relaxed);
+        if job.kind == DbObjectKind::Dump {
+            self.shared.stats.dumps_uploaded.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.pending_ckpt_jobs.fetch_add(1, Ordering::SeqCst);
+        let tx = self.shared.ckpt_tx.lock();
+        match tx.as_ref().map(|tx| tx.send(job)) {
+            Some(Ok(())) => {}
+            _ => {
+                // Shut down: the job is dropped (protection has ended).
+                self.shared.pending_ckpt_jobs.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn local_db_size(&self) -> u64 {
+        let Ok(files) = self.shared.fs.list("") else { return 0 };
+        files
+            .iter()
+            .filter(|f| self.shared.processor.is_db_file(f))
+            .filter_map(|f| self.shared.fs.len(f).ok())
+            .sum()
+    }
+}
+
+impl IoProcessor for Ginja {
+    fn on_write(&self, event: &WriteEvent) {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match self.shared.processor.classify(event) {
+            IoClass::WalAppend => {
+                self.shared.stats.updates_intercepted.fetch_add(1, Ordering::Relaxed);
+                let outcome = self.shared.queue.put(WalWrite {
+                    file: event.path.clone(),
+                    offset: event.offset,
+                    data: event.data.clone(),
+                });
+                if let Some(outcome) = outcome {
+                    self.shared.stats.add_blocked(outcome.blocked_for);
+                }
+            }
+            IoClass::DataFile => self.handle_data_write(event),
+            IoClass::ControlFile => self.handle_control_write(event),
+            IoClass::Other => {}
+        }
+    }
+}
+
+fn ranges_to_entries(
+    ranges: std::collections::BTreeMap<String, std::collections::BTreeMap<u64, Vec<u8>>>,
+) -> Vec<FileRange> {
+    let mut entries = Vec::new();
+    for (path, file_ranges) in ranges {
+        for (offset, data) in file_ranges {
+            entries.push(FileRange { path: path.clone(), offset, data });
+        }
+    }
+    entries
+}
+
+fn read_db_files(
+    fs: &dyn FileSystem,
+    processor: &dyn DbmsProcessor,
+) -> Result<Vec<FileRange>, GinjaError> {
+    let mut entries = Vec::new();
+    for path in fs.list("")? {
+        if processor.is_db_file(&path) {
+            let data = fs.read_all(&path)?;
+            entries.push(FileRange { path, offset: 0, data });
+        }
+    }
+    Ok(entries)
+}
+
+/// Uploads with unbounded retry (exponential backoff); gives up only on
+/// shutdown. Returns whether the object is durable.
+fn put_with_retry(shared: &Shared, name: &str, sealed: &[u8]) -> bool {
+    let mut delay = Duration::from_millis(10);
+    loop {
+        if shared.cloud.put(name, sealed).is_ok() {
+            return true;
+        }
+        shared.stats.upload_retries.fetch_add(1, Ordering::Relaxed);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        std::thread::sleep(delay);
+        delay = (delay * 2).min(Duration::from_secs(1));
+    }
+}
+
+fn delete_with_retry(shared: &Shared, name: &str) {
+    for _ in 0..3 {
+        if shared.cloud.delete(name).is_ok() {
+            shared.stats.gc_deletes.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Persistent delete failure leaves a garbage object behind — a cost
+    // leak, never a correctness problem.
+}
+
+fn aggregator_loop(shared: &Shared, upload_tx: Sender<UploadJob>, unlock_tx: Sender<UnlockMsg>) {
+    while let Some(batch) = shared.queue.take_batch() {
+        let items = batch.len();
+        let ranges: Vec<AggregatedRange> = if shared.config.coalesce {
+            agg::aggregate(&batch, shared.config.max_object_size)
+        } else {
+            // Ablation mode: one object per intercepted write.
+            batch
+                .iter()
+                .map(|w| AggregatedRange {
+                    file: w.file.clone(),
+                    offset: w.offset,
+                    data: w.data.to_vec(),
+                })
+                .collect()
+        };
+        let batch_id = shared.batch_counter.fetch_add(1, Ordering::SeqCst);
+        shared.stats.batches_formed.fetch_add(1, Ordering::Relaxed);
+
+        if unlock_tx
+            .send(UnlockMsg::Manifest { batch_id, items, objects: ranges.len() })
+            .is_err()
+        {
+            return;
+        }
+        for range in ranges {
+            let ts = shared.view.lock().alloc_wal_ts();
+            let name = WalObjectName {
+                ts,
+                file: range.file,
+                offset: range.offset,
+                len: range.data.len() as u64,
+            };
+            if upload_tx.send(UploadJob { batch_id, name, raw: range.data }).is_err() {
+                return;
+            }
+        }
+    }
+    // Queue closed: dropping the senders lets the downstream drain.
+}
+
+fn uploader_loop(shared: &Shared, upload_rx: Receiver<UploadJob>, unlock_tx: Sender<UnlockMsg>) {
+    for job in upload_rx.iter() {
+        let name = job.name.to_name();
+        let seal_start = Instant::now();
+        let sealed = match shared.codec.seal(&name, &job.raw) {
+            Ok(sealed) => sealed,
+            Err(_) => continue, // seal is infallible today; defensive
+        };
+        shared
+            .stats
+            .seal_micros
+            .fetch_add(seal_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+
+        if !put_with_retry(shared, &name, &sealed) {
+            return; // shutdown while retrying
+        }
+        shared.stats.wal_objects_uploaded.fetch_add(1, Ordering::Relaxed);
+        shared.stats.wal_bytes_raw.fetch_add(job.raw.len() as u64, Ordering::Relaxed);
+        shared.stats.wal_bytes_sealed.fetch_add(sealed.len() as u64, Ordering::Relaxed);
+        shared.view.lock().add_wal(job.name.clone());
+        if unlock_tx.send(UnlockMsg::Ack { batch_id: job.batch_id }).is_err() {
+            return;
+        }
+    }
+}
+
+fn unlocker_loop(shared: &Shared, unlock_rx: Receiver<UnlockMsg>) {
+    use std::collections::HashMap;
+    struct BatchState {
+        items: usize,
+        objects: usize,
+        acked: usize,
+        manifest_seen: bool,
+    }
+    let mut batches: HashMap<u64, BatchState> = HashMap::new();
+    let mut next_expected = 0u64;
+
+    for msg in unlock_rx.iter() {
+        match msg {
+            UnlockMsg::Manifest { batch_id, items, objects } => {
+                let entry = batches.entry(batch_id).or_insert(BatchState {
+                    items: 0,
+                    objects: 0,
+                    acked: 0,
+                    manifest_seen: false,
+                });
+                entry.items = items;
+                entry.objects = objects;
+                entry.manifest_seen = true;
+            }
+            UnlockMsg::Ack { batch_id } => {
+                let entry = batches.entry(batch_id).or_insert(BatchState {
+                    items: 0,
+                    objects: 0,
+                    acked: 0,
+                    manifest_seen: false,
+                });
+                entry.acked += 1;
+            }
+        }
+        // Acknowledge strictly in batch order: this is what guarantees
+        // the queue only unblocks when every WAL object with a smaller
+        // timestamp is durable (the contiguity rule of §5.3).
+        while let Some(state) = batches.get(&next_expected) {
+            if !(state.manifest_seen && state.acked >= state.objects) {
+                break;
+            }
+            shared.queue.ack_front(state.items);
+            batches.remove(&next_expected);
+            next_expected += 1;
+        }
+    }
+}
+
+fn checkpointer_loop(shared: &Shared, ckpt_rx: Receiver<CkptJob>) {
+    for mut job in ckpt_rx.iter() {
+        // Timestamp collision (two checkpoints with no commits between
+        // them): merge with the existing DB object at this ts so the
+        // view keeps one entry per timestamp.
+        let existing = shared.view.lock().db_entry(job.ts).cloned();
+        let mut replaced_parts = Vec::new();
+        if let Some(entry) = existing {
+            let mut old_parts = Vec::new();
+            let mut ok = true;
+            for part in &entry.parts {
+                let name = part.to_name();
+                match shared.cloud.get(&name).ok().and_then(|sealed| {
+                    shared.codec.open(&name, &sealed).ok()
+                }) {
+                    Some(bytes) => old_parts.push(bytes),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                if let Ok(mut old_entries) = bundle::decode(&bundle::reassemble(old_parts)) {
+                    old_entries.extend(job.entries);
+                    job.entries = old_entries;
+                    if entry.kind == DbObjectKind::Dump {
+                        job.kind = DbObjectKind::Dump;
+                    }
+                    replaced_parts = entry.parts.iter().map(|p| p.to_name()).collect();
+                }
+            }
+        }
+
+        let bytes = bundle::encode(&job.entries);
+        let total = bytes.len() as u64;
+        shared.stats.db_bytes_raw.fetch_add(total, Ordering::Relaxed);
+        let parts = bundle::chunk(bytes, shared.config.max_object_size);
+        let n = parts.len() as u32;
+        let mut uploaded = Vec::new();
+        let mut aborted = false;
+        for (i, part) in parts.into_iter().enumerate() {
+            let name = DbObjectName {
+                ts: job.ts,
+                kind: job.kind,
+                size: total,
+                part: i as u32,
+                parts: n,
+            };
+            let seal_start = Instant::now();
+            let Ok(sealed) = shared.codec.seal(&name.to_name(), &part) else {
+                aborted = true;
+                break;
+            };
+            shared
+                .stats
+                .seal_micros
+                .fetch_add(seal_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+            if !put_with_retry(shared, &name.to_name(), &sealed) {
+                aborted = true;
+                break;
+            }
+            shared.stats.db_objects_uploaded.fetch_add(1, Ordering::Relaxed);
+            shared.stats.db_bytes_sealed.fetch_add(sealed.len() as u64, Ordering::Relaxed);
+            uploaded.push(name);
+        }
+        if aborted {
+            shared.pending_ckpt_jobs.fetch_sub(1, Ordering::SeqCst);
+            return; // shutdown mid-upload
+        }
+
+        // The DB object is fully durable: update the view, then collect
+        // garbage (Algorithm 3 lines 22–29). Order matters — WAL objects
+        // are deleted only after the covering DB object is durable.
+        let uploaded_names: Vec<String> = uploaded.iter().map(|n| n.to_name()).collect();
+        let merged = !replaced_parts.is_empty();
+        // A merge can reproduce an identical name (same ts/kind/size):
+        // that object was just overwritten in place — never delete it.
+        replaced_parts.retain(|name| !uploaded_names.contains(name));
+
+        let (wal_garbage, db_garbage) = {
+            let mut view = shared.view.lock();
+            if merged {
+                view.remove_db_at(job.ts);
+            }
+            for name in uploaded {
+                view.add_db_part(name);
+            }
+
+            // Point-in-time retention: keep the newest (keep_snapshots
+            // + 1) dump chains and all WAL since the oldest retained
+            // dump; without PITR, standard Algorithm 3 GC applies.
+            let wal_cutoff = match shared.config.pitr {
+                None => job.ts,
+                Some(pitr) => {
+                    let dumps = view.dump_timestamps();
+                    let keep = pitr.keep_snapshots + 1;
+                    let floor = if dumps.len() > keep {
+                        dumps[dumps.len() - keep]
+                    } else {
+                        *dumps.first().unwrap_or(&0)
+                    };
+                    job.ts.min(floor)
+                }
+            };
+            // Algorithm 3's rule (delete everything up to the
+            // checkpoint's timestamp) is only sound when checkpoints
+            // flush every dirty page; for fuzzy checkpointers only WAL
+            // the DBMS demonstrably rewrote may go (see
+            // CloudView::remove_covered_wal).
+            let wal_garbage: Vec<String> =
+                if shared.processor.checkpoints_flush_all_dirty_pages() {
+                    view.remove_wal_up_to(wal_cutoff).iter().map(|w| w.to_name()).collect()
+                } else {
+                    view.remove_covered_wal(wal_cutoff).iter().map(|w| w.to_name()).collect()
+                };
+
+            let mut db_garbage: Vec<String> = replaced_parts;
+            if job.kind == DbObjectKind::Dump {
+                let cutoff = match shared.config.pitr {
+                    None => job.ts,
+                    Some(pitr) => {
+                        let dumps = view.dump_timestamps();
+                        let keep = pitr.keep_snapshots + 1;
+                        if dumps.len() > keep {
+                            dumps[dumps.len() - keep]
+                        } else {
+                            *dumps.first().unwrap_or(&0)
+                        }
+                    }
+                };
+                db_garbage
+                    .extend(view.remove_db_before(cutoff).iter().map(|d| d.to_name()));
+            }
+            (wal_garbage, db_garbage)
+        };
+
+        for name in wal_garbage.iter().chain(db_garbage.iter()) {
+            delete_with_retry(shared, name);
+        }
+        shared.pending_ckpt_jobs.fetch_sub(1, Ordering::SeqCst);
+    }
+}

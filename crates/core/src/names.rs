@@ -1,0 +1,276 @@
+//! Cloud object naming — the §5.2 data model.
+//!
+//! * WAL objects: `WAL/<ts>_<filename>_<offset>` — "ts establishes total
+//!   order on the WAL objects, filename is the name of the corresponding
+//!   WAL segment, and offset is the position of its content in the
+//!   segment". This implementation appends `_<len>` (the range length)
+//!   so that garbage collection can prove a region was rewritten by a
+//!   newer object (see `CloudView::safe_wal_cutoff`).
+//! * DB objects: `DB/<ts>_<type>_<size>` — "ts corresponds to the
+//!   timestamp of the last uploaded WAL object before the beginning of
+//!   the checkpoint"; type is `dump` or `checkpoint`.
+//!
+//! This implementation extends DB names with `_<part>_<parts>` when a
+//! bundle exceeds the 20 MB object-size cap (§5.2 footnote 3) and must
+//! be split; a single-part object is named exactly as in the paper.
+//!
+//! Filenames may contain `_` (and `/`), so WAL names are parsed
+//! positionally: first `_` after the prefix, last `_` before the offset.
+
+use crate::GinjaError;
+
+/// Prefix of WAL object names.
+pub const WAL_PREFIX: &str = "WAL/";
+
+/// Prefix of DB object names.
+pub const DB_PREFIX: &str = "DB/";
+
+/// Identity of one WAL object.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WalObjectName {
+    /// Total-order timestamp (unique across all WAL objects).
+    pub ts: u64,
+    /// WAL segment file the content belongs to.
+    pub file: String,
+    /// Byte offset of the content within the segment.
+    pub offset: u64,
+    /// Length of the content in bytes.
+    pub len: u64,
+}
+
+impl WalObjectName {
+    /// End offset (exclusive) of the covered range.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+
+    /// Whether this object's range fully contains `other`'s (same file).
+    pub fn covers(&self, other: &WalObjectName) -> bool {
+        self.file == other.file && self.offset <= other.offset && self.end() >= other.end()
+    }
+
+    /// Formats the cloud object name.
+    pub fn to_name(&self) -> String {
+        format!("{WAL_PREFIX}{}_{}_{}_{}", self.ts, self.file, self.offset, self.len)
+    }
+
+    /// Parses a cloud object name.
+    ///
+    /// # Errors
+    ///
+    /// [`GinjaError::BadObjectName`] when malformed.
+    pub fn parse(name: &str) -> Result<Self, GinjaError> {
+        let bad = || GinjaError::BadObjectName(name.to_string());
+        let rest = name.strip_prefix(WAL_PREFIX).ok_or_else(bad)?;
+        let (ts_str, rest) = rest.split_once('_').ok_or_else(bad)?;
+        let (rest, len_str) = rest.rsplit_once('_').ok_or_else(bad)?;
+        let (file, offset_str) = rest.rsplit_once('_').ok_or_else(bad)?;
+        if file.is_empty() {
+            return Err(bad());
+        }
+        Ok(WalObjectName {
+            ts: ts_str.parse().map_err(|_| bad())?,
+            file: file.to_string(),
+            offset: offset_str.parse().map_err(|_| bad())?,
+            len: len_str.parse().map_err(|_| bad())?,
+        })
+    }
+}
+
+impl std::fmt::Display for WalObjectName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_name())
+    }
+}
+
+/// Kind of a DB object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DbObjectKind {
+    /// A complete copy of every database (non-WAL) file.
+    Dump,
+    /// The file ranges written during one DBMS checkpoint.
+    Checkpoint,
+}
+
+impl DbObjectKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            DbObjectKind::Dump => "dump",
+            DbObjectKind::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// Identity of one DB object part.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DbObjectName {
+    /// Timestamp of the last WAL object uploaded before the checkpoint
+    /// began (0 for the initial boot dump).
+    pub ts: u64,
+    /// Dump or incremental checkpoint.
+    pub kind: DbObjectKind,
+    /// Total (uncompressed) bundle size in bytes across all parts.
+    pub size: u64,
+    /// Part index (0-based).
+    pub part: u32,
+    /// Total number of parts.
+    pub parts: u32,
+}
+
+impl DbObjectName {
+    /// Formats the cloud object name. Single-part objects use the
+    /// paper's exact `DB/<ts>_<type>_<size>` form.
+    pub fn to_name(&self) -> String {
+        if self.parts == 1 {
+            format!("{DB_PREFIX}{}_{}_{}", self.ts, self.kind.as_str(), self.size)
+        } else {
+            format!(
+                "{DB_PREFIX}{}_{}_{}_{}_{}",
+                self.ts,
+                self.kind.as_str(),
+                self.size,
+                self.part,
+                self.parts
+            )
+        }
+    }
+
+    /// Parses a cloud object name.
+    ///
+    /// # Errors
+    ///
+    /// [`GinjaError::BadObjectName`] when malformed.
+    pub fn parse(name: &str) -> Result<Self, GinjaError> {
+        let bad = || GinjaError::BadObjectName(name.to_string());
+        let rest = name.strip_prefix(DB_PREFIX).ok_or_else(bad)?;
+        let fields: Vec<&str> = rest.split('_').collect();
+        if fields.len() != 3 && fields.len() != 5 {
+            return Err(bad());
+        }
+        let kind = match fields[1] {
+            "dump" => DbObjectKind::Dump,
+            "checkpoint" => DbObjectKind::Checkpoint,
+            _ => return Err(bad()),
+        };
+        let (part, parts) = if fields.len() == 5 {
+            (fields[3].parse().map_err(|_| bad())?, fields[4].parse().map_err(|_| bad())?)
+        } else {
+            (0, 1)
+        };
+        if parts == 0 || part >= parts {
+            return Err(bad());
+        }
+        Ok(DbObjectName {
+            ts: fields[0].parse().map_err(|_| bad())?,
+            kind,
+            size: fields[2].parse().map_err(|_| bad())?,
+            part,
+            parts,
+        })
+    }
+}
+
+impl std::fmt::Display for DbObjectName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_roundtrip_simple() {
+        let n = WalObjectName { ts: 42, file: "ib_logfile0".into(), offset: 2048, len: 512 };
+        assert_eq!(n.to_name(), "WAL/42_ib_logfile0_2048_512");
+        assert_eq!(WalObjectName::parse(&n.to_name()).unwrap(), n);
+    }
+
+    #[test]
+    fn wal_roundtrip_with_path_and_underscores() {
+        // Both '/' and '_' inside the filename must survive.
+        let n = WalObjectName {
+            ts: 7,
+            file: "pg_xlog/000000010000000000000003".into(),
+            offset: 8192,
+            len: 16384,
+        };
+        assert_eq!(WalObjectName::parse(&n.to_name()).unwrap(), n);
+    }
+
+    #[test]
+    fn wal_bad_names_rejected() {
+        for bad in [
+            "WAL/",
+            "WAL/notanumber_f_0_1",
+            "WAL/1_f_notanumber_1",
+            "WAL/1_f_0_notanumber",
+            "WAL/1",
+            "WAL/1_f_0", // missing length field
+            "DB/1_dump_3",
+            "WAL/1__0_1", // empty filename
+        ] {
+            assert!(WalObjectName::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn db_single_part_matches_paper_format() {
+        let n = DbObjectName { ts: 9, kind: DbObjectKind::Dump, size: 12345, part: 0, parts: 1 };
+        assert_eq!(n.to_name(), "DB/9_dump_12345");
+        assert_eq!(DbObjectName::parse("DB/9_dump_12345").unwrap(), n);
+    }
+
+    #[test]
+    fn db_checkpoint_roundtrip() {
+        let n = DbObjectName {
+            ts: 120,
+            kind: DbObjectKind::Checkpoint,
+            size: 999,
+            part: 0,
+            parts: 1,
+        };
+        assert_eq!(n.to_name(), "DB/120_checkpoint_999");
+        assert_eq!(DbObjectName::parse(&n.to_name()).unwrap(), n);
+    }
+
+    #[test]
+    fn db_multi_part_roundtrip() {
+        let n =
+            DbObjectName { ts: 5, kind: DbObjectKind::Dump, size: 50_000_000, part: 2, parts: 3 };
+        assert_eq!(n.to_name(), "DB/5_dump_50000000_2_3");
+        assert_eq!(DbObjectName::parse(&n.to_name()).unwrap(), n);
+    }
+
+    #[test]
+    fn db_bad_names_rejected() {
+        for bad in [
+            "DB/",
+            "DB/1_snapshot_3",
+            "DB/x_dump_3",
+            "DB/1_dump_x",
+            "DB/1_dump_3_4",     // 4 fields
+            "DB/1_dump_3_2_2",   // part >= parts
+            "DB/1_dump_3_0_0",   // zero parts
+            "WAL/1_f_0",
+        ] {
+            assert!(DbObjectName::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn ordering_by_ts_first() {
+        let a = WalObjectName { ts: 1, file: "z".into(), offset: 0, len: 1 };
+        let b = WalObjectName { ts: 2, file: "a".into(), offset: 0, len: 1 };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_matches_to_name() {
+        let n = WalObjectName { ts: 3, file: "f".into(), offset: 1, len: 2 };
+        assert_eq!(format!("{n}"), n.to_name());
+        let d = DbObjectName { ts: 3, kind: DbObjectKind::Dump, size: 1, part: 0, parts: 1 };
+        assert_eq!(format!("{d}"), d.to_name());
+    }
+}

@@ -1,0 +1,427 @@
+//! The `CommitQueue` (§6): the bounded queue between the intercepted
+//! WAL writes and the upload pipeline, enforcing the Batch and Safety
+//! semantics of Algorithm 2.
+//!
+//! * capacity is **S** — "any attempt to put an element into a full
+//!   CommitQueue will block";
+//! * the aggregator takes up to **B** elements *without removing them* —
+//!   elements leave the queue only when the Unlocker learns their batch
+//!   (and every earlier batch) is durable in the cloud;
+//! * **TS**: a put also blocks when the oldest unconfirmed element has
+//!   been waiting longer than the safety timeout;
+//! * **TB**: a partial batch is released once the batch timeout elapses
+//!   since the last synchronization ended.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// One intercepted WAL write queued for upload.
+#[derive(Debug, Clone)]
+pub struct WalWrite {
+    /// WAL segment file path.
+    pub file: String,
+    /// Byte offset of the write.
+    pub offset: u64,
+    /// The written bytes.
+    pub data: Arc<[u8]>,
+}
+
+#[derive(Debug)]
+struct Item {
+    write: WalWrite,
+    enqueued_at: Instant,
+}
+
+#[derive(Debug)]
+struct State {
+    /// All unacknowledged items, oldest first. The first `len - unread`
+    /// have been handed to the aggregator; the last `unread` have not.
+    items: std::collections::VecDeque<Item>,
+    unread: usize,
+    last_sync_end: Instant,
+    /// When the aggregator last took a batch; the TB reference point is
+    /// the later of this and `last_sync_end`, so pipelined uploads do
+    /// not cause partial batches to be stripped off back-to-back.
+    last_take: Instant,
+    force_flush: bool,
+    closed: bool,
+}
+
+/// Outcome of [`CommitQueue::put`], reporting how long the caller (the
+/// DBMS) was blocked — the quantity Figure 5 ultimately measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// Time spent blocked on the Safety limit or timeout.
+    pub blocked_for: Duration,
+}
+
+/// See the module docs.
+///
+/// ```rust
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use ginja_core::queue::{CommitQueue, WalWrite};
+///
+/// let q = CommitQueue::new(2, 10, Duration::from_millis(50), Duration::from_secs(5));
+/// q.put(WalWrite { file: "seg".into(), offset: 0, data: Arc::from(&b"a"[..]) });
+/// q.put(WalWrite { file: "seg".into(), offset: 1, data: Arc::from(&b"b"[..]) });
+///
+/// let batch = q.take_batch().unwrap(); // B = 2 reached
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(q.len(), 2, "taking does not remove");
+/// q.ack_front(2); // ...acknowledgment does
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct CommitQueue {
+    state: Mutex<State>,
+    /// Signalled when head items are acknowledged (producers wait here).
+    not_full: Condvar,
+    /// Signalled when new items arrive or a flush is forced (the
+    /// aggregator waits here).
+    readable: Condvar,
+    batch: usize,
+    safety: usize,
+    batch_timeout: Duration,
+    safety_timeout: Duration,
+}
+
+impl CommitQueue {
+    /// Creates a queue with the given B/S/TB/TS parameters.
+    pub fn new(
+        batch: usize,
+        safety: usize,
+        batch_timeout: Duration,
+        safety_timeout: Duration,
+    ) -> Self {
+        assert!(batch >= 1 && safety >= batch, "validated by GinjaConfig");
+        CommitQueue {
+            state: Mutex::new(State {
+                items: std::collections::VecDeque::new(),
+                unread: 0,
+                last_sync_end: Instant::now(),
+                last_take: Instant::now(),
+                force_flush: false,
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            readable: Condvar::new(),
+            batch,
+            safety,
+            batch_timeout,
+            safety_timeout,
+        }
+    }
+
+    /// Enqueues a write, blocking while the Safety conditions are
+    /// violated. Returns how long the caller was blocked, or `None` if
+    /// the queue is closed (protection disabled; the write proceeds
+    /// unprotected).
+    pub fn put(&self, write: WalWrite) -> Option<PutOutcome> {
+        let start = Instant::now();
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return None;
+            }
+            let over_safety = state.items.len() >= self.safety;
+            let ts_expired = state
+                .items
+                .front()
+                .is_some_and(|item| item.enqueued_at.elapsed() >= self.safety_timeout);
+            if !over_safety && !ts_expired {
+                break;
+            }
+            // Blocked: wake the aggregator so pending data flushes, and
+            // wait for acknowledgments. Both conditions clear only when
+            // the head of the queue is acknowledged, so a plain wait
+            // (with a small timeout to re-check TS edges) suffices.
+            state.force_flush = true;
+            self.readable.notify_all();
+            self.not_full.wait_for(&mut state, Duration::from_millis(50));
+        }
+        state.items.push_back(Item { write, enqueued_at: Instant::now() });
+        state.unread += 1;
+        self.readable.notify_all();
+        Some(PutOutcome { blocked_for: start.elapsed() })
+    }
+
+    /// Takes the next batch for upload *without removing it from the
+    /// queue*: up to B items, released early on TB expiry, forced flush,
+    /// or shutdown. Returns `None` only when closed and fully drained.
+    pub fn take_batch(&self) -> Option<Vec<WalWrite>> {
+        let mut state = self.state.lock();
+        loop {
+            if state.unread >= self.batch || (state.unread > 0 && (state.force_flush || state.closed))
+            {
+                return Some(self.take_locked(&mut state));
+            }
+            if state.unread > 0 {
+                // Partial batch: release when TB elapses since the last
+                // completed synchronization (or the last batch taken,
+                // whichever is later).
+                let deadline = state.last_sync_end.max(state.last_take) + self.batch_timeout;
+                if Instant::now() >= deadline {
+                    return Some(self.take_locked(&mut state));
+                }
+                if self.readable.wait_until(&mut state, deadline).timed_out() {
+                    continue;
+                }
+            } else {
+                if state.closed {
+                    return None;
+                }
+                self.readable.wait_for(&mut state, Duration::from_millis(100));
+            }
+        }
+    }
+
+    fn take_locked(&self, state: &mut State) -> Vec<WalWrite> {
+        state.last_take = Instant::now();
+        let n = state.unread.min(self.batch);
+        let start = state.items.len() - state.unread;
+        let batch: Vec<WalWrite> =
+            state.items.iter().skip(start).take(n).map(|i| i.write.clone()).collect();
+        state.unread -= n;
+        if state.unread == 0 {
+            state.force_flush = false;
+        }
+        batch
+    }
+
+    /// Acknowledges the `n` oldest items as durable in the cloud: they
+    /// leave the queue, producers unblock, and the TB reference point
+    /// resets (the Unlocker's role in §6).
+    pub fn ack_front(&self, n: usize) {
+        let mut state = self.state.lock();
+        debug_assert!(n <= state.items.len() - state.unread, "acking unread items");
+        for _ in 0..n {
+            state.items.pop_front();
+        }
+        state.last_sync_end = Instant::now();
+        self.not_full.notify_all();
+        self.readable.notify_all();
+    }
+
+    /// Requests an immediate flush of any pending items (used by
+    /// `Ginja::sync`).
+    pub fn force_flush(&self) {
+        let mut state = self.state.lock();
+        if state.unread > 0 {
+            state.force_flush = true;
+            self.readable.notify_all();
+        }
+    }
+
+    /// Closes the queue: producers stop blocking (and stop enqueuing);
+    /// the aggregator drains what remains and then sees `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        self.not_full.notify_all();
+        self.readable.notify_all();
+    }
+
+    /// Number of unacknowledged items.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Whether no items are pending.
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().items.is_empty()
+    }
+
+    /// Number of items not yet handed to the aggregator.
+    pub fn unread(&self) -> usize {
+        self.state.lock().unread
+    }
+
+    /// Age of the oldest unacknowledged item — how long the most
+    /// exposed update has been waiting for cloud durability.
+    pub fn oldest_pending_age(&self) -> Option<Duration> {
+        self.state.lock().items.front().map(|item| item.enqueued_at.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn write(i: u64) -> WalWrite {
+        WalWrite { file: "seg".into(), offset: i * 10, data: Arc::from(&b"x"[..]) }
+    }
+
+    fn queue(b: usize, s: usize) -> CommitQueue {
+        CommitQueue::new(b, s, Duration::from_millis(50), Duration::from_secs(60))
+    }
+
+    #[test]
+    fn put_take_ack_cycle() {
+        let q = queue(2, 10);
+        q.put(write(1)).unwrap();
+        q.put(write(2)).unwrap();
+        let batch = q.take_batch().unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(q.len(), 2, "take must not remove items");
+        assert_eq!(q.unread(), 0);
+        q.ack_front(2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batch_size_limited_to_b() {
+        let q = queue(3, 100);
+        for i in 0..7 {
+            q.put(write(i)).unwrap();
+        }
+        assert_eq!(q.take_batch().unwrap().len(), 3);
+        assert_eq!(q.take_batch().unwrap().len(), 3);
+        // Remaining 1 item: released by TB timeout.
+        let t = Instant::now();
+        assert_eq!(q.take_batch().unwrap().len(), 1);
+        assert!(t.elapsed() >= Duration::from_millis(30), "partial batch must wait for TB");
+    }
+
+    #[test]
+    fn put_blocks_at_safety_until_ack() {
+        let q = Arc::new(queue(1, 2));
+        q.put(write(1)).unwrap();
+        q.put(write(2)).unwrap();
+
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || q2.put(write(3)).unwrap());
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!handle.is_finished(), "put must block at S=2");
+
+        let batch = q.take_batch().unwrap();
+        assert_eq!(batch.len(), 1);
+        q.ack_front(1);
+        let outcome = handle.join().unwrap();
+        assert!(outcome.blocked_for >= Duration::from_millis(50));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn safety_timeout_blocks_new_puts() {
+        let q = Arc::new(CommitQueue::new(
+            10, // B larger than what we enqueue: nothing flushes by count
+            100,
+            Duration::from_secs(60),
+            Duration::from_millis(40), // TS
+        ));
+        q.put(write(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        // TS expired for item 1: the next put must block until ack.
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || q2.put(write(2)).unwrap());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!handle.is_finished(), "put must block on TS expiry");
+        // Blocking also force-flushes: the aggregator gets the partial batch.
+        let batch = q.take_batch().unwrap();
+        assert_eq!(batch.len(), 1);
+        q.ack_front(1);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn tb_timeout_releases_partial_batch() {
+        let q = CommitQueue::new(100, 1000, Duration::from_millis(40), Duration::from_secs(60));
+        q.put(write(1)).unwrap();
+        let t = Instant::now();
+        let batch = q.take_batch().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(t.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn force_flush_releases_immediately() {
+        let q = Arc::new(CommitQueue::new(
+            100,
+            1000,
+            Duration::from_secs(60),
+            Duration::from_secs(60),
+        ));
+        q.put(write(1)).unwrap();
+        q.force_flush();
+        let t = Instant::now();
+        let batch = q.take_batch().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(t.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn close_unblocks_producer_and_drains_consumer() {
+        let q = Arc::new(queue(1, 1));
+        q.put(write(1)).unwrap();
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || q2.put(write(2)));
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert_eq!(producer.join().unwrap(), None, "closed queue returns None");
+        // Consumer drains the remaining item, then sees None.
+        assert_eq!(q.take_batch().unwrap().len(), 1);
+        q.ack_front(1);
+        assert!(q.take_batch().is_none());
+    }
+
+    #[test]
+    fn take_batch_blocks_until_data() {
+        let q = Arc::new(queue(1, 10));
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || q2.take_batch());
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!consumer.is_finished());
+        q.put(write(1)).unwrap();
+        let batch = consumer.join().unwrap().unwrap();
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn oldest_pending_age_tracks_head() {
+        let q = queue(2, 10);
+        assert!(q.oldest_pending_age().is_none());
+        q.put(write(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(q.oldest_pending_age().unwrap() >= Duration::from_millis(15));
+        q.put(write(2)).unwrap();
+        let _ = q.take_batch().unwrap();
+        q.ack_front(2);
+        assert!(q.oldest_pending_age().is_none());
+    }
+
+    #[test]
+    fn items_delivered_in_order_across_batches() {
+        let q = queue(2, 100);
+        for i in 0..6 {
+            q.put(write(i)).unwrap();
+        }
+        let mut offsets = Vec::new();
+        for _ in 0..3 {
+            for w in q.take_batch().unwrap() {
+                offsets.push(w.offset);
+            }
+            q.ack_front(2);
+        }
+        assert_eq!(offsets, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn no_loss_configuration_b1_s1() {
+        // B = S = 1: every put blocks until the previous one is acked.
+        let q = Arc::new(queue(1, 1));
+        q.put(write(1)).unwrap();
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            q2.put(write(2)).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!h.is_finished());
+        assert_eq!(q.take_batch().unwrap().len(), 1);
+        q.ack_front(1);
+        h.join().unwrap();
+    }
+}

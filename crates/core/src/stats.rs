@@ -1,0 +1,144 @@
+//! Runtime statistics of the middleware — blocking time, uploads,
+//! object sizes. These counters feed the Table 3/4 experiments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared atomic counters updated by every pipeline stage.
+#[derive(Debug, Default)]
+pub struct GinjaStats {
+    pub(crate) updates_intercepted: AtomicU64,
+    pub(crate) updates_blocked: AtomicU64,
+    pub(crate) blocked_micros: AtomicU64,
+    pub(crate) batches_formed: AtomicU64,
+    pub(crate) wal_objects_uploaded: AtomicU64,
+    pub(crate) wal_bytes_raw: AtomicU64,
+    pub(crate) wal_bytes_sealed: AtomicU64,
+    pub(crate) db_objects_uploaded: AtomicU64,
+    pub(crate) db_bytes_raw: AtomicU64,
+    pub(crate) db_bytes_sealed: AtomicU64,
+    pub(crate) checkpoints_seen: AtomicU64,
+    pub(crate) dumps_uploaded: AtomicU64,
+    pub(crate) gc_deletes: AtomicU64,
+    pub(crate) upload_retries: AtomicU64,
+    pub(crate) seal_micros: AtomicU64,
+}
+
+impl GinjaStats {
+    pub(crate) fn add_blocked(&self, blocked: Duration) {
+        if !blocked.is_zero() {
+            self.updates_blocked.fetch_add(1, Ordering::Relaxed);
+            self.blocked_micros.fetch_add(blocked.as_micros() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> GinjaStatsSnapshot {
+        GinjaStatsSnapshot {
+            updates_intercepted: self.updates_intercepted.load(Ordering::Relaxed),
+            updates_blocked: self.updates_blocked.load(Ordering::Relaxed),
+            blocked_time: Duration::from_micros(self.blocked_micros.load(Ordering::Relaxed)),
+            batches_formed: self.batches_formed.load(Ordering::Relaxed),
+            wal_objects_uploaded: self.wal_objects_uploaded.load(Ordering::Relaxed),
+            wal_bytes_raw: self.wal_bytes_raw.load(Ordering::Relaxed),
+            wal_bytes_sealed: self.wal_bytes_sealed.load(Ordering::Relaxed),
+            db_objects_uploaded: self.db_objects_uploaded.load(Ordering::Relaxed),
+            db_bytes_raw: self.db_bytes_raw.load(Ordering::Relaxed),
+            db_bytes_sealed: self.db_bytes_sealed.load(Ordering::Relaxed),
+            checkpoints_seen: self.checkpoints_seen.load(Ordering::Relaxed),
+            dumps_uploaded: self.dumps_uploaded.load(Ordering::Relaxed),
+            gc_deletes: self.gc_deletes.load(Ordering::Relaxed),
+            upload_retries: self.upload_retries.load(Ordering::Relaxed),
+            seal_time: Duration::from_micros(self.seal_micros.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of [`GinjaStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GinjaStatsSnapshot {
+    /// WAL writes intercepted (Ginja's unit of "database update").
+    pub updates_intercepted: u64,
+    /// Updates whose `put` blocked on Safety.
+    pub updates_blocked: u64,
+    /// Total time the DBMS spent blocked on Safety.
+    pub blocked_time: Duration,
+    /// Batches handed to the uploaders.
+    pub batches_formed: u64,
+    /// WAL objects successfully uploaded.
+    pub wal_objects_uploaded: u64,
+    /// Raw (pre-seal) WAL bytes.
+    pub wal_bytes_raw: u64,
+    /// Sealed (post-compression/encryption) WAL bytes uploaded.
+    pub wal_bytes_sealed: u64,
+    /// DB object parts successfully uploaded.
+    pub db_objects_uploaded: u64,
+    /// Raw DB bundle bytes.
+    pub db_bytes_raw: u64,
+    /// Sealed DB bytes uploaded.
+    pub db_bytes_sealed: u64,
+    /// DBMS checkpoints observed (begin→end pairs).
+    pub checkpoints_seen: u64,
+    /// Full dumps uploaded (initial boot dump included).
+    pub dumps_uploaded: u64,
+    /// Cloud DELETE operations issued by garbage collection.
+    pub gc_deletes: u64,
+    /// Upload attempts that failed and were retried.
+    pub upload_retries: u64,
+    /// CPU-ish time spent sealing objects (compression + encryption +
+    /// MAC) — the codec contribution to Table 4's CPU overhead.
+    pub seal_time: Duration,
+}
+
+impl GinjaStatsSnapshot {
+    /// Mean sealed WAL object size, or 0 with no uploads.
+    pub fn avg_wal_object_size(&self) -> u64 {
+        self.wal_bytes_sealed.checked_div(self.wal_objects_uploaded).unwrap_or(0)
+    }
+
+    /// Compression+encryption ratio achieved on WAL data (raw/sealed).
+    pub fn wal_seal_ratio(&self) -> f64 {
+        if self.wal_bytes_sealed == 0 {
+            1.0
+        } else {
+            self.wal_bytes_raw as f64 / self.wal_bytes_sealed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let stats = GinjaStats::default();
+        stats.updates_intercepted.store(10, Ordering::Relaxed);
+        stats.wal_objects_uploaded.store(2, Ordering::Relaxed);
+        stats.wal_bytes_sealed.store(300, Ordering::Relaxed);
+        stats.wal_bytes_raw.store(600, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert_eq!(snap.updates_intercepted, 10);
+        assert_eq!(snap.avg_wal_object_size(), 150);
+        assert!((snap.wal_seal_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_accounting() {
+        let stats = GinjaStats::default();
+        stats.add_blocked(Duration::ZERO);
+        assert_eq!(stats.snapshot().updates_blocked, 0);
+        stats.add_blocked(Duration::from_millis(5));
+        stats.add_blocked(Duration::from_millis(7));
+        let snap = stats.snapshot();
+        assert_eq!(snap.updates_blocked, 2);
+        assert_eq!(snap.blocked_time, Duration::from_millis(12));
+    }
+
+    #[test]
+    fn empty_snapshot_ratios_are_neutral() {
+        let snap = GinjaStats::default().snapshot();
+        assert_eq!(snap.avg_wal_object_size(), 0);
+        assert!((snap.wal_seal_ratio() - 1.0).abs() < 1e-9);
+    }
+}

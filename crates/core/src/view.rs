@@ -1,0 +1,580 @@
+//! `cloudView` — Ginja's client-side map of what is stored remotely.
+//!
+//! Because storage clouds expose no server-side logic, "we have to
+//! implement all DR control at the primary side" (§5): the view tracks
+//! every WAL and DB object believed durable, allocates WAL timestamps,
+//! and answers the queries that the recovery and garbage-collection
+//! algorithms need.
+
+use std::collections::BTreeMap;
+
+use crate::names::{DbObjectKind, DbObjectName, WalObjectName};
+use crate::GinjaError;
+
+/// A DB object (all of its parts) as tracked by the view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbEntry {
+    /// Dump or incremental checkpoint.
+    pub kind: DbObjectKind,
+    /// Total uncompressed bundle size (the `size` field of the names).
+    pub size: u64,
+    /// All part names, in part order.
+    pub parts: Vec<DbObjectName>,
+}
+
+impl DbEntry {
+    /// Whether every declared part is present.
+    pub fn is_complete(&self) -> bool {
+        let declared = self.parts.first().map_or(0, |p| p.parts as usize);
+        self.parts.len() == declared
+            && self.parts.iter().enumerate().all(|(i, p)| p.part as usize == i)
+    }
+}
+
+/// The client-side inventory of cloud objects.
+///
+/// ```rust
+/// use ginja_core::CloudView;
+///
+/// # fn main() -> Result<(), ginja_core::GinjaError> {
+/// let view = CloudView::from_listing([
+///     "DB/0_dump_1000",
+///     "WAL/1_pg_xlog/0001_0_8192",
+///     "WAL/2_pg_xlog/0001_8192_8192",
+/// ])?;
+/// assert_eq!(view.last_wal_ts(), 2);
+/// assert_eq!(view.most_recent_dump().unwrap().0, 0);
+/// assert_eq!(view.contiguous_wal_after(0).len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CloudView {
+    wal: BTreeMap<u64, WalObjectName>,
+    db: BTreeMap<u64, DbEntry>,
+    next_wal_ts: u64,
+}
+
+impl CloudView {
+    /// An empty view; WAL timestamps start at 1 (timestamp 0 is reserved
+    /// for the initial boot dump, so that "WAL objects newer than the
+    /// dump" covers every boot-time segment).
+    pub fn new() -> Self {
+        CloudView { wal: BTreeMap::new(), db: BTreeMap::new(), next_wal_ts: 1 }
+    }
+
+    /// Rebuilds a view from a cloud listing (Reboot/Recovery modes,
+    /// Algorithm 1). Unknown names are rejected — a foreign object in
+    /// the bucket is a configuration error worth surfacing.
+    ///
+    /// # Errors
+    ///
+    /// [`GinjaError::BadObjectName`] for unparseable names.
+    pub fn from_listing<I, S>(names: I) -> Result<Self, GinjaError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut view = CloudView::new();
+        for name in names {
+            let name = name.as_ref();
+            if name.starts_with(crate::names::WAL_PREFIX) {
+                view.add_wal(WalObjectName::parse(name)?);
+            } else if name.starts_with(crate::names::DB_PREFIX) {
+                view.add_db_part(DbObjectName::parse(name)?);
+            } else {
+                return Err(GinjaError::BadObjectName(name.to_string()));
+            }
+        }
+        Ok(view)
+    }
+
+    /// Allocates the next WAL timestamp (strictly increasing).
+    pub fn alloc_wal_ts(&mut self) -> u64 {
+        let ts = self.next_wal_ts;
+        self.next_wal_ts += 1;
+        ts
+    }
+
+    /// Records a WAL object as durable.
+    pub fn add_wal(&mut self, name: WalObjectName) {
+        self.next_wal_ts = self.next_wal_ts.max(name.ts + 1);
+        self.wal.insert(name.ts, name);
+    }
+
+    /// Records one DB object part as durable.
+    ///
+    /// Multiple *generations* of DB objects can share a timestamp: when
+    /// two checkpoints collide on a watermark, the later upload merges
+    /// the earlier one's entries (a strict superset) and the earlier
+    /// object becomes garbage — which survives in the cloud if its
+    /// DELETE fails. Generations are therefore totally ordered (a dump
+    /// supersedes a checkpoint; within a kind, larger supersedes
+    /// smaller), and the view keeps only the winning generation.
+    pub fn add_db_part(&mut self, name: DbObjectName) {
+        match self.db.entry(name.ts) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(DbEntry {
+                    kind: name.kind,
+                    size: name.size,
+                    parts: vec![name],
+                });
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                let entry = slot.get_mut();
+                if entry.kind == name.kind && entry.size == name.size {
+                    // Another part of the same generation.
+                    if !entry.parts.iter().any(|p| p.part == name.part) {
+                        entry.parts.push(name);
+                        entry.parts.sort_by_key(|p| p.part);
+                    }
+                    return;
+                }
+                let new_wins = match (name.kind, entry.kind) {
+                    (DbObjectKind::Dump, DbObjectKind::Checkpoint) => true,
+                    (DbObjectKind::Checkpoint, DbObjectKind::Dump) => false,
+                    _ => name.size > entry.size,
+                };
+                if new_wins {
+                    *entry = DbEntry { kind: name.kind, size: name.size, parts: vec![name] };
+                }
+                // A losing generation is stale garbage: not tracked (its
+                // cloud object lingers until a later dump GC misses it —
+                // a bounded cost leak, never a correctness issue).
+            }
+        }
+    }
+
+    /// Timestamp of the most recent durable WAL object (0 if none) —
+    /// `cloudView.getLastWALts()` in Algorithm 3.
+    pub fn last_wal_ts(&self) -> u64 {
+        self.wal.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Number of tracked WAL objects.
+    pub fn wal_count(&self) -> usize {
+        self.wal.len()
+    }
+
+    /// Number of tracked DB objects (entries, not parts).
+    pub fn db_count(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Total uncompressed size of all DB objects —
+    /// `cloudView.getTotalDBSize()` in Algorithm 3 (drives the 150 %
+    /// dump rule).
+    pub fn total_db_size(&self) -> u64 {
+        self.db.values().map(|e| e.size).sum()
+    }
+
+    /// Total raw size of all live WAL objects (cost accounting).
+    pub fn total_wal_bytes(&self) -> u64 {
+        self.wal.values().map(|w| w.len).sum()
+    }
+
+    /// The most recent complete dump, if any.
+    pub fn most_recent_dump(&self) -> Option<(u64, &DbEntry)> {
+        self.db
+            .iter()
+            .rev()
+            .find(|(_, e)| e.kind == DbObjectKind::Dump && e.is_complete())
+            .map(|(ts, e)| (*ts, e))
+    }
+
+    /// Complete incremental checkpoints with `ts > after`, ascending.
+    pub fn checkpoints_after(&self, after: u64) -> Vec<(u64, &DbEntry)> {
+        self.db
+            .range(after + 1..)
+            .filter(|(_, e)| e.kind == DbObjectKind::Checkpoint && e.is_complete())
+            .map(|(ts, e)| (*ts, e))
+            .collect()
+    }
+
+    /// WAL objects with consecutive timestamps starting at `after + 1` —
+    /// the paper's §5.3 gap-free prefix. Recovery no longer requires
+    /// contiguity (see `recovery`'s module docs), but the prefix remains
+    /// a useful diagnostic: its length is the number of objects whose
+    /// durability is beyond doubt from names alone.
+    #[allow(clippy::explicit_counter_loop)]
+    pub fn contiguous_wal_after(&self, after: u64) -> Vec<&WalObjectName> {
+        let mut out = Vec::new();
+        let mut expected = after + 1;
+        for (ts, name) in self.wal.range(after + 1..) {
+            if *ts != expected {
+                break;
+            }
+            out.push(name);
+            expected += 1;
+        }
+        out
+    }
+
+    /// Removes (and returns) all WAL objects with `ts <= upto` — the
+    /// garbage collection of Algorithm 3 lines 23–25.
+    pub fn remove_wal_up_to(&mut self, upto: u64) -> Vec<WalObjectName> {
+        let keep = self.wal.split_off(&(upto + 1));
+        let removed = std::mem::replace(&mut self.wal, keep);
+        removed.into_values().collect()
+    }
+
+    /// Removes (and returns) every WAL object with `ts <= upto` whose
+    /// byte range is fully covered by the union of objects with
+    /// `ts > upto` — the safe garbage collection for DBMSs with *fuzzy*
+    /// checkpoints.
+    ///
+    /// Algorithm 3 deletes WAL objects up to the checkpoint's timestamp,
+    /// which is only sound when a checkpoint flushes **every** dirty
+    /// page (PostgreSQL). InnoDB's fuzzy checkpoints flush small batches,
+    /// so records on still-dirty pages live *only* in WAL objects the
+    /// paper's rule would delete. The file-system-level signal that log
+    /// space is truly reclaimable is the DBMS **rewriting** it (circular
+    /// log reuse, tail-page rewrites): an object whose entire range was
+    /// rewritten by surviving newer objects contributes nothing to the
+    /// rebuild (recovery applies objects in timestamp order, so the
+    /// survivors' bytes win anyway). Never-rewritten regions — the log
+    /// file headers uploaded at Boot — are retained, as they must be.
+    pub fn remove_covered_wal(&mut self, upto: u64) -> Vec<WalObjectName> {
+        // Union of survivor ranges, per file: sorted, merged intervals.
+        let mut survivors: BTreeMap<&str, Vec<(u64, u64)>> = BTreeMap::new();
+        for name in self.wal.range(upto + 1..).map(|(_, n)| n) {
+            survivors.entry(name.file.as_str()).or_default().push((name.offset, name.end()));
+        }
+        for intervals in survivors.values_mut() {
+            intervals.sort_unstable();
+            let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+            for &(start, end) in intervals.iter() {
+                match merged.last_mut() {
+                    Some(last) if start <= last.1 => last.1 = last.1.max(end),
+                    _ => merged.push((start, end)),
+                }
+            }
+            *intervals = merged;
+        }
+        let covered = |name: &WalObjectName| -> bool {
+            let Some(intervals) = survivors.get(name.file.as_str()) else { return false };
+            // Merged intervals: containment must be within a single one.
+            intervals
+                .iter()
+                .any(|&(start, end)| start <= name.offset && end >= name.end())
+        };
+
+        let victims: Vec<u64> = self
+            .wal
+            .range(..=upto)
+            .filter(|(_, name)| covered(name))
+            .map(|(ts, _)| *ts)
+            .collect();
+        victims
+            .into_iter()
+            .filter_map(|ts| self.wal.remove(&ts))
+            .collect()
+    }
+
+    /// Removes (and returns the part names of) all DB objects with
+    /// `ts < before` — Algorithm 3 lines 26–29 (after a dump upload).
+    pub fn remove_db_before(&mut self, before: u64) -> Vec<DbObjectName> {
+        let keep = self.db.split_off(&before);
+        let removed = std::mem::replace(&mut self.db, keep);
+        removed.into_values().flat_map(|e| e.parts).collect()
+    }
+
+    /// Timestamps of all complete dumps, ascending (PITR bookkeeping).
+    pub fn dump_timestamps(&self) -> Vec<u64> {
+        self.db
+            .iter()
+            .filter(|(_, e)| e.kind == DbObjectKind::Dump && e.is_complete())
+            .map(|(ts, _)| *ts)
+            .collect()
+    }
+
+    /// All DB entries, ascending by ts.
+    pub fn db_entries(
+        &self,
+    ) -> impl DoubleEndedIterator<Item = (u64, &DbEntry)> {
+        self.db.iter().map(|(ts, e)| (*ts, e))
+    }
+
+    /// The DB entry at exactly `ts`, if any.
+    pub fn db_entry(&self, ts: u64) -> Option<&DbEntry> {
+        self.db.get(&ts)
+    }
+
+    /// Removes the DB entry at exactly `ts`, returning its part names.
+    pub fn remove_db_at(&mut self, ts: u64) -> Vec<DbObjectName> {
+        self.db.remove(&ts).map(|e| e.parts).unwrap_or_default()
+    }
+
+    /// All WAL object names, ascending by ts.
+    pub fn wal_entries(&self) -> impl Iterator<Item = &WalObjectName> {
+        self.wal.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wal(ts: u64) -> WalObjectName {
+        WalObjectName { ts, file: format!("seg{}", ts / 10), offset: ts * 100, len: 100 }
+    }
+
+    fn db(ts: u64, kind: DbObjectKind, size: u64) -> DbObjectName {
+        DbObjectName { ts, kind, size, part: 0, parts: 1 }
+    }
+
+    #[test]
+    fn ts_allocation_is_sequential_and_respects_listing() {
+        let mut v = CloudView::new();
+        assert_eq!(v.alloc_wal_ts(), 1);
+        assert_eq!(v.alloc_wal_ts(), 2);
+        v.add_wal(wal(10));
+        assert_eq!(v.alloc_wal_ts(), 11);
+    }
+
+    #[test]
+    fn last_wal_ts_empty_is_zero() {
+        assert_eq!(CloudView::new().last_wal_ts(), 0);
+    }
+
+    #[test]
+    fn from_listing_roundtrip() {
+        let names = vec![
+            "WAL/1_pg_xlog/0001_0_8192".to_string(),
+            "WAL/2_pg_xlog/0001_8192_8192".to_string(),
+            "DB/0_dump_1000".to_string(),
+            "DB/2_checkpoint_300".to_string(),
+        ];
+        let v = CloudView::from_listing(&names).unwrap();
+        assert_eq!(v.wal_count(), 2);
+        assert_eq!(v.db_count(), 2);
+        assert_eq!(v.last_wal_ts(), 2);
+        assert_eq!(v.total_db_size(), 1300);
+        assert_eq!(v.most_recent_dump().unwrap().0, 0);
+    }
+
+    #[test]
+    fn from_listing_rejects_foreign_objects() {
+        assert!(CloudView::from_listing(["somebody-elses-file"]).is_err());
+    }
+
+    #[test]
+    fn contiguous_wal_stops_at_gap() {
+        let mut v = CloudView::new();
+        for ts in [1, 2, 3, 5, 6] {
+            v.add_wal(wal(ts));
+        }
+        let got: Vec<u64> = v.contiguous_wal_after(0).iter().map(|w| w.ts).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+        let got: Vec<u64> = v.contiguous_wal_after(4).iter().map(|w| w.ts).collect();
+        assert_eq!(got, vec![5, 6]);
+        assert!(v.contiguous_wal_after(10).is_empty());
+    }
+
+    #[test]
+    fn contiguous_requires_immediate_successor() {
+        let mut v = CloudView::new();
+        v.add_wal(wal(5));
+        // After ts 2, the first existing object is 5: a gap → nothing.
+        assert!(v.contiguous_wal_after(2).is_empty());
+    }
+
+    #[test]
+    fn gc_wal_up_to() {
+        let mut v = CloudView::new();
+        for ts in 1..=10 {
+            v.add_wal(wal(ts));
+        }
+        let removed = v.remove_wal_up_to(4);
+        assert_eq!(removed.len(), 4);
+        assert_eq!(v.wal_count(), 6);
+        assert_eq!(v.contiguous_wal_after(4).len(), 6);
+    }
+
+    #[test]
+    fn gc_db_before() {
+        let mut v = CloudView::new();
+        v.add_db_part(db(0, DbObjectKind::Dump, 100));
+        v.add_db_part(db(3, DbObjectKind::Checkpoint, 10));
+        v.add_db_part(db(7, DbObjectKind::Dump, 120));
+        let removed = v.remove_db_before(7);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(v.db_count(), 1);
+        assert_eq!(v.most_recent_dump().unwrap().0, 7);
+    }
+
+    #[test]
+    fn checkpoints_after_filters_and_sorts() {
+        let mut v = CloudView::new();
+        v.add_db_part(db(0, DbObjectKind::Dump, 100));
+        v.add_db_part(db(2, DbObjectKind::Checkpoint, 10));
+        v.add_db_part(db(5, DbObjectKind::Checkpoint, 20));
+        let got: Vec<u64> = v.checkpoints_after(0).iter().map(|(ts, _)| *ts).collect();
+        assert_eq!(got, vec![2, 5]);
+        let got: Vec<u64> = v.checkpoints_after(2).iter().map(|(ts, _)| *ts).collect();
+        assert_eq!(got, vec![5]);
+    }
+
+    #[test]
+    fn incomplete_multi_part_objects_not_used() {
+        let mut v = CloudView::new();
+        // A 3-part dump with only 2 parts present must not be chosen.
+        v.add_db_part(DbObjectName { ts: 4, kind: DbObjectKind::Dump, size: 100, part: 0, parts: 3 });
+        v.add_db_part(DbObjectName { ts: 4, kind: DbObjectKind::Dump, size: 100, part: 2, parts: 3 });
+        assert!(v.most_recent_dump().is_none());
+        v.add_db_part(DbObjectName { ts: 4, kind: DbObjectKind::Dump, size: 100, part: 1, parts: 3 });
+        assert_eq!(v.most_recent_dump().unwrap().0, 4);
+    }
+
+    fn wal_range(ts: u64, file: &str, offset: u64, len: u64) -> WalObjectName {
+        WalObjectName { ts, file: file.into(), offset, len }
+    }
+
+    #[test]
+    fn wal_bytes_accounted() {
+        let mut v = CloudView::new();
+        v.add_wal(wal_range(1, "log", 0, 100));
+        v.add_wal(wal_range(2, "log", 100, 50));
+        assert_eq!(v.total_wal_bytes(), 150);
+        v.remove_wal_up_to(1);
+        assert_eq!(v.total_wal_bytes(), 50);
+    }
+
+    #[test]
+    fn covered_gc_keeps_unrewritten_regions() {
+        let mut v = CloudView::new();
+        v.add_wal(wal_range(1, "log", 0, 100));
+        v.add_wal(wal_range(2, "log", 100, 100));
+        assert!(v.remove_covered_wal(2).is_empty(), "disjoint ranges cover nothing");
+        assert_eq!(v.wal_count(), 2);
+    }
+
+    #[test]
+    fn covered_gc_removes_rewritten_objects() {
+        let mut v = CloudView::new();
+        // The tail-rewrite pattern: each object re-covers the previous.
+        v.add_wal(wal_range(1, "log", 0, 100));
+        v.add_wal(wal_range(2, "log", 0, 200));
+        v.add_wal(wal_range(3, "log", 0, 300));
+        let removed = v.remove_covered_wal(2);
+        let ts: Vec<u64> = removed.iter().map(|w| w.ts).collect();
+        assert_eq!(ts, vec![1, 2]);
+        assert_eq!(v.wal_count(), 1);
+    }
+
+    #[test]
+    fn covered_gc_union_of_survivors_counts() {
+        let mut v = CloudView::new();
+        // Object 1 covers [0, 200); survivors 2 and 3 cover [0,100) and
+        // [100,200) — only their union covers object 1.
+        v.add_wal(wal_range(1, "log", 0, 200));
+        v.add_wal(wal_range(2, "log", 0, 100));
+        v.add_wal(wal_range(3, "log", 100, 100));
+        let removed = v.remove_covered_wal(1);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].ts, 1);
+    }
+
+    #[test]
+    fn covered_gc_gap_in_survivors_blocks() {
+        let mut v = CloudView::new();
+        v.add_wal(wal_range(1, "log", 0, 200));
+        v.add_wal(wal_range(2, "log", 0, 90));
+        v.add_wal(wal_range(3, "log", 110, 90)); // hole [90,110)
+        assert!(v.remove_covered_wal(1).is_empty());
+    }
+
+    #[test]
+    fn covered_gc_respects_files_and_upto() {
+        let mut v = CloudView::new();
+        v.add_wal(wal_range(1, "log0", 0, 100));
+        v.add_wal(wal_range(2, "log1", 0, 100)); // other file: no cover
+        v.add_wal(wal_range(3, "log0", 0, 100));
+        // upto = 0: nothing is a candidate even though 1 is covered.
+        assert!(v.remove_covered_wal(0).is_empty());
+        let removed = v.remove_covered_wal(2);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].ts, 1);
+        // Object 2 survives: nothing newer covers log1.
+        assert!(v.wal_entries().any(|w| w.ts == 2));
+    }
+
+    #[test]
+    fn covered_gc_circular_wrap_pattern() {
+        let mut v = CloudView::new();
+        // A boot header object that is never rewritten, a first cycle,
+        // then a second cycle rewriting the record regions.
+        v.add_wal(wal_range(1, "ib_logfile0", 0, 2048)); // header: kept
+        v.add_wal(wal_range(2, "ib_logfile0", 2048, 1024));
+        v.add_wal(wal_range(3, "ib_logfile1", 2048, 1024));
+        v.add_wal(wal_range(4, "ib_logfile0", 2048, 1024));
+        v.add_wal(wal_range(5, "ib_logfile1", 2048, 1024));
+        let removed = v.remove_covered_wal(3);
+        let ts: Vec<u64> = removed.iter().map(|w| w.ts).collect();
+        assert_eq!(ts, vec![2, 3], "the first cycle is reclaimable, the header is not");
+        assert!(v.wal_entries().any(|w| w.ts == 1));
+    }
+
+    #[test]
+    fn colliding_generations_keep_the_superset() {
+        // Two generations at ts 5 (a merge whose replaced object's
+        // DELETE failed): the larger checkpoint must win, in any
+        // listing order.
+        let old_gen = DbObjectName {
+            ts: 5,
+            kind: DbObjectKind::Checkpoint,
+            size: 100,
+            part: 0,
+            parts: 1,
+        };
+        let new_gen = DbObjectName {
+            ts: 5,
+            kind: DbObjectKind::Checkpoint,
+            size: 260,
+            part: 0,
+            parts: 1,
+        };
+        for order in [[&old_gen, &new_gen], [&new_gen, &old_gen]] {
+            let mut v = CloudView::new();
+            for part in order {
+                v.add_db_part(part.clone());
+            }
+            let entry = v.db_entry(5).unwrap();
+            assert_eq!(entry.size, 260);
+            assert!(entry.is_complete());
+        }
+    }
+
+    #[test]
+    fn dump_generation_beats_checkpoint() {
+        let ckpt =
+            DbObjectName { ts: 5, kind: DbObjectKind::Checkpoint, size: 999, part: 0, parts: 1 };
+        let dump = DbObjectName { ts: 5, kind: DbObjectKind::Dump, size: 500, part: 0, parts: 1 };
+        for order in [[&ckpt, &dump], [&dump, &ckpt]] {
+            let mut v = CloudView::new();
+            for part in order {
+                v.add_db_part(part.clone());
+            }
+            assert_eq!(v.db_entry(5).unwrap().kind, DbObjectKind::Dump);
+            assert_eq!(v.db_entry(5).unwrap().size, 500);
+        }
+    }
+
+    #[test]
+    fn duplicate_part_ignored() {
+        let part = DbObjectName { ts: 2, kind: DbObjectKind::Dump, size: 10, part: 0, parts: 2 };
+        let mut v = CloudView::new();
+        v.add_db_part(part.clone());
+        v.add_db_part(part.clone());
+        assert_eq!(v.db_entry(2).unwrap().parts.len(), 1);
+    }
+
+    #[test]
+    fn dump_timestamps_ascending() {
+        let mut v = CloudView::new();
+        v.add_db_part(db(0, DbObjectKind::Dump, 1));
+        v.add_db_part(db(9, DbObjectKind::Dump, 1));
+        v.add_db_part(db(4, DbObjectKind::Checkpoint, 1));
+        assert_eq!(v.dump_timestamps(), vec![0, 9]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Edge-case integration tests for the middleware: degraded cloud
+//! states, ablation modes, and recovery fallbacks.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ginja_cloud::{MemStore, ObjectStore};
+use ginja_core::{recover_into, Ginja, GinjaConfig, GinjaError};
+use ginja_db::{Database, DbProfile};
+use ginja_vfs::{FileSystem, InterceptFs, MemFs, PostgresProcessor};
+
+fn config() -> GinjaConfig {
+    GinjaConfig::builder()
+        .batch(4)
+        .safety(64)
+        .batch_timeout(Duration::from_millis(20))
+        .build()
+        .unwrap()
+}
+
+fn protect(config: GinjaConfig) -> (Database, Ginja, Arc<MemStore>) {
+    let local = Arc::new(MemFs::new());
+    let profile = DbProfile::postgres_small();
+    let db = Database::create(local.clone(), profile.clone()).unwrap();
+    db.create_table(1, 64).unwrap();
+    drop(db);
+    let cloud = Arc::new(MemStore::new());
+    let ginja = Ginja::boot(
+        local.clone(),
+        cloud.clone(),
+        Arc::new(PostgresProcessor::new()),
+        config,
+    )
+    .unwrap();
+    let fs: Arc<dyn FileSystem> =
+        Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+    let db = Database::open(fs, DbProfile::postgres_small()).unwrap();
+    (db, ginja, cloud)
+}
+
+#[test]
+fn recovery_without_coalescing_matches() {
+    // Ablation mode must stay crash-correct: one object per write.
+    let config = GinjaConfig::builder()
+        .batch(4)
+        .safety(64)
+        .batch_timeout(Duration::from_millis(20))
+        .coalesce(false)
+        .build()
+        .unwrap();
+    let (db, ginja, cloud) = protect(config.clone());
+    for i in 0..50u64 {
+        db.put(1, i % 20, format!("v{i}").into_bytes()).unwrap();
+    }
+    assert!(ginja.sync(Duration::from_secs(20)));
+    // Without coalescing, objects ≈ intercepted updates.
+    let stats = ginja.stats();
+    assert!(
+        stats.wal_objects_uploaded >= stats.updates_intercepted,
+        "{} objects for {} updates",
+        stats.wal_objects_uploaded,
+        stats.updates_intercepted
+    );
+    ginja.shutdown();
+    drop(db);
+
+    let rebuilt = Arc::new(MemFs::new());
+    recover_into(rebuilt.as_ref(), cloud.as_ref(), &config).unwrap();
+    let db = Database::open(rebuilt, DbProfile::postgres_small()).unwrap();
+    for k in 0..20u64 {
+        let last = (0..50).filter(|i| i % 20 == k).max().unwrap();
+        assert_eq!(db.get(1, k).unwrap().unwrap(), format!("v{last}").into_bytes());
+    }
+}
+
+#[test]
+fn recovery_falls_back_when_newest_dump_is_incomplete() {
+    let (db, ginja, cloud) = protect(config());
+    for i in 0..20u64 {
+        db.put(1, i, format!("v{i}").into_bytes()).unwrap();
+    }
+    assert!(ginja.sync(Duration::from_secs(20)));
+    ginja.shutdown();
+    drop(db);
+
+    // Forge an incomplete multi-part dump newer than everything: the
+    // recovery must ignore it and use the boot dump.
+    cloud.put("DB/999_dump_1000_0_3", b"half-uploaded garbage").unwrap();
+    let rebuilt = Arc::new(MemFs::new());
+    let report = recover_into(rebuilt.as_ref(), cloud.as_ref(), &config()).unwrap();
+    assert_eq!(report.dump_ts, 0, "must fall back to the complete boot dump");
+    let db = Database::open(rebuilt, DbProfile::postgres_small()).unwrap();
+    assert_eq!(db.get(1, 5).unwrap().unwrap(), b"v5");
+}
+
+#[test]
+fn boot_rejects_non_empty_bucket() {
+    let cloud = Arc::new(MemStore::new());
+    cloud.put("WAL/1_old_0_5", b"history of another database").unwrap();
+    let err = Ginja::boot(
+        Arc::new(MemFs::new()),
+        cloud,
+        Arc::new(PostgresProcessor::new()),
+        config(),
+    )
+    .map(|g| g.shutdown())
+    .unwrap_err();
+    assert!(matches!(err, GinjaError::Config(_)), "{err}");
+}
+
+#[test]
+fn reboot_rejects_foreign_objects_in_bucket() {
+    let (db, ginja, cloud) = protect(config());
+    db.put(1, 1, b"x".to_vec()).unwrap();
+    assert!(ginja.sync(Duration::from_secs(20)));
+    ginja.shutdown();
+    drop(db);
+
+    cloud.put("somebody-elses-file.txt", b"???").unwrap();
+    let err = Ginja::reboot(
+        Arc::new(MemFs::new()),
+        cloud.clone(),
+        Arc::new(PostgresProcessor::new()),
+        config(),
+    )
+    .map(|g| g.shutdown())
+    .unwrap_err();
+    assert!(matches!(err, GinjaError::BadObjectName(_)));
+}
+
+#[test]
+fn sync_times_out_when_cloud_is_down() {
+    let local = Arc::new(MemFs::new());
+    let db = Database::create(local.clone(), DbProfile::postgres_small()).unwrap();
+    db.create_table(1, 64).unwrap();
+    drop(db);
+    let plan = Arc::new(ginja_cloud::FaultPlan::new());
+    let cloud = Arc::new(ginja_cloud::FaultStore::new(MemStore::new(), plan.clone()));
+    let ginja = Ginja::boot(
+        local.clone(),
+        cloud,
+        Arc::new(PostgresProcessor::new()),
+        config(),
+    )
+    .unwrap();
+    let fs: Arc<dyn FileSystem> =
+        Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+    let db = Database::open(fs, DbProfile::postgres_small()).unwrap();
+    plan.outage();
+    db.put(1, 1, b"stuck".to_vec()).unwrap();
+    assert!(!ginja.sync(Duration::from_millis(300)), "sync must report failure");
+    plan.restore();
+    assert!(ginja.sync(Duration::from_secs(20)));
+    ginja.shutdown();
+}
+
+#[test]
+fn shutdown_is_idempotent_and_disables_protection() {
+    let (db, ginja, _cloud) = protect(config());
+    db.put(1, 1, b"before".to_vec()).unwrap();
+    assert!(ginja.sync(Duration::from_secs(20)));
+    ginja.shutdown();
+    ginja.shutdown(); // second call must be a no-op
+
+    // Writes after shutdown proceed locally, unprotected and unblocked.
+    let before = ginja.stats().updates_intercepted;
+    db.put(1, 2, b"after-shutdown".to_vec()).unwrap();
+    assert_eq!(db.get(1, 2).unwrap().unwrap(), b"after-shutdown");
+    assert_eq!(ginja.stats().updates_intercepted, before);
+}
+
+#[test]
+fn erasure_coded_protection_survives_provider_loss() {
+    // DepSky-CA style: three providers, any two rebuild — 1.5× storage
+    // instead of replication's 3×.
+    let providers: Vec<Arc<MemStore>> = (0..3).map(|_| Arc::new(MemStore::new())).collect();
+    let cloud = Arc::new(ginja_cloud::ErasureStore::new(
+        providers.iter().map(|p| p.clone() as Arc<dyn ginja_cloud::ObjectStore>).collect(),
+        2,
+    ));
+
+    let local = Arc::new(MemFs::new());
+    let db = Database::create(local.clone(), DbProfile::postgres_small()).unwrap();
+    db.create_table(1, 64).unwrap();
+    drop(db);
+    let ginja = Ginja::boot(
+        local.clone(),
+        cloud.clone(),
+        Arc::new(PostgresProcessor::new()),
+        config(),
+    )
+    .unwrap();
+    let fs: Arc<dyn FileSystem> =
+        Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+    let db = Database::open(fs, DbProfile::postgres_small()).unwrap();
+    for i in 0..40u64 {
+        db.put(1, i, format!("shard-row-{i}").into_bytes()).unwrap();
+    }
+    assert!(ginja.sync(Duration::from_secs(20)));
+    ginja.shutdown();
+    drop(db);
+
+    // One provider is wiped entirely; recovery still works through the
+    // erasure layer.
+    providers[0].clear();
+    let rebuilt = Arc::new(MemFs::new());
+    recover_into(rebuilt.as_ref(), cloud.as_ref(), &config()).unwrap();
+    let db = Database::open(rebuilt, DbProfile::postgres_small()).unwrap();
+    for i in 0..40u64 {
+        assert_eq!(db.get(1, i).unwrap().unwrap(), format!("shard-row-{i}").into_bytes());
+    }
+
+    // Storage check: the three providers together hold ~1.5× the
+    // logical bytes, not 3×.
+    let logical: u64 = {
+        let names = cloud.list("").unwrap();
+        names.iter().map(|n| cloud.get(n).unwrap().len() as u64).sum()
+    };
+    let physical: u64 = providers.iter().map(|p| p.total_bytes()).sum();
+    assert!(physical < logical * 2, "physical {physical} vs logical {logical}");
+}
+
+#[test]
+fn exposure_reports_pending_risk() {
+    let local = Arc::new(MemFs::new());
+    let db = Database::create(local.clone(), DbProfile::postgres_small()).unwrap();
+    db.create_table(1, 64).unwrap();
+    drop(db);
+    let plan = Arc::new(ginja_cloud::FaultPlan::new());
+    let cloud = Arc::new(ginja_cloud::FaultStore::new(MemStore::new(), plan.clone()));
+    let ginja = Ginja::boot(
+        local.clone(),
+        cloud,
+        Arc::new(PostgresProcessor::new()),
+        GinjaConfig::builder()
+            .batch(1)
+            .safety(16)
+            .batch_timeout(Duration::from_millis(10))
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let fs: Arc<dyn FileSystem> =
+        Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+    let db = Database::open(fs, DbProfile::postgres_small()).unwrap();
+
+    // Idle: nothing exposed.
+    assert_eq!(ginja.exposure().updates, 0);
+    assert!(ginja.exposure().oldest_age.is_none());
+
+    // Cloud down: exposure accumulates up to S.
+    plan.outage();
+    for i in 0..10 {
+        db.put(1, i, b"x".to_vec()).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let exposure = ginja.exposure();
+    assert!(exposure.updates >= 10, "{exposure:?}");
+    assert!(exposure.oldest_age.unwrap() >= Duration::from_millis(40));
+
+    // Cloud back: exposure drains to zero.
+    plan.restore();
+    assert!(ginja.sync(Duration::from_secs(20)));
+    assert_eq!(ginja.exposure().updates, 0);
+    ginja.shutdown();
+}
+
+#[test]
+fn empty_database_boot_and_recover() {
+    // Protect a database with no tables at all.
+    let (db, ginja, cloud) = protect(config());
+    drop(db);
+    assert!(ginja.sync(Duration::from_secs(5)));
+    ginja.shutdown();
+
+    let rebuilt = Arc::new(MemFs::new());
+    recover_into(rebuilt.as_ref(), cloud.as_ref(), &config()).unwrap();
+    let db = Database::open(rebuilt, DbProfile::postgres_small()).unwrap();
+    assert!(matches!(db.get(99, 0), Err(ginja_db::DbError::TableMissing(99))));
+}

@@ -1,0 +1,97 @@
+//! The $1/month capacity frontier of Figure 1.
+//!
+//! Figure 1 plots, for an S3-based DR solution, the database size and
+//! number of cloud synchronizations per hour that a fixed monthly
+//! budget affords: `cost = size × C_Storage + syncs/month × C_PUT`.
+//! Example points from §3: 4.3 GB at 4 syncs/minute (setup C), 20 GB at
+//! 2 syncs/minute (setup B), 35 GB at one sync every 72 s (setup A).
+
+use crate::pricing::S3Pricing;
+
+/// Hours per 30-day month.
+const HOURS_PER_MONTH: f64 = 30.0 * 24.0;
+
+/// Monthly cost of the simple Figure 1 setup: storing `db_size_gb` and
+/// uploading `syncs_per_hour` batches per hour.
+pub fn monthly_cost_simple(db_size_gb: f64, syncs_per_hour: f64, pricing: &S3Pricing) -> f64 {
+    db_size_gb * pricing.storage_gb_month + syncs_per_hour * HOURS_PER_MONTH * pricing.put_op
+}
+
+/// Largest database size affordable at `syncs_per_hour` under `budget`
+/// dollars per month (the Figure 1 curve). Zero when the PUTs alone
+/// exceed the budget.
+pub fn max_db_size_gb(syncs_per_hour: f64, budget: f64, pricing: &S3Pricing) -> f64 {
+    let put_cost = syncs_per_hour * HOURS_PER_MONTH * pricing.put_op;
+    ((budget - put_cost) / pricing.storage_gb_month).max(0.0)
+}
+
+/// Samples the frontier at each of `syncs_per_hour`, returning
+/// `(syncs/hour, max DB size GB)` pairs — the series Figure 1 plots.
+pub fn budget_frontier(
+    syncs_per_hour: impl IntoIterator<Item = f64>,
+    budget: f64,
+    pricing: &S3Pricing,
+) -> Vec<(f64, f64)> {
+    syncs_per_hour
+        .into_iter()
+        .map(|rate| (rate, max_db_size_gb(rate, budget, pricing)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pricing() -> S3Pricing {
+        S3Pricing::may_2017()
+    }
+
+    #[test]
+    fn setup_c_from_section_3() {
+        // "4.3GB with four synchronizations per minute" → 240/hour.
+        let cost = monthly_cost_simple(4.3, 240.0, &pricing());
+        assert!((cost - 1.0).abs() < 0.05, "got {cost}");
+    }
+
+    #[test]
+    fn setup_b_from_section_3() {
+        // "a 20GB database with two synchronizations per minute".
+        let cost = monthly_cost_simple(20.0, 120.0, &pricing());
+        assert!((cost - 1.0).abs() < 0.15, "got {cost}");
+    }
+
+    #[test]
+    fn setup_a_from_section_3() {
+        // "a 35GB database synchronized once every 72 seconds" → 50/hour.
+        let cost = monthly_cost_simple(35.0, 50.0, &pricing());
+        assert!((cost - 1.0).abs() < 0.05, "got {cost}");
+    }
+
+    #[test]
+    fn frontier_is_monotonically_decreasing() {
+        let series = budget_frontier((0..=250).step_by(10).map(|x| x as f64), 1.0, &pricing());
+        for pair in series.windows(2) {
+            assert!(pair[1].1 <= pair[0].1, "{pair:?}");
+        }
+        // Left end: ~$1 of pure storage ≈ 43 GB.
+        assert!((series[0].1 - 43.47).abs() < 0.1);
+    }
+
+    #[test]
+    fn budget_exhausted_by_puts_gives_zero_size() {
+        // 280 syncs/hour ≈ $1.008 of PUTs alone.
+        assert_eq!(max_db_size_gb(300.0, 1.0, &pricing()), 0.0);
+    }
+
+    #[test]
+    fn below_frontier_is_below_budget() {
+        let p = pricing();
+        for rate in [10.0, 60.0, 120.0, 240.0] {
+            let max = max_db_size_gb(rate, 1.0, &p);
+            if max > 0.5 {
+                assert!(monthly_cost_simple(max - 0.5, rate, &p) < 1.0);
+            }
+            assert!(monthly_cost_simple(max + 1.0, rate, &p) > 1.0);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The four cost terms of §7.1.
+
+use crate::pricing::S3Pricing;
+
+/// Minutes per (30-day) month, the paper's `30 × 24 × 60`.
+pub const MINUTES_PER_MONTH: f64 = 30.0 * 24.0 * 60.0;
+
+/// How cloud synchronizations are scheduled, which determines
+/// `C_WAL_PUT`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncRate {
+    /// One PUT per `B` updates (Figure 4's parameterization):
+    /// `C_WAL_PUT = W × 60×24×30 / B × C_PUT`.
+    Batch(u64),
+    /// A fixed number of synchronizations per minute (Table 2's
+    /// parameterization): `C_WAL_PUT = rate × 60×24×30 × C_PUT`.
+    PerMinute(f64),
+}
+
+/// The §7.1 cost model:
+/// `C_Total = C_DB_Storage + C_DB_PUT + C_WAL_Storage + C_WAL_PUT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GinjaCostModel {
+    /// Database size in GB.
+    pub db_size_gb: f64,
+    /// Compression rate `CR` (1.43 in the paper: "every 1MB becomes
+    /// 700kB").
+    pub compression_ratio: f64,
+    /// Checkpoint period in minutes (`CkptPeriod`).
+    pub ckpt_period_min: f64,
+    /// `CkptTime`: period + checkpoint duration + upload time, minutes.
+    pub ckpt_time_min: f64,
+    /// Average checkpoint size in MB (`CkptSize`).
+    pub ckpt_size_mb: f64,
+    /// WAL page size in bytes (8 kB for PostgreSQL).
+    pub wal_page_bytes: f64,
+    /// WAL records per page (75 in the paper's evaluation).
+    pub records_per_page: f64,
+    /// `W`: database updates per minute.
+    pub updates_per_minute: f64,
+    /// Synchronization schedule.
+    pub sync: SyncRate,
+    /// Cloud-object size cap in MB (20 in the paper).
+    pub object_cap_mb: f64,
+    /// Price sheet.
+    pub pricing: S3Pricing,
+}
+
+impl GinjaCostModel {
+    /// The Figure 4 configuration: "a database of 10GB with pages of
+    /// 8kB containing 75 WAL records … a checkpoint happens every 60
+    /// minutes and has a duration of 20 minutes, and a compression rate
+    /// of 1.43".
+    pub fn paper_fig4(updates_per_minute: f64, batch: u64) -> Self {
+        GinjaCostModel {
+            db_size_gb: 10.0,
+            compression_ratio: 1.43,
+            ckpt_period_min: 60.0,
+            ckpt_time_min: 60.0 + 20.0,
+            ckpt_size_mb: 64.0,
+            wal_page_bytes: 8192.0,
+            records_per_page: 75.0,
+            updates_per_minute,
+            sync: SyncRate::Batch(batch),
+            object_cap_mb: 20.0,
+            pricing: S3Pricing::may_2017(),
+        }
+    }
+
+    /// `C_DB_Storage = DBSize × 1.25 / CR × C_Storage` — the DB objects
+    /// average 25 % above the database size because dumps are taken at
+    /// the 150 % threshold.
+    pub fn c_db_storage(&self) -> f64 {
+        self.db_size_gb * 1.25 / self.compression_ratio * self.pricing.storage_gb_month
+    }
+
+    /// `C_DB_PUT = (month / CkptPeriod) × ceil(CkptSize / 20MB) × C_PUT`.
+    pub fn c_db_put(&self) -> f64 {
+        let checkpoints_per_month = MINUTES_PER_MONTH / self.ckpt_period_min;
+        let puts_per_checkpoint = (self.ckpt_size_mb / self.object_cap_mb).ceil().max(1.0);
+        checkpoints_per_month * puts_per_checkpoint * self.pricing.put_op
+    }
+
+    /// `C_WAL_Storage = (W × CkptTime / RecPerPage + 1) × PageSize / CR
+    /// × C_Storage` — the WAL objects alive between checkpoints.
+    pub fn c_wal_storage(&self) -> f64 {
+        let pages = self.updates_per_minute * self.ckpt_time_min / self.records_per_page + 1.0;
+        let page_gb = self.wal_page_bytes / 1e9;
+        pages * page_gb / self.compression_ratio * self.pricing.storage_gb_month
+    }
+
+    /// `C_WAL_PUT` under the configured [`SyncRate`].
+    pub fn c_wal_put(&self) -> f64 {
+        match self.sync {
+            SyncRate::Batch(b) => {
+                self.updates_per_minute * MINUTES_PER_MONTH / b as f64 * self.pricing.put_op
+            }
+            SyncRate::PerMinute(rate) => rate * MINUTES_PER_MONTH * self.pricing.put_op,
+        }
+    }
+
+    /// Total monthly cost.
+    pub fn total(&self) -> f64 {
+        self.c_db_storage() + self.c_db_put() + self.c_wal_storage() + self.c_wal_put()
+    }
+
+    /// Recovery cost (§7.3): "approximated by 4 × (C_DB_Storage +
+    /// C_WAL_Storage)" — i.e. downloading every stored byte at the
+    /// egress price (≈ 4× the monthly storage price). GETs are "not
+    /// significant" and ignored here as in the paper.
+    pub fn recovery_cost(&self) -> f64 {
+        let stored_gb = self.db_size_gb * 1.25 / self.compression_ratio
+            + (self.updates_per_minute * self.ckpt_time_min / self.records_per_page + 1.0)
+                * self.wal_page_bytes
+                / 1e9
+                / self.compression_ratio;
+        stored_gb * self.pricing.egress_gb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_storage_term_10gb() {
+        // 10 GB × 1.25 / 1.43 × $0.023 ≈ $0.201 — the paper: "the size
+        // of our database (10GB) implies in a fixed C_DB_Storage of
+        // $0.20" (§7.2, stated with CR=1 as "$0.20"; with CR it is
+        // within the same cent range).
+        let m = GinjaCostModel::paper_fig4(100.0, 100);
+        let c = m.c_db_storage();
+        assert!((0.18..=0.23).contains(&c), "got {c}");
+    }
+
+    #[test]
+    fn ten_times_bigger_db_costs_ten_times_more_storage() {
+        // §7.2: "If one wants to consider, for instance, a 10× bigger
+        // database, this cost will be $2."
+        let mut m = GinjaCostModel::paper_fig4(100.0, 100);
+        m.db_size_gb = 100.0;
+        m.compression_ratio = 1.25; // paper's $2 statement uses ~size×0.023×(1.25/CR)≈2
+        let c = m.c_db_storage();
+        assert!((1.8..=2.4).contains(&c), "got {c}");
+    }
+
+    #[test]
+    fn wal_put_dominates_at_small_batch() {
+        // Figure 4: B=10 at 1000 updates/minute costs ≈ $21.6 in PUTs.
+        let m = GinjaCostModel::paper_fig4(1000.0, 10);
+        let c = m.c_wal_put();
+        assert!((c - 21.6).abs() < 0.1, "got {c}");
+        assert!(m.c_wal_put() > 10.0 * m.c_db_storage());
+    }
+
+    #[test]
+    fn batch_reduces_put_cost_linearly() {
+        let m10 = GinjaCostModel::paper_fig4(100.0, 10);
+        let m100 = GinjaCostModel::paper_fig4(100.0, 100);
+        let m1000 = GinjaCostModel::paper_fig4(100.0, 1000);
+        assert!((m10.c_wal_put() / m100.c_wal_put() - 10.0).abs() < 1e-9);
+        assert!((m100.c_wal_put() / m1000.c_wal_put() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure4_shape_many_configs_under_one_dollar() {
+        // "there are plenty of possible configurations that cost less
+        // than $1 per month" (§7.2).
+        let mut under = 0;
+        for (w, b) in [(10.0, 100u64), (10.0, 1000), (100.0, 1000), (100.0, 100)] {
+            if GinjaCostModel::paper_fig4(w, b).total() < 1.0 {
+                under += 1;
+            }
+        }
+        assert!(under >= 3, "{under} configs under $1");
+    }
+
+    #[test]
+    fn wal_storage_is_small() {
+        // At 1000 upd/min over an 80-minute checkpoint window: ~1067
+        // pages of 8 kB ≈ 8.7 MB → fractions of a cent.
+        let m = GinjaCostModel::paper_fig4(1000.0, 100);
+        assert!(m.c_wal_storage() < 0.01, "got {}", m.c_wal_storage());
+    }
+
+    #[test]
+    fn sync_rate_per_minute_matches_table2_arithmetic() {
+        // 1 sync/min = 43 200 PUTs/month = $0.216.
+        let mut m = GinjaCostModel::paper_fig4(6.0, 1);
+        m.sync = SyncRate::PerMinute(1.0);
+        assert!((m.c_wal_put() - 0.216).abs() < 1e-9);
+        m.sync = SyncRate::PerMinute(6.0);
+        assert!((m.c_wal_put() - 1.296).abs() < 1e-9);
+    }
+
+    #[test]
+    fn db_put_counts_object_splits() {
+        let mut m = GinjaCostModel::paper_fig4(100.0, 100);
+        m.ckpt_size_mb = 100.0; // 5 objects of 20 MB per checkpoint
+        let per_month = MINUTES_PER_MONTH / 60.0;
+        assert!((m.c_db_put() - per_month * 5.0 * 5e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_cost_tracks_stored_bytes() {
+        let m = GinjaCostModel::paper_fig4(100.0, 100);
+        let c = m.recovery_cost();
+        // ~8.74 GB stored × $0.09 ≈ $0.79.
+        assert!((0.5..=1.2).contains(&c), "got {c}");
+    }
+}

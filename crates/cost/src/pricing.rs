@@ -1,0 +1,122 @@
+//! Cloud price sheets used by the paper (May 2017).
+
+/// Amazon S3 (standard storage) prices, $.
+///
+/// "In May 2017, Amazon S3 standard storage costs are $0.023 per
+/// GB/month, $0.005 per 1000 file uploads, and free upload bandwidth and
+/// delete operations" (§3). Downloads (relevant for recovery, §7.3) are
+/// "almost 4× higher than the cost of storing it for a month".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct S3Pricing {
+    /// Storage, $ per GB-month.
+    pub storage_gb_month: f64,
+    /// PUT/LIST requests, $ per single operation.
+    pub put_op: f64,
+    /// GET requests, $ per single operation.
+    pub get_op: f64,
+    /// Egress (download) bandwidth, $ per GB.
+    pub egress_gb: f64,
+}
+
+impl S3Pricing {
+    /// The May-2017 price sheet the paper uses.
+    pub fn may_2017() -> Self {
+        S3Pricing {
+            storage_gb_month: 0.023,
+            put_op: 0.005 / 1000.0,
+            get_op: 0.0004 / 1000.0,
+            egress_gb: 0.09,
+        }
+    }
+}
+
+impl Default for S3Pricing {
+    fn default() -> Self {
+        Self::may_2017()
+    }
+}
+
+/// EC2-based Pilot-Light DR prices (the Table 2 comparison).
+///
+/// The paper's alternative keeps a warm database replica in a cloud VM:
+/// instance + VPN connection + provisioned-IOPS EBS volume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ec2Pricing {
+    /// m3.medium (Linux), $ per month — "the cheapest EC2 VM indicated
+    /// for small to mid-size databases", $48.24/month in May 2017 (§3).
+    pub m3_medium_month: f64,
+    /// m3.large (Linux), $ per month.
+    pub m3_large_month: f64,
+    /// VPN connection, $ per month.
+    pub vpn_month: f64,
+    /// Provisioned-IOPS EBS, $ per IOPS-month.
+    pub ebs_iops_month: f64,
+    /// EBS storage, $ per GB-month.
+    pub ebs_gb_month: f64,
+}
+
+impl Ec2Pricing {
+    /// The May-2017 price sheet.
+    pub fn may_2017() -> Self {
+        Ec2Pricing {
+            m3_medium_month: 48.24,
+            m3_large_month: 96.48,
+            vpn_month: 36.0,
+            ebs_iops_month: 0.065,
+            ebs_gb_month: 0.125,
+        }
+    }
+
+    /// Table 2's "m3.medium + VPN + EBS 100IOS" laboratory setup.
+    pub fn laboratory_vm_month(&self, db_size_gb: f64) -> f64 {
+        self.m3_medium_month + self.vpn_month + 100.0 * self.ebs_iops_month
+            + db_size_gb * self.ebs_gb_month
+    }
+
+    /// Table 2's "m3.large + VPN + EBS 500IOS" hospital setup.
+    pub fn hospital_vm_month(&self, db_size_gb: f64) -> f64 {
+        self.m3_large_month + self.vpn_month + 500.0 * self.ebs_iops_month
+            + db_size_gb * self.ebs_gb_month
+    }
+}
+
+impl Default for Ec2Pricing {
+    fn default() -> Self {
+        Self::may_2017()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s3_constants_match_paper() {
+        let p = S3Pricing::may_2017();
+        assert!((p.storage_gb_month - 0.023).abs() < 1e-12);
+        assert!((p.put_op - 5e-6).abs() < 1e-12);
+        // §7.3: downloading one GB ≈ 4× the cost of storing it a month.
+        assert!((p.egress_gb / p.storage_gb_month - 3.91).abs() < 0.2);
+    }
+
+    #[test]
+    fn ec2_laboratory_setup_near_paper_value() {
+        // Table 2: "m3.medium + VPN + EBS 100IOS = $93.4" for 10 GB.
+        let total = Ec2Pricing::may_2017().laboratory_vm_month(10.0);
+        assert!((total - 93.4).abs() < 3.0, "got {total}");
+    }
+
+    #[test]
+    fn ec2_hospital_setup_near_paper_value() {
+        // Table 2: "m3.large + VPN + EBS 500IOS = $291.5" for 1 TB.
+        let total = Ec2Pricing::may_2017().hospital_vm_month(1000.0);
+        assert!((total - 291.5).abs() < 10.0, "got {total}");
+    }
+
+    #[test]
+    fn m3_medium_monthly_rate_from_paper() {
+        // "the cheapest VM indicated for databases in Amazon EC2
+        // (m3.medium with Linux) costs $48.24/month in May 2017" (§7.2).
+        assert!((Ec2Pricing::may_2017().m3_medium_month - 48.24).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,151 @@
+//! The real-application scenarios of Table 2: a clinical laboratory and
+//! a hospital running "a real clinical analysis system deployed in more
+//! than 100 institutions in Europe".
+//!
+//! | Configuration | Ginja (S3) | EC2 VMs |
+//! |---|---|---|
+//! | Laboratory (10 GB, 6 up/min) | $0.42 (1 sync/m) / $1.50 (6 sync/m) | m3.medium + VPN + EBS 100IOS = $93.4 |
+//! | Hospital (1 TB, 138 up/min) | $20.3 (1 sync/m) / $21.4 (6 sync/m) | m3.large + VPN + EBS 500IOS = $291.5 |
+
+use crate::model::{GinjaCostModel, SyncRate};
+use crate::pricing::{Ec2Pricing, S3Pricing};
+
+/// One Table 2 scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name as in the paper.
+    pub name: &'static str,
+    /// Database size in GB.
+    pub db_size_gb: f64,
+    /// Updates per minute.
+    pub updates_per_minute: f64,
+}
+
+/// The clinical laboratory: "10GB database that processes 30
+/// transactions per minute … only 20% are updates".
+pub fn laboratory() -> Scenario {
+    Scenario { name: "Laboratory", db_size_gb: 10.0, updates_per_minute: 6.0 }
+}
+
+/// The hospital: 1 TB database, 138 updates per minute (Table 2).
+pub fn hospital() -> Scenario {
+    Scenario { name: "Hospital", db_size_gb: 1000.0, updates_per_minute: 138.0 }
+}
+
+impl Scenario {
+    /// Ginja's monthly cost at `syncs_per_minute` cloud synchronizations.
+    pub fn ginja_cost(&self, syncs_per_minute: f64) -> f64 {
+        self.model(syncs_per_minute).total()
+    }
+
+    /// The underlying cost model (hourly checkpoints, CR = 1.43 as in
+    /// §7.2).
+    pub fn model(&self, syncs_per_minute: f64) -> GinjaCostModel {
+        GinjaCostModel {
+            db_size_gb: self.db_size_gb,
+            compression_ratio: 1.43,
+            ckpt_period_min: 60.0,
+            ckpt_time_min: 80.0,
+            ckpt_size_mb: 64.0,
+            wal_page_bytes: 8192.0,
+            records_per_page: 75.0,
+            updates_per_minute: self.updates_per_minute,
+            sync: SyncRate::PerMinute(syncs_per_minute),
+            object_cap_mb: 20.0,
+            pricing: S3Pricing::may_2017(),
+        }
+    }
+
+    /// The VM-based Pilot-Light alternative's monthly cost.
+    pub fn vm_cost(&self, pricing: &Ec2Pricing) -> f64 {
+        if self.db_size_gb > 100.0 {
+            pricing.hospital_vm_month(self.db_size_gb)
+        } else {
+            pricing.laboratory_vm_month(self.db_size_gb)
+        }
+    }
+
+    /// §7.3 recovery cost. The paper's figures ($1.125 laboratory,
+    /// $112.5 hospital) correspond to downloading `size × 1.25` GB at
+    /// the egress price *without* the compression factor — we reproduce
+    /// that arithmetic here (see EXPERIMENTS.md for the discrepancy with
+    /// the §7.1 storage terms).
+    pub fn recovery_cost_paper_arithmetic(&self) -> f64 {
+        self.db_size_gb * 1.25 * S3Pricing::may_2017().egress_gb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laboratory_one_sync_per_minute() {
+        // Table 2: $0.42.
+        let cost = laboratory().ginja_cost(1.0);
+        assert!((cost - 0.42).abs() < 0.03, "got {cost}");
+    }
+
+    #[test]
+    fn laboratory_six_syncs_per_minute() {
+        // Table 2: $1.50.
+        let cost = laboratory().ginja_cost(6.0);
+        assert!((cost - 1.50).abs() < 0.05, "got {cost}");
+    }
+
+    #[test]
+    fn hospital_one_sync_per_minute() {
+        // Table 2: $20.3.
+        let cost = hospital().ginja_cost(1.0);
+        assert!((cost - 20.3).abs() < 0.3, "got {cost}");
+    }
+
+    #[test]
+    fn hospital_six_syncs_per_minute() {
+        // Table 2: $21.4.
+        let cost = hospital().ginja_cost(6.0);
+        assert!((cost - 21.4).abs() < 0.4, "got {cost}");
+    }
+
+    #[test]
+    fn laboratory_savings_factor_62_to_222() {
+        // §7.2: "G INJA has an operational cost between 62× to 222×
+        // smaller" in the laboratory scenario.
+        let vm = laboratory().vm_cost(&Ec2Pricing::may_2017());
+        let hi = vm / laboratory().ginja_cost(1.0);
+        let lo = vm / laboratory().ginja_cost(6.0);
+        assert!((200.0..=240.0).contains(&hi), "high factor {hi}");
+        assert!((55.0..=70.0).contains(&lo), "low factor {lo}");
+    }
+
+    #[test]
+    fn hospital_savings_factor_14() {
+        // §7.2: "a cost 14× smaller".
+        let vm = hospital().vm_cost(&Ec2Pricing::may_2017());
+        let factor = vm / hospital().ginja_cost(1.0);
+        assert!((12.0..=16.0).contains(&factor), "factor {factor}");
+    }
+
+    #[test]
+    fn recovery_costs_match_section_7_3() {
+        // "$112.5 and $1.125 for the Hospital and the Laboratory".
+        assert!((laboratory().recovery_cost_paper_arithmetic() - 1.125).abs() < 1e-9);
+        assert!((hospital().recovery_cost_paper_arithmetic() - 112.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn headline_claim_14x_to_222x_cheaper() {
+        // Abstract/conclusion: "between 14× to 222× cheaper".
+        let ec2 = Ec2Pricing::may_2017();
+        let mut factors = Vec::new();
+        for scenario in [laboratory(), hospital()] {
+            for rate in [1.0, 6.0] {
+                factors.push(scenario.vm_cost(&ec2) / scenario.ginja_cost(rate));
+            }
+        }
+        let min = factors.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = factors.iter().cloned().fold(0.0, f64::max);
+        assert!(min > 12.0 && min < 16.0, "min {min}");
+        assert!(max > 200.0 && max < 240.0, "max {max}");
+    }
+}

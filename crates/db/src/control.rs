@@ -1,0 +1,201 @@
+//! Checkpoint control records.
+//!
+//! PostgreSQL keeps "a small pg_control file to store a pointer to the
+//! last checkpoint record in the WAL, marking the starting point on the
+//! WAL upon a recovery" (§4); InnoDB stores the equivalent in the two
+//! checkpoint header blocks at offsets 512 and 1536 of `ib_logfile0`,
+//! written alternately. Both are encoded here as a [`ControlData`].
+
+use ginja_vfs::FileSystem;
+
+use crate::crc::crc32;
+use crate::profile::ProfileKind;
+use crate::DbError;
+
+const MAGIC: [u8; 4] = *b"GCTL";
+const ENCODED_LEN: usize = 4 + 8 * 4 + 4;
+
+/// PostgreSQL control file path.
+pub const PG_CONTROL_PATH: &str = "global/pg_control";
+
+/// InnoDB first log file (holds the checkpoint blocks).
+pub const INNODB_LOG0: &str = "ib_logfile0";
+
+/// The state a recovery needs to start redo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControlData {
+    /// Records with `lsn >=` this may need redo.
+    pub redo_lsn: u64,
+    /// WAL block number where redo starts scanning.
+    pub redo_block: u64,
+    /// Next LSN at the time of the checkpoint (lower bound for the
+    /// post-recovery LSN allocator).
+    pub next_lsn: u64,
+    /// Monotonic checkpoint counter (selects the newer of the two
+    /// InnoDB checkpoint blocks; even → offset 512, odd → offset 1536).
+    pub counter: u64,
+}
+
+impl ControlData {
+    /// Serializes to the fixed-size on-disk form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ENCODED_LEN);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.redo_lsn.to_le_bytes());
+        out.extend_from_slice(&self.redo_block.to_le_bytes());
+        out.extend_from_slice(&self.next_lsn.to_le_bytes());
+        out.extend_from_slice(&self.counter.to_le_bytes());
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses the on-disk form, validating magic and CRC.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corrupt`] on any mismatch.
+    pub fn decode(data: &[u8]) -> Result<Self, DbError> {
+        if data.len() < ENCODED_LEN {
+            return Err(DbError::Corrupt("control record too short".into()));
+        }
+        let data = &data[..ENCODED_LEN];
+        if data[0..4] != MAGIC {
+            return Err(DbError::Corrupt("control record bad magic".into()));
+        }
+        let stored_crc = u32::from_le_bytes(data[ENCODED_LEN - 4..].try_into().unwrap());
+        if crc32(&data[..ENCODED_LEN - 4]) != stored_crc {
+            return Err(DbError::Corrupt("control record bad crc".into()));
+        }
+        let word = |i: usize| u64::from_le_bytes(data[4 + i * 8..12 + i * 8].try_into().unwrap());
+        Ok(ControlData { redo_lsn: word(0), redo_block: word(1), next_lsn: word(2), counter: word(3) })
+    }
+
+    /// Writes the control record for `kind` with a synchronous write —
+    /// the write that Table 1 detects as **checkpoint end**.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    pub fn write(&self, fs: &dyn FileSystem, kind: ProfileKind) -> Result<(), DbError> {
+        let encoded = self.encode();
+        match kind {
+            ProfileKind::Postgres => {
+                fs.write(PG_CONTROL_PATH, 0, &encoded, true)?;
+            }
+            ProfileKind::MySql => {
+                // Alternate between the two checkpoint blocks, padding to
+                // a full 512-byte block as InnoDB does.
+                let offset = if self.counter.is_multiple_of(2) { 512 } else { 1536 };
+                let mut block = encoded;
+                block.resize(512, 0);
+                fs.write(INNODB_LOG0, offset, &block, true)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the newest valid control record for `kind`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::RecoveryFailed`] when no valid record exists.
+    pub fn read(fs: &dyn FileSystem, kind: ProfileKind) -> Result<Self, DbError> {
+        match kind {
+            ProfileKind::Postgres => {
+                let data = fs
+                    .read_all(PG_CONTROL_PATH)
+                    .map_err(|e| DbError::RecoveryFailed(format!("no pg_control: {e}")))?;
+                Self::decode(&data)
+                    .map_err(|e| DbError::RecoveryFailed(format!("pg_control invalid: {e}")))
+            }
+            ProfileKind::MySql => {
+                let mut best: Option<ControlData> = None;
+                for offset in [512u64, 1536] {
+                    if let Ok(block) = fs.read(INNODB_LOG0, offset, 512) {
+                        if let Ok(ctl) = Self::decode(&block) {
+                            if best.is_none_or(|b| ctl.counter > b.counter) {
+                                best = Some(ctl);
+                            }
+                        }
+                    }
+                }
+                best.ok_or_else(|| {
+                    DbError::RecoveryFailed("no valid innodb checkpoint block".into())
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ginja_vfs::MemFs;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = ControlData { redo_lsn: 10, redo_block: 3, next_lsn: 17, counter: 5 };
+        assert_eq!(ControlData::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let c = ControlData::default();
+        let mut enc = c.encode();
+        for i in 0..enc.len() {
+            enc[i] ^= 0xff;
+            assert!(ControlData::decode(&enc).is_err(), "byte {i}");
+            enc[i] ^= 0xff;
+        }
+        assert!(ControlData::decode(&enc[..10]).is_err());
+    }
+
+    #[test]
+    fn decode_ignores_trailing_padding() {
+        let c = ControlData { redo_lsn: 1, redo_block: 2, next_lsn: 3, counter: 4 };
+        let mut block = c.encode();
+        block.resize(512, 0);
+        assert_eq!(ControlData::decode(&block).unwrap(), c);
+    }
+
+    #[test]
+    fn postgres_write_read() {
+        let fs = MemFs::new();
+        let c = ControlData { redo_lsn: 9, redo_block: 2, next_lsn: 12, counter: 1 };
+        c.write(&fs, ProfileKind::Postgres).unwrap();
+        assert!(fs.exists(PG_CONTROL_PATH));
+        assert_eq!(ControlData::read(&fs, ProfileKind::Postgres).unwrap(), c);
+    }
+
+    #[test]
+    fn mysql_alternating_blocks() {
+        let fs = MemFs::new();
+        fs.write(INNODB_LOG0, 0, &vec![0u8; 4096], false).unwrap();
+        let c0 = ControlData { redo_lsn: 1, redo_block: 1, next_lsn: 2, counter: 0 };
+        c0.write(&fs, ProfileKind::MySql).unwrap();
+        assert_eq!(ControlData::read(&fs, ProfileKind::MySql).unwrap(), c0);
+
+        let c1 = ControlData { redo_lsn: 5, redo_block: 4, next_lsn: 9, counter: 1 };
+        c1.write(&fs, ProfileKind::MySql).unwrap();
+        // Newer counter wins even though both blocks are valid.
+        assert_eq!(ControlData::read(&fs, ProfileKind::MySql).unwrap(), c1);
+
+        // Corrupting the newest block falls back to the older one.
+        fs.write(INNODB_LOG0, 1536 + 8, b"garbage!", false).unwrap();
+        assert_eq!(ControlData::read(&fs, ProfileKind::MySql).unwrap(), c0);
+    }
+
+    #[test]
+    fn missing_control_is_recovery_failure() {
+        let fs = MemFs::new();
+        assert!(matches!(
+            ControlData::read(&fs, ProfileKind::Postgres),
+            Err(DbError::RecoveryFailed(_))
+        ));
+        assert!(matches!(
+            ControlData::read(&fs, ProfileKind::MySql),
+            Err(DbError::RecoveryFailed(_))
+        ));
+    }
+}

@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+use ginja_vfs::FsError;
+
+/// Errors from the mini-DBMS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DbError {
+    /// The table has not been created.
+    TableMissing(u32),
+    /// A table with this id already exists.
+    TableExists(u32),
+    /// The value does not fit the table's slot size.
+    ValueTooLarge {
+        /// Target table.
+        table: u32,
+        /// Offered value length.
+        len: usize,
+        /// The table's value capacity.
+        cap: usize,
+    },
+    /// On-disk state failed validation (bad CRC, bad structure).
+    Corrupt(String),
+    /// Crash recovery could not produce a consistent state.
+    RecoveryFailed(String),
+    /// The underlying file system failed.
+    Fs(FsError),
+    /// The operation requires an open (non-crashed) database.
+    Crashed,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::TableMissing(id) => write!(f, "table {id} does not exist"),
+            DbError::TableExists(id) => write!(f, "table {id} already exists"),
+            DbError::ValueTooLarge { table, len, cap } => {
+                write!(f, "value of {len} bytes exceeds slot capacity {cap} of table {table}")
+            }
+            DbError::Corrupt(reason) => write!(f, "corrupt database state: {reason}"),
+            DbError::RecoveryFailed(reason) => write!(f, "crash recovery failed: {reason}"),
+            DbError::Fs(e) => write!(f, "file system error: {e}"),
+            DbError::Crashed => write!(f, "database has crashed; recover it first"),
+        }
+    }
+}
+
+impl Error for DbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DbError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for DbError {
+    fn from(err: FsError) -> Self {
+        DbError::Fs(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(DbError::TableMissing(7).to_string().contains('7'));
+        let e = DbError::ValueTooLarge { table: 1, len: 100, cap: 50 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("50"));
+    }
+
+    #[test]
+    fn fs_error_source_preserved() {
+        let e = DbError::from(FsError::NotFound("f".into()));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<DbError>();
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+//! A miniature WAL-based transactional DBMS with PostgreSQL and
+//! MySQL/InnoDB I/O profiles — the "protected system" of the Ginja
+//! reproduction.
+//!
+//! Ginja (Middleware '17) integrates with databases purely at the file
+//! system level, so what matters for a faithful reproduction is the
+//! **on-disk behaviour** described in the paper's §4:
+//!
+//! * data durability via table files plus a write-ahead log split into
+//!   segment files, with I/O at page granularity;
+//! * on commit, "the only important I/O performed is a synchronous write
+//!   to a WAL file segment";
+//! * table pages stay in memory until a checkpoint writes them out —
+//!   periodic full checkpoints for PostgreSQL (clog write → dirty pages
+//!   → `pg_control`), opportunistic *fuzzy* checkpoints for InnoDB
+//!   (page batches → checkpoint header at offset 512/1536 of
+//!   `ib_logfile0`);
+//! * after a crash, the DBMS rebuilds its state from the last
+//!   checkpoint pointer plus the WAL (redo with the ARIES page-LSN
+//!   test), discarding any uncommitted tail.
+//!
+//! [`Database`] implements all of that over any
+//! [`ginja_vfs::FileSystem`], which is how Ginja gets to observe every
+//! write (wrap the file system in a `ginja_vfs::InterceptFs`).
+//!
+//! ```rust
+//! use std::sync::Arc;
+//! use ginja_db::{Database, DbProfile};
+//! use ginja_vfs::MemFs;
+//!
+//! # fn main() -> Result<(), ginja_db::DbError> {
+//! let db = Database::create(Arc::new(MemFs::new()), DbProfile::postgres_small())?;
+//! db.create_table(1, 64)?;
+//! db.put(1, 7, b"hello".to_vec())?;
+//!
+//! // Crash: only the file system survives. Recovery replays the WAL.
+//! let fs = db.crash();
+//! let db = Database::open(fs, DbProfile::postgres_small())?;
+//! assert_eq!(db.get(1, 7)?.unwrap(), b"hello");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod control;
+pub mod crc;
+pub mod page;
+pub mod pool;
+pub mod record;
+pub mod table;
+pub mod wal;
+
+mod db;
+mod error;
+mod profile;
+
+pub use db::{Database, DbStats, Transaction, PG_CLOG_PATH};
+pub use error::DbError;
+pub use profile::{DbProfile, IoDelay, ProfileKind};

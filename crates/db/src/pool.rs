@@ -1,0 +1,252 @@
+//! Buffer pool: in-memory table pages with dirty tracking.
+//!
+//! Every page carries its **recovery coordinates**: the LSN and WAL
+//! block of the *first* modification since it was last flushed
+//! (`rec_lsn`/`rec_block`, InnoDB's `oldest_modification`). The fuzzy
+//! checkpointer advances the redo point to the minimum of these over all
+//! dirty pages — exactly how InnoDB computes its checkpoint LSN.
+
+use std::collections::HashMap;
+
+use crate::page::Page;
+
+/// A pooled page and its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The page contents.
+    pub page: Page,
+    /// Whether the page has unflushed modifications.
+    pub dirty: bool,
+    /// LSN of the first modification since the last flush.
+    pub rec_lsn: u64,
+    /// WAL block of the first modification since the last flush.
+    pub rec_block: u64,
+}
+
+/// Key of a pooled page: `(table id, page index)`.
+pub type PageId = (u32, u64);
+
+/// The buffer pool.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    frames: HashMap<PageId, Frame>,
+    /// Soft cap on clean frames (dirty frames are never evicted).
+    clean_capacity: usize,
+}
+
+impl BufferPool {
+    /// A pool that evicts clean pages beyond `clean_capacity` frames.
+    pub fn new(clean_capacity: usize) -> Self {
+        BufferPool { frames: HashMap::new(), clean_capacity }
+    }
+
+    /// Number of resident frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Number of dirty frames.
+    pub fn dirty_count(&self) -> usize {
+        self.frames.values().filter(|f| f.dirty).count()
+    }
+
+    /// Returns the frame for `id`, loading it with `load` on a miss.
+    pub fn get_or_load(
+        &mut self,
+        id: PageId,
+        load: impl FnOnce() -> Page,
+    ) -> &mut Frame {
+        self.maybe_evict();
+        self.frames.entry(id).or_insert_with(|| Frame {
+            page: load(),
+            dirty: false,
+            rec_lsn: 0,
+            rec_block: 0,
+        })
+    }
+
+    /// Returns the frame for `id` if resident.
+    pub fn get(&self, id: &PageId) -> Option<&Frame> {
+        self.frames.get(id)
+    }
+
+    /// Marks `id` dirty, recording recovery coordinates on the first
+    /// modification since the last flush.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is not resident (callers must load first).
+    pub fn mark_dirty(&mut self, id: PageId, lsn: u64, block: u64) {
+        let frame = self.frames.get_mut(&id).expect("mark_dirty on non-resident page");
+        if !frame.dirty {
+            frame.dirty = true;
+            frame.rec_lsn = lsn;
+            frame.rec_block = block;
+        }
+    }
+
+    /// Marks `id` clean after a successful flush.
+    pub fn mark_clean(&mut self, id: &PageId) {
+        if let Some(frame) = self.frames.get_mut(id) {
+            frame.dirty = false;
+            frame.rec_lsn = 0;
+            frame.rec_block = 0;
+        }
+    }
+
+    /// All dirty page ids, ordered by `rec_block` then id (oldest first —
+    /// the order the fuzzy checkpointer flushes in).
+    pub fn dirty_ids_oldest_first(&self) -> Vec<PageId> {
+        let mut ids: Vec<(u64, PageId)> =
+            self.frames.iter().filter(|(_, f)| f.dirty).map(|(id, f)| (f.rec_block, *id)).collect();
+        ids.sort_unstable();
+        ids.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Minimum `(rec_block, rec_lsn)` over dirty frames, or `None` when
+    /// everything is clean.
+    pub fn oldest_dirty(&self) -> Option<(u64, u64)> {
+        self.frames
+            .values()
+            .filter(|f| f.dirty)
+            .map(|f| (f.rec_block, f.rec_lsn))
+            .min()
+    }
+
+    /// Highest page index resident for `table` (used to size scans).
+    pub fn max_page_index(&self, table: u32) -> Option<u64> {
+        self.frames.keys().filter(|(t, _)| *t == table).map(|(_, p)| *p).max()
+    }
+
+    /// Drops every frame (crash simulation: volatile state is lost).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+
+    fn maybe_evict(&mut self) {
+        if self.clean_capacity == 0 {
+            return;
+        }
+        let clean = self.frames.len().saturating_sub(self.dirty_count());
+        if clean <= self.clean_capacity {
+            return;
+        }
+        let excess = clean - self.clean_capacity;
+        let victims: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| !f.dirty)
+            .map(|(id, _)| *id)
+            .take(excess)
+            .collect();
+        for id in victims {
+            self.frames.remove(&id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(0) // no eviction
+    }
+
+    #[test]
+    fn load_once() {
+        let mut p = pool();
+        let mut loads = 0;
+        p.get_or_load((1, 0), || {
+            loads += 1;
+            Page::empty(4)
+        });
+        p.get_or_load((1, 0), || {
+            loads += 1;
+            Page::empty(4)
+        });
+        assert_eq!(loads, 1);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn dirty_tracking_first_modification_wins() {
+        let mut p = pool();
+        p.get_or_load((1, 0), || Page::empty(4));
+        p.mark_dirty((1, 0), 10, 2);
+        p.mark_dirty((1, 0), 20, 5); // later mod must not move rec coords
+        let f = p.get(&(1, 0)).unwrap();
+        assert!(f.dirty);
+        assert_eq!(f.rec_lsn, 10);
+        assert_eq!(f.rec_block, 2);
+    }
+
+    #[test]
+    fn clean_resets_coords() {
+        let mut p = pool();
+        p.get_or_load((1, 0), || Page::empty(4));
+        p.mark_dirty((1, 0), 10, 2);
+        p.mark_clean(&(1, 0));
+        assert_eq!(p.dirty_count(), 0);
+        p.mark_dirty((1, 0), 30, 9);
+        assert_eq!(p.get(&(1, 0)).unwrap().rec_lsn, 30);
+    }
+
+    #[test]
+    fn oldest_first_ordering() {
+        let mut p = pool();
+        for (idx, block) in [(0u64, 7u64), (1, 3), (2, 5)] {
+            p.get_or_load((1, idx), || Page::empty(4));
+            p.mark_dirty((1, idx), block * 10, block);
+        }
+        assert_eq!(p.dirty_ids_oldest_first(), vec![(1, 1), (1, 2), (1, 0)]);
+        assert_eq!(p.oldest_dirty(), Some((3, 30)));
+    }
+
+    #[test]
+    fn oldest_dirty_none_when_clean() {
+        let mut p = pool();
+        p.get_or_load((1, 0), || Page::empty(4));
+        assert_eq!(p.oldest_dirty(), None);
+    }
+
+    #[test]
+    fn eviction_spares_dirty_pages() {
+        let mut p = BufferPool::new(2);
+        p.get_or_load((1, 0), || Page::empty(4));
+        p.mark_dirty((1, 0), 1, 1);
+        for i in 1..8u64 {
+            p.get_or_load((1, i), || Page::empty(4));
+        }
+        assert!(p.get(&(1, 0)).is_some(), "dirty page evicted");
+        assert!(p.get(&(1, 0)).unwrap().dirty);
+        // Clean residents stay near the cap (the newest load lands after
+        // eviction, so allow capacity + 1).
+        let clean = p.len() - p.dirty_count();
+        assert!(clean <= 3, "clean {clean}");
+    }
+
+    #[test]
+    fn max_page_index_per_table() {
+        let mut p = pool();
+        p.get_or_load((1, 3), || Page::empty(4));
+        p.get_or_load((1, 7), || Page::empty(4));
+        p.get_or_load((2, 50), || Page::empty(4));
+        assert_eq!(p.max_page_index(1), Some(7));
+        assert_eq!(p.max_page_index(2), Some(50));
+        assert_eq!(p.max_page_index(3), None);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut p = pool();
+        p.get_or_load((1, 0), || Page::empty(4));
+        p.clear();
+        assert!(p.is_empty());
+    }
+}

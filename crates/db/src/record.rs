@@ -1,0 +1,167 @@
+//! WAL record serialization.
+//!
+//! A logical record is one row operation (put/delete) or a commit
+//! marker. Records are framed into fixed-size WAL blocks by
+//! [`crate::wal`]; a record may span blocks via fragmentation, exactly
+//! like real PostgreSQL/InnoDB logs.
+
+use crate::DbError;
+
+/// Operation carried by a WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Insert or update `key` in `table` with `value`.
+    Put {
+        /// Target table id.
+        table: u32,
+        /// Row key.
+        key: u64,
+        /// Row payload.
+        value: Vec<u8>,
+    },
+    /// Remove `key` from `table`.
+    Delete {
+        /// Target table id.
+        table: u32,
+        /// Row key.
+        key: u64,
+    },
+    /// Transaction commit marker: every operation since the previous
+    /// marker becomes atomic-durable at this point.
+    Commit,
+}
+
+/// A WAL record: an operation stamped with its log sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Log sequence number (strictly increasing across the log).
+    pub lsn: u64,
+    /// The operation.
+    pub op: WalOp,
+}
+
+const OP_PUT: u8 = 1;
+const OP_DELETE: u8 = 2;
+const OP_COMMIT: u8 = 3;
+
+impl WalRecord {
+    /// Serializes the record to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&self.lsn.to_le_bytes());
+        match &self.op {
+            WalOp::Put { table, key, value } => {
+                out.push(OP_PUT);
+                out.extend_from_slice(&table.to_le_bytes());
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                out.extend_from_slice(value);
+            }
+            WalOp::Delete { table, key } => {
+                out.push(OP_DELETE);
+                out.extend_from_slice(&table.to_le_bytes());
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+            WalOp::Commit => out.push(OP_COMMIT),
+        }
+        out
+    }
+
+    /// Deserializes a record previously produced by [`WalRecord::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corrupt`] if the bytes are malformed.
+    pub fn decode(data: &[u8]) -> Result<Self, DbError> {
+        let corrupt = |why: &str| DbError::Corrupt(format!("wal record: {why}"));
+        if data.len() < 9 {
+            return Err(corrupt("too short"));
+        }
+        let lsn = u64::from_le_bytes(data[0..8].try_into().unwrap());
+        let op_byte = data[8];
+        let rest = &data[9..];
+        let op = match op_byte {
+            OP_PUT => {
+                if rest.len() < 16 {
+                    return Err(corrupt("truncated put"));
+                }
+                let table = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+                let key = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+                let val_len = u32::from_le_bytes(rest[12..16].try_into().unwrap()) as usize;
+                if rest.len() != 16 + val_len {
+                    return Err(corrupt("put length mismatch"));
+                }
+                WalOp::Put { table, key, value: rest[16..].to_vec() }
+            }
+            OP_DELETE => {
+                if rest.len() != 12 {
+                    return Err(corrupt("delete length mismatch"));
+                }
+                let table = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+                let key = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+                WalOp::Delete { table, key }
+            }
+            OP_COMMIT => {
+                if !rest.is_empty() {
+                    return Err(corrupt("commit carries payload"));
+                }
+                WalOp::Commit
+            }
+            other => return Err(corrupt(&format!("unknown op byte {other}"))),
+        };
+        Ok(WalRecord { lsn, op })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_roundtrip() {
+        let rec =
+            WalRecord { lsn: 42, op: WalOp::Put { table: 7, key: 99, value: b"hello".to_vec() } };
+        assert_eq!(WalRecord::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn put_empty_value_roundtrip() {
+        let rec = WalRecord { lsn: 1, op: WalOp::Put { table: 0, key: 0, value: vec![] } };
+        assert_eq!(WalRecord::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn delete_roundtrip() {
+        let rec = WalRecord { lsn: u64::MAX, op: WalOp::Delete { table: u32::MAX, key: 3 } };
+        assert_eq!(WalRecord::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn commit_roundtrip() {
+        let rec = WalRecord { lsn: 5, op: WalOp::Commit };
+        let enc = rec.encode();
+        assert_eq!(enc.len(), 9);
+        assert_eq!(WalRecord::decode(&enc).unwrap(), rec);
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert!(WalRecord::decode(&[]).is_err());
+        assert!(WalRecord::decode(&[0; 8]).is_err());
+        let mut enc =
+            WalRecord { lsn: 1, op: WalOp::Put { table: 1, key: 1, value: b"abc".to_vec() } }
+                .encode();
+        enc.pop(); // truncate value
+        assert!(WalRecord::decode(&enc).is_err());
+        let mut bad_op = WalRecord { lsn: 1, op: WalOp::Commit }.encode();
+        bad_op[8] = 200;
+        assert!(WalRecord::decode(&bad_op).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut enc = WalRecord { lsn: 1, op: WalOp::Commit }.encode();
+        enc.push(0);
+        assert!(WalRecord::decode(&enc).is_err());
+    }
+}

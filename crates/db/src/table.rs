@@ -1,0 +1,290 @@
+//! Table metadata and the on-disk catalog.
+//!
+//! Rows are fixed-slot records addressed by a dense `u64` key:
+//! `page = key / slots_per_page`, `slot = key % slots_per_page`. This
+//! deterministic placement is what gives the checkpointers a realistic
+//! dirty-page working set without a full B-tree implementation.
+
+use std::collections::BTreeMap;
+
+use ginja_vfs::FileSystem;
+
+use crate::crc::crc32;
+use crate::profile::ProfileKind;
+use crate::DbError;
+
+/// Per-slot overhead: used flag (1) + key (8) + value length (2).
+pub const SLOT_OVERHEAD: usize = 11;
+
+/// PostgreSQL catalog path (inside `base/`, so catalog writes classify
+/// as data-file writes).
+pub const PG_CATALOG_PATH: &str = "base/catalog";
+
+/// MySQL catalog path (an `.ibd`, same classification property).
+pub const MYSQL_CATALOG_PATH: &str = "catalog.ibd";
+
+/// Static description of one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableMeta {
+    /// Table identifier.
+    pub id: u32,
+    /// Record slot size in bytes (including [`SLOT_OVERHEAD`]).
+    pub slot_size: u32,
+}
+
+impl TableMeta {
+    /// Largest value this table can store.
+    pub fn value_capacity(&self) -> usize {
+        self.slot_size as usize - SLOT_OVERHEAD
+    }
+
+    /// Slots per page for `page_size`.
+    pub fn slots_per_page(&self, page_size: usize) -> usize {
+        (page_size - crate::page::PAGE_HEADER) / self.slot_size as usize
+    }
+
+    /// Data file path for this table under `kind`'s layout.
+    pub fn file_path(&self, kind: ProfileKind) -> String {
+        match kind {
+            ProfileKind::Postgres => format!("base/{}", self.id),
+            ProfileKind::MySql => format!("t{}.ibd", self.id),
+        }
+    }
+
+    /// Page/slot coordinates of `key`.
+    pub fn locate(&self, key: u64, page_size: usize) -> (u64, usize) {
+        let spp = self.slots_per_page(page_size) as u64;
+        (key / spp, (key % spp) as usize)
+    }
+}
+
+/// The set of tables, persisted as a small catalog file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    tables: BTreeMap<u32, TableMeta>,
+}
+
+const MAGIC: [u8; 4] = *b"GCAT";
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, id: u32) -> Option<&TableMeta> {
+        self.tables.get(&id)
+    }
+
+    /// Iterates over all tables in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &TableMeta> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether no tables exist.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Adds a table.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::TableExists`] if the id is taken.
+    pub fn add(&mut self, meta: TableMeta) -> Result<(), DbError> {
+        if self.tables.contains_key(&meta.id) {
+            return Err(DbError::TableExists(meta.id));
+        }
+        self.tables.insert(meta.id, meta);
+        Ok(())
+    }
+
+    /// Serializes the catalog.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.tables.len() * 8);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
+        for meta in self.tables.values() {
+            out.extend_from_slice(&meta.id.to_le_bytes());
+            out.extend_from_slice(&meta.slot_size.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses a catalog file.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corrupt`] on malformed input.
+    pub fn decode(data: &[u8]) -> Result<Self, DbError> {
+        let corrupt = |why: &str| DbError::Corrupt(format!("catalog: {why}"));
+        if data.len() < 12 {
+            return Err(corrupt("too short"));
+        }
+        if data[0..4] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let count = u32::from_le_bytes(data[4..8].try_into().unwrap()) as usize;
+        let expected_len = 8 + count * 8 + 4;
+        if data.len() != expected_len {
+            return Err(corrupt("length mismatch"));
+        }
+        let stored_crc = u32::from_le_bytes(data[expected_len - 4..].try_into().unwrap());
+        if crc32(&data[..expected_len - 4]) != stored_crc {
+            return Err(corrupt("bad crc"));
+        }
+        let mut catalog = Catalog::new();
+        for i in 0..count {
+            let base = 8 + i * 8;
+            let id = u32::from_le_bytes(data[base..base + 4].try_into().unwrap());
+            let slot_size = u32::from_le_bytes(data[base + 4..base + 8].try_into().unwrap());
+            catalog.add(TableMeta { id, slot_size }).map_err(|_| corrupt("duplicate table"))?;
+        }
+        Ok(catalog)
+    }
+
+    /// Catalog file path for `kind`.
+    pub fn path(kind: ProfileKind) -> &'static str {
+        match kind {
+            ProfileKind::Postgres => PG_CATALOG_PATH,
+            ProfileKind::MySql => MYSQL_CATALOG_PATH,
+        }
+    }
+
+    /// Persists the catalog with a synchronous write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    pub fn write(&self, fs: &dyn FileSystem, kind: ProfileKind) -> Result<(), DbError> {
+        // Truncate first: the catalog can shrink (not today, but encode
+        // length changes when tables are added and stale bytes past the
+        // new end would corrupt decode).
+        let path = Self::path(kind);
+        let encoded = self.encode();
+        if fs.exists(path) {
+            fs.truncate(path, encoded.len() as u64)?;
+        }
+        fs.write(path, 0, &encoded, true)?;
+        Ok(())
+    }
+
+    /// Loads the catalog for `kind`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::RecoveryFailed`] when missing or invalid.
+    pub fn read(fs: &dyn FileSystem, kind: ProfileKind) -> Result<Self, DbError> {
+        let data = fs
+            .read_all(Self::path(kind))
+            .map_err(|e| DbError::RecoveryFailed(format!("no catalog: {e}")))?;
+        Self::decode(&data).map_err(|e| DbError::RecoveryFailed(format!("catalog invalid: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ginja_vfs::MemFs;
+
+    #[test]
+    fn meta_math() {
+        let meta = TableMeta { id: 1, slot_size: 62 };
+        assert_eq!(meta.value_capacity(), 51);
+        // (512 - 16) / 62 = 8 slots per page.
+        assert_eq!(meta.slots_per_page(512), 8);
+        assert_eq!(meta.locate(0, 512), (0, 0));
+        assert_eq!(meta.locate(7, 512), (0, 7));
+        assert_eq!(meta.locate(8, 512), (1, 0));
+        assert_eq!(meta.locate(17, 512), (2, 1));
+    }
+
+    #[test]
+    fn file_paths_per_profile() {
+        let meta = TableMeta { id: 42, slot_size: 64 };
+        assert_eq!(meta.file_path(ProfileKind::Postgres), "base/42");
+        assert_eq!(meta.file_path(ProfileKind::MySql), "t42.ibd");
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut c = Catalog::new();
+        c.add(TableMeta { id: 1, slot_size: 64 }).unwrap();
+        c.add(TableMeta { id: 9, slot_size: 128 }).unwrap();
+        let back = Catalog::decode(&c.encode()).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.table(9).unwrap().slot_size, 128);
+        assert!(back.table(2).is_none());
+    }
+
+    #[test]
+    fn empty_catalog_roundtrip() {
+        let c = Catalog::new();
+        assert!(Catalog::decode(&c.encode()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = Catalog::new();
+        c.add(TableMeta { id: 1, slot_size: 64 }).unwrap();
+        assert!(matches!(
+            c.add(TableMeta { id: 1, slot_size: 32 }),
+            Err(DbError::TableExists(1))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let mut c = Catalog::new();
+        c.add(TableMeta { id: 1, slot_size: 64 }).unwrap();
+        let enc = c.encode();
+        for i in 0..enc.len() {
+            let mut bad = enc.clone();
+            bad[i] ^= 0x55;
+            assert!(Catalog::decode(&bad).is_err(), "byte {i}");
+        }
+        assert!(Catalog::decode(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn persist_and_load() {
+        let fs = MemFs::new();
+        let mut c = Catalog::new();
+        c.add(TableMeta { id: 3, slot_size: 96 }).unwrap();
+        c.write(&fs, ProfileKind::Postgres).unwrap();
+        assert!(fs.exists(PG_CATALOG_PATH));
+        assert_eq!(Catalog::read(&fs, ProfileKind::Postgres).unwrap(), c);
+
+        c.write(&fs, ProfileKind::MySql).unwrap();
+        assert_eq!(Catalog::read(&fs, ProfileKind::MySql).unwrap(), c);
+    }
+
+    #[test]
+    fn rewrite_after_growth_still_valid() {
+        let fs = MemFs::new();
+        let mut c = Catalog::new();
+        c.add(TableMeta { id: 1, slot_size: 64 }).unwrap();
+        c.write(&fs, ProfileKind::Postgres).unwrap();
+        c.add(TableMeta { id: 2, slot_size: 64 }).unwrap();
+        c.write(&fs, ProfileKind::Postgres).unwrap();
+        assert_eq!(Catalog::read(&fs, ProfileKind::Postgres).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn missing_catalog_is_recovery_failure() {
+        let fs = MemFs::new();
+        assert!(matches!(
+            Catalog::read(&fs, ProfileKind::Postgres),
+            Err(DbError::RecoveryFailed(_))
+        ));
+    }
+}

@@ -1,0 +1,256 @@
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::{FileSystem, FsError};
+
+/// A [`FileSystem`] backed by a real directory on disk.
+///
+/// Virtual `/`-separated paths map to files under the root directory;
+/// intermediate directories are created on demand. `sync` writes call
+/// `File::sync_data`, so a database running over `DirFs` gets real
+/// durability — this backend is what a non-simulated deployment of the
+/// mini-DBMS uses.
+#[derive(Debug)]
+pub struct DirFs {
+    root: PathBuf,
+}
+
+impl DirFs {
+    /// Opens (creating if needed) the directory at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Io`] if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, FsError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(DirFs { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn resolve(&self, path: &str) -> Result<PathBuf, FsError> {
+        // Reject path escapes: virtual paths are interior names only.
+        if path.split('/').any(|seg| seg == ".." || seg == "." || seg.is_empty()) {
+            return Err(FsError::Io(format!("invalid virtual path: {path}")));
+        }
+        Ok(self.root.join(path))
+    }
+
+    fn walk(dir: &Path, base: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                Self::walk(&path, base, out)?;
+            } else if let Ok(rel) = path.strip_prefix(base) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FileSystem for DirFs {
+    fn create(&self, path: &str) -> Result<(), FsError> {
+        let full = self.resolve(path)?;
+        if full.exists() {
+            return Err(FsError::AlreadyExists(path.to_string()));
+        }
+        if let Some(parent) = full.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::File::create(&full)?;
+        Ok(())
+    }
+
+    fn write(&self, path: &str, offset: u64, data: &[u8], sync: bool) -> Result<(), FsError> {
+        let full = self.resolve(path)?;
+        if let Some(parent) = full.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        // Positional write semantics: never truncate existing content.
+        let mut file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&full)?;
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(data)?;
+        if sync {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn read(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
+        let full = self.resolve(path)?;
+        let mut file = fs::File::open(&full).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                FsError::NotFound(path.to_string())
+            } else {
+                FsError::Io(e.to_string())
+            }
+        })?;
+        let file_len = file.metadata()?.len();
+        if offset + len as u64 > file_len {
+            return Err(FsError::OutOfBounds { path: path.to_string(), offset, len: file_len });
+        }
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn read_all(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        let full = self.resolve(path)?;
+        fs::read(&full).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                FsError::NotFound(path.to_string())
+            } else {
+                FsError::Io(e.to_string())
+            }
+        })
+    }
+
+    fn len(&self, path: &str) -> Result<u64, FsError> {
+        let full = self.resolve(path)?;
+        match fs::metadata(&full) {
+            Ok(meta) => Ok(meta.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(FsError::NotFound(path.to_string()))
+            }
+            Err(e) => Err(FsError::Io(e.to_string())),
+        }
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> Result<(), FsError> {
+        let full = self.resolve(path)?;
+        let file = fs::OpenOptions::new().write(true).open(&full).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                FsError::NotFound(path.to_string())
+            } else {
+                FsError::Io(e.to_string())
+            }
+        })?;
+        file.set_len(len)?;
+        Ok(())
+    }
+
+    fn delete(&self, path: &str) -> Result<(), FsError> {
+        let full = self.resolve(path)?;
+        match fs::remove_file(&full) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(FsError::Io(e.to_string())),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), FsError> {
+        let from_full = self.resolve(from)?;
+        let to_full = self.resolve(to)?;
+        if !from_full.exists() {
+            return Err(FsError::NotFound(from.to_string()));
+        }
+        if let Some(parent) = to_full.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::rename(&from_full, &to_full)?;
+        Ok(())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, FsError> {
+        let mut out = Vec::new();
+        Self::walk(&self.root, &self.root, &mut out)?;
+        out.retain(|p| p.starts_with(prefix));
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_fs(tag: &str) -> DirFs {
+        let dir = std::env::temp_dir()
+            .join("ginja-vfs-tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        DirFs::open(dir).unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let fs = temp_fs("rw");
+        fs.write("pg_xlog/0001", 0, b"record", true).unwrap();
+        assert_eq!(fs.read_all("pg_xlog/0001").unwrap(), b"record");
+        assert_eq!(fs.read("pg_xlog/0001", 2, 3).unwrap(), b"cor");
+    }
+
+    #[test]
+    fn nested_directories_created() {
+        let fs = temp_fs("nested");
+        fs.write("a/b/c/file", 0, b"x", false).unwrap();
+        assert_eq!(fs.list("a/").unwrap(), vec!["a/b/c/file"]);
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let fs = temp_fs("sparse");
+        fs.write("f", 8, b"z", false).unwrap();
+        assert_eq!(fs.len("f").unwrap(), 9);
+        assert_eq!(fs.read("f", 0, 9).unwrap(), vec![0, 0, 0, 0, 0, 0, 0, 0, b'z']);
+    }
+
+    #[test]
+    fn path_escape_rejected() {
+        let fs = temp_fs("escape");
+        assert!(fs.write("../evil", 0, b"x", false).is_err());
+        assert!(fs.read_all("a//b").is_err());
+        assert!(fs.read_all("./x").is_err());
+    }
+
+    #[test]
+    fn rename_and_delete() {
+        let fs = temp_fs("rename");
+        fs.write("one", 0, b"1", false).unwrap();
+        fs.rename("one", "sub/two").unwrap();
+        assert!(!fs.exists("one"));
+        assert_eq!(fs.read_all("sub/two").unwrap(), b"1");
+        fs.delete("sub/two").unwrap();
+        fs.delete("sub/two").unwrap();
+        assert!(!fs.exists("sub/two"));
+    }
+
+    #[test]
+    fn list_sorted_with_prefix() {
+        let fs = temp_fs("list");
+        fs.write("b", 0, b"", false).unwrap();
+        fs.write("a/2", 0, b"", false).unwrap();
+        fs.write("a/1", 0, b"", false).unwrap();
+        assert_eq!(fs.list("a/").unwrap(), vec!["a/1", "a/2"]);
+        assert_eq!(fs.list("").unwrap(), vec!["a/1", "a/2", "b"]);
+    }
+
+    #[test]
+    fn wipe_removes_files() {
+        let fs = temp_fs("wipe");
+        fs.write("x/y", 0, b"1", false).unwrap();
+        fs.write("z", 0, b"2", false).unwrap();
+        fs.wipe().unwrap();
+        assert!(fs.list("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_read() {
+        let fs = temp_fs("oob");
+        fs.write("f", 0, b"ab", false).unwrap();
+        assert!(matches!(fs.read("f", 1, 5), Err(FsError::OutOfBounds { .. })));
+    }
+}

@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`crate::FileSystem`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsError {
+    /// The file does not exist.
+    NotFound(String),
+    /// A file with this path already exists (for `create`).
+    AlreadyExists(String),
+    /// A read reached past the end of the file.
+    OutOfBounds {
+        /// File whose bounds were exceeded.
+        path: String,
+        /// Requested read offset.
+        offset: u64,
+        /// Actual file length.
+        len: u64,
+    },
+    /// An underlying I/O error (only from [`crate::DirFs`]).
+    Io(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(path) => write!(f, "file not found: {path}"),
+            FsError::AlreadyExists(path) => write!(f, "file already exists: {path}"),
+            FsError::OutOfBounds { path, offset, len } => {
+                write!(f, "read past end of {path}: offset {offset}, file length {len}")
+            }
+            FsError::Io(reason) => write!(f, "i/o error: {reason}"),
+        }
+    }
+}
+
+impl Error for FsError {}
+
+impl From<std::io::Error> for FsError {
+    fn from(err: std::io::Error) -> Self {
+        FsError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_path() {
+        assert!(FsError::NotFound("a/b".into()).to_string().contains("a/b"));
+        assert!(FsError::AlreadyExists("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("disk on fire");
+        let fs: FsError = io.into();
+        assert!(matches!(fs, FsError::Io(_)));
+        assert!(fs.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<FsError>();
+    }
+}

@@ -1,0 +1,134 @@
+use crate::FsError;
+
+/// The file operations a DBMS performs on its data directory.
+///
+/// Paths are flat `/`-separated strings relative to the data directory
+/// (e.g. `pg_xlog/000000010000000000000001` or `ibdata1`), matching how
+/// the FUSE prototype saw the database's files.
+///
+/// Semantics intentionally mirror POSIX pwrite/pread:
+///
+/// * `write` at an offset past the end zero-fills the gap (sparse file);
+/// * `read` of a range extending past the end is an error
+///   ([`FsError::OutOfBounds`]) so that page-size bugs surface loudly;
+/// * `sync` on `write` models `O_SYNC`/`fsync` — the signal Table 1's
+///   event detection keys on.
+pub trait FileSystem: Send + Sync {
+    /// Creates an empty file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::AlreadyExists`] if the path is taken.
+    fn create(&self, path: &str) -> Result<(), FsError>;
+
+    /// Writes `data` at `offset`, creating the file if absent and
+    /// zero-filling any gap. `sync` marks a synchronous (durable) write.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Io`] on backend failure.
+    fn write(&self, path: &str, offset: u64, data: &[u8], sync: bool) -> Result<(), FsError>;
+
+    /// Reads exactly `len` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] or [`FsError::OutOfBounds`].
+    fn read(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>, FsError>;
+
+    /// Reads the whole file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if absent.
+    fn read_all(&self, path: &str) -> Result<Vec<u8>, FsError>;
+
+    /// Returns the file length in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if absent.
+    fn len(&self, path: &str) -> Result<u64, FsError>;
+
+    /// Truncates (or extends with zeros) the file to `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if absent.
+    fn truncate(&self, path: &str, len: u64) -> Result<(), FsError>;
+
+    /// Deletes the file. Deleting a missing file is not an error.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Io`] on backend failure.
+    fn delete(&self, path: &str) -> Result<(), FsError>;
+
+    /// Renames a file (used by WAL segment recycling).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if `from` is absent.
+    fn rename(&self, from: &str, to: &str) -> Result<(), FsError>;
+
+    /// Lists all paths starting with `prefix`, sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Io`] on backend failure.
+    fn list(&self, prefix: &str) -> Result<Vec<String>, FsError>;
+
+    /// Whether the file exists.
+    fn exists(&self, path: &str) -> bool {
+        self.len(path).is_ok()
+    }
+
+    /// Deletes every file (used to simulate a disaster destroying the
+    /// primary site).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Io`] on backend failure.
+    fn wipe(&self) -> Result<(), FsError> {
+        for path in self.list("")? {
+            self.delete(&path)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: FileSystem + ?Sized> FileSystem for std::sync::Arc<T> {
+    fn create(&self, path: &str) -> Result<(), FsError> {
+        (**self).create(path)
+    }
+    fn write(&self, path: &str, offset: u64, data: &[u8], sync: bool) -> Result<(), FsError> {
+        (**self).write(path, offset, data, sync)
+    }
+    fn read(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
+        (**self).read(path, offset, len)
+    }
+    fn read_all(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        (**self).read_all(path)
+    }
+    fn len(&self, path: &str) -> Result<u64, FsError> {
+        (**self).len(path)
+    }
+    fn truncate(&self, path: &str, len: u64) -> Result<(), FsError> {
+        (**self).truncate(path, len)
+    }
+    fn delete(&self, path: &str) -> Result<(), FsError> {
+        (**self).delete(path)
+    }
+    fn rename(&self, from: &str, to: &str) -> Result<(), FsError> {
+        (**self).rename(from, to)
+    }
+    fn list(&self, prefix: &str) -> Result<Vec<String>, FsError> {
+        (**self).list(prefix)
+    }
+    fn exists(&self, path: &str) -> bool {
+        (**self).exists(path)
+    }
+    fn wipe(&self) -> Result<(), FsError> {
+        (**self).wipe()
+    }
+}

@@ -1,0 +1,152 @@
+use crate::{DbmsProcessor, IoClass, WriteEvent};
+
+/// Table 1 classification rules for PostgreSQL.
+///
+/// PostgreSQL "keeps its log segments in a set of x_log files (with
+/// pages of 8kB) … uses a pg_log file to store the status of each
+/// transaction (the checkpoint starts with a write in this file) and a
+/// small pg_control file to store a pointer to the last checkpoint
+/// record in the WAL … A write to pg_control marks the end of a
+/// checkpoint" (§4).
+///
+/// | Event | Detection |
+/// |---|---|
+/// | Update commit | sync. write under `pg_xlog/` |
+/// | Checkpoint begin | sync. write under `pg_clog/` |
+/// | Checkpoint end | sync. write to `global/pg_control` |
+///
+/// Table files live under `base/`; everything else (e.g. `pg_stat/`,
+/// `pg_temp/`) is irrelevant to recovery.
+#[derive(Debug, Clone)]
+pub struct PostgresProcessor {
+    wal_prefix: String,
+    clog_prefix: String,
+    control_path: String,
+    table_prefix: String,
+}
+
+impl Default for PostgresProcessor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PostgresProcessor {
+    /// The standard PostgreSQL 9.x data-directory layout.
+    pub fn new() -> Self {
+        PostgresProcessor {
+            wal_prefix: "pg_xlog/".to_string(),
+            clog_prefix: "pg_clog/".to_string(),
+            control_path: "global/pg_control".to_string(),
+            table_prefix: "base/".to_string(),
+        }
+    }
+}
+
+impl DbmsProcessor for PostgresProcessor {
+    fn classify(&self, event: &WriteEvent) -> IoClass {
+        // Table 1 keys on *synchronous* writes; PostgreSQL issues
+        // asynchronous writes only for non-durability-critical files.
+        if !event.sync {
+            return IoClass::Other;
+        }
+        if event.path.starts_with(&self.wal_prefix) {
+            return IoClass::WalAppend;
+        }
+        if event.path == self.control_path {
+            return IoClass::ControlFile;
+        }
+        if event.path.starts_with(&self.clog_prefix) || event.path.starts_with(&self.table_prefix)
+        {
+            return IoClass::DataFile;
+        }
+        IoClass::Other
+    }
+
+    fn wal_prefix(&self) -> &str {
+        &self.wal_prefix
+    }
+
+    fn is_db_file(&self, path: &str) -> bool {
+        path.starts_with(&self.clog_prefix)
+            || path.starts_with(&self.table_prefix)
+            || path == self.control_path
+    }
+
+    fn checkpoints_flush_all_dirty_pages(&self) -> bool {
+        // PostgreSQL checkpoints write out every buffer dirtied before
+        // the checkpoint started, then update pg_control.
+        true
+    }
+
+    fn name(&self) -> &str {
+        "postgres"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn event(path: &str, offset: u64, sync: bool) -> WriteEvent {
+        WriteEvent { path: path.to_string(), offset, data: Arc::from(&b"x"[..]), sync }
+    }
+
+    #[test]
+    fn xlog_writes_are_update_commits() {
+        let p = PostgresProcessor::new();
+        assert_eq!(
+            p.classify(&event("pg_xlog/000000010000000000000001", 8192, true)),
+            IoClass::WalAppend
+        );
+    }
+
+    #[test]
+    fn clog_write_is_checkpoint_data() {
+        let p = PostgresProcessor::new();
+        assert_eq!(p.classify(&event("pg_clog/0000", 0, true)), IoClass::DataFile);
+    }
+
+    #[test]
+    fn table_file_write_is_checkpoint_data() {
+        let p = PostgresProcessor::new();
+        assert_eq!(p.classify(&event("base/16384/16385", 8192, true)), IoClass::DataFile);
+    }
+
+    #[test]
+    fn pg_control_is_checkpoint_end() {
+        let p = PostgresProcessor::new();
+        assert_eq!(p.classify(&event("global/pg_control", 0, true)), IoClass::ControlFile);
+    }
+
+    #[test]
+    fn async_writes_ignored() {
+        let p = PostgresProcessor::new();
+        assert_eq!(p.classify(&event("pg_xlog/0001", 0, false)), IoClass::Other);
+        assert_eq!(p.classify(&event("base/1/2", 0, false)), IoClass::Other);
+    }
+
+    #[test]
+    fn unrelated_files_ignored() {
+        let p = PostgresProcessor::new();
+        assert_eq!(p.classify(&event("pg_stat/db_0.stat", 0, true)), IoClass::Other);
+        assert_eq!(p.classify(&event("postmaster.pid", 0, true)), IoClass::Other);
+    }
+
+    #[test]
+    fn db_file_predicate() {
+        let p = PostgresProcessor::new();
+        assert!(p.is_db_file("base/1/16385"));
+        assert!(p.is_db_file("pg_clog/0000"));
+        assert!(p.is_db_file("global/pg_control"));
+        assert!(!p.is_db_file("pg_xlog/0001"));
+        assert!(!p.is_db_file("pg_stat/x"));
+    }
+
+    #[test]
+    fn wal_prefix_exposed() {
+        assert_eq!(PostgresProcessor::new().wal_prefix(), "pg_xlog/");
+        assert_eq!(PostgresProcessor::new().name(), "postgres");
+    }
+}

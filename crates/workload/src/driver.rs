@@ -1,0 +1,134 @@
+//! Multi-terminal TPC-C driver reporting the paper's two throughput
+//! metrics: Tpm-C (newOrder transactions per minute, "while the DBMS is
+//! also processing other types of transactions") and Tpm-Total.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ginja_db::Database;
+
+use crate::tpcc::{Tpcc, TpccScale, TxnKind};
+
+/// Result of one driver run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// Total transactions executed.
+    pub total_txns: u64,
+    /// newOrder transactions executed.
+    pub new_order_txns: u64,
+    /// Wall-clock duration of the measured window.
+    pub duration: Duration,
+    /// Transactions that failed (should be zero).
+    pub errors: u64,
+}
+
+impl RunReport {
+    /// Total transactions per minute.
+    pub fn tpm_total(&self) -> f64 {
+        self.total_txns as f64 * 60.0 / self.duration.as_secs_f64().max(1e-9)
+    }
+
+    /// newOrder transactions per minute (Tpm-C).
+    pub fn tpm_c(&self) -> f64 {
+        self.new_order_txns as f64 * 60.0 / self.duration.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs `terminals` concurrent TPC-C terminals against `db` for
+/// `duration` (schema and population must already be loaded).
+///
+/// Each terminal executes the standard mix back-to-back (no think
+/// time), exactly like the paper's five-minute BenchmarkSQL runs.
+pub fn run_tpcc(
+    db: &Arc<Database>,
+    warehouses: u64,
+    terminals: u64,
+    duration: Duration,
+    seed: u64,
+    scale: TpccScale,
+) -> RunReport {
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let new_orders = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for terminal in 0..terminals {
+        let db = db.clone();
+        let stop = stop.clone();
+        let total = total.clone();
+        let new_orders = new_orders.clone();
+        let errors = errors.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut tpcc =
+                Tpcc::for_terminal(warehouses, seed, scale, terminal, terminals);
+            while !stop.load(Ordering::Relaxed) {
+                match tpcc.run_transaction(&db) {
+                    Ok(kind) => {
+                        total.fetch_add(1, Ordering::Relaxed);
+                        if kind == TxnKind::NewOrder {
+                            new_orders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for handle in handles {
+        let _ = handle.join();
+    }
+
+    RunReport {
+        total_txns: total.load(Ordering::Relaxed),
+        new_order_txns: new_orders.load(Ordering::Relaxed),
+        duration: start.elapsed(),
+        errors: errors.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ginja_db::DbProfile;
+    use ginja_vfs::MemFs;
+
+    #[test]
+    fn driver_runs_and_reports() {
+        let db = Arc::new(
+            Database::create(Arc::new(MemFs::new()), DbProfile::postgres_small()).unwrap(),
+        );
+        let mut loader = Tpcc::new(1, 11, TpccScale::tiny());
+        loader.create_schema(&db).unwrap();
+        loader.load(&db).unwrap();
+
+        let report = run_tpcc(&db, 1, 3, Duration::from_millis(300), 11, TpccScale::tiny());
+        assert!(report.total_txns > 10, "{report:?}");
+        assert_eq!(report.errors, 0);
+        assert!(report.tpm_total() > 0.0);
+        assert!(report.tpm_c() > 0.0);
+        assert!(report.tpm_c() < report.tpm_total());
+        // Mix sanity: newOrder should be near 45 % of the total.
+        let frac = report.new_order_txns as f64 / report.total_txns as f64;
+        assert!((0.25..0.65).contains(&frac), "newOrder fraction {frac}");
+    }
+
+    #[test]
+    fn report_math() {
+        let report = RunReport {
+            total_txns: 600,
+            new_order_txns: 270,
+            duration: Duration::from_secs(60),
+            errors: 0,
+        };
+        assert!((report.tpm_total() - 600.0).abs() < 1e-6);
+        assert!((report.tpm_c() - 270.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! Workload generators for the Ginja evaluation.
+//!
+//! The paper drives its performance experiments (§8) with **TPC-C**,
+//! chosen "due to its update-heavy workload (≈ 90% of updates)", and its
+//! cost analysis (§7) with fixed-rate update streams. This crate
+//! provides both:
+//!
+//! * [`Tpcc`] — a TPC-C-style transaction mix (newOrder / payment /
+//!   orderStatus / delivery / stockLevel at the standard 45/43/4/4/4
+//!   weights) over the nine TPC-C tables, with configurable scale;
+//! * [`run_tpcc`] — a multi-terminal driver reporting **Tpm-C** (newOrder
+//!   transactions per minute) and **Tpm-Total**, the two metrics of
+//!   Figures 5 and 6;
+//! * [`UpdateWorkload`] — a deterministic update stream at a fixed
+//!   rate, for the §7 cost experiments.
+
+mod driver;
+mod tpcc;
+mod update;
+mod verify;
+
+pub use driver::{run_tpcc, RunReport};
+pub use tpcc::{tables, Tpcc, TpccScale, TxnKind};
+pub use update::UpdateWorkload;
+pub use verify::{probe_tpcc, TpccProbeReport};

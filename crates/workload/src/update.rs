@@ -1,0 +1,118 @@
+//! Fixed-rate update streams for the §7 cost experiments ("W –
+//! updates per minute").
+
+use ginja_db::{Database, DbError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic stream of single-row updates at a notional rate.
+///
+/// The cost model is closed-form, so this generator is used to *measure*
+/// cloud usage for a given number of updates rather than to wait real
+/// minutes: [`UpdateWorkload::apply`] executes `n` updates back-to-back
+/// and the caller attributes them to whatever simulated time span the
+/// experiment calls for.
+#[derive(Debug)]
+pub struct UpdateWorkload {
+    table: u32,
+    key_space: u64,
+    record_len: usize,
+    rng: StdRng,
+    applied: u64,
+}
+
+impl UpdateWorkload {
+    /// A stream updating `key_space` hot rows of `table` with
+    /// `record_len`-byte payloads.
+    pub fn new(table: u32, key_space: u64, record_len: usize, seed: u64) -> Self {
+        assert!(key_space > 0, "key space must be positive");
+        UpdateWorkload { table, key_space, record_len, rng: StdRng::seed_from_u64(seed), applied: 0 }
+    }
+
+    /// Number of updates applied so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Applies `n` updates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DbError`].
+    pub fn apply(&mut self, db: &Database, n: u64) -> Result<(), DbError> {
+        for _ in 0..n {
+            let key = self.rng.gen_range(0..self.key_space);
+            let value = self.next_record(key);
+            db.put(self.table, key, value)?;
+            self.applied += 1;
+        }
+        Ok(())
+    }
+
+    fn next_record(&mut self, key: u64) -> Vec<u8> {
+        let mut row = format!("upd:{key:010}:{:010}|", self.applied).into_bytes();
+        while row.len() < self.record_len {
+            row.push(self.rng.gen_range(b'a'..=b'z'));
+            row.extend_from_slice(b"_field_");
+        }
+        row.truncate(self.record_len);
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ginja_db::DbProfile;
+    use ginja_vfs::MemFs;
+    use std::sync::Arc;
+
+    fn db() -> Database {
+        let db = Database::create(Arc::new(MemFs::new()), DbProfile::postgres_small()).unwrap();
+        db.create_table(1, 128).unwrap();
+        db
+    }
+
+    #[test]
+    fn applies_exactly_n() {
+        let db = db();
+        let mut w = UpdateWorkload::new(1, 50, 80, 9);
+        w.apply(&db, 200).unwrap();
+        assert_eq!(w.applied(), 200);
+        assert_eq!(db.stats().commits, 200);
+    }
+
+    #[test]
+    fn records_have_requested_size() {
+        let db = db();
+        let mut w = UpdateWorkload::new(1, 10, 100, 9);
+        w.apply(&db, 20).unwrap();
+        let mut found = 0;
+        for key in 0..10 {
+            if let Some(v) = db.get(1, key).unwrap() {
+                assert_eq!(v.len(), 100);
+                found += 1;
+            }
+        }
+        assert!(found > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let db_a = db();
+        let db_b = db();
+        let mut a = UpdateWorkload::new(1, 10, 60, 4);
+        let mut b = UpdateWorkload::new(1, 10, 60, 4);
+        a.apply(&db_a, 50).unwrap();
+        b.apply(&db_b, 50).unwrap();
+        for key in 0..10 {
+            assert_eq!(db_a.get(1, key).unwrap(), db_b.get(1, key).unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "key space")]
+    fn zero_key_space_rejected() {
+        let _ = UpdateWorkload::new(1, 0, 10, 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Service-specific backup validation for the TPC-C schema — the third
+//! validation of the paper's backup-verification procedure (§5.4):
+//! "a pre-prepared script can run a series of queries to assess if
+//! recent updates are available on the database".
+
+use ginja_db::{Database, DbError};
+
+use crate::tpcc::tables;
+
+/// Result of a TPC-C consistency probe.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TpccProbeReport {
+    /// Rows found per probed table: (warehouse, district, customer,
+    /// stock, order, new_order, order_line).
+    pub row_counts: [u64; 7],
+    /// NEW-ORDER entries whose ORDER row is missing (must be 0: they
+    /// are written in the same transaction).
+    pub orphan_new_orders: u64,
+    /// ORDER rows (for undelivered orders) whose first ORDER-LINE is
+    /// missing (must be 0).
+    pub orders_without_lines: u64,
+}
+
+impl TpccProbeReport {
+    /// Whether the referential checks all passed and data is present.
+    pub fn is_consistent(&self) -> bool {
+        self.orphan_new_orders == 0
+            && self.orders_without_lines == 0
+            && self.row_counts[0] > 0 // at least one warehouse
+    }
+}
+
+/// Probes a (possibly recovered) database for TPC-C consistency:
+/// populated base tables, and the transactional invariants between
+/// NEW-ORDER, ORDER and ORDER-LINE that newOrder writes atomically.
+///
+/// # Errors
+///
+/// Propagates [`DbError`] — a missing *table* (as opposed to missing
+/// rows) means the recovery did not even restore the schema.
+pub fn probe_tpcc(db: &Database) -> Result<TpccProbeReport, DbError> {
+    let mut report = TpccProbeReport::default();
+
+    let probed = [
+        tables::WAREHOUSE,
+        tables::DISTRICT,
+        tables::CUSTOMER,
+        tables::STOCK,
+        tables::ORDER,
+        tables::NEW_ORDER,
+        tables::ORDER_LINE,
+    ];
+    for (slot, table) in probed.iter().enumerate() {
+        report.row_counts[slot] = db.dump_table(*table)?.len() as u64;
+    }
+
+    for (order_key, _) in db.dump_table(tables::NEW_ORDER)? {
+        if db.get(tables::ORDER, order_key)?.is_none() {
+            report.orphan_new_orders += 1;
+        }
+        if db.get(tables::ORDER_LINE, order_key * 15)?.is_none() {
+            report.orders_without_lines += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcc::{Tpcc, TpccScale};
+    use ginja_db::DbProfile;
+    use ginja_vfs::MemFs;
+    use std::sync::Arc;
+
+    fn loaded_db() -> Database {
+        let db = Database::create(Arc::new(MemFs::new()), DbProfile::postgres_small()).unwrap();
+        let mut tpcc = Tpcc::new(1, 77, TpccScale::tiny());
+        tpcc.create_schema(&db).unwrap();
+        tpcc.load(&db).unwrap();
+        for _ in 0..100 {
+            tpcc.run_transaction(&db).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn freshly_loaded_database_is_consistent() {
+        let report = probe_tpcc(&loaded_db()).unwrap();
+        assert!(report.is_consistent(), "{report:?}");
+        assert!(report.row_counts.iter().all(|&c| c > 0), "{report:?}");
+    }
+
+    #[test]
+    fn detects_orphan_new_orders() {
+        let db = loaded_db();
+        // Break an invariant by hand: a NEW-ORDER without its ORDER.
+        let (victim, _) = db.dump_table(tables::NEW_ORDER).unwrap()[0].clone();
+        db.delete(tables::ORDER, victim).unwrap();
+        let report = probe_tpcc(&db).unwrap();
+        assert_eq!(report.orphan_new_orders, 1);
+        assert!(!report.is_consistent());
+    }
+
+    #[test]
+    fn detects_missing_order_lines() {
+        let db = loaded_db();
+        let (victim, _) = db.dump_table(tables::NEW_ORDER).unwrap()[0].clone();
+        db.delete(tables::ORDER_LINE, victim * 15).unwrap();
+        let report = probe_tpcc(&db).unwrap();
+        assert_eq!(report.orders_without_lines, 1);
+        assert!(!report.is_consistent());
+    }
+
+    #[test]
+    fn missing_schema_is_an_error() {
+        let db = Database::create(Arc::new(MemFs::new()), DbProfile::postgres_small()).unwrap();
+        assert!(probe_tpcc(&db).is_err());
+    }
+}

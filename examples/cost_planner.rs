@@ -1,0 +1,49 @@
+//! Cost planner: the paper's §7 model as a small CLI.
+//!
+//! ```sh
+//! cargo run --example cost_planner -- [db_size_gb] [updates_per_minute] [batch]
+//! # defaults:                          10           100                 100
+//! ```
+//!
+//! Prints the monthly cost breakdown, the $1 budget frontier (Figure 1),
+//! and the comparison against a VM-based Pilot Light.
+
+use ginja::cost::{budget_frontier, Ec2Pricing, GinjaCostModel, S3Pricing};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let db_size_gb: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10.0);
+    let updates_per_minute: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100.0);
+    let batch: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+
+    let mut model = GinjaCostModel::paper_fig4(updates_per_minute, batch);
+    model.db_size_gb = db_size_gb;
+
+    println!("Ginja DR cost plan (Amazon S3, May-2017 prices)");
+    println!("  database size:      {db_size_gb} GB");
+    println!("  workload:           {updates_per_minute} updates/minute");
+    println!("  batch (B):          {batch} updates per cloud synchronization");
+    println!();
+    println!("Monthly cost breakdown (paper §7.1):");
+    println!("  C_DB_Storage  = ${:>8.3}   (dumps + incremental checkpoints)", model.c_db_storage());
+    println!("  C_DB_PUT      = ${:>8.3}   (checkpoint uploads)", model.c_db_put());
+    println!("  C_WAL_Storage = ${:>8.3}   (live WAL objects)", model.c_wal_storage());
+    println!("  C_WAL_PUT     = ${:>8.3}   (commit uploads)", model.c_wal_put());
+    println!("  ─ C_Total     = ${:>8.3} per month", model.total());
+    println!();
+    println!("Recovery (disaster) cost: ${:.3} — free if recovering into the same region",
+        model.recovery_cost());
+
+    let vm = Ec2Pricing::may_2017().laboratory_vm_month(db_size_gb);
+    println!();
+    println!("VM-based Pilot Light alternative: ${vm:.1}/month (m3.medium + VPN + EBS)");
+    println!("→ Ginja is {:.0}× cheaper", vm / model.total());
+
+    println!();
+    println!("$1/month capacity frontier (Figure 1):");
+    println!("  syncs/hour   max DB size");
+    for (rate, size) in budget_frontier([25.0, 50.0, 100.0, 150.0, 200.0, 250.0], 1.0, &S3Pricing::may_2017())
+    {
+        println!("  {rate:>10.0}   {size:>8.1} GB");
+    }
+}

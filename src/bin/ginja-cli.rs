@@ -1,0 +1,174 @@
+//! `ginja-cli` — operator tooling over a Ginja cloud bucket.
+//!
+//! The bucket is addressed as a directory (use an rclone/NFS mount for
+//! a real cloud bucket):
+//!
+//! ```text
+//! ginja-cli status <bucket-dir>
+//! ginja-cli restore-points <bucket-dir>
+//! ginja-cli verify <bucket-dir> [--password <pw>]
+//! ginja-cli recover <bucket-dir> <target-dir> [--point <ts>] [--password <pw>]
+//! ginja-cli cost <db-gb> <updates-per-min> <batch>
+//! ```
+
+use std::process::ExitCode;
+
+use ginja::cloud::{DirStore, ObjectStore};
+use ginja::codec::CodecConfig;
+use ginja::core::{
+    list_restore_points, recover_to_point, verify_backup, CloudView, GinjaConfig,
+    RestorePointKind,
+};
+use ginja::cost::GinjaCostModel;
+use ginja::vfs::DirFs;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("status") => status(&args[1..]),
+        Some("restore-points") => restore_points(&args[1..]),
+        Some("verify") => verify(&args[1..]),
+        Some("recover") => recover(&args[1..]),
+        Some("cost") => cost(&args[1..]),
+        _ => {
+            eprintln!("usage: ginja-cli <status|restore-points|verify|recover|cost> ...");
+            eprintln!("  status <bucket-dir>");
+            eprintln!("  restore-points <bucket-dir>");
+            eprintln!("  verify <bucket-dir> [--password <pw>]");
+            eprintln!("  recover <bucket-dir> <target-dir> [--point <ts>] [--password <pw>]");
+            eprintln!("  cost <db-gb> <updates-per-min> <batch>");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn config_from(args: &[String]) -> Result<GinjaConfig, String> {
+    let mut codec = CodecConfig::new();
+    if let Some(password) = flag_value(args, "--password") {
+        codec = codec.compression(true).password(password);
+    }
+    GinjaConfig::builder().codec(codec).build().map_err(|e| e.to_string())
+}
+
+fn open_bucket(args: &[String], index: usize) -> Result<DirStore, String> {
+    let path = args.get(index).ok_or("missing bucket directory argument")?;
+    DirStore::open(path).map_err(|e| e.to_string())
+}
+
+fn status(args: &[String]) -> Result<(), String> {
+    let bucket = open_bucket(args, 0)?;
+    let names = bucket.list("").map_err(|e| e.to_string())?;
+    let view = CloudView::from_listing(&names).map_err(|e| e.to_string())?;
+    println!("bucket:            {}", bucket.root().display());
+    println!("objects:           {}", names.len());
+    println!("WAL objects:       {} ({} bytes raw)", view.wal_count(), view.total_wal_bytes());
+    println!("DB objects:        {} ({} bytes raw)", view.db_count(), view.total_db_size());
+    println!("WAL frontier ts:   {}", view.last_wal_ts());
+    match view.most_recent_dump() {
+        Some((ts, entry)) => {
+            println!("newest dump:       ts {ts}, {} bytes, {} part(s)", entry.size, entry.parts.len())
+        }
+        None => println!("newest dump:       NONE — this bucket cannot be recovered"),
+    }
+    Ok(())
+}
+
+fn restore_points(args: &[String]) -> Result<(), String> {
+    let bucket = open_bucket(args, 0)?;
+    let points = list_restore_points(&bucket).map_err(|e| e.to_string())?;
+    if points.is_empty() {
+        println!("no restorable points (no complete dump in the bucket)");
+        return Ok(());
+    }
+    for point in points {
+        let kind = match point.kind {
+            RestorePointKind::Dump => "dump",
+            RestorePointKind::Checkpoint => "checkpoint",
+            RestorePointKind::Wal => "wal",
+        };
+        println!("ts {:>8}  {kind}", point.ts);
+    }
+    Ok(())
+}
+
+fn verify(args: &[String]) -> Result<(), String> {
+    let bucket = open_bucket(args, 0)?;
+    let config = config_from(args)?;
+    let scratch = ginja::vfs::MemFs::new();
+    let report = verify_backup(&bucket, &config, &scratch).map_err(|e| e.to_string())?;
+    println!("objects verified:  {}", report.objects_verified);
+    println!("bytes downloaded:  {}", report.bytes_downloaded);
+    if !report.corrupt_objects.is_empty() {
+        println!("CORRUPT OBJECTS:");
+        for name in &report.corrupt_objects {
+            println!("  {name}");
+        }
+        return Err(format!("{} corrupt object(s)", report.corrupt_objects.len()));
+    }
+    match report.recovery {
+        Some(recovery) => println!(
+            "rebuild OK:        dump ts {}, {} checkpoint(s), {} WAL object(s), {} file(s)",
+            recovery.dump_ts,
+            recovery.checkpoints_applied,
+            recovery.wal_objects_applied,
+            recovery.files_written
+        ),
+        None => return Err("no dump to rebuild from".into()),
+    }
+    println!("backup verification PASSED");
+    Ok(())
+}
+
+fn recover(args: &[String]) -> Result<(), String> {
+    let bucket = open_bucket(args, 0)?;
+    let target_path = args.get(1).ok_or("missing target directory argument")?;
+    let point = match flag_value(args, "--point") {
+        Some(raw) => raw.parse::<u64>().map_err(|_| format!("bad --point value: {raw}"))?,
+        None => u64::MAX,
+    };
+    let config = config_from(args)?;
+    let target = DirFs::open(target_path).map_err(|e| e.to_string())?;
+    let report = recover_to_point(&target, &bucket, &config, point).map_err(|e| e.to_string())?;
+    println!(
+        "recovered into {}: dump ts {}, {} checkpoint(s), {} WAL object(s), {} bytes downloaded",
+        target_path, report.dump_ts, report.checkpoints_applied, report.wal_objects_applied,
+        report.bytes_downloaded
+    );
+    println!("start the DBMS over this directory to complete crash recovery");
+    Ok(())
+}
+
+fn cost(args: &[String]) -> Result<(), String> {
+    let parse = |i: usize, what: &str| -> Result<f64, String> {
+        args.get(i)
+            .ok_or(format!("missing {what}"))?
+            .parse::<f64>()
+            .map_err(|_| format!("bad {what}: {}", args[i]))
+    };
+    let db_gb = parse(0, "db-gb")?;
+    let updates = parse(1, "updates-per-min")?;
+    let batch = parse(2, "batch")? as u64;
+    if batch == 0 {
+        return Err("batch must be at least 1".into());
+    }
+    let mut model = GinjaCostModel::paper_fig4(updates, batch);
+    model.db_size_gb = db_gb;
+    println!("C_DB_Storage  = ${:>9.3}", model.c_db_storage());
+    println!("C_DB_PUT      = ${:>9.3}", model.c_db_put());
+    println!("C_WAL_Storage = ${:>9.3}", model.c_wal_storage());
+    println!("C_WAL_PUT     = ${:>9.3}", model.c_wal_put());
+    println!("C_Total       = ${:>9.3} per month", model.total());
+    println!("recovery      = ${:>9.3} (free intra-region)", model.recovery_cost());
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Chaos testing: TPC-C traffic with randomized cloud faults injected
+//! throughout, ending in a disaster — the recovered database must
+//! always pass the consistency probe.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ginja::cloud::{FaultPlan, FaultStore, MemStore, OpKind};
+use ginja::core::{recover_into, Ginja, GinjaConfig};
+use ginja::db::{Database, DbProfile, ProfileKind};
+use ginja::vfs::{DbmsProcessor, FileSystem, InterceptFs, MemFs, MySqlProcessor, PostgresProcessor};
+use ginja::workload::{probe_tpcc, Tpcc, TpccScale};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn run_chaos(kind: ProfileKind, seed: u64, rounds: usize) {
+    let profile = match kind {
+        ProfileKind::Postgres => DbProfile::postgres_small().with_checkpoint_every(30),
+        ProfileKind::MySql => DbProfile::mysql_small().with_checkpoint_every(30),
+    };
+    let processor: Arc<dyn DbmsProcessor> = match kind {
+        ProfileKind::Postgres => Arc::new(PostgresProcessor::new()),
+        ProfileKind::MySql => Arc::new(MySqlProcessor::new()),
+    };
+    let local = Arc::new(MemFs::new());
+    let db = Database::create(local.clone(), profile.clone()).unwrap();
+    let mut tpcc = Tpcc::new(1, seed, TpccScale::tiny());
+    tpcc.create_schema(&db).unwrap();
+    tpcc.load(&db).unwrap();
+    drop(db);
+
+    let mem = Arc::new(MemStore::new());
+    let plan = Arc::new(FaultPlan::new());
+    let cloud = Arc::new(FaultStore::new(mem.clone(), plan.clone()));
+    let config = GinjaConfig::builder()
+        .batch(6)
+        .safety(90)
+        .batch_timeout(Duration::from_millis(10))
+        .safety_timeout(Duration::from_secs(30))
+        .build()
+        .unwrap();
+    let ginja =
+        Ginja::boot(local.clone(), cloud, processor, config.clone()).unwrap();
+    let fs: Arc<dyn FileSystem> =
+        Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+    let db = Database::open(fs, profile.clone()).unwrap();
+
+    // Interleave traffic with random fault injection.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4405);
+    for _ in 0..rounds {
+        match rng.gen_range(0..10u32) {
+            0 => plan.fail_next(OpKind::Put, rng.gen_range(1..5)),
+            1 => plan.fail_next(OpKind::Delete, rng.gen_range(1..8)),
+            2 => plan.fail_matching(OpKind::Put, "DB/", 1),
+            _ => {}
+        }
+        for _ in 0..rng.gen_range(1..12) {
+            tpcc.run_transaction(&db).unwrap();
+        }
+    }
+
+    // Let everything land, then disaster.
+    assert!(ginja.sync(Duration::from_secs(30)), "pipeline must drain after chaos");
+    ginja.shutdown();
+    let reference_stock = db.dump_table(ginja::workload::tables::STOCK).unwrap();
+    drop(db);
+
+    let rebuilt = Arc::new(MemFs::new());
+    recover_into(rebuilt.as_ref(), mem.as_ref(), &config).unwrap();
+    let db = Database::open(rebuilt, profile).unwrap();
+    assert_eq!(db.dump_table(ginja::workload::tables::STOCK).unwrap(), reference_stock);
+    let probe = probe_tpcc(&db).unwrap();
+    assert!(probe.is_consistent(), "{kind:?} seed {seed}: {probe:?}");
+}
+
+#[test]
+fn chaos_short_postgres() {
+    for seed in [1u64, 2, 3] {
+        run_chaos(ProfileKind::Postgres, seed, 25);
+    }
+}
+
+#[test]
+fn chaos_short_mysql() {
+    for seed in [4u64, 5, 6] {
+        run_chaos(ProfileKind::MySql, seed, 25);
+    }
+}
+
+/// Long soak — run explicitly with `cargo test -- --ignored`.
+#[test]
+#[ignore = "long soak; run on demand"]
+fn chaos_soak() {
+    for kind in [ProfileKind::Postgres, ProfileKind::MySql] {
+        for seed in 0..20u64 {
+            run_chaos(kind, seed, 120);
+        }
+    }
+}

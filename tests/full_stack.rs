@@ -1,0 +1,225 @@
+//! Cross-crate integration: TPC-C traffic through the full stack —
+//! workload → mini-DBMS → interception → Ginja pipeline → simulated
+//! cloud → disaster → recovery → DBMS crash-replay → verification.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ginja::cloud::{MemStore, MeteredStore, ObjectStore};
+use ginja::core::{recover_into, verify_backup_in_memory, Ginja, GinjaConfig};
+use ginja::db::{Database, DbProfile, ProfileKind};
+use ginja::vfs::{DbmsProcessor, FileSystem, InterceptFs, MemFs, MySqlProcessor, PostgresProcessor};
+use ginja::workload::{probe_tpcc, tables, Tpcc, TpccScale};
+
+fn processor_for(kind: ProfileKind) -> Arc<dyn DbmsProcessor> {
+    match kind {
+        ProfileKind::Postgres => Arc::new(PostgresProcessor::new()),
+        ProfileKind::MySql => Arc::new(MySqlProcessor::new()),
+    }
+}
+
+fn profile_for(kind: ProfileKind) -> DbProfile {
+    match kind {
+        ProfileKind::Postgres => DbProfile::postgres_small().with_checkpoint_every(40),
+        ProfileKind::MySql => DbProfile::mysql_small().with_checkpoint_every(40),
+    }
+}
+
+fn config() -> GinjaConfig {
+    GinjaConfig::builder()
+        .batch(8)
+        .safety(120)
+        .batch_timeout(Duration::from_millis(20))
+        .safety_timeout(Duration::from_secs(30))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn tpcc_disaster_recovery_both_profiles() {
+    for kind in [ProfileKind::Postgres, ProfileKind::MySql] {
+        let profile = profile_for(kind);
+        let local = Arc::new(MemFs::new());
+        let db = Database::create(local.clone(), profile.clone()).unwrap();
+        let mut tpcc = Tpcc::new(1, 99, TpccScale::tiny());
+        tpcc.create_schema(&db).unwrap();
+        tpcc.load(&db).unwrap();
+        drop(db);
+
+        let cloud = Arc::new(MeteredStore::new(MemStore::new()));
+        let ginja =
+            Ginja::boot(local.clone(), cloud.clone(), processor_for(kind), config()).unwrap();
+        let protected: Arc<dyn FileSystem> =
+            Arc::new(InterceptFs::new(local.clone(), Arc::new(ginja.clone())));
+        let db = Database::open(protected, profile.clone()).unwrap();
+
+        // A burst of TPC-C traffic, including checkpoints.
+        for _ in 0..300 {
+            tpcc.run_transaction(&db).unwrap();
+        }
+        let reference_stock = db.dump_table(tables::STOCK).unwrap();
+        let reference_customers = db.dump_table(tables::CUSTOMER).unwrap();
+        assert!(ginja.sync(Duration::from_secs(20)), "pipeline must drain");
+        let stats = ginja.stats();
+        assert!(stats.checkpoints_seen > 0, "{kind:?} should have checkpointed");
+        ginja.shutdown();
+        drop(db);
+
+        // Disaster: rebuild from the cloud and compare the hot tables.
+        let rebuilt = Arc::new(MemFs::new());
+        recover_into(rebuilt.as_ref(), cloud.as_ref(), &config()).unwrap();
+        let db = Database::open(rebuilt, profile).unwrap();
+        assert_eq!(db.dump_table(tables::STOCK).unwrap(), reference_stock, "{kind:?} stock");
+        assert_eq!(
+            db.dump_table(tables::CUSTOMER).unwrap(),
+            reference_customers,
+            "{kind:?} customers"
+        );
+        // §5.4 validation 3: the service-specific probe over the
+        // recovered database.
+        let probe = probe_tpcc(&db).unwrap();
+        assert!(probe.is_consistent(), "{kind:?}: {probe:?}");
+    }
+}
+
+#[test]
+fn tpcc_order_lines_consistent_after_recovery() {
+    // Referential sanity: every recovered ORDER that was committed with
+    // its ORDER_LINEs (same transaction) must have the lines too —
+    // transactions are atomic across the disaster.
+    let profile = profile_for(ProfileKind::Postgres);
+    let local = Arc::new(MemFs::new());
+    let db = Database::create(local.clone(), profile.clone()).unwrap();
+    let mut tpcc = Tpcc::new(1, 5, TpccScale::tiny());
+    tpcc.create_schema(&db).unwrap();
+    tpcc.load(&db).unwrap();
+    drop(db);
+
+    let cloud = Arc::new(MemStore::new());
+    let ginja = Ginja::boot(
+        local.clone(),
+        cloud.clone(),
+        processor_for(ProfileKind::Postgres),
+        config(),
+    )
+    .unwrap();
+    let protected: Arc<dyn FileSystem> =
+        Arc::new(InterceptFs::new(local.clone(), Arc::new(ginja.clone())));
+    let db = Database::open(protected, profile.clone()).unwrap();
+    for _ in 0..200 {
+        tpcc.run_transaction(&db).unwrap();
+    }
+    assert!(ginja.sync(Duration::from_secs(20)));
+    ginja.shutdown();
+    drop(db);
+
+    let rebuilt = Arc::new(MemFs::new());
+    recover_into(rebuilt.as_ref(), cloud.as_ref(), &config()).unwrap();
+    let db = Database::open(rebuilt, profile).unwrap();
+    let orders = db.dump_table(tables::ORDER).unwrap();
+    assert!(!orders.is_empty());
+    let mut checked = 0;
+    for (order_key, row) in &orders {
+        // Delivered orders are rewritten with a 0-lines marker; check
+        // only orders created by newOrder (line count in the row).
+        if String::from_utf8_lossy(row).starts_with("order:") {
+            // Every order has line 0 if it has any lines recorded.
+            if db.get(tables::NEW_ORDER, *order_key).unwrap().is_some() {
+                assert!(
+                    db.get(tables::ORDER_LINE, order_key * 15).unwrap().is_some(),
+                    "order {order_key} lost its lines"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 10, "checked only {checked} orders");
+}
+
+#[test]
+fn backup_verification_catches_cloud_corruption() {
+    let profile = profile_for(ProfileKind::Postgres);
+    let local = Arc::new(MemFs::new());
+    let db = Database::create(local.clone(), profile.clone()).unwrap();
+    db.create_table(1, 64).unwrap();
+    drop(db);
+
+    let cloud = Arc::new(MemStore::new());
+    let ginja = Ginja::boot(
+        local.clone(),
+        cloud.clone(),
+        processor_for(ProfileKind::Postgres),
+        config(),
+    )
+    .unwrap();
+    let protected: Arc<dyn FileSystem> =
+        Arc::new(InterceptFs::new(local.clone(), Arc::new(ginja.clone())));
+    let db = Database::open(protected, profile).unwrap();
+    for i in 0..30 {
+        db.put(1, i, vec![i as u8; 40]).unwrap();
+    }
+    assert!(ginja.sync(Duration::from_secs(20)));
+    ginja.shutdown();
+    drop(db);
+
+    // Clean backup verifies.
+    let (report, _) = verify_backup_in_memory(cloud.as_ref(), &config()).unwrap();
+    assert!(report.is_ok());
+
+    // Bit-rot in one object is detected by name.
+    let victim = cloud.list("WAL/").unwrap().pop().unwrap();
+    let mut bytes = cloud.get(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    cloud.put(&victim, &bytes).unwrap();
+    let (report, _) = verify_backup_in_memory(cloud.as_ref(), &config()).unwrap();
+    assert!(!report.is_ok());
+    assert_eq!(report.corrupt_objects, vec![victim]);
+}
+
+#[test]
+fn compressed_encrypted_full_stack() {
+    let profile = profile_for(ProfileKind::MySql);
+    let local = Arc::new(MemFs::new());
+    let db = Database::create(local.clone(), profile.clone()).unwrap();
+    let mut tpcc = Tpcc::new(1, 123, TpccScale::tiny());
+    tpcc.create_schema(&db).unwrap();
+    tpcc.load(&db).unwrap();
+    drop(db);
+
+    let config = GinjaConfig::builder()
+        .batch(8)
+        .safety(120)
+        .batch_timeout(Duration::from_millis(20))
+        .codec(
+            ginja::codec::CodecConfig::new()
+                .compression(true)
+                .password("full-stack")
+                .kdf_iterations(8),
+        )
+        .build()
+        .unwrap();
+    let cloud = Arc::new(MemStore::new());
+    let ginja = Ginja::boot(
+        local.clone(),
+        cloud.clone(),
+        processor_for(ProfileKind::MySql),
+        config.clone(),
+    )
+    .unwrap();
+    let protected: Arc<dyn FileSystem> =
+        Arc::new(InterceptFs::new(local.clone(), Arc::new(ginja.clone())));
+    let db = Database::open(protected, profile.clone()).unwrap();
+    for _ in 0..150 {
+        tpcc.run_transaction(&db).unwrap();
+    }
+    let reference = db.dump_table(tables::DISTRICT).unwrap();
+    assert!(ginja.sync(Duration::from_secs(20)));
+    ginja.shutdown();
+    drop(db);
+
+    let rebuilt = Arc::new(MemFs::new());
+    recover_into(rebuilt.as_ref(), cloud.as_ref(), &config).unwrap();
+    let db = Database::open(rebuilt, profile).unwrap();
+    assert_eq!(db.dump_table(tables::DISTRICT).unwrap(), reference);
+}
