@@ -31,7 +31,11 @@ fn config(coalesce: bool) -> GinjaConfig {
 }
 
 fn main() {
-    println!("time scale: {} | simulated minutes per run: {}", time_scale(), sim_minutes());
+    println!(
+        "time scale: {} | simulated minutes per run: {}",
+        time_scale(),
+        sim_minutes()
+    );
     let pricing = S3Pricing::may_2017();
 
     for kind in [ProfileKind::Postgres, ProfileKind::MySql] {

@@ -28,7 +28,11 @@ fn config(uploaders: usize) -> GinjaConfig {
 }
 
 fn main() {
-    println!("time scale: {} | simulated minutes per run: {}", time_scale(), sim_minutes());
+    println!(
+        "time scale: {} | simulated minutes per run: {}",
+        time_scale(),
+        sim_minutes()
+    );
     println!("== Ablation: uploader threads (PostgreSQL, B/S = 10/400, upload-bound) ==\n");
     let template_fs = template(ProfileKind::Postgres, 1, TpccScale::bench(), 0xAB2);
 
@@ -69,5 +73,8 @@ fn main() {
         "\nshape check: 5 uploaders beat 1 by {:.1}x (the paper found 5 best in its environment)",
         best_five / best_one.max(1.0)
     );
-    assert!(best_five > best_one, "parallel uploads must help under an upload-bound config");
+    assert!(
+        best_five > best_one,
+        "parallel uploads must help under an upload-bound config"
+    );
 }

@@ -80,7 +80,8 @@ fn run_scenario(mechanism: &str, updates: u64) -> (u64, u64) {
     let fs: Arc<dyn FileSystem> = Arc::new(InterceptFs::new(local.clone(), processor));
     let db = Database::open(fs, profile()).unwrap();
     for i in 0..updates {
-        db.put(1, i, format!("update-{i:0100}").into_bytes()).unwrap();
+        db.put(1, i, format!("update-{i:0100}").into_bytes())
+            .unwrap();
     }
     // Disaster strikes mid-flight: no sync, no shutdown courtesy. (The
     // middleware threads are stopped afterwards only so the process can
@@ -102,17 +103,25 @@ fn run_scenario(mechanism: &str, updates: u64) -> (u64, u64) {
     let recovered: u64 = if ginja.is_some() {
         recover_into(rebuilt.as_ref(), &snapshot, &cfg).unwrap();
         let db = Database::open(rebuilt, profile()).unwrap();
-        (0..updates).take_while(|i| db.get(1, *i).unwrap().is_some()).count() as u64
+        (0..updates)
+            .take_while(|i| db.get(1, *i).unwrap().is_some())
+            .count() as u64
     } else {
         restore_archive(rebuilt.as_ref(), &snapshot, &cfg).unwrap();
         let db = Database::open(rebuilt, profile()).unwrap();
-        (0..updates).take_while(|i| db.get(1, *i).unwrap().is_some()).count() as u64
+        (0..updates)
+            .take_while(|i| db.get(1, *i).unwrap().is_some())
+            .count() as u64
     };
     (recovered, updates - recovered)
 }
 
 fn main() {
-    println!("time scale: {} | simulated minutes per run: {}", time_scale(), sim_minutes());
+    println!(
+        "time scale: {} | simulated minutes per run: {}",
+        time_scale(),
+        sim_minutes()
+    );
     println!("== Baseline: Ginja (B=10, S=200) vs. Continuous Archiving (1 MB segments) ==");
     println!("(same workload, same surprise disaster, same cloud)\n");
     let _ = run_wall_duration(); // documented knob; this bench is volume-driven

@@ -27,9 +27,11 @@ fn bench_glz(c: &mut Criterion) {
             b.iter(|| glz::compress(data, glz::Level::Fast))
         });
         let packed = glz::compress(&data, glz::Level::Fast);
-        group.bench_with_input(BenchmarkId::new("decompress", size), &packed, |b, packed| {
-            b.iter(|| glz::decompress(packed).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decompress", size),
+            &packed,
+            |b, packed| b.iter(|| glz::decompress(packed).unwrap()),
+        );
     }
     group.finish();
 }
@@ -59,7 +61,12 @@ fn bench_seal_open(c: &mut Criterion) {
         ("comp", Codec::new(CodecConfig::new().compression(true))),
         (
             "comp+crypt",
-            Codec::new(CodecConfig::new().compression(true).password("bench").kdf_iterations(16)),
+            Codec::new(
+                CodecConfig::new()
+                    .compression(true)
+                    .password("bench")
+                    .kdf_iterations(16),
+            ),
         ),
     ] {
         group.bench_function(format!("seal_{label}"), |b| {

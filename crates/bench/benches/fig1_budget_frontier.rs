@@ -26,7 +26,13 @@ fn main() {
     t.print();
 
     println!("\n-- The paper's example setups (all ≈ $1/month) --");
-    let mut t = Table::new(&["setup", "DB size (GB)", "syncs/hour", "cost $/month", "paper"]);
+    let mut t = Table::new(&[
+        "setup",
+        "DB size (GB)",
+        "syncs/hour",
+        "cost $/month",
+        "paper",
+    ]);
     for (name, size, rate) in [("A", 35.0, 50.0), ("B", 20.0, 120.0), ("C", 4.3, 240.0)] {
         let cost = monthly_cost_simple(size, rate, &pricing);
         t.row(&[

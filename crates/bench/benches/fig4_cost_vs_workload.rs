@@ -20,7 +20,12 @@ fn main() {
             .iter()
             .map(|&b| fmt(GinjaCostModel::paper_fig4(w, b).total(), 3))
             .collect();
-        t.row(&[fmt(w, 0), costs[0].clone(), costs[1].clone(), costs[2].clone()]);
+        t.row(&[
+            fmt(w, 0),
+            costs[0].clone(),
+            costs[1].clone(),
+            costs[2].clone(),
+        ]);
     }
     t.print();
 
@@ -46,6 +51,9 @@ fn main() {
         .flat_map(|&w| batches.iter().map(move |&b| (w, b)))
         .filter(|&(w, b)| GinjaCostModel::paper_fig4(w, b).total() < 1.0)
         .count();
-    println!("  configurations under $1/month: {under} of {}", workloads.len() * batches.len());
+    println!(
+        "  configurations under $1/month: {under} of {}",
+        workloads.len() * batches.len()
+    );
     assert!(under >= 12);
 }

@@ -40,17 +40,40 @@ struct Column {
 
 fn columns() -> Vec<Column> {
     let mut cols = vec![
-        Column { label: "ext4", baseline: BaselineKind::Native, batch: 1, safety: 1 },
-        Column { label: "FUSE", baseline: BaselineKind::Fuse, batch: 1, safety: 1 },
+        Column {
+            label: "ext4",
+            baseline: BaselineKind::Native,
+            batch: 1,
+            safety: 1,
+        },
+        Column {
+            label: "FUSE",
+            baseline: BaselineKind::Fuse,
+            batch: 1,
+            safety: 1,
+        },
     ];
-    for (safety, batches) in
-        [(10_000, vec![1000, 100, 10]), (1_000, vec![100, 10, 1]), (100, vec![10, 1]), (10, vec![1])]
-    {
+    for (safety, batches) in [
+        (10_000, vec![1000, 100, 10]),
+        (1_000, vec![100, 10, 1]),
+        (100, vec![10, 1]),
+        (10, vec![1]),
+    ] {
         for batch in batches {
-            cols.push(Column { label: "", baseline: BaselineKind::Ginja, batch, safety });
+            cols.push(Column {
+                label: "",
+                baseline: BaselineKind::Ginja,
+                batch,
+                safety,
+            });
         }
     }
-    cols.push(Column { label: "No-Loss", baseline: BaselineKind::Ginja, batch: 1, safety: 1 });
+    cols.push(Column {
+        label: "No-Loss",
+        baseline: BaselineKind::Ginja,
+        batch: 1,
+        safety: 1,
+    });
     cols
 }
 
@@ -61,7 +84,11 @@ fn run_dbms(kind: ProfileKind) -> Vec<(String, f64, f64)> {
     };
     println!(
         "\n== Figure 5{}: {name}, TPC-C, {} warehouse(s), {:.1} simulated minutes ==",
-        if kind == ProfileKind::Postgres { "a" } else { "b" },
+        if kind == ProfileKind::Postgres {
+            "a"
+        } else {
+            "b"
+        },
         warehouses,
         sim_minutes(),
     );
@@ -105,7 +132,13 @@ fn run_dbms(kind: ProfileKind) -> Vec<(String, f64, f64)> {
 }
 
 fn print_results(name: &str, results: &[(String, f64, f64)], paper_totals: &[(&str, f64)]) {
-    let mut t = Table::new(&["configuration", "Tpm-C", "Tpm-Total", "% of FUSE", "paper Tpm-Total"]);
+    let mut t = Table::new(&[
+        "configuration",
+        "Tpm-C",
+        "Tpm-Total",
+        "% of FUSE",
+        "paper Tpm-Total",
+    ]);
     let fuse_total = results[1].2;
     for (label, tpm_c, tpm_total) in results {
         let paper = paper_totals
@@ -132,7 +165,10 @@ fn print_results(name: &str, results: &[(String, f64, f64)], paper_totals: &[(&s
     let best_ginja = results[2..7].iter().map(|r| r.2).fold(0.0f64, f64::max);
     let no_loss = results.last().unwrap().2;
     // Tolerate a few percent of run-to-run noise (shared machines).
-    assert!(fuse < ext4 * 1.05, "{name}: FUSE must not beat ext4 ({fuse} vs {ext4})");
+    assert!(
+        fuse < ext4 * 1.05,
+        "{name}: FUSE must not beat ext4 ({fuse} vs {ext4})"
+    );
     assert!(
         best_ginja > fuse * 0.8,
         "{name}: high B/S Ginja should be within ~20% of FUSE (got {best_ginja} vs {fuse})"
@@ -154,7 +190,11 @@ fn print_results(name: &str, results: &[(String, f64, f64)], paper_totals: &[(&s
 }
 
 fn main() {
-    println!("time scale: {} | simulated minutes per run: {}", time_scale(), sim_minutes());
+    println!(
+        "time scale: {} | simulated minutes per run: {}",
+        time_scale(),
+        sim_minutes()
+    );
 
     // Paper bar heights (approximate, read off Figure 5).
     let pg_paper: &[(&str, f64)] = &[
@@ -163,8 +203,12 @@ fn main() {
         ("S=10000 B=1000", 5750.0),
         ("No-Loss", 248.0),
     ];
-    let ms_paper: &[(&str, f64)] =
-        &[("ext4", 11700.0), ("FUSE", 10300.0), ("S=10000 B=1000", 10200.0), ("No-Loss", 348.0)];
+    let ms_paper: &[(&str, f64)] = &[
+        ("ext4", 11700.0),
+        ("FUSE", 10300.0),
+        ("S=10000 B=1000", 10200.0),
+        ("No-Loss", 348.0),
+    ];
 
     let pg = run_dbms(ProfileKind::Postgres);
     print_results("PostgreSQL", &pg, pg_paper);

@@ -35,12 +35,21 @@ fn codec_variants() -> Vec<(&'static str, CodecConfig)> {
         ("Normal", CodecConfig::new()),
         ("Comp", CodecConfig::new().compression(true)),
         ("Crypt", CodecConfig::new().password("fig6-password")),
-        ("C+C", CodecConfig::new().compression(true).password("fig6-password")),
+        (
+            "C+C",
+            CodecConfig::new()
+                .compression(true)
+                .password("fig6-password"),
+        ),
     ]
 }
 
 fn main() {
-    println!("time scale: {} | simulated minutes per run: {}", time_scale(), sim_minutes());
+    println!(
+        "time scale: {} | simulated minutes per run: {}",
+        time_scale(),
+        sim_minutes()
+    );
     for kind in [ProfileKind::Postgres, ProfileKind::MySql] {
         let (warehouses, name) = match kind {
             ProfileKind::Postgres => (1, "PostgreSQL"),
@@ -48,12 +57,22 @@ fn main() {
         };
         println!(
             "\n== Figure 6{}: {name} — compression/encryption vs. throughput ==",
-            if kind == ProfileKind::Postgres { "a" } else { "b" }
+            if kind == ProfileKind::Postgres {
+                "a"
+            } else {
+                "b"
+            }
         );
         let template_fs = template(kind, warehouses, TpccScale::bench(), 0xF16);
 
-        let mut t =
-            Table::new(&["B/S", "variant", "Tpm-C", "Tpm-Total", "seal ratio", "% of Normal"]);
+        let mut t = Table::new(&[
+            "B/S",
+            "variant",
+            "Tpm-C",
+            "Tpm-Total",
+            "seal ratio",
+            "% of Normal",
+        ]);
         for (batch, safety) in [(10usize, 100usize), (100, 1000), (1000, 10000)] {
             let mut normal_total = None;
             for (label, codec) in codec_variants() {

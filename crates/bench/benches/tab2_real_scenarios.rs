@@ -21,7 +21,13 @@ fn main() {
         "paper",
     ]);
     let rows = [
-        (laboratory(), "Laboratory (10GB, 6 up/min)", 0.42, 1.50, 93.4),
+        (
+            laboratory(),
+            "Laboratory (10GB, 6 up/min)",
+            0.42,
+            1.50,
+            93.4,
+        ),
         (hospital(), "Hospital (1TB, 138 up/min)", 20.3, 21.4, 291.5),
     ];
     for (scenario, label, p1, p6, pvm) in &rows {
@@ -45,7 +51,10 @@ fn main() {
         lab.vm_cost(&ec2) / lab.ginja_cost(1.0),
         lab.vm_cost(&ec2) / lab.ginja_cost(6.0),
     );
-    println!("  hospital:   {:.0}x (1 sync/m)", hosp.vm_cost(&ec2) / hosp.ginja_cost(1.0));
+    println!(
+        "  hospital:   {:.0}x (1 sync/m)",
+        hosp.vm_cost(&ec2) / hosp.ginja_cost(1.0)
+    );
 
     println!("\n-- Section 7.3 recovery costs (paper: $1.125 laboratory, $112.5 hospital) --");
     let mut t = Table::new(&["scenario", "recovery $", "paper"]);
@@ -67,6 +76,11 @@ fn main() {
     let min_factor = hosp.vm_cost(&ec2) / hosp.ginja_cost(6.0);
     let max_factor = lab.vm_cost(&ec2) / lab.ginja_cost(1.0);
     assert!(min_factor > 10.0, "min factor {min_factor}");
-    assert!((200.0..=240.0).contains(&max_factor), "max factor {max_factor}");
-    println!("\nheadline check: Ginja is {min_factor:.0}x-{max_factor:.0}x cheaper (paper: 14x-222x)");
+    assert!(
+        (200.0..=240.0).contains(&max_factor),
+        "max factor {max_factor}"
+    );
+    println!(
+        "\nheadline check: Ginja is {min_factor:.0}x-{max_factor:.0}x cheaper (paper: 14x-222x)"
+    );
 }

@@ -21,7 +21,9 @@ use ginja_workload::TpccScale;
 fn config(batch: usize, safety: usize, cc: bool) -> GinjaConfig {
     let scale = time_scale();
     let codec = if cc {
-        CodecConfig::new().compression(true).password("tab3-password")
+        CodecConfig::new()
+            .compression(true)
+            .password("tab3-password")
     } else {
         CodecConfig::new()
     };
@@ -40,14 +42,42 @@ fn config(batch: usize, safety: usize, cc: bool) -> GinjaConfig {
 const PAPER: &[(&str, f64, f64, f64, f64, f64, f64)] = &[
     ("10/100 plain", 1789.0, 386.0, 692.0, 3864.0, 26.0, 391.0),
     ("10/100 C+C", 1990.0, 237.0, 562.0, 3994.0, 11.0, 376.0),
-    ("100/1000 plain", 364.0, 3018.0, 2880.0, 1046.0, 180.0, 698.0),
+    (
+        "100/1000 plain",
+        364.0,
+        3018.0,
+        2880.0,
+        1046.0,
+        180.0,
+        698.0,
+    ),
     ("100/1000 C+C", 383.0, 1908.0, 2007.0, 1063.0, 78.0, 610.0),
-    ("1000/10000 plain", 119.0, 10081.0, 7707.0, 139.0, 1309.0, 1552.0),
-    ("1000/10000 C+C", 119.0, 6339.0, 4422.0, 137.0, 606.0, 1354.0),
+    (
+        "1000/10000 plain",
+        119.0,
+        10081.0,
+        7707.0,
+        139.0,
+        1309.0,
+        1552.0,
+    ),
+    (
+        "1000/10000 C+C",
+        119.0,
+        6339.0,
+        4422.0,
+        137.0,
+        606.0,
+        1354.0,
+    ),
 ];
 
 fn main() {
-    println!("time scale: {} | simulated minutes per run: {}", time_scale(), sim_minutes());
+    println!(
+        "time scale: {} | simulated minutes per run: {}",
+        time_scale(),
+        sim_minutes()
+    );
     let five_min_norm = 5.0 / sim_minutes();
 
     for kind in [ProfileKind::Postgres, ProfileKind::MySql] {

@@ -40,9 +40,21 @@ struct Row {
 
 fn rows() -> Vec<Row> {
     vec![
-        Row { label: "Native FS", baseline: BaselineKind::Native, codec: CodecConfig::new() },
-        Row { label: "FUSE FS", baseline: BaselineKind::Fuse, codec: CodecConfig::new() },
-        Row { label: "100/1000", baseline: BaselineKind::Ginja, codec: CodecConfig::new() },
+        Row {
+            label: "Native FS",
+            baseline: BaselineKind::Native,
+            codec: CodecConfig::new(),
+        },
+        Row {
+            label: "FUSE FS",
+            baseline: BaselineKind::Fuse,
+            codec: CodecConfig::new(),
+        },
+        Row {
+            label: "100/1000",
+            baseline: BaselineKind::Ginja,
+            codec: CodecConfig::new(),
+        },
         Row {
             label: "100/1000 Comp",
             baseline: BaselineKind::Ginja,
@@ -56,13 +68,19 @@ fn rows() -> Vec<Row> {
         Row {
             label: "100/1000 C+C",
             baseline: BaselineKind::Ginja,
-            codec: CodecConfig::new().compression(true).password("tab4-password"),
+            codec: CodecConfig::new()
+                .compression(true)
+                .password("tab4-password"),
         },
     ]
 }
 
 fn main() {
-    println!("time scale: {} | simulated minutes per run: {}", time_scale(), sim_minutes());
+    println!(
+        "time scale: {} | simulated minutes per run: {}",
+        time_scale(),
+        sim_minutes()
+    );
     println!("(CPU is process utilization in cores; Δ columns are relative to Native FS)");
 
     for kind in [ProfileKind::Postgres, ProfileKind::MySql] {

@@ -93,7 +93,11 @@ impl RigOptions {
 
     /// The paper's MySQL setup (2 warehouses, 60 terminals).
     pub fn mysql(config: GinjaConfig) -> Self {
-        RigOptions { kind: ProfileKind::MySql, warehouses: 2, ..Self::postgres(config) }
+        RigOptions {
+            kind: ProfileKind::MySql,
+            warehouses: 2,
+            ..Self::postgres(config)
+        }
     }
 
     /// Terminals matching the paper's per-DBMS setup.
@@ -149,7 +153,9 @@ fn run_profile(kind: ProfileKind) -> DbProfile {
         ProfileKind::Postgres => 5000,
         ProfileKind::MySql => 300,
     };
-    layout_profile(kind).with_io_delay(delay).with_checkpoint_every(ckpt_every)
+    layout_profile(kind)
+        .with_io_delay(delay)
+        .with_checkpoint_every(ckpt_every)
 }
 
 /// A database image loaded with TPC-C data, ready to be forked into
@@ -208,13 +214,8 @@ impl ProtectedRig {
                     ProfileKind::MySql => Arc::new(MySqlProcessor::new()),
                 };
                 let cloud: Arc<dyn ObjectStore> = metered.clone();
-                let ginja = Ginja::boot(
-                    local.clone(),
-                    cloud,
-                    processor,
-                    options.config.clone(),
-                )
-                .expect("ginja boot");
+                let ginja = Ginja::boot(local.clone(), cloud, processor, options.config.clone())
+                    .expect("ginja boot");
                 let fs = Arc::new(InterceptFs::new(
                     DelayFs::new(local.clone(), fuse_cost),
                     Arc::new(ginja.clone()),
@@ -224,7 +225,13 @@ impl ProtectedRig {
         };
 
         let db = Arc::new(Database::open(db_fs, profile).expect("open db"));
-        ProtectedRig { db, ginja, metered, local, options }
+        ProtectedRig {
+            db,
+            ginja,
+            metered,
+            local,
+            options,
+        }
     }
 
     /// Runs TPC-C for `duration` (wall time) with the paper's terminal
@@ -283,8 +290,10 @@ mod tests {
     #[test]
     fn native_rig_runs() {
         let template = template(ProfileKind::Postgres, 1, TpccScale::tiny(), 1);
-        let rig =
-            ProtectedRig::build(&template, tiny_options(ProfileKind::Postgres).baseline(BaselineKind::Native));
+        let rig = ProtectedRig::build(
+            &template,
+            tiny_options(ProfileKind::Postgres).baseline(BaselineKind::Native),
+        );
         let report = rig.run(Duration::from_millis(200));
         assert!(report.total_txns > 0);
         assert_eq!(report.errors, 0);

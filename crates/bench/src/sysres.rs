@@ -17,7 +17,10 @@ pub struct ResourceSample {
 /// Returns zeros on platforms without `/proc` so that benches degrade
 /// gracefully instead of failing.
 pub fn sample() -> ResourceSample {
-    ResourceSample { cpu: cpu_time().unwrap_or(Duration::ZERO), rss_kb: rss_kb().unwrap_or(0) }
+    ResourceSample {
+        cpu: cpu_time().unwrap_or(Duration::ZERO),
+        rss_kb: rss_kb().unwrap_or(0),
+    }
 }
 
 fn cpu_time() -> Option<Duration> {
@@ -29,7 +32,9 @@ fn cpu_time() -> Option<Duration> {
     let utime: u64 = fields.get(11)?.parse().ok()?;
     let stime: u64 = fields.get(12)?.parse().ok()?;
     let ticks_per_sec = 100.0; // CLK_TCK on all mainstream Linux configs
-    Some(Duration::from_secs_f64((utime + stime) as f64 / ticks_per_sec))
+    Some(Duration::from_secs_f64(
+        (utime + stime) as f64 / ticks_per_sec,
+    ))
 }
 
 fn rss_kb() -> Option<u64> {
@@ -81,8 +86,14 @@ mod tests {
 
     #[test]
     fn utilization_math() {
-        let a = ResourceSample { cpu: Duration::from_millis(100), rss_kb: 1 };
-        let b = ResourceSample { cpu: Duration::from_millis(600), rss_kb: 1 };
+        let a = ResourceSample {
+            cpu: Duration::from_millis(100),
+            rss_kb: 1,
+        };
+        let b = ResourceSample {
+            cpu: Duration::from_millis(600),
+            rss_kb: 1,
+        };
         let u = cpu_utilization(&a, &b, Duration::from_secs(1));
         assert!((u - 0.5).abs() < 1e-9);
         assert_eq!(cpu_utilization(&a, &b, Duration::ZERO), 0.0);

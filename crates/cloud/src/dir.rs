@@ -24,11 +24,12 @@ impl DirStore {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Unavailable`] if the directory cannot be created.
+    /// [`StoreError::Unavailable`] if the directory cannot be created,
+    /// classified retryable/fatal by the underlying I/O error kind.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let root = root.into();
         fs::create_dir_all(&root)
-            .map_err(|e| StoreError::Unavailable(format!("create {}: {e}", root.display())))?;
+            .map_err(|e| StoreError::io(format_args!("create {}", root.display()), e))?;
         Ok(DirStore { root })
     }
 
@@ -39,9 +40,11 @@ impl DirStore {
 
     fn resolve(&self, name: &str) -> Result<PathBuf, StoreError> {
         if name.is_empty()
-            || name.split('/').any(|seg| seg == ".." || seg == "." || seg.is_empty())
+            || name
+                .split('/')
+                .any(|seg| seg == ".." || seg == "." || seg.is_empty())
         {
-            return Err(StoreError::Unavailable(format!("invalid object name: {name}")));
+            return Err(StoreError::InvalidName(name.to_string()));
         }
         Ok(self.root.join(name))
     }
@@ -67,8 +70,7 @@ impl ObjectStore for DirStore {
     fn put(&self, name: &str, data: &[u8]) -> Result<(), StoreError> {
         let path = self.resolve(name)?;
         if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)
-                .map_err(|e| StoreError::Unavailable(format!("mkdir: {e}")))?;
+            fs::create_dir_all(parent).map_err(|e| StoreError::io("mkdir", e))?;
         }
         // Atomic visibility: write aside, fsync, rename into place.
         let tmp = path.with_extension(format!(
@@ -84,7 +86,7 @@ impl ObjectStore for DirStore {
         };
         write().map_err(|e| {
             let _ = fs::remove_file(&tmp);
-            StoreError::Unavailable(format!("put {name}: {e}"))
+            StoreError::io(format_args!("put {name}"), e)
         })
     }
 
@@ -94,7 +96,7 @@ impl ObjectStore for DirStore {
             if e.kind() == ErrorKind::NotFound {
                 StoreError::NotFound(name.to_string())
             } else {
-                StoreError::Unavailable(format!("get {name}: {e}"))
+                StoreError::io(format_args!("get {name}"), e)
             }
         })
     }
@@ -104,14 +106,13 @@ impl ObjectStore for DirStore {
         match fs::remove_file(&path) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(StoreError::Unavailable(format!("delete {name}: {e}"))),
+            Err(e) => Err(StoreError::io(format_args!("delete {name}"), e)),
         }
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
         let mut names = Vec::new();
-        Self::walk(&self.root, &self.root, &mut names)
-            .map_err(|e| StoreError::Unavailable(format!("list: {e}")))?;
+        Self::walk(&self.root, &self.root, &mut names).map_err(|e| StoreError::io("list", e))?;
         names.retain(|n| n.starts_with(prefix));
         names.sort();
         Ok(names)

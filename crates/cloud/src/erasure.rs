@@ -34,7 +34,10 @@ fn coefficient(shard_index: usize, data_index: usize) -> u8 {
 ///
 /// Panics unless `1 <= k <= n <= MAX_SHARDS`.
 pub fn encode(data: &[u8], k: usize, n: usize) -> Vec<Vec<u8>> {
-    assert!(k >= 1 && k <= n && n <= MAX_SHARDS, "invalid (k={k}, n={n})");
+    assert!(
+        k >= 1 && k <= n && n <= MAX_SHARDS,
+        "invalid (k={k}, n={n})"
+    );
     let shard_len = data.len().div_ceil(k).max(1);
     // Column-major view of the padded data: chunk c holds bytes
     // [c·L, (c+1)·L).
@@ -69,7 +72,7 @@ pub fn encode(data: &[u8], k: usize, n: usize) -> Vec<Vec<u8>> {
 
 /// Parses a shard header, returning `(k, n, index, orig_len, payload)`.
 fn parse_shard(shard: &[u8]) -> Result<(usize, usize, usize, usize, &[u8]), StoreError> {
-    let bad = |why: &str| StoreError::Unavailable(format!("bad erasure shard: {why}"));
+    let bad = |why: &str| StoreError::corrupt(format!("bad erasure shard: {why}"));
     if shard.len() < HEADER_LEN || shard[..4] != MAGIC {
         return Err(bad("missing header"));
     }
@@ -94,7 +97,7 @@ fn parse_shard(shard: &[u8]) -> Result<(usize, usize, usize, usize, &[u8]), Stor
 /// [`StoreError::Unavailable`] when shards are malformed, inconsistent,
 /// or fewer than `k` distinct indices are present.
 pub fn decode(shards: &[Vec<u8>]) -> Result<Vec<u8>, StoreError> {
-    let bad = |why: &str| StoreError::Unavailable(format!("erasure decode: {why}"));
+    let bad = |why: &str| StoreError::corrupt(format!("erasure decode: {why}"));
     let mut parsed = Vec::new();
     let mut params: Option<(usize, usize, usize)> = None;
     for shard in shards {
@@ -108,7 +111,9 @@ pub fn decode(shards: &[Vec<u8>]) -> Result<Vec<u8>, StoreError> {
             parsed.push((index, payload));
         }
     }
-    let Some((k, _n, orig_len)) = params else { return Err(bad("no shards")) };
+    let Some((k, _n, orig_len)) = params else {
+        return Err(bad("no shards"));
+    };
     if parsed.len() < k {
         return Err(bad("not enough shards"));
     }
@@ -232,7 +237,7 @@ impl ObjectStore for ErasureStore {
         if any_ok {
             Ok(())
         } else {
-            Err(last_err.unwrap_or_else(|| StoreError::Unavailable("no backends".into())))
+            Err(last_err.unwrap_or_else(|| StoreError::fatal("no backends configured")))
         }
     }
 
@@ -252,7 +257,7 @@ impl ObjectStore for ErasureStore {
         if any_ok {
             Ok(names.into_iter().collect())
         } else {
-            Err(last_err.unwrap_or_else(|| StoreError::Unavailable("no backends".into())))
+            Err(last_err.unwrap_or_else(|| StoreError::fatal("no backends configured")))
         }
     }
 }
@@ -281,8 +286,7 @@ mod tests {
         for a in 0..n {
             for b in a + 1..n {
                 for c in b + 1..n {
-                    let subset =
-                        vec![shards[a].clone(), shards[b].clone(), shards[c].clone()];
+                    let subset = vec![shards[a].clone(), shards[b].clone(), shards[c].clone()];
                     assert_eq!(decode(&subset).unwrap(), data, "subset ({a},{b},{c})");
                 }
             }
@@ -319,7 +323,11 @@ mod tests {
         assert!(decode(&[bad, shards[1].clone()]).is_err());
     }
 
-    type Backends = (Vec<Arc<dyn ObjectStore>>, Vec<Arc<MemStore>>, Vec<Arc<FaultPlan>>);
+    type Backends = (
+        Vec<Arc<dyn ObjectStore>>,
+        Vec<Arc<MemStore>>,
+        Vec<Arc<FaultPlan>>,
+    );
 
     fn three_backends() -> Backends {
         let mut backends: Vec<Arc<dyn ObjectStore>> = Vec::new();
@@ -387,7 +395,10 @@ mod tests {
         store.put("DB/0_dump_1", b"b").unwrap();
         assert_eq!(store.list("WAL/").unwrap(), vec!["WAL/1_f_0_1"]);
         store.delete("WAL/1_f_0_1").unwrap();
-        assert!(matches!(store.get("WAL/1_f_0_1"), Err(StoreError::NotFound(_))));
+        assert!(matches!(
+            store.get("WAL/1_f_0_1"),
+            Err(StoreError::NotFound(_))
+        ));
     }
 
     #[test]

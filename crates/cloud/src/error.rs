@@ -1,17 +1,58 @@
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
-/// Errors returned by [`crate::ObjectStore`] operations.
+/// Errors returned by [`crate::ObjectStore`] operations, classified so
+/// retry decisions are type-driven rather than string-matched.
+///
+/// The contract every backend implements:
+///
+/// * [`StoreError::is_retryable`] is `true` exactly when re-issuing the
+///   same operation could plausibly succeed without operator action
+///   (transient network failure, throttling, a replica quorum miss).
+/// * [`StoreError::retry_after`] carries a backend-provided pacing hint
+///   (e.g. an HTTP `Retry-After`), which retry layers should honour as
+///   a minimum delay before the next attempt.
+/// * Non-retryable errors ([`StoreError::NotFound`],
+///   [`StoreError::InvalidName`], [`StoreError::Corrupt`], and
+///   `Unavailable { retryable: false }`) must surface to the caller
+///   unchanged — retrying them only hides bugs or misconfiguration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum StoreError {
-    /// The named object does not exist.
+    /// The named object does not exist. Not retryable: `get` after a
+    /// successful `put` never legitimately races with itself in Ginja's
+    /// single-writer pipeline.
     NotFound(String),
-    /// The backend is (possibly temporarily) unavailable.
-    Unavailable(String),
+    /// The object name is syntactically invalid for this backend.
+    /// Not retryable: the same name will always be rejected.
+    InvalidName(String),
+    /// The backend rejected the operation due to rate limiting.
+    /// Always retryable; `retry_after` is the backend's pacing hint.
+    Throttled {
+        /// Human-readable reason.
+        reason: String,
+        /// Minimum delay the backend asked for before retrying.
+        retry_after: Option<Duration>,
+    },
+    /// The backend could not complete the operation.
+    Unavailable {
+        /// Human-readable reason.
+        reason: String,
+        /// Whether re-issuing the operation could plausibly succeed
+        /// (`true` for transient network/provider failures, `false`
+        /// for misconfiguration like unwritable roots or permission
+        /// errors).
+        retryable: bool,
+    },
+    /// Stored data failed an integrity check (bad shard, undecodable
+    /// object). Not retryable: the damage is durable.
+    Corrupt(String),
     /// A fault-injection rule rejected this operation (tests only).
+    /// Retryable, modelling a transient provider error.
     Injected(String),
     /// Fewer than the required number of replicas acknowledged a write.
+    /// Retryable: replicas may recover, and re-putting is idempotent.
     QuorumNotReached {
         /// Replicas that acknowledged.
         acked: usize,
@@ -21,14 +62,94 @@ pub enum StoreError {
 }
 
 impl StoreError {
+    /// A retryable [`StoreError::Unavailable`] (transient failure).
+    pub fn unavailable(reason: impl Into<String>) -> Self {
+        StoreError::Unavailable {
+            reason: reason.into(),
+            retryable: true,
+        }
+    }
+
+    /// A non-retryable [`StoreError::Unavailable`] (needs operator
+    /// action: misconfiguration, permissions, no backends, ...).
+    pub fn fatal(reason: impl Into<String>) -> Self {
+        StoreError::Unavailable {
+            reason: reason.into(),
+            retryable: false,
+        }
+    }
+
+    /// A [`StoreError::Throttled`] with an optional pacing hint.
+    pub fn throttled(reason: impl Into<String>, retry_after: Option<Duration>) -> Self {
+        StoreError::Throttled {
+            reason: reason.into(),
+            retry_after,
+        }
+    }
+
+    /// A [`StoreError::Corrupt`] integrity failure.
+    pub fn corrupt(reason: impl Into<String>) -> Self {
+        StoreError::Corrupt(reason.into())
+    }
+
+    /// Classifies an I/O failure: resource-pressure and interruption
+    /// kinds are transient, everything else needs operator action.
+    pub fn io(context: impl fmt::Display, e: std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        let retryable = matches!(
+            e.kind(),
+            ErrorKind::Interrupted
+                | ErrorKind::TimedOut
+                | ErrorKind::WouldBlock
+                | ErrorKind::ResourceBusy
+                | ErrorKind::BrokenPipe
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::ConnectionRefused
+                | ErrorKind::NotConnected
+                | ErrorKind::HostUnreachable
+                | ErrorKind::NetworkUnreachable
+                | ErrorKind::NetworkDown
+        );
+        StoreError::Unavailable {
+            reason: format!("{context}: {e}"),
+            retryable,
+        }
+    }
+
     /// Whether retrying the operation could plausibly succeed.
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
-            StoreError::Unavailable(_)
-                | StoreError::Injected(_)
-                | StoreError::QuorumNotReached { .. }
-        )
+        match self {
+            StoreError::Throttled { .. }
+            | StoreError::Injected(_)
+            | StoreError::QuorumNotReached { .. } => true,
+            StoreError::Unavailable { retryable, .. } => *retryable,
+            StoreError::NotFound(_) | StoreError::InvalidName(_) | StoreError::Corrupt(_) => false,
+        }
+    }
+
+    /// Backend-provided minimum delay before the next attempt, if any.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            StoreError::Throttled { retry_after, .. } => *retry_after,
+            _ => None,
+        }
+    }
+}
+
+/// Deprecation path for pre-classification call sites that built
+/// `Unavailable` from a bare string: the string maps to a *retryable*
+/// unavailability, matching the old variant's `is_retryable()`.
+impl From<String> for StoreError {
+    fn from(reason: String) -> Self {
+        StoreError::unavailable(reason)
+    }
+}
+
+/// See the [`From<String>`] impl.
+impl From<&str> for StoreError {
+    fn from(reason: &str) -> Self {
+        StoreError::unavailable(reason)
     }
 }
 
@@ -36,10 +157,25 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::NotFound(name) => write!(f, "object not found: {name}"),
-            StoreError::Unavailable(reason) => write!(f, "storage unavailable: {reason}"),
+            StoreError::InvalidName(name) => write!(f, "invalid object name: {name}"),
+            StoreError::Throttled {
+                reason,
+                retry_after,
+            } => match retry_after {
+                Some(delay) => write!(f, "storage throttled: {reason} (retry after {delay:?})"),
+                None => write!(f, "storage throttled: {reason}"),
+            },
+            StoreError::Unavailable { reason, retryable } => {
+                let class = if *retryable { "transient" } else { "fatal" };
+                write!(f, "storage unavailable ({class}): {reason}")
+            }
+            StoreError::Corrupt(reason) => write!(f, "stored data corrupt: {reason}"),
             StoreError::Injected(reason) => write!(f, "injected fault: {reason}"),
             StoreError::QuorumNotReached { acked, required } => {
-                write!(f, "write quorum not reached: {acked} of {required} replicas acked")
+                write!(
+                    f,
+                    "write quorum not reached: {acked} of {required} replicas acked"
+                )
             }
         }
     }
@@ -54,15 +190,64 @@ mod tests {
     #[test]
     fn retryability_classification() {
         assert!(!StoreError::NotFound("x".into()).is_retryable());
-        assert!(StoreError::Unavailable("net".into()).is_retryable());
+        assert!(!StoreError::InvalidName("..".into()).is_retryable());
+        assert!(!StoreError::corrupt("bad shard").is_retryable());
+        assert!(!StoreError::fatal("permission denied").is_retryable());
+        assert!(StoreError::unavailable("net").is_retryable());
+        assert!(StoreError::throttled("rate", None).is_retryable());
         assert!(StoreError::Injected("test".into()).is_retryable());
-        assert!(StoreError::QuorumNotReached { acked: 1, required: 2 }.is_retryable());
+        assert!(StoreError::QuorumNotReached {
+            acked: 1,
+            required: 2
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn retry_after_only_from_throttled() {
+        let hint = Duration::from_millis(250);
+        assert_eq!(
+            StoreError::throttled("rate", Some(hint)).retry_after(),
+            Some(hint)
+        );
+        assert_eq!(StoreError::throttled("rate", None).retry_after(), None);
+        assert_eq!(StoreError::unavailable("net").retry_after(), None);
+        assert_eq!(StoreError::NotFound("x".into()).retry_after(), None);
+    }
+
+    #[test]
+    fn io_classification_by_error_kind() {
+        use std::io::{Error as IoError, ErrorKind};
+        let transient = StoreError::io("put x", IoError::from(ErrorKind::TimedOut));
+        assert!(transient.is_retryable());
+        let fatal = StoreError::io("put x", IoError::from(ErrorKind::PermissionDenied));
+        assert!(!fatal.is_retryable());
+        assert!(fatal.to_string().contains("put x"));
+    }
+
+    #[test]
+    fn string_migration_path_is_retryable() {
+        let e: StoreError = String::from("legacy reason").into();
+        assert!(e.is_retryable());
+        assert!(e.to_string().contains("legacy reason"));
+        let e: StoreError = "legacy str".into();
+        assert!(e.is_retryable());
     }
 
     #[test]
     fn display_mentions_object_name() {
         let s = StoreError::NotFound("WAL/3_f_0".into()).to_string();
         assert!(s.contains("WAL/3_f_0"));
+        let s = StoreError::InvalidName("../x".into()).to_string();
+        assert!(s.contains("../x"));
+    }
+
+    #[test]
+    fn display_distinguishes_transient_from_fatal() {
+        assert!(StoreError::unavailable("x")
+            .to_string()
+            .contains("transient"));
+        assert!(StoreError::fatal("x").to_string().contains("fatal"));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -17,6 +18,34 @@ pub enum OpKind {
     List,
 }
 
+/// What class of [`StoreError`] an injected fault produces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A retryable [`StoreError::Injected`] (transient provider error).
+    Transient,
+    /// A non-retryable `Unavailable { retryable: false }`
+    /// (misconfiguration-class failure that retries must not mask).
+    Fatal,
+    /// A [`StoreError::Throttled`] carrying this pacing hint.
+    Throttled(Option<Duration>),
+}
+
+impl FaultKind {
+    fn to_error(self, op: OpKind, name: &str) -> StoreError {
+        match self {
+            FaultKind::Transient => {
+                StoreError::Injected(format!("scheduled {op:?} failure for {name}"))
+            }
+            FaultKind::Fatal => {
+                StoreError::fatal(format!("scheduled fatal {op:?} failure for {name}"))
+            }
+            FaultKind::Throttled(retry_after) => {
+                StoreError::throttled(format!("scheduled {op:?} throttle for {name}"), retry_after)
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Rule {
     op: OpKind,
@@ -24,6 +53,38 @@ struct Rule {
     /// How many matching operations to fail before the rule expires;
     /// `usize::MAX` means forever.
     remaining: AtomicUsize,
+    /// Chance in [0, 1] that a matching operation trips this rule;
+    /// counted rules use 1.0 (always trip while budget remains).
+    probability: f64,
+    /// splitmix64 state for probabilistic draws (deterministic per seed).
+    draw_state: AtomicU64,
+    kind: FaultKind,
+}
+
+impl Rule {
+    fn counted(op: OpKind, name_contains: Option<String>, n: usize, kind: FaultKind) -> Self {
+        Rule {
+            op,
+            name_contains,
+            remaining: AtomicUsize::new(n),
+            probability: 1.0,
+            draw_state: AtomicU64::new(0),
+            kind,
+        }
+    }
+
+    /// Deterministic uniform draw in [0, 1).
+    fn draw(&self) -> f64 {
+        let state = self
+            .draw_state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::SeqCst)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
 }
 
 /// A programmable schedule of failures shared with a [`FaultStore`].
@@ -56,19 +117,65 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// Fails the next `n` operations of kind `op` (any object name).
+    /// Fails the next `n` operations of kind `op` (any object name)
+    /// with a retryable injected error.
     pub fn fail_next(&self, op: OpKind, n: usize) {
-        self.rules.lock().push(Rule { op, name_contains: None, remaining: AtomicUsize::new(n) });
+        self.rules
+            .lock()
+            .push(Rule::counted(op, None, n, FaultKind::Transient));
     }
 
     /// Fails the next `n` operations of kind `op` whose object name
     /// contains `fragment`.
     pub fn fail_matching(&self, op: OpKind, fragment: impl Into<String>, n: usize) {
+        self.rules.lock().push(Rule::counted(
+            op,
+            Some(fragment.into()),
+            n,
+            FaultKind::Transient,
+        ));
+    }
+
+    /// Fails each operation of kind `op` independently with probability
+    /// `p`, forever (until [`FaultPlan::clear`]). Draws are
+    /// deterministic for a given `seed`, so chaos runs reproduce.
+    pub fn fail_randomly(&self, op: OpKind, p: f64, seed: u64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "fault probability must be in [0, 1]"
+        );
         self.rules.lock().push(Rule {
             op,
-            name_contains: Some(fragment.into()),
-            remaining: AtomicUsize::new(n),
+            name_contains: None,
+            remaining: AtomicUsize::new(usize::MAX),
+            probability: p,
+            draw_state: AtomicU64::new(seed),
+            kind: FaultKind::Transient,
         });
+    }
+
+    /// Fails the next `n` operations of kind `op` with a *non-retryable*
+    /// error, for testing that fatal failures punch through retry layers.
+    pub fn fail_fatally(&self, op: OpKind, n: usize) {
+        self.rules
+            .lock()
+            .push(Rule::counted(op, None, n, FaultKind::Fatal));
+    }
+
+    /// Throttles the next `n` operations of kind `op`, attaching
+    /// `retry_after` as the backend pacing hint.
+    pub fn throttle_next(&self, op: OpKind, n: usize, retry_after: Option<Duration>) {
+        self.rules.lock().push(Rule::counted(
+            op,
+            None,
+            n,
+            FaultKind::Throttled(retry_after),
+        ));
+    }
+
+    /// Removes all scheduled rules (outage state is unaffected).
+    pub fn clear(&self) {
+        self.rules.lock().clear();
     }
 
     /// Simulates a full provider outage (every operation fails) until
@@ -90,7 +197,7 @@ impl FaultPlan {
     fn check(&self, op: OpKind, name: &str) -> Result<(), StoreError> {
         if self.outage.load(Ordering::SeqCst) {
             self.injected.fetch_add(1, Ordering::SeqCst);
-            return Err(StoreError::Unavailable("simulated provider outage".into()));
+            return Err(StoreError::unavailable("simulated provider outage"));
         }
         let rules = self.rules.lock();
         for rule in rules.iter() {
@@ -102,6 +209,9 @@ impl FaultPlan {
                     continue;
                 }
             }
+            if rule.probability < 1.0 && rule.draw() >= rule.probability {
+                continue;
+            }
             // Claim one failure budget atomically.
             let mut cur = rule.remaining.load(Ordering::SeqCst);
             loop {
@@ -109,13 +219,13 @@ impl FaultPlan {
                     break;
                 }
                 let next = if cur == usize::MAX { cur } else { cur - 1 };
-                match rule.remaining.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+                match rule
+                    .remaining
+                    .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
                 {
                     Ok(_) => {
                         self.injected.fetch_add(1, Ordering::SeqCst);
-                        return Err(StoreError::Injected(format!(
-                            "scheduled {op:?} failure for {name}"
-                        )));
+                        return Err(rule.kind.to_error(op, name));
                     }
                     Err(actual) => cur = actual,
                 }
@@ -248,6 +358,56 @@ mod tests {
         plan.fail_next(OpKind::Put, 1);
         let err = store.put("a", b"1").unwrap_err();
         assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn fail_randomly_matches_probability_roughly() {
+        let (store, plan) = store_with_plan();
+        plan.fail_randomly(OpKind::Put, 0.2, 42);
+        let mut failures = 0;
+        for i in 0..1000 {
+            if store.put(&format!("o{i}"), b"x").is_err() {
+                failures += 1;
+            }
+        }
+        assert!(
+            (100..300).contains(&failures),
+            "got {failures} failures for p=0.2"
+        );
+        plan.clear();
+        store.put("after-clear", b"x").unwrap();
+    }
+
+    #[test]
+    fn fail_randomly_is_deterministic_per_seed() {
+        let run = |seed| {
+            let (store, plan) = store_with_plan();
+            plan.fail_randomly(OpKind::Put, 0.5, seed);
+            (0..64)
+                .map(|i| store.put(&format!("o{i}"), b"x").is_err())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn fatal_faults_are_not_retryable() {
+        let (store, plan) = store_with_plan();
+        plan.fail_fatally(OpKind::Put, 1);
+        let err = store.put("a", b"1").unwrap_err();
+        assert!(!err.is_retryable());
+        store.put("a", b"1").unwrap();
+    }
+
+    #[test]
+    fn throttle_faults_carry_retry_after() {
+        let (store, plan) = store_with_plan();
+        let hint = Duration::from_millis(40);
+        plan.throttle_next(OpKind::Put, 1, Some(hint));
+        let err = store.put("a", b"1").unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(err.retry_after(), Some(hint));
     }
 
     #[test]

@@ -204,14 +204,14 @@ mod tests {
         assert_eq!(invert_matrix(&identity).unwrap(), identity);
 
         // A Vandermonde matrix is invertible; M⁻¹ · M = I.
-        let vand: Vec<Vec<u8>> =
-            (1..=4u8).map(|r| (0..4u32).map(|c| pow(r, c)).collect()).collect();
+        let vand: Vec<Vec<u8>> = (1..=4u8)
+            .map(|r| (0..4u32).map(|c| pow(r, c)).collect())
+            .collect();
         let inv_m = invert_matrix(&vand).unwrap();
         #[allow(clippy::needless_range_loop)]
         for r in 0..4 {
             for c in 0..4 {
-                let entry = (0..4)
-                    .fold(0u8, |acc, k| add(acc, mul(inv_m[r][k], vand[k][c])));
+                let entry = (0..4).fold(0u8, |acc, k| add(acc, mul(inv_m[r][k], vand[k][c])));
                 assert_eq!(entry, u8::from(r == c), "entry ({r},{c})");
             }
         }

@@ -125,7 +125,12 @@ impl LatencyModel {
     }
 
     fn scale(&self, base: Duration, transfer_secs: f64) -> Duration {
-        let total = base.as_secs_f64() + if transfer_secs.is_finite() { transfer_secs } else { 0.0 };
+        let total = base.as_secs_f64()
+            + if transfer_secs.is_finite() {
+                transfer_secs
+            } else {
+                0.0
+            };
         Duration::from_secs_f64(total * self.time_scale)
     }
 }
@@ -148,7 +153,11 @@ impl<S: ObjectStore> LatencyStore<S> {
     /// Wraps with an explicit jitter seed (tests use this for
     /// reproducibility across runs).
     pub fn with_seed(inner: S, model: LatencyModel, seed: u64) -> Self {
-        LatencyStore { inner, model, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+        LatencyStore {
+            inner,
+            model,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
     }
 
     /// The wrapped store.
@@ -232,10 +241,12 @@ mod tests {
         let m = LatencyModel::s3_wan();
         let s = m.clone().scaled(0.01);
         let r_full = m.put_latency(1_000_000).as_secs_f64() / m.put_latency(10_000).as_secs_f64();
-        let r_scaled =
-            s.put_latency(1_000_000).as_secs_f64() / s.put_latency(10_000).as_secs_f64();
+        let r_scaled = s.put_latency(1_000_000).as_secs_f64() / s.put_latency(10_000).as_secs_f64();
         // Durations round to whole nanoseconds, so allow a small tolerance.
-        assert!((r_full - r_scaled).abs() / r_full < 1e-4, "{r_full} vs {r_scaled}");
+        assert!(
+            (r_full - r_scaled).abs() / r_full < 1e-4,
+            "{r_full} vs {r_scaled}"
+        );
     }
 
     #[test]

@@ -46,14 +46,16 @@ mod latency;
 mod mem;
 mod metered;
 mod replicated;
+mod resilient;
 mod store;
 
 pub use dir::DirStore;
 pub use erasure::{decode as erasure_decode, encode as erasure_encode, ErasureStore};
 pub use error::StoreError;
-pub use fault::{FaultPlan, FaultStore, OpKind};
+pub use fault::{FaultKind, FaultPlan, FaultStore, OpKind};
 pub use latency::{LatencyModel, LatencyStore};
 pub use mem::MemStore;
 pub use metered::{CloudUsage, MeteredStore, PutSample};
 pub use replicated::ReplicatedStore;
+pub use resilient::{BreakerState, ResilienceSnapshot, ResilientStore, RetryConfig};
 pub use store::ObjectStore;

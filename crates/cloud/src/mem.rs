@@ -48,7 +48,11 @@ impl MemStore {
 
     /// Snapshot of `(name, size)` pairs, for test assertions.
     pub fn inventory(&self) -> Vec<(String, u64)> {
-        self.objects.read().iter().map(|(k, v)| (k.clone(), v.len() as u64)).collect()
+        self.objects
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.len() as u64))
+            .collect()
     }
 }
 

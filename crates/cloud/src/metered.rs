@@ -182,9 +182,13 @@ impl<S: ObjectStore> ObjectStore for MeteredStore<S> {
             Ok(()) => {
                 let latency = start.elapsed();
                 self.puts.fetch_add(1, Ordering::SeqCst);
-                self.bytes_uploaded.fetch_add(data.len() as u64, Ordering::SeqCst);
+                self.bytes_uploaded
+                    .fetch_add(data.len() as u64, Ordering::SeqCst);
                 self.update_stored(name, Some(data.len() as u64));
-                self.put_samples.lock().push(PutSample { bytes: data.len() as u64, latency });
+                self.put_samples.lock().push(PutSample {
+                    bytes: data.len() as u64,
+                    latency,
+                });
                 Ok(())
             }
             Err(e) => {
@@ -198,7 +202,8 @@ impl<S: ObjectStore> ObjectStore for MeteredStore<S> {
         match self.inner.get(name) {
             Ok(data) => {
                 self.gets.fetch_add(1, Ordering::SeqCst);
-                self.bytes_downloaded.fetch_add(data.len() as u64, Ordering::SeqCst);
+                self.bytes_downloaded
+                    .fetch_add(data.len() as u64, Ordering::SeqCst);
                 Ok(data)
             }
             Err(e) => {

@@ -61,7 +61,10 @@ impl ReplicatedStore {
             write_quorum >= 1 && write_quorum <= replicas.len(),
             "write quorum must be in 1..=replicas"
         );
-        ReplicatedStore { replicas, write_quorum }
+        ReplicatedStore {
+            replicas,
+            write_quorum,
+        }
     }
 
     /// Number of replicas.
@@ -97,7 +100,7 @@ impl ReplicatedStore {
             }
         }
         if !listed_any {
-            return Err(StoreError::Unavailable("no replica can be listed".into()));
+            return Err(StoreError::unavailable("no replica can be listed"));
         }
 
         let mut copies = 0;
@@ -127,7 +130,10 @@ impl ObjectStore for ReplicatedStore {
         if acked >= self.write_quorum {
             Ok(())
         } else {
-            Err(StoreError::QuorumNotReached { acked, required: self.write_quorum })
+            Err(StoreError::QuorumNotReached {
+                acked,
+                required: self.write_quorum,
+            })
         }
     }
 
@@ -157,7 +163,7 @@ impl ObjectStore for ReplicatedStore {
         if any_ok {
             Ok(())
         } else {
-            Err(last_err.unwrap_or_else(|| StoreError::Unavailable("no replicas".into())))
+            Err(last_err.unwrap_or_else(|| StoreError::fatal("no replicas configured")))
         }
     }
 
@@ -177,7 +183,7 @@ impl ObjectStore for ReplicatedStore {
         if any_ok {
             Ok(names.into_iter().collect())
         } else {
-            Err(last_err.unwrap_or_else(|| StoreError::Unavailable("no replicas".into())))
+            Err(last_err.unwrap_or_else(|| StoreError::fatal("no replicas configured")))
         }
     }
 }
@@ -226,7 +232,13 @@ mod tests {
         plans[0].outage();
         plans[1].outage();
         let err = repl.put("o", b"d").unwrap_err();
-        assert_eq!(err, StoreError::QuorumNotReached { acked: 1, required: 2 });
+        assert_eq!(
+            err,
+            StoreError::QuorumNotReached {
+                acked: 1,
+                required: 2
+            }
+        );
     }
 
     #[test]

@@ -14,9 +14,12 @@ pub trait ObjectStore: Send + Sync {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Unavailable`] (or an injected fault) if the write
-    /// did not durably complete; the caller must assume nothing about
-    /// partial state and retry or fail over.
+    /// A classified [`StoreError`] if the write did not durably
+    /// complete; the caller must assume nothing about partial state.
+    /// Because a `put` replaces the whole object, re-issuing it is
+    /// always safe — retry layers key off [`StoreError::is_retryable`]
+    /// (and honour [`StoreError::retry_after`] hints) to decide whether
+    /// another attempt could succeed.
     fn put(&self, name: &str, data: &[u8]) -> Result<(), StoreError>;
 
     /// Retrieves the object named `name`.
@@ -31,7 +34,7 @@ pub trait ObjectStore: Send + Sync {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Unavailable`] on backend failure.
+    /// A classified [`StoreError`] on backend failure.
     fn delete(&self, name: &str) -> Result<(), StoreError>;
 
     /// Lists all object names starting with `prefix`, in lexicographic
@@ -39,7 +42,7 @@ pub trait ObjectStore: Send + Sync {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Unavailable`] on backend failure.
+    /// A classified [`StoreError`] on backend failure.
     fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError>;
 }
 

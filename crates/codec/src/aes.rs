@@ -39,7 +39,9 @@ const SBOX: [u8; 256] = [
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 ];
 
-const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+const RCON: [u8; 11] = [
+    0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36,
+];
 
 /// Multiply by 2 in GF(2^8) with the AES reduction polynomial.
 #[inline]
@@ -61,7 +63,9 @@ pub struct Aes128 {
 impl std::fmt::Debug for Aes128 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
-        f.debug_struct("Aes128").field("round_keys", &"<redacted>").finish()
+        f.debug_struct("Aes128")
+            .field("round_keys", &"<redacted>")
+            .finish()
     }
 }
 
@@ -146,7 +150,12 @@ fn shift_rows(state: &mut [u8; 16]) {
 #[inline]
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[c * 4], state[c * 4 + 1], state[c * 4 + 2], state[c * 4 + 3]];
+        let col = [
+            state[c * 4],
+            state[c * 4 + 1],
+            state[c * 4 + 2],
+            state[c * 4 + 3],
+        ];
         let all = col[0] ^ col[1] ^ col[2] ^ col[3];
         state[c * 4] = col[0] ^ all ^ xtime(col[0] ^ col[1]);
         state[c * 4 + 1] = col[1] ^ all ^ xtime(col[1] ^ col[2]);
@@ -173,9 +182,12 @@ mod tests {
     // FIPS-197 Appendix C.1.
     #[test]
     fn fips197_appendix_c1() {
-        let key: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
-        let mut block: [u8; 16] =
-            from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let key: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f")
+            .try_into()
+            .unwrap();
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
         Aes128::new(&key).encrypt_block(&mut block);
         assert_eq!(hex(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
     }
@@ -183,9 +195,12 @@ mod tests {
     // FIPS-197 Appendix B.
     #[test]
     fn fips197_appendix_b() {
-        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
-        let mut block: [u8; 16] =
-            from_hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c")
+            .try_into()
+            .unwrap();
+        let mut block: [u8; 16] = from_hex("3243f6a8885a308d313198a2e0370734")
+            .try_into()
+            .unwrap();
         Aes128::new(&key).encrypt_block(&mut block);
         assert_eq!(hex(&block), "3925841d02dc09fbdc118597196a0b32");
     }
@@ -193,14 +208,20 @@ mod tests {
     // NIST SP 800-38A F.1.1 ECB-AES128 (first two blocks).
     #[test]
     fn sp800_38a_ecb_blocks() {
-        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c")
+            .try_into()
+            .unwrap();
         let aes = Aes128::new(&key);
 
-        let mut b1: [u8; 16] = from_hex("6bc1bee22e409f96e93d7e117393172a").try_into().unwrap();
+        let mut b1: [u8; 16] = from_hex("6bc1bee22e409f96e93d7e117393172a")
+            .try_into()
+            .unwrap();
         aes.encrypt_block(&mut b1);
         assert_eq!(hex(&b1), "3ad77bb40d7a3660a89ecaf32466ef97");
 
-        let mut b2: [u8; 16] = from_hex("ae2d8a571e03ac9c9eb76fac45af8e51").try_into().unwrap();
+        let mut b2: [u8; 16] = from_hex("ae2d8a571e03ac9c9eb76fac45af8e51")
+            .try_into()
+            .unwrap();
         aes.encrypt_block(&mut b2);
         assert_eq!(hex(&b2), "f5d3d58503b9699de785895a96fdbaaf");
     }

@@ -116,7 +116,12 @@ impl Codec {
             }
             None => (None, DerivedKeys::mac_only(&config.mac_default)),
         };
-        Codec { compression: config.compression, aes, mac_key, nonce_counter: AtomicU64::new(1) }
+        Codec {
+            compression: config.compression,
+            aes,
+            mac_key,
+            nonce_counter: AtomicU64::new(1),
+        }
     }
 
     /// A codec with all transforms off (MAC only) — Ginja's default mode.
@@ -157,7 +162,13 @@ impl Codec {
             ctr::apply_keystream(aes, &nonce, &mut body);
         }
 
-        Ok(envelope::assemble(&self.mac_key, name, flags, &nonce, &body))
+        Ok(envelope::assemble(
+            &self.mac_key,
+            name,
+            flags,
+            &nonce,
+            &body,
+        ))
     }
 
     /// Opens a sealed object, returning the plaintext.
@@ -237,7 +248,11 @@ mod tests {
             }
             let codec = Codec::new(cfg);
             let sealed = codec.seal("WAL/9_f_0", &data).unwrap();
-            assert_eq!(codec.open("WAL/9_f_0", &sealed).unwrap(), data, "comp={comp} enc={enc}");
+            assert_eq!(
+                codec.open("WAL/9_f_0", &sealed).unwrap(),
+                data,
+                "comp={comp} enc={enc}"
+            );
         }
     }
 
@@ -245,8 +260,9 @@ mod tests {
     fn compression_reduces_size() {
         let data = compressible();
         let plain = Codec::plain().seal("o", &data).unwrap();
-        let compressed =
-            Codec::new(CodecConfig::new().compression(true)).seal("o", &data).unwrap();
+        let compressed = Codec::new(CodecConfig::new().compression(true))
+            .seal("o", &data)
+            .unwrap();
         assert!(compressed.len() < plain.len());
     }
 
@@ -308,7 +324,10 @@ mod tests {
     fn name_binding_prevents_object_swap() {
         let codec = Codec::plain();
         let sealed = codec.seal("WAL/5_seg_0", b"newer").unwrap();
-        assert_eq!(codec.open("WAL/4_seg_0", &sealed), Err(CodecError::MacMismatch));
+        assert_eq!(
+            codec.open("WAL/4_seg_0", &sealed),
+            Err(CodecError::MacMismatch)
+        );
     }
 
     #[test]
@@ -324,7 +343,12 @@ mod tests {
 
     #[test]
     fn empty_plaintext_roundtrip() {
-        let codec = Codec::new(CodecConfig::new().compression(true).password("p").kdf_iterations(2));
+        let codec = Codec::new(
+            CodecConfig::new()
+                .compression(true)
+                .password("p")
+                .kdf_iterations(2),
+        );
         let sealed = codec.seal("o", b"").unwrap();
         assert_eq!(codec.open("o", &sealed).unwrap(), b"");
     }

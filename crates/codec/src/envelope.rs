@@ -103,7 +103,12 @@ impl<'a> Envelope<'a> {
         let body = &data[HEADER_LEN..data.len() - TAG_LEN];
         let mut tag = [0u8; TAG_LEN];
         tag.copy_from_slice(&data[data.len() - TAG_LEN..]);
-        Ok(Envelope { flags, nonce, body, tag })
+        Ok(Envelope {
+            flags,
+            nonce,
+            body,
+            tag,
+        })
     }
 
     /// Verifies the MAC under `mac_key` for the object named `name`.
@@ -165,7 +170,13 @@ mod tests {
     #[test]
     fn assemble_parse_verify_roundtrip() {
         let nonce = [9u8; 16];
-        let data = assemble(KEY, "WAL/1_x_0", EnvelopeFlags::ENCRYPTED, &nonce, b"payload");
+        let data = assemble(
+            KEY,
+            "WAL/1_x_0",
+            EnvelopeFlags::ENCRYPTED,
+            &nonce,
+            b"payload",
+        );
         let env = Envelope::parse(&data).unwrap();
         assert_eq!(env.flags, EnvelopeFlags::ENCRYPTED);
         assert_eq!(env.nonce, nonce);
@@ -197,13 +208,23 @@ mod tests {
 
     #[test]
     fn every_bit_flip_detected() {
-        let data = assemble(KEY, "n", EnvelopeFlags::COMPRESSED, &[3u8; 16], b"body bytes");
+        let data = assemble(
+            KEY,
+            "n",
+            EnvelopeFlags::COMPRESSED,
+            &[3u8; 16],
+            b"body bytes",
+        );
         for i in 0..data.len() {
             let mut bad = data.clone();
             bad[i] ^= 1;
             match Envelope::parse(&bad) {
                 Ok(env) => {
-                    assert_eq!(env.verify(KEY, "n"), Err(CodecError::MacMismatch), "byte {i}")
+                    assert_eq!(
+                        env.verify(KEY, "n"),
+                        Err(CodecError::MacMismatch),
+                        "byte {i}"
+                    )
                 }
                 Err(e) => {
                     // Magic or flags corruption is caught at parse time.
@@ -219,7 +240,10 @@ mod tests {
     #[test]
     fn truncated_rejected() {
         let data = assemble(KEY, "n", EnvelopeFlags::empty(), &[0u8; 16], b"");
-        assert_eq!(Envelope::parse(&data[..MIN_LEN - 1]), Err(CodecError::Truncated));
+        assert_eq!(
+            Envelope::parse(&data[..MIN_LEN - 1]),
+            Err(CodecError::Truncated)
+        );
         assert_eq!(Envelope::parse(&[]), Err(CodecError::Truncated));
     }
 

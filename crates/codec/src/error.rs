@@ -44,7 +44,10 @@ impl fmt::Display for CodecError {
                 write!(f, "compressed body is corrupt: {reason}")
             }
             CodecError::LengthMismatch { expected, actual } => {
-                write!(f, "declared length {expected} does not match actual {actual}")
+                write!(
+                    f,
+                    "declared length {expected} does not match actual {actual}"
+                )
             }
         }
     }
@@ -65,7 +68,10 @@ mod tests {
             CodecError::UnknownFlags(0x80),
             CodecError::KeyMissing,
             CodecError::CorruptCompression("bad token".into()),
-            CodecError::LengthMismatch { expected: 3, actual: 7 },
+            CodecError::LengthMismatch {
+                expected: 3,
+                actual: 7,
+            },
         ];
         for v in variants {
             let s = v.to_string();

@@ -122,7 +122,9 @@ pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
             // Index the skipped positions so later matches can refer into
             // this region (cap the work for very long matches).
             let end = pos + best_len;
-            let index_until = end.min(pos + 64).min(data.len().saturating_sub(MIN_MATCH - 1));
+            let index_until = end
+                .min(pos + 64)
+                .min(data.len().saturating_sub(MIN_MATCH - 1));
             while pos < index_until {
                 let h = hash4(data, pos);
                 prev[pos] = head[h];
@@ -202,7 +204,9 @@ pub fn decompress_with_limit(stream: &[u8], max_output: usize) -> Result<Vec<u8>
         off += n;
         if v & 1 == 0 {
             let len = usize::try_from(v >> 1).map_err(|_| corrupt("literal length overflow"))?;
-            let end = off.checked_add(len).ok_or_else(|| corrupt("literal overflow"))?;
+            let end = off
+                .checked_add(len)
+                .ok_or_else(|| corrupt("literal overflow"))?;
             if end > stream.len() {
                 return Err(corrupt("literal run past end of stream"));
             }
@@ -238,7 +242,10 @@ pub fn decompress_with_limit(stream: &[u8], max_output: usize) -> Result<Vec<u8>
     }
 
     if out.len() != original_len {
-        return Err(CodecError::LengthMismatch { expected: original_len, actual: out.len() });
+        return Err(CodecError::LengthMismatch {
+            expected: original_len,
+            actual: out.len(),
+        });
     }
     Ok(out)
 }
@@ -377,7 +384,10 @@ mod tests {
         stream.push(b'a');
         varint::write_u64(&mut stream, ((u64::MAX >> 2) << 1) | 1);
         varint::write_u64(&mut stream, 1);
-        assert!(matches!(decompress(&stream), Err(CodecError::CorruptCompression(_))));
+        assert!(matches!(
+            decompress(&stream),
+            Err(CodecError::CorruptCompression(_))
+        ));
     }
 
     #[test]
@@ -385,7 +395,10 @@ mod tests {
         // A stream claiming 2 TiB of output must fail fast, not abort.
         let mut stream = Vec::new();
         varint::write_u64(&mut stream, 1u64 << 41);
-        assert!(matches!(decompress(&stream), Err(CodecError::CorruptCompression(_))));
+        assert!(matches!(
+            decompress(&stream),
+            Err(CodecError::CorruptCompression(_))
+        ));
     }
 
     #[test]
@@ -405,7 +418,10 @@ mod tests {
         varint::write_u64(&mut stream, 10); // original_len
         varint::write_u64(&mut stream, 1); // match token len=MIN_MATCH
         varint::write_u64(&mut stream, 0); // distance 0: invalid
-        assert!(matches!(decompress(&stream), Err(CodecError::CorruptCompression(_))));
+        assert!(matches!(
+            decompress(&stream),
+            Err(CodecError::CorruptCompression(_))
+        ));
     }
 
     #[test]
@@ -416,7 +432,10 @@ mod tests {
         stream.extend_from_slice(b"ab");
         varint::write_u64(&mut stream, 1); // match
         varint::write_u64(&mut stream, 5); // distance 5 > 2 bytes of output
-        assert!(matches!(decompress(&stream), Err(CodecError::CorruptCompression(_))));
+        assert!(matches!(
+            decompress(&stream),
+            Err(CodecError::CorruptCompression(_))
+        ));
     }
 
     #[test]
@@ -425,7 +444,10 @@ mod tests {
         varint::write_u64(&mut stream, 100); // claims 100 bytes
         varint::write_u64(&mut stream, (3u64) << 1);
         stream.extend_from_slice(b"abc");
-        assert!(matches!(decompress(&stream), Err(CodecError::LengthMismatch { .. })));
+        assert!(matches!(
+            decompress(&stream),
+            Err(CodecError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

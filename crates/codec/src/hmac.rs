@@ -49,7 +49,10 @@ impl HmacSha1 {
 
         let mut inner = Sha1::new();
         inner.update(&ipad);
-        HmacSha1 { inner, outer_key: opad }
+        HmacSha1 {
+            inner,
+            outer_key: opad,
+        }
     }
 
     /// Feeds message bytes into the MAC.
@@ -133,7 +136,10 @@ mod tests {
     fn rfc2202_case_6_long_key() {
         let key = [0xaau8; 80];
         assert_eq!(
-            hex(&hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            hex(&hmac_sha1(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
             "aa4ae5e15272d00e95705637ce8a3b55ed402112"
         );
     }

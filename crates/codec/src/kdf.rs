@@ -89,8 +89,18 @@ impl DerivedKeys {
     pub fn from_password_iterations(password: &str, iterations: u32) -> Self {
         let mut enc_key = [0u8; 16];
         let mut mac_key = [0u8; DIGEST_LEN];
-        pbkdf2_sha1(password.as_bytes(), b"ginja-enc-v1", iterations, &mut enc_key);
-        pbkdf2_sha1(password.as_bytes(), b"ginja-mac-v1", iterations, &mut mac_key);
+        pbkdf2_sha1(
+            password.as_bytes(),
+            b"ginja-enc-v1",
+            iterations,
+            &mut enc_key,
+        );
+        pbkdf2_sha1(
+            password.as_bytes(),
+            b"ginja-mac-v1",
+            iterations,
+            &mut mac_key,
+        );
         DerivedKeys { enc_key, mac_key }
     }
 
@@ -142,7 +152,10 @@ mod tests {
             4096,
             &mut out,
         );
-        assert_eq!(hex(&out), "3d2eec4fe41c849b80c8d83662c0e44a8b291a964cf2f07038");
+        assert_eq!(
+            hex(&out),
+            "3d2eec4fe41c849b80c8d83662c0e44a8b291a964cf2f07038"
+        );
     }
 
     #[test]

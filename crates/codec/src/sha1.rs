@@ -41,7 +41,13 @@ impl Sha1 {
     /// Creates a hasher in the standard initial state.
     pub fn new() -> Self {
         Sha1 {
-            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            state: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
             len: 0,
             buf: [0u8; BLOCK_LEN],
             buf_len: 0,
@@ -157,18 +163,26 @@ mod tests {
     // RFC 3174 / FIPS 180-1 test vectors.
     #[test]
     fn vector_abc() {
-        assert_eq!(hex(&digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
     fn vector_empty() {
-        assert_eq!(hex(&digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(&digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]
     fn vector_448_bits() {
         assert_eq!(
-            hex(&digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
     }
@@ -176,7 +190,10 @@ mod tests {
     #[test]
     fn vector_million_a() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(hex(&digest(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&digest(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]
@@ -186,7 +203,10 @@ mod tests {
         for _ in 0..80 {
             data.extend_from_slice(b"01234567");
         }
-        assert_eq!(hex(&digest(&data)), "dea356a2cddd90c7a7ecedc5ebb563934f460452");
+        assert_eq!(
+            hex(&digest(&data)),
+            "dea356a2cddd90c7a7ecedc5ebb563934f460452"
+        );
     }
 
     #[test]

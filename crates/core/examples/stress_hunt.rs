@@ -45,7 +45,11 @@ fn run_case(kind: ProfileKind, steps: &[Step], batch: usize) -> Result<(), Strin
     let mut latency = LatencyModel::instant();
     latency.put_base = Duration::from_millis(2);
     latency.jitter = 0.9;
-    let cloud = Arc::new(LatencyStore::with_seed(mem.clone(), latency, steps.len() as u64));
+    let cloud = Arc::new(LatencyStore::with_seed(
+        mem.clone(),
+        latency,
+        steps.len() as u64,
+    ));
     let ginja = Ginja::boot(local.clone(), cloud, processor, config.clone()).unwrap();
     let protected: Arc<dyn FileSystem> =
         Arc::new(InterceptFs::new(local.clone(), Arc::new(ginja.clone())));
@@ -73,14 +77,16 @@ fn run_case(kind: ProfileKind, steps: &[Step], batch: usize) -> Result<(), Strin
     drop(db);
 
     let rebuilt = Arc::new(MemFs::new());
-    recover_into(rebuilt.as_ref(), mem.as_ref(), &config)
-        .map_err(|e| format!("recover: {e}"))?;
+    recover_into(rebuilt.as_ref(), mem.as_ref(), &config).map_err(|e| format!("recover: {e}"))?;
     let db = Database::open(rebuilt, profile).map_err(|e| format!("open: {e}"))?;
     let rows: BTreeMap<u64, Vec<u8>> = db.dump_table(1).unwrap().into_iter().collect();
     if rows != model {
         let missing: Vec<&u64> = model.keys().filter(|k| !rows.contains_key(k)).collect();
-        let stale: Vec<&u64> =
-            model.iter().filter(|(k, v)| rows.get(k).is_some_and(|r| r != *v)).map(|(k, _)| k).collect();
+        let stale: Vec<&u64> = model
+            .iter()
+            .filter(|(k, v)| rows.get(k).is_some_and(|r| r != *v))
+            .map(|(k, _)| k)
+            .collect();
         return Err(format!("divergence: missing {missing:?} stale {stale:?}"));
     }
     Ok(())

@@ -99,7 +99,11 @@ mod tests {
     use std::sync::Arc;
 
     fn w(file: &str, offset: u64, data: &[u8]) -> WalWrite {
-        WalWrite { file: file.to_string(), offset, data: Arc::from(data) }
+        WalWrite {
+            file: file.to_string(),
+            offset,
+            data: Arc::from(data),
+        }
     }
 
     const CAP: usize = 1 << 20;
@@ -107,7 +111,14 @@ mod tests {
     #[test]
     fn single_write_passthrough() {
         let out = aggregate(&[w("f", 8, b"abc")], CAP);
-        assert_eq!(out, vec![AggregatedRange { file: "f".into(), offset: 8, data: b"abc".to_vec() }]);
+        assert_eq!(
+            out,
+            vec![AggregatedRange {
+                file: "f".into(),
+                offset: 8,
+                data: b"abc".to_vec()
+            }]
+        );
     }
 
     #[test]
@@ -147,7 +158,11 @@ mod tests {
     #[test]
     fn write_bridging_two_ranges_merges_all() {
         let out = aggregate(
-            &[w("f", 0, b"aaaa"), w("f", 8, b"cccc"), w("f", 2, b"BBBBBBBB")],
+            &[
+                w("f", 0, b"aaaa"),
+                w("f", 8, b"cccc"),
+                w("f", 2, b"BBBBBBBB"),
+            ],
             CAP,
         );
         assert_eq!(out.len(), 1);

@@ -109,9 +109,13 @@ impl SegmentArchiver {
         // completed file, seal, upload. Failures leave it unarchived
         // (it will not be retried here — the baseline is deliberately
         // as simple as the mechanism it models).
-        let Ok(content) = self.fs.read_all(segment) else { return };
+        let Ok(content) = self.fs.read_all(segment) else {
+            return;
+        };
         let name = format!("{SEG_PREFIX}{segment}");
-        let Ok(sealed) = self.codec.seal(&name, &content) else { return };
+        let Ok(sealed) = self.codec.seal(&name, &content) else {
+            return;
+        };
         if self.cloud.put(&name, &sealed).is_ok() {
             let mut inner = self.inner.lock();
             inner.archived.insert(segment.to_string());
@@ -268,6 +272,10 @@ mod tests {
         let rebuilt = Arc::new(MemFs::new());
         restore_archive(rebuilt.as_ref(), cloud.as_ref(), &config()).unwrap();
         let db = Database::open(rebuilt, profile()).unwrap();
-        assert_eq!(db.get(1, 1).unwrap(), None, "nothing after the base backup survives");
+        assert_eq!(
+            db.get(1, 1).unwrap(),
+            None,
+            "nothing after the base backup survives"
+        );
     }
 }

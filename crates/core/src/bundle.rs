@@ -72,7 +72,11 @@ pub fn decode(data: &[u8]) -> Result<Vec<FileRange>, GinjaError> {
         if pos + len > data.len() {
             return Err(bad("truncated entry data"));
         }
-        entries.push(FileRange { path, offset, data: data[pos..pos + len].to_vec() });
+        entries.push(FileRange {
+            path,
+            offset,
+            data: data[pos..pos + len].to_vec(),
+        });
         pos += len;
     }
     if pos != data.len() {
@@ -100,7 +104,11 @@ mod tests {
     use super::*;
 
     fn entry(path: &str, offset: u64, data: &[u8]) -> FileRange {
-        FileRange { path: path.into(), offset, data: data.to_vec() }
+        FileRange {
+            path: path.into(),
+            offset,
+            data: data.to_vec(),
+        }
     }
 
     #[test]
@@ -123,7 +131,10 @@ mod tests {
     fn corrupt_inputs_rejected_not_panicking() {
         let good = encode(&[entry("f", 0, b"data")]);
         for cut in 0..good.len() {
-            assert!(decode(&good[..cut]).is_err() || cut == good.len(), "cut {cut}");
+            assert!(
+                decode(&good[..cut]).is_err() || cut == good.len(),
+                "cut {cut}"
+            );
         }
         let mut extra = good.clone();
         extra.push(0);

@@ -1,5 +1,6 @@
 use std::time::Duration;
 
+use ginja_cloud::RetryConfig;
 use ginja_codec::CodecConfig;
 
 use crate::GinjaError;
@@ -57,6 +58,11 @@ pub struct GinjaConfig {
     /// enabled in production; the `false` setting exists for the
     /// ablation study quantifying what aggregation saves.
     pub coalesce: bool,
+    /// Cloud-path resilience policy: retry with backoff, circuit
+    /// breaking, and optional hedged `put`s. Every cloud operation
+    /// Ginja issues (boot uploads, batch uploads, checkpoint merges,
+    /// garbage collection) goes through this policy.
+    pub retry: RetryConfig,
 }
 
 impl GinjaConfig {
@@ -83,15 +89,22 @@ impl GinjaConfig {
             )));
         }
         if self.uploaders == 0 {
-            return Err(GinjaError::Config("at least one uploader thread is required".into()));
+            return Err(GinjaError::Config(
+                "at least one uploader thread is required".into(),
+            ));
         }
         if self.max_object_size < 4096 {
-            return Err(GinjaError::Config("max object size must be at least 4 KiB".into()));
+            return Err(GinjaError::Config(
+                "max object size must be at least 4 KiB".into(),
+            ));
         }
         // NaN must be rejected too, hence the explicit comparison shape.
         if self.dump_threshold.is_nan() || self.dump_threshold <= 1.0 {
-            return Err(GinjaError::Config("dump threshold must be greater than 1.0".into()));
+            return Err(GinjaError::Config(
+                "dump threshold must be greater than 1.0".into(),
+            ));
         }
+        self.retry.validate().map_err(GinjaError::Config)?;
         Ok(())
     }
 }
@@ -123,6 +136,7 @@ impl GinjaConfigBuilder {
                 codec: CodecConfig::new(),
                 pitr: None,
                 coalesce: true,
+                retry: RetryConfig::default(),
             },
         }
     }
@@ -197,6 +211,23 @@ impl GinjaConfigBuilder {
         self
     }
 
+    /// Sets the cloud-path resilience policy (retry/backoff, circuit
+    /// breaker, hedging). Use [`RetryConfig::disabled`] to make every
+    /// cloud failure surface immediately (ablation studies only).
+    #[must_use]
+    pub fn retry(mut self, retry: RetryConfig) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Enables or disables hedged `put`s without replacing the rest of
+    /// the retry policy.
+    #[must_use]
+    pub fn hedging(mut self, enabled: bool) -> Self {
+        self.config.retry.hedge = enabled;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -231,7 +262,11 @@ mod tests {
 
     #[test]
     fn batch_above_safety_rejected() {
-        let err = GinjaConfig::builder().batch(100, ).safety(10).build().unwrap_err();
+        let err = GinjaConfig::builder()
+            .batch(100)
+            .safety(10)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, GinjaError::Config(_)));
     }
 
@@ -259,7 +294,71 @@ mod tests {
 
     #[test]
     fn pitr_carried_through() {
-        let c = GinjaConfig::builder().pitr(PitrConfig { keep_snapshots: 3 }).build().unwrap();
+        let c = GinjaConfig::builder()
+            .pitr(PitrConfig { keep_snapshots: 3 })
+            .build()
+            .unwrap();
         assert_eq!(c.pitr.unwrap().keep_snapshots, 3);
+    }
+
+    #[test]
+    fn retry_policy_carried_through() {
+        let c = GinjaConfig::builder()
+            .retry(RetryConfig {
+                max_attempts: 9,
+                ..RetryConfig::default()
+            })
+            .build()
+            .unwrap();
+        assert_eq!(c.retry.max_attempts, 9);
+        assert!(!c.retry.hedge, "hedging defaults off");
+    }
+
+    #[test]
+    fn hedging_toggle_preserves_rest_of_policy() {
+        let c = GinjaConfig::builder()
+            .retry(RetryConfig {
+                max_attempts: 9,
+                ..RetryConfig::default()
+            })
+            .hedging(true)
+            .build()
+            .unwrap();
+        assert!(c.retry.hedge);
+        assert_eq!(c.retry.max_attempts, 9);
+    }
+
+    #[test]
+    fn invalid_retry_policy_rejected() {
+        let zero_attempts = RetryConfig {
+            max_attempts: 0,
+            ..RetryConfig::default()
+        };
+        assert!(GinjaConfig::builder().retry(zero_attempts).build().is_err());
+
+        let inverted_delays = RetryConfig {
+            base_delay: Duration::from_secs(9),
+            max_delay: Duration::from_secs(1),
+            ..RetryConfig::default()
+        };
+        assert!(GinjaConfig::builder()
+            .retry(inverted_delays)
+            .build()
+            .is_err());
+
+        let bad_percentile = RetryConfig {
+            hedge_percentile: 2.0,
+            ..RetryConfig::default()
+        };
+        assert!(GinjaConfig::builder()
+            .retry(bad_percentile)
+            .hedging(true)
+            .build()
+            .is_err());
+
+        assert!(GinjaConfig::builder()
+            .retry(RetryConfig::disabled())
+            .build()
+            .is_ok());
     }
 }

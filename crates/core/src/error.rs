@@ -74,9 +74,13 @@ mod tests {
 
     #[test]
     fn sources_preserved() {
-        assert!(GinjaError::from(StoreError::NotFound("x".into())).source().is_some());
+        assert!(GinjaError::from(StoreError::NotFound("x".into()))
+            .source()
+            .is_some());
         assert!(GinjaError::from(CodecError::BadMagic).source().is_some());
-        assert!(GinjaError::from(FsError::NotFound("y".into())).source().is_some());
+        assert!(GinjaError::from(FsError::NotFound("y".into()))
+            .source()
+            .is_some());
         assert!(GinjaError::ShutDown.source().is_none());
     }
 

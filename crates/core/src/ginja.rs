@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use ginja_cloud::ObjectStore;
+use ginja_cloud::{BreakerState, ObjectStore, ResilientStore};
 use ginja_codec::Codec;
 use ginja_vfs::{DbmsProcessor, FileSystem, IoClass, IoProcessor, WriteEvent};
 use parking_lot::Mutex;
@@ -43,7 +43,11 @@ struct UploadJob {
 enum UnlockMsg {
     /// A batch was formed: `items` queue entries produce `objects`
     /// cloud objects.
-    Manifest { batch_id: u64, items: usize, objects: usize },
+    Manifest {
+        batch_id: u64,
+        items: usize,
+        objects: usize,
+    },
     /// One object of `batch_id` is durable.
     Ack { batch_id: u64 },
 }
@@ -65,6 +69,10 @@ pub struct Exposure {
     pub pending_checkpoints: usize,
     /// Age of the oldest unconfirmed update (≈ the time-based RPO).
     pub oldest_age: Option<Duration>,
+    /// State of the cloud circuit breaker. `Open` means the cloud is
+    /// failing persistently: exposure is growing toward the Safety
+    /// limit, at which point the DBMS blocks rather than lose updates.
+    pub breaker: BreakerState,
 }
 
 /// Checkpoint accumulation state (the paper's Algorithm 3 lines 1–16).
@@ -78,7 +86,10 @@ struct CkptAccum {
 struct Shared {
     config: GinjaConfig,
     codec: Codec,
-    cloud: Arc<dyn ObjectStore>,
+    /// The cloud behind the resilience layer (retry/backoff, circuit
+    /// breaker, optional hedging). Every pipeline thread goes through
+    /// this handle, so `config.retry` governs all cloud traffic.
+    cloud: Arc<ResilientStore>,
     fs: Arc<dyn FileSystem>,
     processor: Arc<dyn DbmsProcessor>,
     view: Mutex<CloudView>,
@@ -132,6 +143,10 @@ impl Ginja {
         config: GinjaConfig,
     ) -> Result<Self, GinjaError> {
         config.validate()?;
+        // Wrap the cloud in the resilience layer *before* the first
+        // operation: boot uploads (WAL segments + the initial dump) get
+        // the same retry/breaker treatment as pipeline traffic.
+        let cloud = Arc::new(ResilientStore::new(cloud, config.retry.clone()));
         // A Boot into a bucket that already holds Ginja objects would
         // interleave two protection histories (timestamp collisions,
         // wrong dumps at recovery). Demand a fresh bucket; resuming an
@@ -165,7 +180,12 @@ impl Ginja {
             if content.is_empty() {
                 // Preserve empty segments too (cheap, keeps boot simple).
                 let ts = view.alloc_wal_ts();
-                let name = WalObjectName { ts, file: file.clone(), offset: 0, len: 0 };
+                let name = WalObjectName {
+                    ts,
+                    file: file.clone(),
+                    offset: 0,
+                    len: 0,
+                };
                 let sealed = codec.seal(&name.to_name(), &[])?;
                 cloud.put(&name.to_name(), &sealed)?;
                 view.add_wal(name);
@@ -193,7 +213,11 @@ impl Ginja {
         }
 
         let ginja = Self::assemble(fs, cloud, processor, config, codec, view);
-        ginja.shared.stats.dumps_uploaded.fetch_add(1, Ordering::Relaxed);
+        ginja
+            .shared
+            .stats
+            .dumps_uploaded
+            .fetch_add(1, Ordering::Relaxed);
         Ok(ginja)
     }
 
@@ -211,6 +235,7 @@ impl Ginja {
         config: GinjaConfig,
     ) -> Result<Self, GinjaError> {
         config.validate()?;
+        let cloud = Arc::new(ResilientStore::new(cloud, config.retry.clone()));
         let codec = Codec::new(config.codec.clone());
         let view = CloudView::from_listing(cloud.list("")?)?;
         Ok(Self::assemble(fs, cloud, processor, config, codec, view))
@@ -218,7 +243,7 @@ impl Ginja {
 
     fn assemble(
         fs: Arc<dyn FileSystem>,
-        cloud: Arc<dyn ObjectStore>,
+        cloud: Arc<ResilientStore>,
         processor: Arc<dyn DbmsProcessor>,
         config: GinjaConfig,
         codec: Codec,
@@ -327,9 +352,19 @@ impl Ginja {
         }
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot, with the resilience-layer counters (cloud
+    /// retries, hedges, breaker activity) merged in.
     pub fn stats(&self) -> GinjaStatsSnapshot {
-        self.shared.stats.snapshot()
+        let mut snap = self.shared.stats.snapshot();
+        let resilience = self.shared.cloud.snapshot();
+        snap.cloud_retries = resilience.retries;
+        snap.hedges_launched = resilience.hedges_launched;
+        snap.hedges_won = resilience.hedges_won;
+        snap.hedges_lost = resilience.hedges_lost;
+        snap.breaker_trips = resilience.breaker_trips;
+        snap.breaker_fast_fails = resilience.breaker_fast_fails;
+        snap.breaker_open_time = resilience.breaker_open_time;
+        snap
     }
 
     /// Number of updates currently unconfirmed by the cloud.
@@ -346,6 +381,7 @@ impl Ginja {
             updates: self.shared.queue.len(),
             pending_checkpoints: self.shared.pending_ckpt_jobs.load(Ordering::SeqCst),
             oldest_age: self.shared.queue.oldest_pending_age(),
+            breaker: self.shared.cloud.snapshot().breaker_state,
         }
     }
 
@@ -401,7 +437,11 @@ impl Ginja {
                         // needs it after this dump's GC deletes the
                         // checkpoint objects that used to carry it.
                         entries.extend(ranges_to_entries(ranges));
-                        CkptJob { ts, kind: DbObjectKind::Dump, entries }
+                        CkptJob {
+                            ts,
+                            kind: DbObjectKind::Dump,
+                            entries,
+                        }
                     }
                     Err(_) => CkptJob {
                         ts,
@@ -410,13 +450,23 @@ impl Ginja {
                     },
                 }
             } else {
-                CkptJob { ts, kind: DbObjectKind::Checkpoint, entries: ranges_to_entries(ranges) }
+                CkptJob {
+                    ts,
+                    kind: DbObjectKind::Checkpoint,
+                    entries: ranges_to_entries(ranges),
+                }
             }
         };
 
-        self.shared.stats.checkpoints_seen.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .stats
+            .checkpoints_seen
+            .fetch_add(1, Ordering::Relaxed);
         if job.kind == DbObjectKind::Dump {
-            self.shared.stats.dumps_uploaded.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .stats
+                .dumps_uploaded
+                .fetch_add(1, Ordering::Relaxed);
         }
         self.shared.pending_ckpt_jobs.fetch_add(1, Ordering::SeqCst);
         let tx = self.shared.ckpt_tx.lock();
@@ -430,7 +480,9 @@ impl Ginja {
     }
 
     fn local_db_size(&self) -> u64 {
-        let Ok(files) = self.shared.fs.list("") else { return 0 };
+        let Ok(files) = self.shared.fs.list("") else {
+            return 0;
+        };
         files
             .iter()
             .filter(|f| self.shared.processor.is_db_file(f))
@@ -446,7 +498,10 @@ impl IoProcessor for Ginja {
         }
         match self.shared.processor.classify(event) {
             IoClass::WalAppend => {
-                self.shared.stats.updates_intercepted.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .stats
+                    .updates_intercepted
+                    .fetch_add(1, Ordering::Relaxed);
                 let outcome = self.shared.queue.put(WalWrite {
                     file: event.path.clone(),
                     offset: event.offset,
@@ -469,7 +524,11 @@ fn ranges_to_entries(
     let mut entries = Vec::new();
     for (path, file_ranges) in ranges {
         for (offset, data) in file_ranges {
-            entries.push(FileRange { path: path.clone(), offset, data });
+            entries.push(FileRange {
+                path: path.clone(),
+                offset,
+                data,
+            });
         }
     }
     entries
@@ -483,7 +542,11 @@ fn read_db_files(
     for path in fs.list("")? {
         if processor.is_db_file(&path) {
             let data = fs.read_all(&path)?;
-            entries.push(FileRange { path, offset: 0, data });
+            entries.push(FileRange {
+                path,
+                offset: 0,
+                data,
+            });
         }
     }
     Ok(entries)
@@ -491,31 +554,52 @@ fn read_db_files(
 
 /// Uploads with unbounded retry (exponential backoff); gives up only on
 /// shutdown. Returns whether the object is durable.
+///
+/// This is the outer *safety* loop: the [`ResilientStore`] underneath
+/// already retries transient faults with jittered backoff and a circuit
+/// breaker, so each failure seen here means a whole in-layer retry
+/// budget was exhausted (or the breaker is open). The loop never gives
+/// up on its own — a WAL object that is never uploaded would block the
+/// DBMS at the Safety limit forever, which is exactly the intended
+/// behavior (block, don't lose data) — but it paces itself by any
+/// `retry_after` hint the cloud attached to the error.
 fn put_with_retry(shared: &Shared, name: &str, sealed: &[u8]) -> bool {
     let mut delay = Duration::from_millis(10);
     loop {
-        if shared.cloud.put(name, sealed).is_ok() {
-            return true;
-        }
+        let err = match shared.cloud.put(name, sealed) {
+            Ok(()) => return true,
+            Err(err) => err,
+        };
         shared.stats.upload_retries.fetch_add(1, Ordering::Relaxed);
         if shared.shutdown.load(Ordering::SeqCst) {
             return false;
         }
-        std::thread::sleep(delay);
+        // A throttling cloud told us when to come back: honor it as a
+        // floor so we never hammer a provider that asked for pacing.
+        std::thread::sleep(delay.max(err.retry_after().unwrap_or(Duration::ZERO)));
         delay = (delay * 2).min(Duration::from_secs(1));
     }
 }
 
 fn delete_with_retry(shared: &Shared, name: &str) {
     for _ in 0..3 {
-        if shared.cloud.delete(name).is_ok() {
-            shared.stats.gc_deletes.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
+        let err = match shared.cloud.delete(name) {
+            Ok(()) => {
+                shared.stats.gc_deletes.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(err) => err,
+        };
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        std::thread::sleep(Duration::from_millis(20));
+        if !err.is_retryable() {
+            // NotFound / fatal: re-issuing the delete cannot help.
+            break;
+        }
+        std::thread::sleep(
+            Duration::from_millis(20).max(err.retry_after().unwrap_or(Duration::ZERO)),
+        );
     }
     // Persistent delete failure leaves a garbage object behind — a cost
     // leak, never a correctness problem.
@@ -541,7 +625,11 @@ fn aggregator_loop(shared: &Shared, upload_tx: Sender<UploadJob>, unlock_tx: Sen
         shared.stats.batches_formed.fetch_add(1, Ordering::Relaxed);
 
         if unlock_tx
-            .send(UnlockMsg::Manifest { batch_id, items, objects: ranges.len() })
+            .send(UnlockMsg::Manifest {
+                batch_id,
+                items,
+                objects: ranges.len(),
+            })
             .is_err()
         {
             return;
@@ -554,7 +642,14 @@ fn aggregator_loop(shared: &Shared, upload_tx: Sender<UploadJob>, unlock_tx: Sen
                 offset: range.offset,
                 len: range.data.len() as u64,
             };
-            if upload_tx.send(UploadJob { batch_id, name, raw: range.data }).is_err() {
+            if upload_tx
+                .send(UploadJob {
+                    batch_id,
+                    name,
+                    raw: range.data,
+                })
+                .is_err()
+            {
                 return;
             }
         }
@@ -578,11 +673,25 @@ fn uploader_loop(shared: &Shared, upload_rx: Receiver<UploadJob>, unlock_tx: Sen
         if !put_with_retry(shared, &name, &sealed) {
             return; // shutdown while retrying
         }
-        shared.stats.wal_objects_uploaded.fetch_add(1, Ordering::Relaxed);
-        shared.stats.wal_bytes_raw.fetch_add(job.raw.len() as u64, Ordering::Relaxed);
-        shared.stats.wal_bytes_sealed.fetch_add(sealed.len() as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .wal_objects_uploaded
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .wal_bytes_raw
+            .fetch_add(job.raw.len() as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .wal_bytes_sealed
+            .fetch_add(sealed.len() as u64, Ordering::Relaxed);
         shared.view.lock().add_wal(job.name.clone());
-        if unlock_tx.send(UnlockMsg::Ack { batch_id: job.batch_id }).is_err() {
+        if unlock_tx
+            .send(UnlockMsg::Ack {
+                batch_id: job.batch_id,
+            })
+            .is_err()
+        {
             return;
         }
     }
@@ -601,7 +710,11 @@ fn unlocker_loop(shared: &Shared, unlock_rx: Receiver<UnlockMsg>) {
 
     for msg in unlock_rx.iter() {
         match msg {
-            UnlockMsg::Manifest { batch_id, items, objects } => {
+            UnlockMsg::Manifest {
+                batch_id,
+                items,
+                objects,
+            } => {
                 let entry = batches.entry(batch_id).or_insert(BatchState {
                     items: 0,
                     objects: 0,
@@ -648,9 +761,12 @@ fn checkpointer_loop(shared: &Shared, ckpt_rx: Receiver<CkptJob>) {
             let mut ok = true;
             for part in &entry.parts {
                 let name = part.to_name();
-                match shared.cloud.get(&name).ok().and_then(|sealed| {
-                    shared.codec.open(&name, &sealed).ok()
-                }) {
+                match shared
+                    .cloud
+                    .get(&name)
+                    .ok()
+                    .and_then(|sealed| shared.codec.open(&name, &sealed).ok())
+                {
                     Some(bytes) => old_parts.push(bytes),
                     None => {
                         ok = false;
@@ -672,7 +788,10 @@ fn checkpointer_loop(shared: &Shared, ckpt_rx: Receiver<CkptJob>) {
 
         let bytes = bundle::encode(&job.entries);
         let total = bytes.len() as u64;
-        shared.stats.db_bytes_raw.fetch_add(total, Ordering::Relaxed);
+        shared
+            .stats
+            .db_bytes_raw
+            .fetch_add(total, Ordering::Relaxed);
         let parts = bundle::chunk(bytes, shared.config.max_object_size);
         let n = parts.len() as u32;
         let mut uploaded = Vec::new();
@@ -698,8 +817,14 @@ fn checkpointer_loop(shared: &Shared, ckpt_rx: Receiver<CkptJob>) {
                 aborted = true;
                 break;
             }
-            shared.stats.db_objects_uploaded.fetch_add(1, Ordering::Relaxed);
-            shared.stats.db_bytes_sealed.fetch_add(sealed.len() as u64, Ordering::Relaxed);
+            shared
+                .stats
+                .db_objects_uploaded
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .db_bytes_sealed
+                .fetch_add(sealed.len() as u64, Ordering::Relaxed);
             uploaded.push(name);
         }
         if aborted {
@@ -746,12 +871,17 @@ fn checkpointer_loop(shared: &Shared, ckpt_rx: Receiver<CkptJob>) {
             // flush every dirty page; for fuzzy checkpointers only WAL
             // the DBMS demonstrably rewrote may go (see
             // CloudView::remove_covered_wal).
-            let wal_garbage: Vec<String> =
-                if shared.processor.checkpoints_flush_all_dirty_pages() {
-                    view.remove_wal_up_to(wal_cutoff).iter().map(|w| w.to_name()).collect()
-                } else {
-                    view.remove_covered_wal(wal_cutoff).iter().map(|w| w.to_name()).collect()
-                };
+            let wal_garbage: Vec<String> = if shared.processor.checkpoints_flush_all_dirty_pages() {
+                view.remove_wal_up_to(wal_cutoff)
+                    .iter()
+                    .map(|w| w.to_name())
+                    .collect()
+            } else {
+                view.remove_covered_wal(wal_cutoff)
+                    .iter()
+                    .map(|w| w.to_name())
+                    .collect()
+            };
 
             let mut db_garbage: Vec<String> = replaced_parts;
             if job.kind == DbObjectKind::Dump {
@@ -767,8 +897,7 @@ fn checkpointer_loop(shared: &Shared, ckpt_rx: Receiver<CkptJob>) {
                         }
                     }
                 };
-                db_garbage
-                    .extend(view.remove_db_before(cutoff).iter().map(|d| d.to_name()));
+                db_garbage.extend(view.remove_db_before(cutoff).iter().map(|d| d.to_name()));
             }
             (wal_garbage, db_garbage)
         };

@@ -69,6 +69,7 @@ mod stats;
 pub use config::{GinjaConfig, GinjaConfigBuilder, PitrConfig};
 pub use error::GinjaError;
 pub use ginja::{Exposure, Ginja};
+pub use ginja_cloud::{BreakerState, ResilienceSnapshot, RetryConfig};
 pub use names::{DbObjectKind, DbObjectName, WalObjectName};
 pub use recovery::{
     list_restore_points, recover_into, recover_to_point, RecoveryReport, RestorePoint,

@@ -51,7 +51,10 @@ impl WalObjectName {
 
     /// Formats the cloud object name.
     pub fn to_name(&self) -> String {
-        format!("{WAL_PREFIX}{}_{}_{}_{}", self.ts, self.file, self.offset, self.len)
+        format!(
+            "{WAL_PREFIX}{}_{}_{}_{}",
+            self.ts, self.file, self.offset, self.len
+        )
     }
 
     /// Parses a cloud object name.
@@ -122,7 +125,12 @@ impl DbObjectName {
     /// paper's exact `DB/<ts>_<type>_<size>` form.
     pub fn to_name(&self) -> String {
         if self.parts == 1 {
-            format!("{DB_PREFIX}{}_{}_{}", self.ts, self.kind.as_str(), self.size)
+            format!(
+                "{DB_PREFIX}{}_{}_{}",
+                self.ts,
+                self.kind.as_str(),
+                self.size
+            )
         } else {
             format!(
                 "{DB_PREFIX}{}_{}_{}_{}_{}",
@@ -153,7 +161,10 @@ impl DbObjectName {
             _ => return Err(bad()),
         };
         let (part, parts) = if fields.len() == 5 {
-            (fields[3].parse().map_err(|_| bad())?, fields[4].parse().map_err(|_| bad())?)
+            (
+                fields[3].parse().map_err(|_| bad())?,
+                fields[4].parse().map_err(|_| bad())?,
+            )
         } else {
             (0, 1)
         };
@@ -182,7 +193,12 @@ mod tests {
 
     #[test]
     fn wal_roundtrip_simple() {
-        let n = WalObjectName { ts: 42, file: "ib_logfile0".into(), offset: 2048, len: 512 };
+        let n = WalObjectName {
+            ts: 42,
+            file: "ib_logfile0".into(),
+            offset: 2048,
+            len: 512,
+        };
         assert_eq!(n.to_name(), "WAL/42_ib_logfile0_2048_512");
         assert_eq!(WalObjectName::parse(&n.to_name()).unwrap(), n);
     }
@@ -217,7 +233,13 @@ mod tests {
 
     #[test]
     fn db_single_part_matches_paper_format() {
-        let n = DbObjectName { ts: 9, kind: DbObjectKind::Dump, size: 12345, part: 0, parts: 1 };
+        let n = DbObjectName {
+            ts: 9,
+            kind: DbObjectKind::Dump,
+            size: 12345,
+            part: 0,
+            parts: 1,
+        };
         assert_eq!(n.to_name(), "DB/9_dump_12345");
         assert_eq!(DbObjectName::parse("DB/9_dump_12345").unwrap(), n);
     }
@@ -237,8 +259,13 @@ mod tests {
 
     #[test]
     fn db_multi_part_roundtrip() {
-        let n =
-            DbObjectName { ts: 5, kind: DbObjectKind::Dump, size: 50_000_000, part: 2, parts: 3 };
+        let n = DbObjectName {
+            ts: 5,
+            kind: DbObjectKind::Dump,
+            size: 50_000_000,
+            part: 2,
+            parts: 3,
+        };
         assert_eq!(n.to_name(), "DB/5_dump_50000000_2_3");
         assert_eq!(DbObjectName::parse(&n.to_name()).unwrap(), n);
     }
@@ -250,9 +277,9 @@ mod tests {
             "DB/1_snapshot_3",
             "DB/x_dump_3",
             "DB/1_dump_x",
-            "DB/1_dump_3_4",     // 4 fields
-            "DB/1_dump_3_2_2",   // part >= parts
-            "DB/1_dump_3_0_0",   // zero parts
+            "DB/1_dump_3_4",   // 4 fields
+            "DB/1_dump_3_2_2", // part >= parts
+            "DB/1_dump_3_0_0", // zero parts
             "WAL/1_f_0",
         ] {
             assert!(DbObjectName::parse(bad).is_err(), "{bad}");
@@ -261,16 +288,37 @@ mod tests {
 
     #[test]
     fn ordering_by_ts_first() {
-        let a = WalObjectName { ts: 1, file: "z".into(), offset: 0, len: 1 };
-        let b = WalObjectName { ts: 2, file: "a".into(), offset: 0, len: 1 };
+        let a = WalObjectName {
+            ts: 1,
+            file: "z".into(),
+            offset: 0,
+            len: 1,
+        };
+        let b = WalObjectName {
+            ts: 2,
+            file: "a".into(),
+            offset: 0,
+            len: 1,
+        };
         assert!(a < b);
     }
 
     #[test]
     fn display_matches_to_name() {
-        let n = WalObjectName { ts: 3, file: "f".into(), offset: 1, len: 2 };
+        let n = WalObjectName {
+            ts: 3,
+            file: "f".into(),
+            offset: 1,
+            len: 2,
+        };
         assert_eq!(format!("{n}"), n.to_name());
-        let d = DbObjectName { ts: 3, kind: DbObjectKind::Dump, size: 1, part: 0, parts: 1 };
+        let d = DbObjectName {
+            ts: 3,
+            kind: DbObjectKind::Dump,
+            size: 1,
+            part: 0,
+            parts: 1,
+        };
         assert_eq!(format!("{d}"), d.to_name());
     }
 }

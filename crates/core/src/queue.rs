@@ -140,12 +140,18 @@ impl CommitQueue {
             // (with a small timeout to re-check TS edges) suffices.
             state.force_flush = true;
             self.readable.notify_all();
-            self.not_full.wait_for(&mut state, Duration::from_millis(50));
+            self.not_full
+                .wait_for(&mut state, Duration::from_millis(50));
         }
-        state.items.push_back(Item { write, enqueued_at: Instant::now() });
+        state.items.push_back(Item {
+            write,
+            enqueued_at: Instant::now(),
+        });
         state.unread += 1;
         self.readable.notify_all();
-        Some(PutOutcome { blocked_for: start.elapsed() })
+        Some(PutOutcome {
+            blocked_for: start.elapsed(),
+        })
     }
 
     /// Takes the next batch for upload *without removing it from the
@@ -154,7 +160,8 @@ impl CommitQueue {
     pub fn take_batch(&self) -> Option<Vec<WalWrite>> {
         let mut state = self.state.lock();
         loop {
-            if state.unread >= self.batch || (state.unread > 0 && (state.force_flush || state.closed))
+            if state.unread >= self.batch
+                || (state.unread > 0 && (state.force_flush || state.closed))
             {
                 return Some(self.take_locked(&mut state));
             }
@@ -173,7 +180,8 @@ impl CommitQueue {
                 if state.closed {
                     return None;
                 }
-                self.readable.wait_for(&mut state, Duration::from_millis(100));
+                self.readable
+                    .wait_for(&mut state, Duration::from_millis(100));
             }
         }
     }
@@ -182,8 +190,13 @@ impl CommitQueue {
         state.last_take = Instant::now();
         let n = state.unread.min(self.batch);
         let start = state.items.len() - state.unread;
-        let batch: Vec<WalWrite> =
-            state.items.iter().skip(start).take(n).map(|i| i.write.clone()).collect();
+        let batch: Vec<WalWrite> = state
+            .items
+            .iter()
+            .skip(start)
+            .take(n)
+            .map(|i| i.write.clone())
+            .collect();
         state.unread -= n;
         if state.unread == 0 {
             state.force_flush = false;
@@ -242,7 +255,11 @@ impl CommitQueue {
     /// Age of the oldest unacknowledged item — how long the most
     /// exposed update has been waiting for cloud durability.
     pub fn oldest_pending_age(&self) -> Option<Duration> {
-        self.state.lock().items.front().map(|item| item.enqueued_at.elapsed())
+        self.state
+            .lock()
+            .items
+            .front()
+            .map(|item| item.enqueued_at.elapsed())
     }
 }
 
@@ -252,7 +269,11 @@ mod tests {
     use std::sync::Arc;
 
     fn write(i: u64) -> WalWrite {
-        WalWrite { file: "seg".into(), offset: i * 10, data: Arc::from(&b"x"[..]) }
+        WalWrite {
+            file: "seg".into(),
+            offset: i * 10,
+            data: Arc::from(&b"x"[..]),
+        }
     }
 
     fn queue(b: usize, s: usize) -> CommitQueue {
@@ -283,7 +304,10 @@ mod tests {
         // Remaining 1 item: released by TB timeout.
         let t = Instant::now();
         assert_eq!(q.take_batch().unwrap().len(), 1);
-        assert!(t.elapsed() >= Duration::from_millis(30), "partial batch must wait for TB");
+        assert!(
+            t.elapsed() >= Duration::from_millis(30),
+            "partial batch must wait for TB"
+        );
     }
 
     #[test]
@@ -329,7 +353,12 @@ mod tests {
 
     #[test]
     fn tb_timeout_releases_partial_batch() {
-        let q = CommitQueue::new(100, 1000, Duration::from_millis(40), Duration::from_secs(60));
+        let q = CommitQueue::new(
+            100,
+            1000,
+            Duration::from_millis(40),
+            Duration::from_secs(60),
+        );
         q.put(write(1)).unwrap();
         let t = Instant::now();
         let batch = q.take_batch().unwrap();

@@ -206,7 +206,10 @@ pub fn list_restore_points(cloud: &dyn ObjectStore) -> Result<Vec<RestorePoint>,
     }
     for wal in view.wal_entries() {
         if wal.ts >= oldest_dump {
-            points.push(RestorePoint { ts: wal.ts, kind: RestorePointKind::Wal });
+            points.push(RestorePoint {
+                ts: wal.ts,
+                kind: RestorePointKind::Wal,
+            });
         }
     }
     points.sort_by_key(|p| (p.ts, p.kind == RestorePointKind::Wal));
@@ -249,19 +252,34 @@ mod tests {
         entries: &[bundle::FileRange],
     ) {
         let bytes = bundle::encode(entries);
-        let name = DbObjectName { ts, kind, size: bytes.len() as u64, part: 0, parts: 1 };
+        let name = DbObjectName {
+            ts,
+            kind,
+            size: bytes.len() as u64,
+            part: 0,
+            parts: 1,
+        };
         let sealed = codec.seal(&name.to_name(), &bytes).unwrap();
         cloud.put(&name.to_name(), &sealed).unwrap();
     }
 
     fn put_wal(cloud: &MemStore, codec: &Codec, ts: u64, file: &str, offset: u64, data: &[u8]) {
-        let name = WalObjectName { ts, file: file.into(), offset, len: data.len() as u64 };
+        let name = WalObjectName {
+            ts,
+            file: file.into(),
+            offset,
+            len: data.len() as u64,
+        };
         let sealed = codec.seal(&name.to_name(), data).unwrap();
         cloud.put(&name.to_name(), &sealed).unwrap();
     }
 
     fn range(path: &str, offset: u64, data: &[u8]) -> bundle::FileRange {
-        bundle::FileRange { path: path.into(), offset, data: data.to_vec() }
+        bundle::FileRange {
+            path: path.into(),
+            offset,
+            data: data.to_vec(),
+        }
     }
 
     #[test]
@@ -278,8 +296,20 @@ mod tests {
         let cloud = MemStore::new();
         let codec = Codec::new(config().codec);
 
-        put_db(&cloud, &codec, 0, DbObjectKind::Dump, &[range("base/1", 0, b"AAAA")]);
-        put_db(&cloud, &codec, 2, DbObjectKind::Checkpoint, &[range("base/1", 2, b"bb")]);
+        put_db(
+            &cloud,
+            &codec,
+            0,
+            DbObjectKind::Dump,
+            &[range("base/1", 0, b"AAAA")],
+        );
+        put_db(
+            &cloud,
+            &codec,
+            2,
+            DbObjectKind::Checkpoint,
+            &[range("base/1", 2, b"bb")],
+        );
         put_wal(&cloud, &codec, 1, "pg_xlog/0001", 0, b"w1");
         put_wal(&cloud, &codec, 2, "pg_xlog/0001", 2, b"w2");
         put_wal(&cloud, &codec, 3, "pg_xlog/0001", 4, b"w3");
@@ -306,7 +336,13 @@ mod tests {
         let cloud = MemStore::new();
         let codec = Codec::new(config().codec);
 
-        put_db(&cloud, &codec, 0, DbObjectKind::Dump, &[range("base/1", 0, b"A")]);
+        put_db(
+            &cloud,
+            &codec,
+            0,
+            DbObjectKind::Dump,
+            &[range("base/1", 0, b"A")],
+        );
         put_wal(&cloud, &codec, 1, "seg", 0, b"x1");
         put_wal(&cloud, &codec, 3, "seg", 4, b"x3");
 
@@ -322,10 +358,34 @@ mod tests {
         let cloud = MemStore::new();
         let codec = Codec::new(config().codec);
 
-        put_db(&cloud, &codec, 0, DbObjectKind::Dump, &[range("f", 0, b"old")]);
-        put_db(&cloud, &codec, 3, DbObjectKind::Checkpoint, &[range("f", 0, b"ck1")]);
-        put_db(&cloud, &codec, 5, DbObjectKind::Dump, &[range("f", 0, b"new")]);
-        put_db(&cloud, &codec, 8, DbObjectKind::Checkpoint, &[range("f", 1, b"X")]);
+        put_db(
+            &cloud,
+            &codec,
+            0,
+            DbObjectKind::Dump,
+            &[range("f", 0, b"old")],
+        );
+        put_db(
+            &cloud,
+            &codec,
+            3,
+            DbObjectKind::Checkpoint,
+            &[range("f", 0, b"ck1")],
+        );
+        put_db(
+            &cloud,
+            &codec,
+            5,
+            DbObjectKind::Dump,
+            &[range("f", 0, b"new")],
+        );
+        put_db(
+            &cloud,
+            &codec,
+            8,
+            DbObjectKind::Checkpoint,
+            &[range("f", 1, b"X")],
+        );
 
         let report = recover_into(&fs, &cloud, &config()).unwrap();
         assert_eq!(report.dump_ts, 5);
@@ -339,7 +399,13 @@ mod tests {
         fs.write("f", 0, b"stale-and-long-content", false).unwrap();
         let cloud = MemStore::new();
         let codec = Codec::new(config().codec);
-        put_db(&cloud, &codec, 0, DbObjectKind::Dump, &[range("f", 0, b"short")]);
+        put_db(
+            &cloud,
+            &codec,
+            0,
+            DbObjectKind::Dump,
+            &[range("f", 0, b"short")],
+        );
         recover_into(&fs, &cloud, &config()).unwrap();
         assert_eq!(fs.read_all("f").unwrap(), b"short");
     }
@@ -350,10 +416,22 @@ mod tests {
         let cloud = MemStore::new();
         let codec = Codec::new(config().codec);
 
-        put_db(&cloud, &codec, 0, DbObjectKind::Dump, &[range("f", 0, b"base")]);
+        put_db(
+            &cloud,
+            &codec,
+            0,
+            DbObjectKind::Dump,
+            &[range("f", 0, b"base")],
+        );
         put_wal(&cloud, &codec, 1, "seg", 0, b"1");
         put_wal(&cloud, &codec, 2, "seg", 1, b"2");
-        put_db(&cloud, &codec, 2, DbObjectKind::Dump, &[range("f", 0, b"newer")]);
+        put_db(
+            &cloud,
+            &codec,
+            2,
+            DbObjectKind::Dump,
+            &[range("f", 0, b"newer")],
+        );
         put_wal(&cloud, &codec, 3, "seg", 2, b"3");
 
         // Point 1: use the ts-0 dump and only WAL object 1.
@@ -374,12 +452,27 @@ mod tests {
     fn restore_points_enumerate_recoverable_states() {
         let cloud = MemStore::new();
         let codec = Codec::new(config().codec);
-        assert!(list_restore_points(&cloud).unwrap().is_empty(), "no dump → nothing");
+        assert!(
+            list_restore_points(&cloud).unwrap().is_empty(),
+            "no dump → nothing"
+        );
 
-        put_db(&cloud, &codec, 0, DbObjectKind::Dump, &[range("f", 0, b"base")]);
+        put_db(
+            &cloud,
+            &codec,
+            0,
+            DbObjectKind::Dump,
+            &[range("f", 0, b"base")],
+        );
         put_wal(&cloud, &codec, 1, "seg", 0, b"1");
         put_wal(&cloud, &codec, 2, "seg", 1, b"2");
-        put_db(&cloud, &codec, 2, DbObjectKind::Checkpoint, &[range("f", 0, b"ck")]);
+        put_db(
+            &cloud,
+            &codec,
+            2,
+            DbObjectKind::Checkpoint,
+            &[range("f", 0, b"ck")],
+        );
         put_wal(&cloud, &codec, 3, "seg", 2, b"3");
 
         let points = list_restore_points(&cloud).unwrap();
@@ -404,7 +497,13 @@ mod tests {
         let fs = MemFs::new();
         let cloud = MemStore::new();
         let codec = Codec::new(config().codec);
-        put_db(&cloud, &codec, 0, DbObjectKind::Dump, &[range("f", 0, b"data")]);
+        put_db(
+            &cloud,
+            &codec,
+            0,
+            DbObjectKind::Dump,
+            &[range("f", 0, b"data")],
+        );
         // Tamper with the stored object.
         let names = cloud.list("DB/").unwrap();
         assert_eq!(names.len(), 1);

@@ -28,7 +28,8 @@ impl GinjaStats {
     pub(crate) fn add_blocked(&self, blocked: Duration) {
         if !blocked.is_zero() {
             self.updates_blocked.fetch_add(1, Ordering::Relaxed);
-            self.blocked_micros.fetch_add(blocked.as_micros() as u64, Ordering::Relaxed);
+            self.blocked_micros
+                .fetch_add(blocked.as_micros() as u64, Ordering::Relaxed);
         }
     }
 
@@ -50,6 +51,13 @@ impl GinjaStats {
             gc_deletes: self.gc_deletes.load(Ordering::Relaxed),
             upload_retries: self.upload_retries.load(Ordering::Relaxed),
             seal_time: Duration::from_micros(self.seal_micros.load(Ordering::Relaxed)),
+            cloud_retries: 0,
+            hedges_launched: 0,
+            hedges_won: 0,
+            hedges_lost: 0,
+            breaker_trips: 0,
+            breaker_fast_fails: 0,
+            breaker_open_time: Duration::ZERO,
         }
     }
 }
@@ -88,12 +96,30 @@ pub struct GinjaStatsSnapshot {
     /// CPU-ish time spent sealing objects (compression + encryption +
     /// MAC) — the codec contribution to Table 4's CPU overhead.
     pub seal_time: Duration,
+    /// Retries issued *inside* the resilience layer (backoff + jitter),
+    /// across every cloud operation. Zero with retries disabled.
+    pub cloud_retries: u64,
+    /// Hedged second `put` attempts launched by the resilience layer.
+    pub hedges_launched: u64,
+    /// Hedges where the second attempt acknowledged first.
+    pub hedges_won: u64,
+    /// Hedges where the primary acknowledged first anyway.
+    pub hedges_lost: u64,
+    /// Circuit-breaker closed → open transitions.
+    pub breaker_trips: u64,
+    /// Operations the open breaker rejected without reaching the cloud.
+    pub breaker_fast_fails: u64,
+    /// Cumulative time the circuit breaker spent open — stalls during
+    /// these windows are attributable to cloud faults, not Ginja.
+    pub breaker_open_time: Duration,
 }
 
 impl GinjaStatsSnapshot {
     /// Mean sealed WAL object size, or 0 with no uploads.
     pub fn avg_wal_object_size(&self) -> u64 {
-        self.wal_bytes_sealed.checked_div(self.wal_objects_uploaded).unwrap_or(0)
+        self.wal_bytes_sealed
+            .checked_div(self.wal_objects_uploaded)
+            .unwrap_or(0)
     }
 
     /// Compression+encryption ratio achieved on WAL data (raw/sealed).

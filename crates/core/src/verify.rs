@@ -156,7 +156,10 @@ mod tests {
         let (report, _) = verify_backup_in_memory(&cloud, &config).unwrap();
         assert!(!report.is_ok());
         assert_eq!(report.corrupt_objects, vec![name]);
-        assert!(report.recovery.is_none(), "must not rebuild from corrupt objects");
+        assert!(
+            report.recovery.is_none(),
+            "must not rebuild from corrupt objects"
+        );
     }
 
     #[test]
@@ -173,12 +176,20 @@ mod tests {
     fn wrong_password_flags_everything() {
         let cloud = MemStore::new();
         let enc_config = GinjaConfig::builder()
-            .codec(ginja_codec::CodecConfig::new().password("right").kdf_iterations(2))
+            .codec(
+                ginja_codec::CodecConfig::new()
+                    .password("right")
+                    .kdf_iterations(2),
+            )
             .build()
             .unwrap();
         seed_dump(&cloud, &enc_config);
         let wrong = GinjaConfig::builder()
-            .codec(ginja_codec::CodecConfig::new().password("wrong").kdf_iterations(2))
+            .codec(
+                ginja_codec::CodecConfig::new()
+                    .password("wrong")
+                    .kdf_iterations(2),
+            )
             .build()
             .unwrap();
         let (report, _) = verify_backup_in_memory(&cloud, &wrong).unwrap();

@@ -27,7 +27,11 @@ impl DbEntry {
     pub fn is_complete(&self) -> bool {
         let declared = self.parts.first().map_or(0, |p| p.parts as usize);
         self.parts.len() == declared
-            && self.parts.iter().enumerate().all(|(i, p)| p.part as usize == i)
+            && self
+                .parts
+                .iter()
+                .enumerate()
+                .all(|(i, p)| p.part as usize == i)
     }
 }
 
@@ -60,7 +64,11 @@ impl CloudView {
     /// for the initial boot dump, so that "WAL objects newer than the
     /// dump" covers every boot-time segment).
     pub fn new() -> Self {
-        CloudView { wal: BTreeMap::new(), db: BTreeMap::new(), next_wal_ts: 1 }
+        CloudView {
+            wal: BTreeMap::new(),
+            db: BTreeMap::new(),
+            next_wal_ts: 1,
+        }
     }
 
     /// Rebuilds a view from a cloud listing (Reboot/Recovery modes,
@@ -136,7 +144,11 @@ impl CloudView {
                     _ => name.size > entry.size,
                 };
                 if new_wins {
-                    *entry = DbEntry { kind: name.kind, size: name.size, parts: vec![name] };
+                    *entry = DbEntry {
+                        kind: name.kind,
+                        size: name.size,
+                        parts: vec![name],
+                    };
                 }
                 // A losing generation is stale garbage: not tracked (its
                 // cloud object lingers until a later dump GC misses it —
@@ -238,7 +250,10 @@ impl CloudView {
         // Union of survivor ranges, per file: sorted, merged intervals.
         let mut survivors: BTreeMap<&str, Vec<(u64, u64)>> = BTreeMap::new();
         for name in self.wal.range(upto + 1..).map(|(_, n)| n) {
-            survivors.entry(name.file.as_str()).or_default().push((name.offset, name.end()));
+            survivors
+                .entry(name.file.as_str())
+                .or_default()
+                .push((name.offset, name.end()));
         }
         for intervals in survivors.values_mut() {
             intervals.sort_unstable();
@@ -252,7 +267,9 @@ impl CloudView {
             *intervals = merged;
         }
         let covered = |name: &WalObjectName| -> bool {
-            let Some(intervals) = survivors.get(name.file.as_str()) else { return false };
+            let Some(intervals) = survivors.get(name.file.as_str()) else {
+                return false;
+            };
             // Merged intervals: containment must be within a single one.
             intervals
                 .iter()
@@ -289,9 +306,7 @@ impl CloudView {
     }
 
     /// All DB entries, ascending by ts.
-    pub fn db_entries(
-        &self,
-    ) -> impl DoubleEndedIterator<Item = (u64, &DbEntry)> {
+    pub fn db_entries(&self) -> impl DoubleEndedIterator<Item = (u64, &DbEntry)> {
         self.db.iter().map(|(ts, e)| (*ts, e))
     }
 
@@ -316,11 +331,22 @@ mod tests {
     use super::*;
 
     fn wal(ts: u64) -> WalObjectName {
-        WalObjectName { ts, file: format!("seg{}", ts / 10), offset: ts * 100, len: 100 }
+        WalObjectName {
+            ts,
+            file: format!("seg{}", ts / 10),
+            offset: ts * 100,
+            len: 100,
+        }
     }
 
     fn db(ts: u64, kind: DbObjectKind, size: u64) -> DbObjectName {
-        DbObjectName { ts, kind, size, part: 0, parts: 1 }
+        DbObjectName {
+            ts,
+            kind,
+            size,
+            part: 0,
+            parts: 1,
+        }
     }
 
     #[test]
@@ -419,15 +445,38 @@ mod tests {
     fn incomplete_multi_part_objects_not_used() {
         let mut v = CloudView::new();
         // A 3-part dump with only 2 parts present must not be chosen.
-        v.add_db_part(DbObjectName { ts: 4, kind: DbObjectKind::Dump, size: 100, part: 0, parts: 3 });
-        v.add_db_part(DbObjectName { ts: 4, kind: DbObjectKind::Dump, size: 100, part: 2, parts: 3 });
+        v.add_db_part(DbObjectName {
+            ts: 4,
+            kind: DbObjectKind::Dump,
+            size: 100,
+            part: 0,
+            parts: 3,
+        });
+        v.add_db_part(DbObjectName {
+            ts: 4,
+            kind: DbObjectKind::Dump,
+            size: 100,
+            part: 2,
+            parts: 3,
+        });
         assert!(v.most_recent_dump().is_none());
-        v.add_db_part(DbObjectName { ts: 4, kind: DbObjectKind::Dump, size: 100, part: 1, parts: 3 });
+        v.add_db_part(DbObjectName {
+            ts: 4,
+            kind: DbObjectKind::Dump,
+            size: 100,
+            part: 1,
+            parts: 3,
+        });
         assert_eq!(v.most_recent_dump().unwrap().0, 4);
     }
 
     fn wal_range(ts: u64, file: &str, offset: u64, len: u64) -> WalObjectName {
-        WalObjectName { ts, file: file.into(), offset, len }
+        WalObjectName {
+            ts,
+            file: file.into(),
+            offset,
+            len,
+        }
     }
 
     #[test]
@@ -445,7 +494,10 @@ mod tests {
         let mut v = CloudView::new();
         v.add_wal(wal_range(1, "log", 0, 100));
         v.add_wal(wal_range(2, "log", 100, 100));
-        assert!(v.remove_covered_wal(2).is_empty(), "disjoint ranges cover nothing");
+        assert!(
+            v.remove_covered_wal(2).is_empty(),
+            "disjoint ranges cover nothing"
+        );
         assert_eq!(v.wal_count(), 2);
     }
 
@@ -511,7 +563,11 @@ mod tests {
         v.add_wal(wal_range(5, "ib_logfile1", 2048, 1024));
         let removed = v.remove_covered_wal(3);
         let ts: Vec<u64> = removed.iter().map(|w| w.ts).collect();
-        assert_eq!(ts, vec![2, 3], "the first cycle is reclaimable, the header is not");
+        assert_eq!(
+            ts,
+            vec![2, 3],
+            "the first cycle is reclaimable, the header is not"
+        );
         assert!(v.wal_entries().any(|w| w.ts == 1));
     }
 
@@ -547,9 +603,20 @@ mod tests {
 
     #[test]
     fn dump_generation_beats_checkpoint() {
-        let ckpt =
-            DbObjectName { ts: 5, kind: DbObjectKind::Checkpoint, size: 999, part: 0, parts: 1 };
-        let dump = DbObjectName { ts: 5, kind: DbObjectKind::Dump, size: 500, part: 0, parts: 1 };
+        let ckpt = DbObjectName {
+            ts: 5,
+            kind: DbObjectKind::Checkpoint,
+            size: 999,
+            part: 0,
+            parts: 1,
+        };
+        let dump = DbObjectName {
+            ts: 5,
+            kind: DbObjectKind::Dump,
+            size: 500,
+            part: 0,
+            parts: 1,
+        };
         for order in [[&ckpt, &dump], [&dump, &ckpt]] {
             let mut v = CloudView::new();
             for part in order {
@@ -562,7 +629,13 @@ mod tests {
 
     #[test]
     fn duplicate_part_ignored() {
-        let part = DbObjectName { ts: 2, kind: DbObjectKind::Dump, size: 10, part: 0, parts: 2 };
+        let part = DbObjectName {
+            ts: 2,
+            kind: DbObjectKind::Dump,
+            size: 10,
+            part: 0,
+            parts: 2,
+        };
         let mut v = CloudView::new();
         v.add_db_part(part.clone());
         v.add_db_part(part.clone());

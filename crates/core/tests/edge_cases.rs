@@ -32,8 +32,7 @@ fn protect(config: GinjaConfig) -> (Database, Ginja, Arc<MemStore>) {
         config,
     )
     .unwrap();
-    let fs: Arc<dyn FileSystem> =
-        Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+    let fs: Arc<dyn FileSystem> = Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
     let db = Database::open(fs, DbProfile::postgres_small()).unwrap();
     (db, ginja, cloud)
 }
@@ -69,7 +68,10 @@ fn recovery_without_coalescing_matches() {
     let db = Database::open(rebuilt, DbProfile::postgres_small()).unwrap();
     for k in 0..20u64 {
         let last = (0..50).filter(|i| i % 20 == k).max().unwrap();
-        assert_eq!(db.get(1, k).unwrap().unwrap(), format!("v{last}").into_bytes());
+        assert_eq!(
+            db.get(1, k).unwrap().unwrap(),
+            format!("v{last}").into_bytes()
+        );
     }
 }
 
@@ -85,10 +87,15 @@ fn recovery_falls_back_when_newest_dump_is_incomplete() {
 
     // Forge an incomplete multi-part dump newer than everything: the
     // recovery must ignore it and use the boot dump.
-    cloud.put("DB/999_dump_1000_0_3", b"half-uploaded garbage").unwrap();
+    cloud
+        .put("DB/999_dump_1000_0_3", b"half-uploaded garbage")
+        .unwrap();
     let rebuilt = Arc::new(MemFs::new());
     let report = recover_into(rebuilt.as_ref(), cloud.as_ref(), &config()).unwrap();
-    assert_eq!(report.dump_ts, 0, "must fall back to the complete boot dump");
+    assert_eq!(
+        report.dump_ts, 0,
+        "must fall back to the complete boot dump"
+    );
     let db = Database::open(rebuilt, DbProfile::postgres_small()).unwrap();
     assert_eq!(db.get(1, 5).unwrap().unwrap(), b"v5");
 }
@@ -96,7 +103,9 @@ fn recovery_falls_back_when_newest_dump_is_incomplete() {
 #[test]
 fn boot_rejects_non_empty_bucket() {
     let cloud = Arc::new(MemStore::new());
-    cloud.put("WAL/1_old_0_5", b"history of another database").unwrap();
+    cloud
+        .put("WAL/1_old_0_5", b"history of another database")
+        .unwrap();
     let err = Ginja::boot(
         Arc::new(MemFs::new()),
         cloud,
@@ -143,12 +152,14 @@ fn sync_times_out_when_cloud_is_down() {
         config(),
     )
     .unwrap();
-    let fs: Arc<dyn FileSystem> =
-        Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+    let fs: Arc<dyn FileSystem> = Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
     let db = Database::open(fs, DbProfile::postgres_small()).unwrap();
     plan.outage();
     db.put(1, 1, b"stuck".to_vec()).unwrap();
-    assert!(!ginja.sync(Duration::from_millis(300)), "sync must report failure");
+    assert!(
+        !ginja.sync(Duration::from_millis(300)),
+        "sync must report failure"
+    );
     plan.restore();
     assert!(ginja.sync(Duration::from_secs(20)));
     ginja.shutdown();
@@ -175,7 +186,10 @@ fn erasure_coded_protection_survives_provider_loss() {
     // instead of replication's 3×.
     let providers: Vec<Arc<MemStore>> = (0..3).map(|_| Arc::new(MemStore::new())).collect();
     let cloud = Arc::new(ginja_cloud::ErasureStore::new(
-        providers.iter().map(|p| p.clone() as Arc<dyn ginja_cloud::ObjectStore>).collect(),
+        providers
+            .iter()
+            .map(|p| p.clone() as Arc<dyn ginja_cloud::ObjectStore>)
+            .collect(),
         2,
     ));
 
@@ -190,8 +204,7 @@ fn erasure_coded_protection_survives_provider_loss() {
         config(),
     )
     .unwrap();
-    let fs: Arc<dyn FileSystem> =
-        Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+    let fs: Arc<dyn FileSystem> = Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
     let db = Database::open(fs, DbProfile::postgres_small()).unwrap();
     for i in 0..40u64 {
         db.put(1, i, format!("shard-row-{i}").into_bytes()).unwrap();
@@ -207,17 +220,26 @@ fn erasure_coded_protection_survives_provider_loss() {
     recover_into(rebuilt.as_ref(), cloud.as_ref(), &config()).unwrap();
     let db = Database::open(rebuilt, DbProfile::postgres_small()).unwrap();
     for i in 0..40u64 {
-        assert_eq!(db.get(1, i).unwrap().unwrap(), format!("shard-row-{i}").into_bytes());
+        assert_eq!(
+            db.get(1, i).unwrap().unwrap(),
+            format!("shard-row-{i}").into_bytes()
+        );
     }
 
     // Storage check: the three providers together hold ~1.5× the
     // logical bytes, not 3×.
     let logical: u64 = {
         let names = cloud.list("").unwrap();
-        names.iter().map(|n| cloud.get(n).unwrap().len() as u64).sum()
+        names
+            .iter()
+            .map(|n| cloud.get(n).unwrap().len() as u64)
+            .sum()
     };
     let physical: u64 = providers.iter().map(|p| p.total_bytes()).sum();
-    assert!(physical < logical * 2, "physical {physical} vs logical {logical}");
+    assert!(
+        physical < logical * 2,
+        "physical {physical} vs logical {logical}"
+    );
 }
 
 #[test]
@@ -240,8 +262,7 @@ fn exposure_reports_pending_risk() {
             .unwrap(),
     )
     .unwrap();
-    let fs: Arc<dyn FileSystem> =
-        Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+    let fs: Arc<dyn FileSystem> = Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
     let db = Database::open(fs, DbProfile::postgres_small()).unwrap();
 
     // Idle: nothing exposed.
@@ -276,5 +297,8 @@ fn empty_database_boot_and_recover() {
     let rebuilt = Arc::new(MemFs::new());
     recover_into(rebuilt.as_ref(), cloud.as_ref(), &config()).unwrap();
     let db = Database::open(rebuilt, DbProfile::postgres_small()).unwrap();
-    assert!(matches!(db.get(99, 0), Err(ginja_db::DbError::TableMissing(99))));
+    assert!(matches!(
+        db.get(99, 0),
+        Err(ginja_db::DbError::TableMissing(99))
+    ));
 }

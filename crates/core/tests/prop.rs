@@ -11,7 +11,11 @@ use proptest::prelude::*;
 fn arb_write() -> impl Strategy<Value = (u8, u64, Vec<u8>)> {
     // (file id, offset, data) with offsets/lengths small enough to
     // overlap frequently.
-    (0u8..3, 0u64..500, proptest::collection::vec(any::<u8>(), 1..64))
+    (
+        0u8..3,
+        0u64..500,
+        proptest::collection::vec(any::<u8>(), 1..64),
+    )
 }
 
 fn replay(writes: &[WalWrite], size: usize) -> std::collections::HashMap<String, Vec<u8>> {

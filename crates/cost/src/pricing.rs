@@ -69,13 +69,17 @@ impl Ec2Pricing {
 
     /// Table 2's "m3.medium + VPN + EBS 100IOS" laboratory setup.
     pub fn laboratory_vm_month(&self, db_size_gb: f64) -> f64 {
-        self.m3_medium_month + self.vpn_month + 100.0 * self.ebs_iops_month
+        self.m3_medium_month
+            + self.vpn_month
+            + 100.0 * self.ebs_iops_month
             + db_size_gb * self.ebs_gb_month
     }
 
     /// Table 2's "m3.large + VPN + EBS 500IOS" hospital setup.
     pub fn hospital_vm_month(&self, db_size_gb: f64) -> f64 {
-        self.m3_large_month + self.vpn_month + 500.0 * self.ebs_iops_month
+        self.m3_large_month
+            + self.vpn_month
+            + 500.0 * self.ebs_iops_month
             + db_size_gb * self.ebs_gb_month
     }
 }

@@ -24,12 +24,20 @@ pub struct Scenario {
 /// The clinical laboratory: "10GB database that processes 30
 /// transactions per minute … only 20% are updates".
 pub fn laboratory() -> Scenario {
-    Scenario { name: "Laboratory", db_size_gb: 10.0, updates_per_minute: 6.0 }
+    Scenario {
+        name: "Laboratory",
+        db_size_gb: 10.0,
+        updates_per_minute: 6.0,
+    }
 }
 
 /// The hospital: 1 TB database, 138 updates per minute (Table 2).
 pub fn hospital() -> Scenario {
-    Scenario { name: "Hospital", db_size_gb: 1000.0, updates_per_minute: 138.0 }
+    Scenario {
+        name: "Hospital",
+        db_size_gb: 1000.0,
+        updates_per_minute: 138.0,
+    }
 }
 
 impl Scenario {

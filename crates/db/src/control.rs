@@ -68,7 +68,12 @@ impl ControlData {
             return Err(DbError::Corrupt("control record bad crc".into()));
         }
         let word = |i: usize| u64::from_le_bytes(data[4 + i * 8..12 + i * 8].try_into().unwrap());
-        Ok(ControlData { redo_lsn: word(0), redo_block: word(1), next_lsn: word(2), counter: word(3) })
+        Ok(ControlData {
+            redo_lsn: word(0),
+            redo_block: word(1),
+            next_lsn: word(2),
+            counter: word(3),
+        })
     }
 
     /// Writes the control record for `kind` with a synchronous write —
@@ -86,7 +91,11 @@ impl ControlData {
             ProfileKind::MySql => {
                 // Alternate between the two checkpoint blocks, padding to
                 // a full 512-byte block as InnoDB does.
-                let offset = if self.counter.is_multiple_of(2) { 512 } else { 1536 };
+                let offset = if self.counter.is_multiple_of(2) {
+                    512
+                } else {
+                    1536
+                };
                 let mut block = encoded;
                 block.resize(512, 0);
                 fs.write(INNODB_LOG0, offset, &block, true)?;
@@ -135,7 +144,12 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        let c = ControlData { redo_lsn: 10, redo_block: 3, next_lsn: 17, counter: 5 };
+        let c = ControlData {
+            redo_lsn: 10,
+            redo_block: 3,
+            next_lsn: 17,
+            counter: 5,
+        };
         assert_eq!(ControlData::decode(&c.encode()).unwrap(), c);
     }
 
@@ -153,7 +167,12 @@ mod tests {
 
     #[test]
     fn decode_ignores_trailing_padding() {
-        let c = ControlData { redo_lsn: 1, redo_block: 2, next_lsn: 3, counter: 4 };
+        let c = ControlData {
+            redo_lsn: 1,
+            redo_block: 2,
+            next_lsn: 3,
+            counter: 4,
+        };
         let mut block = c.encode();
         block.resize(512, 0);
         assert_eq!(ControlData::decode(&block).unwrap(), c);
@@ -162,7 +181,12 @@ mod tests {
     #[test]
     fn postgres_write_read() {
         let fs = MemFs::new();
-        let c = ControlData { redo_lsn: 9, redo_block: 2, next_lsn: 12, counter: 1 };
+        let c = ControlData {
+            redo_lsn: 9,
+            redo_block: 2,
+            next_lsn: 12,
+            counter: 1,
+        };
         c.write(&fs, ProfileKind::Postgres).unwrap();
         assert!(fs.exists(PG_CONTROL_PATH));
         assert_eq!(ControlData::read(&fs, ProfileKind::Postgres).unwrap(), c);
@@ -172,11 +196,21 @@ mod tests {
     fn mysql_alternating_blocks() {
         let fs = MemFs::new();
         fs.write(INNODB_LOG0, 0, &vec![0u8; 4096], false).unwrap();
-        let c0 = ControlData { redo_lsn: 1, redo_block: 1, next_lsn: 2, counter: 0 };
+        let c0 = ControlData {
+            redo_lsn: 1,
+            redo_block: 1,
+            next_lsn: 2,
+            counter: 0,
+        };
         c0.write(&fs, ProfileKind::MySql).unwrap();
         assert_eq!(ControlData::read(&fs, ProfileKind::MySql).unwrap(), c0);
 
-        let c1 = ControlData { redo_lsn: 5, redo_block: 4, next_lsn: 9, counter: 1 };
+        let c1 = ControlData {
+            redo_lsn: 5,
+            redo_block: 4,
+            next_lsn: 9,
+            counter: 1,
+        };
         c1.write(&fs, ProfileKind::MySql).unwrap();
         // Newer counter wins even though both blocks are valid.
         assert_eq!(ControlData::read(&fs, ProfileKind::MySql).unwrap(), c1);

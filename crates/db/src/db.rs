@@ -72,15 +72,24 @@ pub struct Database {
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Database").field("profile", &self.profile.kind).finish()
+        f.debug_struct("Database")
+            .field("profile", &self.profile.kind)
+            .finish()
     }
 }
 
 /// One buffered row operation.
 #[derive(Debug, Clone)]
 enum TxnOp {
-    Put { table: u32, key: u64, value: Vec<u8> },
-    Delete { table: u32, key: u64 },
+    Put {
+        table: u32,
+        key: u64,
+        value: Vec<u8>,
+    },
+    Delete {
+        table: u32,
+        key: u64,
+    },
 }
 
 /// A transaction: buffered operations committed atomically.
@@ -158,7 +167,12 @@ impl Database {
                 // Preallocate the circular log pair, as InnoDB does. The
                 // file headers live in the first 512 bytes; offsets
                 // 512/1536 of ib_logfile0 are the checkpoint blocks.
-                let LogSpace::Circular { ref file0, ref file1, segment_size } = space else {
+                let LogSpace::Circular {
+                    ref file0,
+                    ref file1,
+                    segment_size,
+                } = space
+                else {
                     unreachable!("mysql profile uses a circular space")
                 };
                 let mut header = vec![0u8; 512];
@@ -172,7 +186,12 @@ impl Database {
 
         let catalog = Catalog::new();
         catalog.write(fs.as_ref(), profile.kind)?;
-        let control = ControlData { redo_lsn: 1, redo_block: 0, next_lsn: 1, counter: 0 };
+        let control = ControlData {
+            redo_lsn: 1,
+            redo_block: 0,
+            next_lsn: 1,
+            counter: 0,
+        };
         control.write(fs.as_ref(), profile.kind)?;
 
         let inner = Inner {
@@ -186,7 +205,11 @@ impl Database {
             commits_since_ckpt: 0,
             stats: DbStats::default(),
         };
-        Ok(Database { fs, profile, inner: Mutex::new(inner) })
+        Ok(Database {
+            fs,
+            profile,
+            inner: Mutex::new(inner),
+        })
     }
 
     /// Opens an existing database, running crash recovery: read the
@@ -202,7 +225,12 @@ impl Database {
         let space = Self::log_space(&profile);
         let catalog = Catalog::read(fs.as_ref(), profile.kind)?;
         let control = ControlData::read(fs.as_ref(), profile.kind)?;
-        let scan = wal::scan(fs.as_ref(), &space, profile.wal_block_size, control.redo_block)?;
+        let scan = wal::scan(
+            fs.as_ref(),
+            &space,
+            profile.wal_block_size,
+            control.redo_block,
+        )?;
 
         let mut pool = BufferPool::new(Self::pool_capacity(&profile));
         let mut max_lsn = 0u64;
@@ -244,7 +272,11 @@ impl Database {
             commits_since_ckpt: 0,
             stats: DbStats::default(),
         };
-        Ok(Database { fs, profile, inner: Mutex::new(inner) })
+        Ok(Database {
+            fs,
+            profile,
+            inner: Mutex::new(inner),
+        })
     }
 
     fn redo_apply(
@@ -265,8 +297,7 @@ impl Database {
             .ok_or_else(|| DbError::RecoveryFailed(format!("wal references table {table}")))?;
         let (page_idx, slot) = meta.locate(key, profile.page_size);
         let id: PageId = (table, page_idx);
-        let frame =
-            pool.get_or_load(id, || Self::load_page(fs, profile, &meta, page_idx));
+        let frame = pool.get_or_load(id, || Self::load_page(fs, profile, &meta, page_idx));
         // ARIES redo test: apply only if the page has not seen this LSN.
         if record.lsn > frame.page.lsn {
             match value {
@@ -342,7 +373,10 @@ impl Database {
             return Err(DbError::Corrupt(format!("invalid slot size {slot_size}")));
         }
         let mut inner = self.inner.lock();
-        inner.catalog.add(TableMeta { id, slot_size: slot_size as u32 })?;
+        inner.catalog.add(TableMeta {
+            id,
+            slot_size: slot_size as u32,
+        })?;
         inner.catalog.write(self.fs.as_ref(), self.profile.kind)?;
         self.full_checkpoint(&mut inner)?;
         Ok(())
@@ -350,7 +384,10 @@ impl Database {
 
     /// Starts a transaction.
     pub fn begin(&self) -> Transaction<'_> {
-        Transaction { db: self, ops: Vec::new() }
+        Transaction {
+            db: self,
+            ops: Vec::new(),
+        }
     }
 
     /// Single-operation convenience: `put` in its own transaction.
@@ -382,14 +419,21 @@ impl Database {
     /// [`DbError::TableMissing`] if the table does not exist.
     pub fn get(&self, table: u32, key: u64) -> Result<Option<Vec<u8>>, DbError> {
         let mut inner = self.inner.lock();
-        let meta = *inner.catalog.table(table).ok_or(DbError::TableMissing(table))?;
+        let meta = *inner
+            .catalog
+            .table(table)
+            .ok_or(DbError::TableMissing(table))?;
         let (page_idx, slot) = meta.locate(key, self.profile.page_size);
         let fs = self.fs.clone();
         let profile = self.profile.clone();
-        let frame = inner
-            .pool
-            .get_or_load((table, page_idx), || Self::load_page(fs.as_ref(), &profile, &meta, page_idx));
-        Ok(frame.page.slot(slot).filter(|(k, _)| *k == key).map(|(_, v)| v.clone()))
+        let frame = inner.pool.get_or_load((table, page_idx), || {
+            Self::load_page(fs.as_ref(), &profile, &meta, page_idx)
+        });
+        Ok(frame
+            .page
+            .slot(slot)
+            .filter(|(k, _)| *k == key)
+            .map(|(_, v)| v.clone()))
     }
 
     fn commit_ops(&self, ops: Vec<TxnOp>) -> Result<(), DbError> {
@@ -406,7 +450,10 @@ impl Database {
                 TxnOp::Put { table, value, .. } => (*table, value.len()),
                 TxnOp::Delete { table, .. } => (*table, 0),
             };
-            let meta = inner.catalog.table(table).ok_or(DbError::TableMissing(table))?;
+            let meta = inner
+                .catalog
+                .table(table)
+                .ok_or(DbError::TableMissing(table))?;
             if value_len > meta.value_capacity() {
                 return Err(DbError::ValueTooLarge {
                     table,
@@ -439,17 +486,25 @@ impl Database {
             let lsn = inner.next_lsn;
             inner.next_lsn += 1;
             let wal_op = match &op {
-                TxnOp::Put { table, key, value } => {
-                    WalOp::Put { table: *table, key: *key, value: value.clone() }
-                }
-                TxnOp::Delete { table, key } => WalOp::Delete { table: *table, key: *key },
+                TxnOp::Put { table, key, value } => WalOp::Put {
+                    table: *table,
+                    key: *key,
+                    value: value.clone(),
+                },
+                TxnOp::Delete { table, key } => WalOp::Delete {
+                    table: *table,
+                    key: *key,
+                },
             };
             inner.wal.append(&WalRecord { lsn, op: wal_op });
             logged.push((lsn, op));
         }
         let commit_lsn = inner.next_lsn;
         inner.next_lsn += 1;
-        inner.wal.append(&WalRecord { lsn: commit_lsn, op: WalOp::Commit });
+        inner.wal.append(&WalRecord {
+            lsn: commit_lsn,
+            op: WalOp::Commit,
+        });
 
         let writes = inner.wal.flush(self.fs.as_ref())?;
         inner.stats.wal_block_writes += writes as u64;
@@ -466,9 +521,9 @@ impl Database {
             let id: PageId = (table, page_idx);
             let fs = self.fs.clone();
             let profile = self.profile.clone();
-            let frame = inner
-                .pool
-                .get_or_load(id, || Self::load_page(fs.as_ref(), &profile, &meta, page_idx));
+            let frame = inner.pool.get_or_load(id, || {
+                Self::load_page(fs.as_ref(), &profile, &meta, page_idx)
+            });
             match value {
                 Some(v) => frame.page.set_slot(slot, key, v),
                 None => frame.page.clear_slot(slot),
@@ -581,11 +636,23 @@ impl Database {
 
     fn flush_page(&self, inner: &mut Inner, id: PageId) -> Result<(), DbError> {
         let (table, page_idx) = id;
-        let meta = *inner.catalog.table(table).expect("dirty page of unknown table");
-        let Some(frame) = inner.pool.get(&id) else { return Ok(()) };
-        let bytes = frame.page.to_bytes(self.profile.page_size, meta.slot_size as usize);
+        let meta = *inner
+            .catalog
+            .table(table)
+            .expect("dirty page of unknown table");
+        let Some(frame) = inner.pool.get(&id) else {
+            return Ok(());
+        };
+        let bytes = frame
+            .page
+            .to_bytes(self.profile.page_size, meta.slot_size as usize);
         let path = meta.file_path(self.profile.kind);
-        self.fs.write(&path, page_idx * self.profile.page_size as u64, &bytes, true)?;
+        self.fs.write(
+            &path,
+            page_idx * self.profile.page_size as u64,
+            &bytes,
+            true,
+        )?;
         inner.pool.mark_clean(&id);
         Ok(())
     }
@@ -675,7 +742,10 @@ impl Database {
     /// [`DbError::TableMissing`] if the table does not exist.
     pub fn dump_table(&self, table: u32) -> Result<Vec<(u64, Vec<u8>)>, DbError> {
         let mut inner = self.inner.lock();
-        let meta = *inner.catalog.table(table).ok_or(DbError::TableMissing(table))?;
+        let meta = *inner
+            .catalog
+            .table(table)
+            .ok_or(DbError::TableMissing(table))?;
         let path = meta.file_path(self.profile.kind);
         let disk_pages = self
             .fs
@@ -689,9 +759,9 @@ impl Database {
         for page_idx in 0..total_pages {
             let fs = self.fs.clone();
             let profile = self.profile.clone();
-            let frame = inner
-                .pool
-                .get_or_load((table, page_idx), || Self::load_page(fs.as_ref(), &profile, &meta, page_idx));
+            let frame = inner.pool.get_or_load((table, page_idx), || {
+                Self::load_page(fs.as_ref(), &profile, &meta, page_idx)
+            });
             for (key, value) in frame.page.iter() {
                 rows.push((*key, value.clone()));
             }
@@ -765,7 +835,10 @@ mod tests {
     #[test]
     fn missing_table_rejected() {
         let db = fresh(DbProfile::postgres_small());
-        assert!(matches!(db.put(9, 1, val(1)), Err(DbError::TableMissing(9))));
+        assert!(matches!(
+            db.put(9, 1, val(1)),
+            Err(DbError::TableMissing(9))
+        ));
         assert!(matches!(db.get(9, 1), Err(DbError::TableMissing(9))));
     }
 
@@ -783,7 +856,10 @@ mod tests {
     #[test]
     fn duplicate_table_rejected() {
         let db = fresh(DbProfile::postgres_small());
-        assert!(matches!(db.create_table(1, 64), Err(DbError::TableExists(1))));
+        assert!(matches!(
+            db.create_table(1, 64),
+            Err(DbError::TableExists(1))
+        ));
     }
 
     #[test]
@@ -1016,7 +1092,11 @@ mod tests {
             );
             w.append(&WalRecord {
                 lsn: 999,
-                op: WalOp::Put { table: 1, key: 77, value: val(77) },
+                op: WalOp::Put {
+                    table: 1,
+                    key: 77,
+                    value: val(77),
+                },
             });
             w.flush(fs.as_ref()).unwrap();
         }

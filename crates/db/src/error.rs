@@ -36,7 +36,10 @@ impl fmt::Display for DbError {
             DbError::TableMissing(id) => write!(f, "table {id} does not exist"),
             DbError::TableExists(id) => write!(f, "table {id} already exists"),
             DbError::ValueTooLarge { table, len, cap } => {
-                write!(f, "value of {len} bytes exceeds slot capacity {cap} of table {table}")
+                write!(
+                    f,
+                    "value of {len} bytes exceeds slot capacity {cap} of table {table}"
+                )
             }
             DbError::Corrupt(reason) => write!(f, "corrupt database state: {reason}"),
             DbError::RecoveryFailed(reason) => write!(f, "crash recovery failed: {reason}"),
@@ -68,7 +71,11 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         assert!(DbError::TableMissing(7).to_string().contains('7'));
-        let e = DbError::ValueTooLarge { table: 1, len: 100, cap: 50 };
+        let e = DbError::ValueTooLarge {
+            table: 1,
+            len: 100,
+            cap: 50,
+        };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("50"));
     }

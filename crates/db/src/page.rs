@@ -24,7 +24,10 @@ pub struct Page {
 impl Page {
     /// An empty page with `slots_per_page` slots.
     pub fn empty(slots_per_page: usize) -> Self {
-        Page { lsn: 0, slots: vec![None; slots_per_page] }
+        Page {
+            lsn: 0,
+            slots: vec![None; slots_per_page],
+        }
     }
 
     /// Number of slots.
@@ -132,8 +135,7 @@ impl Page {
                 continue;
             }
             let key = u64::from_le_bytes(data[base + 1..base + 9].try_into().unwrap());
-            let len =
-                u16::from_le_bytes(data[base + 9..base + 11].try_into().unwrap()) as usize;
+            let len = u16::from_le_bytes(data[base + 9..base + 11].try_into().unwrap()) as usize;
             if len > cap {
                 return Err(DbError::Corrupt("slot length exceeds capacity".into()));
             }
@@ -195,7 +197,10 @@ mod tests {
         p.set_slot(0, 1, b"data".to_vec());
         let mut bytes = p.to_bytes(PAGE, SLOT);
         bytes[PAGE_HEADER + 2] ^= 1;
-        assert!(matches!(Page::from_bytes(&bytes, SLOT), Err(DbError::Corrupt(_))));
+        assert!(matches!(
+            Page::from_bytes(&bytes, SLOT),
+            Err(DbError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub struct BufferPool {
 impl BufferPool {
     /// A pool that evicts clean pages beyond `clean_capacity` frames.
     pub fn new(clean_capacity: usize) -> Self {
-        BufferPool { frames: HashMap::new(), clean_capacity }
+        BufferPool {
+            frames: HashMap::new(),
+            clean_capacity,
+        }
     }
 
     /// Number of resident frames.
@@ -56,11 +59,7 @@ impl BufferPool {
     }
 
     /// Returns the frame for `id`, loading it with `load` on a miss.
-    pub fn get_or_load(
-        &mut self,
-        id: PageId,
-        load: impl FnOnce() -> Page,
-    ) -> &mut Frame {
+    pub fn get_or_load(&mut self, id: PageId, load: impl FnOnce() -> Page) -> &mut Frame {
         self.maybe_evict();
         self.frames.entry(id).or_insert_with(|| Frame {
             page: load(),
@@ -82,7 +81,10 @@ impl BufferPool {
     ///
     /// Panics if the frame is not resident (callers must load first).
     pub fn mark_dirty(&mut self, id: PageId, lsn: u64, block: u64) {
-        let frame = self.frames.get_mut(&id).expect("mark_dirty on non-resident page");
+        let frame = self
+            .frames
+            .get_mut(&id)
+            .expect("mark_dirty on non-resident page");
         if !frame.dirty {
             frame.dirty = true;
             frame.rec_lsn = lsn;
@@ -102,8 +104,12 @@ impl BufferPool {
     /// All dirty page ids, ordered by `rec_block` then id (oldest first —
     /// the order the fuzzy checkpointer flushes in).
     pub fn dirty_ids_oldest_first(&self) -> Vec<PageId> {
-        let mut ids: Vec<(u64, PageId)> =
-            self.frames.iter().filter(|(_, f)| f.dirty).map(|(id, f)| (f.rec_block, *id)).collect();
+        let mut ids: Vec<(u64, PageId)> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(id, f)| (f.rec_block, *id))
+            .collect();
         ids.sort_unstable();
         ids.into_iter().map(|(_, id)| id).collect()
     }
@@ -120,7 +126,11 @@ impl BufferPool {
 
     /// Highest page index resident for `table` (used to size scans).
     pub fn max_page_index(&self, table: u32) -> Option<u64> {
-        self.frames.keys().filter(|(t, _)| *t == table).map(|(_, p)| *p).max()
+        self.frames
+            .keys()
+            .filter(|(t, _)| *t == table)
+            .map(|(_, p)| *p)
+            .max()
     }
 
     /// Drops every frame (crash simulation: volatile state is lost).

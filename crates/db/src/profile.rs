@@ -127,7 +127,10 @@ impl DbProfile {
 
     /// PostgreSQL with small segments (256 kB) for fast tests.
     pub fn postgres_small() -> Self {
-        DbProfile { wal_segment_size: 256 * 1024, ..Self::postgres_default() }
+        DbProfile {
+            wal_segment_size: 256 * 1024,
+            ..Self::postgres_default()
+        }
     }
 
     /// MySQL/InnoDB with production-like sizes (16 kB pages, 512 B log
@@ -147,7 +150,10 @@ impl DbProfile {
 
     /// MySQL/InnoDB with small circular logs (128 kB each) for tests.
     pub fn mysql_small() -> Self {
-        DbProfile { wal_segment_size: 128 * 1024, ..Self::mysql_default() }
+        DbProfile {
+            wal_segment_size: 128 * 1024,
+            ..Self::mysql_default()
+        }
     }
 
     /// Sets the automatic checkpoint interval in commits.
@@ -168,7 +174,10 @@ impl DbProfile {
     #[must_use]
     pub fn with_default_slot_size(mut self, slot: usize) -> Self {
         assert!(slot > crate::table::SLOT_OVERHEAD, "slot too small");
-        assert!(slot <= self.page_size - crate::page::PAGE_HEADER, "slot exceeds page");
+        assert!(
+            slot <= self.page_size - crate::page::PAGE_HEADER,
+            "slot exceeds page"
+        );
         self.default_slot_size = slot;
         self
     }

@@ -91,7 +91,11 @@ impl WalRecord {
                 if rest.len() != 16 + val_len {
                     return Err(corrupt("put length mismatch"));
                 }
-                WalOp::Put { table, key, value: rest[16..].to_vec() }
+                WalOp::Put {
+                    table,
+                    key,
+                    value: rest[16..].to_vec(),
+                }
             }
             OP_DELETE => {
                 if rest.len() != 12 {
@@ -119,26 +123,48 @@ mod tests {
 
     #[test]
     fn put_roundtrip() {
-        let rec =
-            WalRecord { lsn: 42, op: WalOp::Put { table: 7, key: 99, value: b"hello".to_vec() } };
+        let rec = WalRecord {
+            lsn: 42,
+            op: WalOp::Put {
+                table: 7,
+                key: 99,
+                value: b"hello".to_vec(),
+            },
+        };
         assert_eq!(WalRecord::decode(&rec.encode()).unwrap(), rec);
     }
 
     #[test]
     fn put_empty_value_roundtrip() {
-        let rec = WalRecord { lsn: 1, op: WalOp::Put { table: 0, key: 0, value: vec![] } };
+        let rec = WalRecord {
+            lsn: 1,
+            op: WalOp::Put {
+                table: 0,
+                key: 0,
+                value: vec![],
+            },
+        };
         assert_eq!(WalRecord::decode(&rec.encode()).unwrap(), rec);
     }
 
     #[test]
     fn delete_roundtrip() {
-        let rec = WalRecord { lsn: u64::MAX, op: WalOp::Delete { table: u32::MAX, key: 3 } };
+        let rec = WalRecord {
+            lsn: u64::MAX,
+            op: WalOp::Delete {
+                table: u32::MAX,
+                key: 3,
+            },
+        };
         assert_eq!(WalRecord::decode(&rec.encode()).unwrap(), rec);
     }
 
     #[test]
     fn commit_roundtrip() {
-        let rec = WalRecord { lsn: 5, op: WalOp::Commit };
+        let rec = WalRecord {
+            lsn: 5,
+            op: WalOp::Commit,
+        };
         let enc = rec.encode();
         assert_eq!(enc.len(), 9);
         assert_eq!(WalRecord::decode(&enc).unwrap(), rec);
@@ -148,19 +174,33 @@ mod tests {
     fn corrupt_inputs_rejected() {
         assert!(WalRecord::decode(&[]).is_err());
         assert!(WalRecord::decode(&[0; 8]).is_err());
-        let mut enc =
-            WalRecord { lsn: 1, op: WalOp::Put { table: 1, key: 1, value: b"abc".to_vec() } }
-                .encode();
+        let mut enc = WalRecord {
+            lsn: 1,
+            op: WalOp::Put {
+                table: 1,
+                key: 1,
+                value: b"abc".to_vec(),
+            },
+        }
+        .encode();
         enc.pop(); // truncate value
         assert!(WalRecord::decode(&enc).is_err());
-        let mut bad_op = WalRecord { lsn: 1, op: WalOp::Commit }.encode();
+        let mut bad_op = WalRecord {
+            lsn: 1,
+            op: WalOp::Commit,
+        }
+        .encode();
         bad_op[8] = 200;
         assert!(WalRecord::decode(&bad_op).is_err());
     }
 
     #[test]
     fn trailing_garbage_rejected() {
-        let mut enc = WalRecord { lsn: 1, op: WalOp::Commit }.encode();
+        let mut enc = WalRecord {
+            lsn: 1,
+            op: WalOp::Commit,
+        }
+        .encode();
         enc.push(0);
         assert!(WalRecord::decode(&enc).is_err());
     }

@@ -146,7 +146,9 @@ impl Catalog {
             let base = 8 + i * 8;
             let id = u32::from_le_bytes(data[base..base + 4].try_into().unwrap());
             let slot_size = u32::from_le_bytes(data[base + 4..base + 8].try_into().unwrap());
-            catalog.add(TableMeta { id, slot_size }).map_err(|_| corrupt("duplicate table"))?;
+            catalog
+                .add(TableMeta { id, slot_size })
+                .map_err(|_| corrupt("duplicate table"))?;
         }
         Ok(catalog)
     }
@@ -197,7 +199,10 @@ mod tests {
 
     #[test]
     fn meta_math() {
-        let meta = TableMeta { id: 1, slot_size: 62 };
+        let meta = TableMeta {
+            id: 1,
+            slot_size: 62,
+        };
         assert_eq!(meta.value_capacity(), 51);
         // (512 - 16) / 62 = 8 slots per page.
         assert_eq!(meta.slots_per_page(512), 8);
@@ -209,7 +214,10 @@ mod tests {
 
     #[test]
     fn file_paths_per_profile() {
-        let meta = TableMeta { id: 42, slot_size: 64 };
+        let meta = TableMeta {
+            id: 42,
+            slot_size: 64,
+        };
         assert_eq!(meta.file_path(ProfileKind::Postgres), "base/42");
         assert_eq!(meta.file_path(ProfileKind::MySql), "t42.ibd");
     }
@@ -217,8 +225,16 @@ mod tests {
     #[test]
     fn catalog_roundtrip() {
         let mut c = Catalog::new();
-        c.add(TableMeta { id: 1, slot_size: 64 }).unwrap();
-        c.add(TableMeta { id: 9, slot_size: 128 }).unwrap();
+        c.add(TableMeta {
+            id: 1,
+            slot_size: 64,
+        })
+        .unwrap();
+        c.add(TableMeta {
+            id: 9,
+            slot_size: 128,
+        })
+        .unwrap();
         let back = Catalog::decode(&c.encode()).unwrap();
         assert_eq!(back, c);
         assert_eq!(back.len(), 2);
@@ -235,9 +251,16 @@ mod tests {
     #[test]
     fn duplicate_table_rejected() {
         let mut c = Catalog::new();
-        c.add(TableMeta { id: 1, slot_size: 64 }).unwrap();
+        c.add(TableMeta {
+            id: 1,
+            slot_size: 64,
+        })
+        .unwrap();
         assert!(matches!(
-            c.add(TableMeta { id: 1, slot_size: 32 }),
+            c.add(TableMeta {
+                id: 1,
+                slot_size: 32
+            }),
             Err(DbError::TableExists(1))
         ));
     }
@@ -245,7 +268,11 @@ mod tests {
     #[test]
     fn decode_rejects_corruption() {
         let mut c = Catalog::new();
-        c.add(TableMeta { id: 1, slot_size: 64 }).unwrap();
+        c.add(TableMeta {
+            id: 1,
+            slot_size: 64,
+        })
+        .unwrap();
         let enc = c.encode();
         for i in 0..enc.len() {
             let mut bad = enc.clone();
@@ -259,7 +286,11 @@ mod tests {
     fn persist_and_load() {
         let fs = MemFs::new();
         let mut c = Catalog::new();
-        c.add(TableMeta { id: 3, slot_size: 96 }).unwrap();
+        c.add(TableMeta {
+            id: 3,
+            slot_size: 96,
+        })
+        .unwrap();
         c.write(&fs, ProfileKind::Postgres).unwrap();
         assert!(fs.exists(PG_CATALOG_PATH));
         assert_eq!(Catalog::read(&fs, ProfileKind::Postgres).unwrap(), c);
@@ -272,9 +303,17 @@ mod tests {
     fn rewrite_after_growth_still_valid() {
         let fs = MemFs::new();
         let mut c = Catalog::new();
-        c.add(TableMeta { id: 1, slot_size: 64 }).unwrap();
+        c.add(TableMeta {
+            id: 1,
+            slot_size: 64,
+        })
+        .unwrap();
         c.write(&fs, ProfileKind::Postgres).unwrap();
-        c.add(TableMeta { id: 2, slot_size: 64 }).unwrap();
+        c.add(TableMeta {
+            id: 2,
+            slot_size: 64,
+        })
+        .unwrap();
         c.write(&fs, ProfileKind::Postgres).unwrap();
         assert_eq!(Catalog::read(&fs, ProfileKind::Postgres).unwrap().len(), 2);
     }

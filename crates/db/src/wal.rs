@@ -58,13 +58,20 @@ impl LogSpace {
     pub fn locate(&self, block_no: u64, block_size: usize) -> (String, u64) {
         let bs = block_size as u64;
         match self {
-            LogSpace::Segmented { prefix, segment_size } => {
+            LogSpace::Segmented {
+                prefix,
+                segment_size,
+            } => {
                 let global = block_no * bs;
                 let seg = global / segment_size;
                 let off = global % segment_size;
                 (format!("{prefix}{seg:024X}"), off)
             }
-            LogSpace::Circular { file0, file1, segment_size } => {
+            LogSpace::Circular {
+                file0,
+                file1,
+                segment_size,
+            } => {
                 let per_file = (segment_size - CIRCULAR_RESERVED) / bs;
                 let idx = block_no % (2 * per_file);
                 if idx < per_file {
@@ -118,8 +125,12 @@ impl LogSpace {
         };
         let mut deleted = 0;
         for file in fs.list(prefix)? {
-            let Some(hex) = file.strip_prefix(prefix.as_str()) else { continue };
-            let Ok(seg) = u64::from_str_radix(hex, 16) else { continue };
+            let Some(hex) = file.strip_prefix(prefix.as_str()) else {
+                continue;
+            };
+            let Ok(seg) = u64::from_str_radix(hex, 16) else {
+                continue;
+            };
             if seg < live_seg {
                 fs.delete(&file)?;
                 deleted += 1;
@@ -187,7 +198,10 @@ pub struct WalWriter {
 impl WalWriter {
     /// A fresh writer positioned at block 0.
     pub fn new(space: LogSpace, block_size: usize) -> Self {
-        assert!(block_size > BLOCK_HEADER + FRAG_HEADER, "block size too small");
+        assert!(
+            block_size > BLOCK_HEADER + FRAG_HEADER,
+            "block size too small"
+        );
         WalWriter {
             space,
             block_size,
@@ -330,14 +344,15 @@ pub fn scan(
             Ok(data) => data,
             Err(_) => break,
         };
-        let Some(payload) = parse_block(&data, expected) else { break };
+        let Some(payload) = parse_block(&data, expected) else {
+            break;
+        };
 
         // Parse fragments.
         let mut pos = 0usize;
         while pos + FRAG_HEADER <= payload.len() {
             let flags = payload[pos];
-            let len =
-                u16::from_le_bytes(payload[pos + 1..pos + 3].try_into().unwrap()) as usize;
+            let len = u16::from_le_bytes(payload[pos + 1..pos + 3].try_into().unwrap()) as usize;
             pos += FRAG_HEADER;
             if pos + len > payload.len() {
                 return Err(DbError::Corrupt("fragment overruns its block".into()));
@@ -372,7 +387,11 @@ pub fn scan(
         resume_payload.clear();
     }
 
-    Ok(WalScan { records, resume_block, resume_payload })
+    Ok(WalScan {
+        records,
+        resume_block,
+        resume_payload,
+    })
 }
 
 #[cfg(test)]
@@ -382,30 +401,60 @@ mod tests {
     use ginja_vfs::MemFs;
 
     fn seg_space() -> LogSpace {
-        LogSpace::Segmented { prefix: "pg_xlog/".into(), segment_size: 4096 }
+        LogSpace::Segmented {
+            prefix: "pg_xlog/".into(),
+            segment_size: 4096,
+        }
     }
 
     fn circ_space() -> LogSpace {
-        LogSpace::Circular { file0: "ib_logfile0".into(), file1: "ib_logfile1".into(), segment_size: 4096 }
+        LogSpace::Circular {
+            file0: "ib_logfile0".into(),
+            file1: "ib_logfile1".into(),
+            segment_size: 4096,
+        }
     }
 
     fn put(lsn: u64, key: u64, len: usize) -> WalRecord {
-        WalRecord { lsn, op: WalOp::Put { table: 1, key, value: vec![lsn as u8; len] } }
+        WalRecord {
+            lsn,
+            op: WalOp::Put {
+                table: 1,
+                key,
+                value: vec![lsn as u8; len],
+            },
+        }
     }
 
     fn prealloc_circular(fs: &MemFs, space: &LogSpace) {
-        if let LogSpace::Circular { file0, file1, segment_size } = space {
-            fs.write(file0, 0, &vec![0u8; *segment_size as usize], false).unwrap();
-            fs.write(file1, 0, &vec![0u8; *segment_size as usize], false).unwrap();
+        if let LogSpace::Circular {
+            file0,
+            file1,
+            segment_size,
+        } = space
+        {
+            fs.write(file0, 0, &vec![0u8; *segment_size as usize], false)
+                .unwrap();
+            fs.write(file1, 0, &vec![0u8; *segment_size as usize], false)
+                .unwrap();
         }
     }
 
     #[test]
     fn segmented_locate() {
         let s = seg_space();
-        assert_eq!(s.locate(0, 512), ("pg_xlog/000000000000000000000000".into(), 0));
-        assert_eq!(s.locate(7, 512), ("pg_xlog/000000000000000000000000".into(), 3584));
-        assert_eq!(s.locate(8, 512), ("pg_xlog/000000000000000000000001".into(), 0));
+        assert_eq!(
+            s.locate(0, 512),
+            ("pg_xlog/000000000000000000000000".into(), 0)
+        );
+        assert_eq!(
+            s.locate(7, 512),
+            ("pg_xlog/000000000000000000000000".into(), 3584)
+        );
+        assert_eq!(
+            s.locate(8, 512),
+            ("pg_xlog/000000000000000000000001".into(), 0)
+        );
         assert_eq!(s.capacity_blocks(512), None);
         assert_eq!(s.segment_of(9, 512), Some(1));
     }

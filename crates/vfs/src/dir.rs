@@ -35,7 +35,10 @@ impl DirFs {
 
     fn resolve(&self, path: &str) -> Result<PathBuf, FsError> {
         // Reject path escapes: virtual paths are interior names only.
-        if path.split('/').any(|seg| seg == ".." || seg == "." || seg.is_empty()) {
+        if path
+            .split('/')
+            .any(|seg| seg == ".." || seg == "." || seg.is_empty())
+        {
             return Err(FsError::Io(format!("invalid virtual path: {path}")));
         }
         Ok(self.root.join(path))
@@ -99,7 +102,11 @@ impl FileSystem for DirFs {
         })?;
         let file_len = file.metadata()?.len();
         if offset + len as u64 > file_len {
-            return Err(FsError::OutOfBounds { path: path.to_string(), offset, len: file_len });
+            return Err(FsError::OutOfBounds {
+                path: path.to_string(),
+                offset,
+                len: file_len,
+            });
         }
         file.seek(SeekFrom::Start(offset))?;
         let mut buf = vec![0u8; len];
@@ -131,13 +138,16 @@ impl FileSystem for DirFs {
 
     fn truncate(&self, path: &str, len: u64) -> Result<(), FsError> {
         let full = self.resolve(path)?;
-        let file = fs::OpenOptions::new().write(true).open(&full).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::NotFound {
-                FsError::NotFound(path.to_string())
-            } else {
-                FsError::Io(e.to_string())
-            }
-        })?;
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(&full)
+            .map_err(|e| {
+                if e.kind() == std::io::ErrorKind::NotFound {
+                    FsError::NotFound(path.to_string())
+                } else {
+                    FsError::Io(e.to_string())
+                }
+            })?;
         file.set_len(len)?;
         Ok(())
     }
@@ -205,7 +215,10 @@ mod tests {
         let fs = temp_fs("sparse");
         fs.write("f", 8, b"z", false).unwrap();
         assert_eq!(fs.len("f").unwrap(), 9);
-        assert_eq!(fs.read("f", 0, 9).unwrap(), vec![0, 0, 0, 0, 0, 0, 0, 0, b'z']);
+        assert_eq!(
+            fs.read("f", 0, 9).unwrap(),
+            vec![0, 0, 0, 0, 0, 0, 0, 0, b'z']
+        );
     }
 
     #[test]
@@ -251,6 +264,9 @@ mod tests {
     fn out_of_bounds_read() {
         let fs = temp_fs("oob");
         fs.write("f", 0, b"ab", false).unwrap();
-        assert!(matches!(fs.read("f", 1, 5), Err(FsError::OutOfBounds { .. })));
+        assert!(matches!(
+            fs.read("f", 1, 5),
+            Err(FsError::OutOfBounds { .. })
+        ));
     }
 }

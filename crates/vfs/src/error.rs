@@ -28,7 +28,10 @@ impl fmt::Display for FsError {
             FsError::NotFound(path) => write!(f, "file not found: {path}"),
             FsError::AlreadyExists(path) => write!(f, "file already exists: {path}"),
             FsError::OutOfBounds { path, offset, len } => {
-                write!(f, "read past end of {path}: offset {offset}, file length {len}")
+                write!(
+                    f,
+                    "read past end of {path}: offset {offset}, file length {len}"
+                )
             }
             FsError::Io(reason) => write!(f, "i/o error: {reason}"),
         }

@@ -93,7 +93,9 @@ pub struct InterceptFs<F> {
 
 impl<F: std::fmt::Debug> std::fmt::Debug for InterceptFs<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("InterceptFs").field("inner", &self.inner).finish()
+        f.debug_struct("InterceptFs")
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 
@@ -123,8 +125,12 @@ impl<F: FileSystem> FileSystem for InterceptFs<F> {
         // Algorithm 2 ordering: apply locally first, then hand to the
         // processor (which may block the caller for Safety enforcement).
         self.inner.write(path, offset, data, sync)?;
-        let event =
-            WriteEvent { path: path.to_string(), offset, data: Arc::from(data), sync };
+        let event = WriteEvent {
+            path: path.to_string(),
+            offset,
+            data: Arc::from(data),
+            sync,
+        };
         self.processor.on_write(&event);
         Ok(())
     }
@@ -215,7 +221,10 @@ mod tests {
         }
         impl IoProcessor for Check {
             fn on_write(&self, event: &WriteEvent) {
-                let read = self.fs.read(&event.path, event.offset, event.len()).unwrap();
+                let read = self
+                    .fs
+                    .read(&event.path, event.offset, event.len())
+                    .unwrap();
                 assert_eq!(read, &event.data[..]);
             }
         }
@@ -243,7 +252,10 @@ mod tests {
         fs.write("a", 0, b"1", false).unwrap();
         fs.rename("a", "b").unwrap();
         fs.delete("b").unwrap();
-        assert_eq!(rec.renames.lock().as_slice(), &[("a".to_string(), "b".to_string())]);
+        assert_eq!(
+            rec.renames.lock().as_slice(),
+            &[("a".to_string(), "b".to_string())]
+        );
         assert_eq!(rec.deletes.lock().as_slice(), &["b".to_string()]);
     }
 

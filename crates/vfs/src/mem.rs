@@ -30,7 +30,9 @@ impl MemFs {
     /// A deep copy of the current state — the benchmark harness loads a
     /// database once and forks it for each experiment configuration.
     pub fn fork(&self) -> MemFs {
-        MemFs { files: RwLock::new(self.files.read().clone()) }
+        MemFs {
+            files: RwLock::new(self.files.read().clone()),
+        }
     }
 }
 
@@ -58,13 +60,17 @@ impl FileSystem for MemFs {
 
     fn read(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
         let files = self.files.read();
-        let file = files.get(path).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let file = files
+            .get(path)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
         let offset = offset as usize;
-        let end = offset.checked_add(len).ok_or_else(|| FsError::OutOfBounds {
-            path: path.to_string(),
-            offset: offset as u64,
-            len: file.len() as u64,
-        })?;
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| FsError::OutOfBounds {
+                path: path.to_string(),
+                offset: offset as u64,
+                len: file.len() as u64,
+            })?;
         if end > file.len() {
             return Err(FsError::OutOfBounds {
                 path: path.to_string(),
@@ -93,7 +99,9 @@ impl FileSystem for MemFs {
 
     fn truncate(&self, path: &str, len: u64) -> Result<(), FsError> {
         let mut files = self.files.write();
-        let file = files.get_mut(path).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let file = files
+            .get_mut(path)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
         file.resize(len as usize, 0);
         Ok(())
     }
@@ -105,7 +113,9 @@ impl FileSystem for MemFs {
 
     fn rename(&self, from: &str, to: &str) -> Result<(), FsError> {
         let mut files = self.files.write();
-        let data = files.remove(from).ok_or_else(|| FsError::NotFound(from.to_string()))?;
+        let data = files
+            .remove(from)
+            .ok_or_else(|| FsError::NotFound(from.to_string()))?;
         files.insert(to.to_string(), data);
         Ok(())
     }
@@ -160,8 +170,14 @@ mod tests {
     fn read_past_end_is_out_of_bounds() {
         let fs = MemFs::new();
         fs.write("f", 0, b"abc", false).unwrap();
-        assert!(matches!(fs.read("f", 2, 5), Err(FsError::OutOfBounds { .. })));
-        assert!(matches!(fs.read("f", 10, 1), Err(FsError::OutOfBounds { .. })));
+        assert!(matches!(
+            fs.read("f", 2, 5),
+            Err(FsError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            fs.read("f", 10, 1),
+            Err(FsError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -189,7 +205,10 @@ mod tests {
         fs.rename("old", "new").unwrap();
         assert!(!fs.exists("old"));
         assert_eq!(fs.read_all("new").unwrap(), b"x");
-        assert!(matches!(fs.rename("old", "other"), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            fs.rename("old", "other"),
+            Err(FsError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -198,7 +217,10 @@ mod tests {
         fs.write("pg_xlog/001", 0, b"", false).unwrap();
         fs.write("pg_xlog/002", 0, b"", false).unwrap();
         fs.write("base/t1", 0, b"", false).unwrap();
-        assert_eq!(fs.list("pg_xlog/").unwrap(), vec!["pg_xlog/001", "pg_xlog/002"]);
+        assert_eq!(
+            fs.list("pg_xlog/").unwrap(),
+            vec!["pg_xlog/001", "pg_xlog/002"]
+        );
         assert_eq!(fs.list("").unwrap().len(), 3);
     }
 

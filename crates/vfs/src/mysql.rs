@@ -38,7 +38,10 @@ impl Default for MySqlProcessor {
 impl MySqlProcessor {
     /// The standard MySQL 5.7 data-directory layout.
     pub fn new() -> Self {
-        MySqlProcessor { log_prefix: "ib_logfile".to_string(), first_log: "ib_logfile0".to_string() }
+        MySqlProcessor {
+            log_prefix: "ib_logfile".to_string(),
+            first_log: "ib_logfile0".to_string(),
+        }
     }
 
     fn touches_checkpoint_block(&self, event: &WriteEvent) -> bool {
@@ -104,30 +107,54 @@ mod tests {
     #[test]
     fn log_record_writes_are_update_commits() {
         let p = MySqlProcessor::new();
-        assert_eq!(p.classify(&event("ib_logfile0", 2048, 512, true)), IoClass::WalAppend);
-        assert_eq!(p.classify(&event("ib_logfile0", 81920, 512, true)), IoClass::WalAppend);
-        assert_eq!(p.classify(&event("ib_logfile1", 0, 512, true)), IoClass::WalAppend);
+        assert_eq!(
+            p.classify(&event("ib_logfile0", 2048, 512, true)),
+            IoClass::WalAppend
+        );
+        assert_eq!(
+            p.classify(&event("ib_logfile0", 81920, 512, true)),
+            IoClass::WalAppend
+        );
+        assert_eq!(
+            p.classify(&event("ib_logfile1", 0, 512, true)),
+            IoClass::WalAppend
+        );
     }
 
     #[test]
     fn checkpoint_blocks_are_control_writes() {
         let p = MySqlProcessor::new();
-        assert_eq!(p.classify(&event("ib_logfile0", 512, 512, true)), IoClass::ControlFile);
-        assert_eq!(p.classify(&event("ib_logfile0", 1536, 512, true)), IoClass::ControlFile);
+        assert_eq!(
+            p.classify(&event("ib_logfile0", 512, 512, true)),
+            IoClass::ControlFile
+        );
+        assert_eq!(
+            p.classify(&event("ib_logfile0", 1536, 512, true)),
+            IoClass::ControlFile
+        );
     }
 
     #[test]
     fn write_covering_checkpoint_block_is_control() {
         let p = MySqlProcessor::new();
         // A 1 KiB write starting at 0 covers the checkpoint-1 block.
-        assert_eq!(p.classify(&event("ib_logfile0", 0, 1024, true)), IoClass::ControlFile);
+        assert_eq!(
+            p.classify(&event("ib_logfile0", 0, 1024, true)),
+            IoClass::ControlFile
+        );
     }
 
     #[test]
     fn header_of_first_log_is_ignored() {
         let p = MySqlProcessor::new();
-        assert_eq!(p.classify(&event("ib_logfile0", 0, 512, true)), IoClass::Other);
-        assert_eq!(p.classify(&event("ib_logfile0", 1024, 512, true)), IoClass::Other);
+        assert_eq!(
+            p.classify(&event("ib_logfile0", 0, 512, true)),
+            IoClass::Other
+        );
+        assert_eq!(
+            p.classify(&event("ib_logfile0", 1024, 512, true)),
+            IoClass::Other
+        );
     }
 
     #[test]
@@ -135,29 +162,53 @@ mod tests {
         // Only ib_logfile0 carries checkpoint headers; ib_logfile1 at the
         // same offsets is ordinary log content.
         let p = MySqlProcessor::new();
-        assert_eq!(p.classify(&event("ib_logfile1", 512, 512, true)), IoClass::WalAppend);
+        assert_eq!(
+            p.classify(&event("ib_logfile1", 512, 512, true)),
+            IoClass::WalAppend
+        );
     }
 
     #[test]
     fn data_file_writes_are_checkpoint_data() {
         let p = MySqlProcessor::new();
-        assert_eq!(p.classify(&event("ibdata1", 16384, 16384, true)), IoClass::DataFile);
-        assert_eq!(p.classify(&event("tpcc/stock.ibd", 0, 16384, true)), IoClass::DataFile);
-        assert_eq!(p.classify(&event("tpcc/stock.frm", 0, 1024, true)), IoClass::DataFile);
+        assert_eq!(
+            p.classify(&event("ibdata1", 16384, 16384, true)),
+            IoClass::DataFile
+        );
+        assert_eq!(
+            p.classify(&event("tpcc/stock.ibd", 0, 16384, true)),
+            IoClass::DataFile
+        );
+        assert_eq!(
+            p.classify(&event("tpcc/stock.frm", 0, 1024, true)),
+            IoClass::DataFile
+        );
     }
 
     #[test]
     fn async_writes_ignored() {
         let p = MySqlProcessor::new();
-        assert_eq!(p.classify(&event("ib_logfile0", 4096, 512, false)), IoClass::Other);
-        assert_eq!(p.classify(&event("ibdata1", 0, 16384, false)), IoClass::Other);
+        assert_eq!(
+            p.classify(&event("ib_logfile0", 4096, 512, false)),
+            IoClass::Other
+        );
+        assert_eq!(
+            p.classify(&event("ibdata1", 0, 16384, false)),
+            IoClass::Other
+        );
     }
 
     #[test]
     fn unrelated_files_ignored() {
         let p = MySqlProcessor::new();
-        assert_eq!(p.classify(&event("mysql-bin.000001", 0, 128, true)), IoClass::Other);
-        assert_eq!(p.classify(&event("ib_buffer_pool", 0, 128, true)), IoClass::Other);
+        assert_eq!(
+            p.classify(&event("mysql-bin.000001", 0, 128, true)),
+            IoClass::Other
+        );
+        assert_eq!(
+            p.classify(&event("ib_buffer_pool", 0, 128, true)),
+            IoClass::Other
+        );
     }
 
     #[test]

@@ -56,8 +56,7 @@ impl DbmsProcessor for PostgresProcessor {
         if event.path == self.control_path {
             return IoClass::ControlFile;
         }
-        if event.path.starts_with(&self.clog_prefix) || event.path.starts_with(&self.table_prefix)
-        {
+        if event.path.starts_with(&self.clog_prefix) || event.path.starts_with(&self.table_prefix) {
             return IoClass::DataFile;
         }
         IoClass::Other
@@ -90,7 +89,12 @@ mod tests {
     use std::sync::Arc;
 
     fn event(path: &str, offset: u64, sync: bool) -> WriteEvent {
-        WriteEvent { path: path.to_string(), offset, data: Arc::from(&b"x"[..]), sync }
+        WriteEvent {
+            path: path.to_string(),
+            offset,
+            data: Arc::from(&b"x"[..]),
+            sync,
+        }
     }
 
     #[test]
@@ -105,19 +109,28 @@ mod tests {
     #[test]
     fn clog_write_is_checkpoint_data() {
         let p = PostgresProcessor::new();
-        assert_eq!(p.classify(&event("pg_clog/0000", 0, true)), IoClass::DataFile);
+        assert_eq!(
+            p.classify(&event("pg_clog/0000", 0, true)),
+            IoClass::DataFile
+        );
     }
 
     #[test]
     fn table_file_write_is_checkpoint_data() {
         let p = PostgresProcessor::new();
-        assert_eq!(p.classify(&event("base/16384/16385", 8192, true)), IoClass::DataFile);
+        assert_eq!(
+            p.classify(&event("base/16384/16385", 8192, true)),
+            IoClass::DataFile
+        );
     }
 
     #[test]
     fn pg_control_is_checkpoint_end() {
         let p = PostgresProcessor::new();
-        assert_eq!(p.classify(&event("global/pg_control", 0, true)), IoClass::ControlFile);
+        assert_eq!(
+            p.classify(&event("global/pg_control", 0, true)),
+            IoClass::ControlFile
+        );
     }
 
     #[test]
@@ -130,8 +143,14 @@ mod tests {
     #[test]
     fn unrelated_files_ignored() {
         let p = PostgresProcessor::new();
-        assert_eq!(p.classify(&event("pg_stat/db_0.stat", 0, true)), IoClass::Other);
-        assert_eq!(p.classify(&event("postmaster.pid", 0, true)), IoClass::Other);
+        assert_eq!(
+            p.classify(&event("pg_stat/db_0.stat", 0, true)),
+            IoClass::Other
+        );
+        assert_eq!(
+            p.classify(&event("postmaster.pid", 0, true)),
+            IoClass::Other
+        );
     }
 
     #[test]

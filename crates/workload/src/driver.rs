@@ -62,8 +62,7 @@ pub fn run_tpcc(
         let new_orders = new_orders.clone();
         let errors = errors.clone();
         handles.push(std::thread::spawn(move || {
-            let mut tpcc =
-                Tpcc::for_terminal(warehouses, seed, scale, terminal, terminals);
+            let mut tpcc = Tpcc::for_terminal(warehouses, seed, scale, terminal, terminals);
             while !stop.load(Ordering::Relaxed) {
                 match tpcc.run_transaction(&db) {
                     Ok(kind) => {

@@ -206,7 +206,11 @@ impl Tpcc {
         for w in 0..self.warehouses {
             db.put(tables::WAREHOUSE, w, self.warehouse_row(w))?;
             for i in 0..self.scale.items {
-                db.put(tables::STOCK, w * self.scale.items + i, self.stock_row(w, i))?;
+                db.put(
+                    tables::STOCK,
+                    w * self.scale.items + i,
+                    self.stock_row(w, i),
+                )?;
             }
             for d in 0..DISTRICTS_PER_WAREHOUSE {
                 let district = w * DISTRICTS_PER_WAREHOUSE + d;
@@ -290,14 +294,26 @@ impl Tpcc {
         let lines = self.rng.gen_range(5..=15u64);
 
         let mut txn = db.begin();
-        txn.put(tables::DISTRICT, district, self.district_row(w, district % 10));
+        txn.put(
+            tables::DISTRICT,
+            district,
+            self.district_row(w, district % 10),
+        );
         txn.put(tables::ORDER, order_key, self.order_row(customer, lines));
         txn.put(tables::NEW_ORDER, order_key, b"pending".to_vec());
         for line in 0..lines {
             let item = self.rng.gen_range(0..self.scale.items);
             let qty = self.rng.gen_range(1..=10u32);
-            txn.put(tables::ORDER_LINE, order_key * 15 + line, self.order_line_row(item, qty));
-            txn.put(tables::STOCK, w * self.scale.items + item, self.stock_row(w, item));
+            txn.put(
+                tables::ORDER_LINE,
+                order_key * 15 + line,
+                self.order_line_row(item, qty),
+            );
+            txn.put(
+                tables::STOCK,
+                w * self.scale.items + item,
+                self.stock_row(w, item),
+            );
         }
         txn.commit()
     }
@@ -312,9 +328,21 @@ impl Tpcc {
 
         let mut txn = db.begin();
         txn.put(tables::WAREHOUSE, w, self.warehouse_row(w));
-        txn.put(tables::DISTRICT, district, self.district_row(w, district % 10));
-        txn.put(tables::CUSTOMER, customer, self.customer_row(district, customer));
-        txn.put(tables::HISTORY, history_key, self.history_row(customer, amount));
+        txn.put(
+            tables::DISTRICT,
+            district,
+            self.district_row(w, district % 10),
+        );
+        txn.put(
+            tables::CUSTOMER,
+            customer,
+            self.customer_row(district, customer),
+        );
+        txn.put(
+            tables::HISTORY,
+            history_key,
+            self.history_row(customer, amount),
+        );
         txn.commit()
     }
 
@@ -347,7 +375,11 @@ impl Tpcc {
         txn.delete(tables::NEW_ORDER, key);
         txn.put(tables::ORDER, key, self.order_row(0, 0));
         let customer = self.pick_customer(district);
-        txn.put(tables::CUSTOMER, customer, self.customer_row(district, customer));
+        txn.put(
+            tables::CUSTOMER,
+            customer,
+            self.customer_row(district, customer),
+        );
         txn.commit()
     }
 

@@ -26,7 +26,13 @@ impl UpdateWorkload {
     /// `record_len`-byte payloads.
     pub fn new(table: u32, key_space: u64, record_len: usize, seed: u64) -> Self {
         assert!(key_space > 0, "key space must be positive");
-        UpdateWorkload { table, key_space, record_len, rng: StdRng::seed_from_u64(seed), applied: 0 }
+        UpdateWorkload {
+            table,
+            key_space,
+            record_len,
+            rng: StdRng::seed_from_u64(seed),
+            applied: 0,
+        }
     }
 
     /// Number of updates applied so far.

@@ -24,9 +24,8 @@ pub struct TpccProbeReport {
 impl TpccProbeReport {
     /// Whether the referential checks all passed and data is present.
     pub fn is_consistent(&self) -> bool {
-        self.orphan_new_orders == 0
-            && self.orders_without_lines == 0
-            && self.row_counts[0] > 0 // at least one warehouse
+        self.orphan_new_orders == 0 && self.orders_without_lines == 0 && self.row_counts[0] > 0
+        // at least one warehouse
     }
 }
 

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     load.apply(&db, 5_000)?; // initial patient data
     db.checkpoint()?;
     drop(db);
-    println!("• loaded the laboratory database ({} MB)", local.total_bytes() / 1_000_000);
+    println!(
+        "• loaded the laboratory database ({} MB)",
+        local.total_bytes() / 1_000_000
+    );
 
     // One cloud synchronization per minute: with 6 updates/minute that
     // is B = 6 (Table 2's "1 sync/m" column).
@@ -81,16 +84,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let storage_cost = usage.stored_bytes as f64 / 1e9 * pricing.storage_gb_month;
     println!("\nMeasured → monthly extrapolation:");
     println!("  PUT operations: {puts_month:.0} → ${put_cost:.3}");
-    println!("  storage:        {:.2} GB → ${storage_cost:.3}", usage.stored_bytes as f64 / 1e9);
-    println!("  total ≈ ${:.2}/month (this miniature lab database)", put_cost + storage_cost);
+    println!(
+        "  storage:        {:.2} GB → ${storage_cost:.3}",
+        usage.stored_bytes as f64 / 1e9
+    );
+    println!(
+        "  total ≈ ${:.2}/month (this miniature lab database)",
+        put_cost + storage_cost
+    );
 
     let scenario = laboratory();
     let vm = scenario.vm_cost(&Ec2Pricing::may_2017());
     println!("\nPaper-scale laboratory (10 GB database, §7 model):");
-    println!("  Ginja, 1 sync/minute:  ${:.2}/month  (paper: $0.42)", scenario.ginja_cost(1.0));
-    println!("  Ginja, 6 syncs/minute: ${:.2}/month  (paper: $1.50)", scenario.ginja_cost(6.0));
+    println!(
+        "  Ginja, 1 sync/minute:  ${:.2}/month  (paper: $0.42)",
+        scenario.ginja_cost(1.0)
+    );
+    println!(
+        "  Ginja, 6 syncs/minute: ${:.2}/month  (paper: $1.50)",
+        scenario.ginja_cost(6.0)
+    );
     println!("  EC2 Pilot Light:       ${vm:.1}/month (paper: $93.4)");
-    println!("  → {:.0}×–{:.0}× cheaper (paper: 62×–222×)",
-        vm / scenario.ginja_cost(6.0), vm / scenario.ginja_cost(1.0));
+    println!(
+        "  → {:.0}×–{:.0}× cheaper (paper: 62×–222×)",
+        vm / scenario.ginja_cost(6.0),
+        vm / scenario.ginja_cost(1.0)
+    );
     Ok(())
 }

@@ -25,14 +25,28 @@ fn main() {
     println!("  batch (B):          {batch} updates per cloud synchronization");
     println!();
     println!("Monthly cost breakdown (paper §7.1):");
-    println!("  C_DB_Storage  = ${:>8.3}   (dumps + incremental checkpoints)", model.c_db_storage());
-    println!("  C_DB_PUT      = ${:>8.3}   (checkpoint uploads)", model.c_db_put());
-    println!("  C_WAL_Storage = ${:>8.3}   (live WAL objects)", model.c_wal_storage());
-    println!("  C_WAL_PUT     = ${:>8.3}   (commit uploads)", model.c_wal_put());
+    println!(
+        "  C_DB_Storage  = ${:>8.3}   (dumps + incremental checkpoints)",
+        model.c_db_storage()
+    );
+    println!(
+        "  C_DB_PUT      = ${:>8.3}   (checkpoint uploads)",
+        model.c_db_put()
+    );
+    println!(
+        "  C_WAL_Storage = ${:>8.3}   (live WAL objects)",
+        model.c_wal_storage()
+    );
+    println!(
+        "  C_WAL_PUT     = ${:>8.3}   (commit uploads)",
+        model.c_wal_put()
+    );
     println!("  ─ C_Total     = ${:>8.3} per month", model.total());
     println!();
-    println!("Recovery (disaster) cost: ${:.3} — free if recovering into the same region",
-        model.recovery_cost());
+    println!(
+        "Recovery (disaster) cost: ${:.3} — free if recovering into the same region",
+        model.recovery_cost()
+    );
 
     let vm = Ec2Pricing::may_2017().laboratory_vm_month(db_size_gb);
     println!();
@@ -42,8 +56,11 @@ fn main() {
     println!();
     println!("$1/month capacity frontier (Figure 1):");
     println!("  syncs/hour   max DB size");
-    for (rate, size) in budget_frontier([25.0, 50.0, 100.0, 150.0, 200.0, 250.0], 1.0, &S3Pricing::may_2017())
-    {
+    for (rate, size) in budget_frontier(
+        [25.0, 50.0, 100.0, 150.0, 200.0, 250.0],
+        1.0,
+        &S3Pricing::may_2017(),
+    ) {
         println!("  {rate:>10.0}   {size:>8.1} GB");
     }
 }

@@ -44,8 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .safety(40)
         .batch_timeout(Duration::from_millis(30))
         .build()?;
-    let ginja =
-        Ginja::boot(local.clone(), multi.clone(), Arc::new(MySqlProcessor::new()), config.clone())?;
+    let ginja = Ginja::boot(
+        local.clone(),
+        multi.clone(),
+        Arc::new(MySqlProcessor::new()),
+        config.clone(),
+    )?;
     let protected: Arc<dyn FileSystem> =
         Arc::new(InterceptFs::new(local.clone(), Arc::new(ginja.clone())));
     let db = Database::open(protected, DbProfile::mysql_small())?;

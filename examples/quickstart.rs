@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let protected: Arc<dyn FileSystem> =
         Arc::new(InterceptFs::new(local.clone(), Arc::new(ginja.clone())));
     let db = Database::open(protected, DbProfile::postgres_small())?;
-    println!("• ginja booted: initial dump + WAL segments uploaded ({} objects)", cloud.len());
+    println!(
+        "• ginja booted: initial dump + WAL segments uploaded ({} objects)",
+        cloud.len()
+    );
 
     for i in 0..100u64 {
         db.put(1, i, format!("customer-record-{i}").into_bytes())?;
@@ -67,7 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = recover_into(rebuilt.as_ref(), cloud.as_ref(), &config)?;
     println!(
         "• recovery: dump ts {}, {} checkpoints, {} WAL objects, {} bytes downloaded",
-        report.dump_ts, report.checkpoints_applied, report.wal_objects_applied,
+        report.dump_ts,
+        report.checkpoints_applied,
+        report.wal_objects_applied,
         report.bytes_downloaded
     );
 

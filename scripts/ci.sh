@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, tests. Run from anywhere in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q

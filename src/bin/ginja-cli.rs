@@ -16,8 +16,7 @@ use std::process::ExitCode;
 use ginja::cloud::{DirStore, ObjectStore};
 use ginja::codec::CodecConfig;
 use ginja::core::{
-    list_restore_points, recover_to_point, verify_backup, CloudView, GinjaConfig,
-    RestorePointKind,
+    list_restore_points, recover_to_point, verify_backup, CloudView, GinjaConfig, RestorePointKind,
 };
 use ginja::cost::GinjaCostModel;
 use ginja::vfs::DirFs;
@@ -50,7 +49,10 @@ fn main() -> ExitCode {
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn config_from(args: &[String]) -> Result<GinjaConfig, String> {
@@ -58,7 +60,10 @@ fn config_from(args: &[String]) -> Result<GinjaConfig, String> {
     if let Some(password) = flag_value(args, "--password") {
         codec = codec.compression(true).password(password);
     }
-    GinjaConfig::builder().codec(codec).build().map_err(|e| e.to_string())
+    GinjaConfig::builder()
+        .codec(codec)
+        .build()
+        .map_err(|e| e.to_string())
 }
 
 fn open_bucket(args: &[String], index: usize) -> Result<DirStore, String> {
@@ -72,12 +77,24 @@ fn status(args: &[String]) -> Result<(), String> {
     let view = CloudView::from_listing(&names).map_err(|e| e.to_string())?;
     println!("bucket:            {}", bucket.root().display());
     println!("objects:           {}", names.len());
-    println!("WAL objects:       {} ({} bytes raw)", view.wal_count(), view.total_wal_bytes());
-    println!("DB objects:        {} ({} bytes raw)", view.db_count(), view.total_db_size());
+    println!(
+        "WAL objects:       {} ({} bytes raw)",
+        view.wal_count(),
+        view.total_wal_bytes()
+    );
+    println!(
+        "DB objects:        {} ({} bytes raw)",
+        view.db_count(),
+        view.total_db_size()
+    );
     println!("WAL frontier ts:   {}", view.last_wal_ts());
     match view.most_recent_dump() {
         Some((ts, entry)) => {
-            println!("newest dump:       ts {ts}, {} bytes, {} part(s)", entry.size, entry.parts.len())
+            println!(
+                "newest dump:       ts {ts}, {} bytes, {} part(s)",
+                entry.size,
+                entry.parts.len()
+            )
         }
         None => println!("newest dump:       NONE — this bucket cannot be recovered"),
     }
@@ -114,7 +131,10 @@ fn verify(args: &[String]) -> Result<(), String> {
         for name in &report.corrupt_objects {
             println!("  {name}");
         }
-        return Err(format!("{} corrupt object(s)", report.corrupt_objects.len()));
+        return Err(format!(
+            "{} corrupt object(s)",
+            report.corrupt_objects.len()
+        ));
     }
     match report.recovery {
         Some(recovery) => println!(
@@ -134,7 +154,9 @@ fn recover(args: &[String]) -> Result<(), String> {
     let bucket = open_bucket(args, 0)?;
     let target_path = args.get(1).ok_or("missing target directory argument")?;
     let point = match flag_value(args, "--point") {
-        Some(raw) => raw.parse::<u64>().map_err(|_| format!("bad --point value: {raw}"))?,
+        Some(raw) => raw
+            .parse::<u64>()
+            .map_err(|_| format!("bad --point value: {raw}"))?,
         None => u64::MAX,
     };
     let config = config_from(args)?;
@@ -142,7 +164,10 @@ fn recover(args: &[String]) -> Result<(), String> {
     let report = recover_to_point(&target, &bucket, &config, point).map_err(|e| e.to_string())?;
     println!(
         "recovered into {}: dump ts {}, {} checkpoint(s), {} WAL object(s), {} bytes downloaded",
-        target_path, report.dump_ts, report.checkpoints_applied, report.wal_objects_applied,
+        target_path,
+        report.dump_ts,
+        report.checkpoints_applied,
+        report.wal_objects_applied,
         report.bytes_downloaded
     );
     println!("start the DBMS over this directory to complete crash recovery");
@@ -169,6 +194,9 @@ fn cost(args: &[String]) -> Result<(), String> {
     println!("C_WAL_Storage = ${:>9.3}", model.c_wal_storage());
     println!("C_WAL_PUT     = ${:>9.3}", model.c_wal_put());
     println!("C_Total       = ${:>9.3} per month", model.total());
-    println!("recovery      = ${:>9.3} (free intra-region)", model.recovery_cost());
+    println!(
+        "recovery      = ${:>9.3} (free intra-region)",
+        model.recovery_cost()
+    );
     Ok(())
 }

@@ -9,9 +9,7 @@ use std::time::Duration;
 use ginja_cloud::ObjectStore;
 use ginja_core::{recover_into, Ginja, GinjaConfig, GinjaError, GinjaStatsSnapshot};
 use ginja_db::{Database, DbError, DbProfile, ProfileKind};
-use ginja_vfs::{
-    DbmsProcessor, FileSystem, InterceptFs, MemFs, MySqlProcessor, PostgresProcessor,
-};
+use ginja_vfs::{DbmsProcessor, FileSystem, InterceptFs, MemFs, MySqlProcessor, PostgresProcessor};
 
 /// Errors from the [`ProtectedDb`] harness.
 #[derive(Debug)]
@@ -74,7 +72,9 @@ pub struct ProtectedDb {
 
 impl std::fmt::Debug for ProtectedDb {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ProtectedDb").field("profile", &self.profile.kind).finish()
+        f.debug_struct("ProtectedDb")
+            .field("profile", &self.profile.kind)
+            .finish()
     }
 }
 
@@ -112,7 +112,13 @@ impl ProtectedDb {
         let intercepted: Arc<dyn FileSystem> =
             Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
         let db = Database::open(intercepted, profile.clone())?;
-        Ok(ProtectedDb { db, ginja, cloud, profile, config })
+        Ok(ProtectedDb {
+            db,
+            ginja,
+            cloud,
+            profile,
+            config,
+        })
     }
 
     /// The protected database.
@@ -187,13 +193,19 @@ mod tests {
         .unwrap();
         harness.db().create_table(1, 64).unwrap();
         for i in 0..12u64 {
-            harness.db().put(1, i, format!("h{i}").into_bytes()).unwrap();
+            harness
+                .db()
+                .put(1, i, format!("h{i}").into_bytes())
+                .unwrap();
         }
         assert!(harness.sync());
         assert!(harness.stats().updates_intercepted >= 12);
         let recovered = harness.disaster_and_recover().unwrap();
         for i in 0..12u64 {
-            assert_eq!(recovered.get(1, i).unwrap().unwrap(), format!("h{i}").into_bytes());
+            assert_eq!(
+                recovered.get(1, i).unwrap().unwrap(),
+                format!("h{i}").into_bytes()
+            );
         }
     }
 

@@ -53,8 +53,7 @@ fn cli_full_operator_flow() {
             config,
         )
         .unwrap();
-        let fs: Arc<dyn FileSystem> =
-            Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+        let fs: Arc<dyn FileSystem> = Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
         let db = Database::open(fs, DbProfile::postgres_small()).unwrap();
         for i in 0..30u64 {
             db.put(1, i, format!("cli-row-{i}").into_bytes()).unwrap();
@@ -82,11 +81,13 @@ fn cli_full_operator_flow() {
     // recover, then reopen the database over the restored directory.
     let out = run_ok(&["recover", bucket, target_dir.to_str().unwrap()]);
     assert!(out.contains("recovered into"), "{out}");
-    let restored: Arc<dyn FileSystem> =
-        Arc::new(ginja::vfs::DirFs::open(&target_dir).unwrap());
+    let restored: Arc<dyn FileSystem> = Arc::new(ginja::vfs::DirFs::open(&target_dir).unwrap());
     let db = Database::open(restored, DbProfile::postgres_small()).unwrap();
     for i in 0..30u64 {
-        assert_eq!(db.get(1, i).unwrap().unwrap(), format!("cli-row-{i}").into_bytes());
+        assert_eq!(
+            db.get(1, i).unwrap().unwrap(),
+            format!("cli-row-{i}").into_bytes()
+        );
     }
 
     // cost (pure model, no bucket)
@@ -101,7 +102,12 @@ fn cli_full_operator_flow() {
     if let Some(entry) = victim {
         // WAL/<ts>_... may be nested; find a file.
         let path = if entry.path().is_dir() {
-            std::fs::read_dir(entry.path()).unwrap().next().unwrap().unwrap().path()
+            std::fs::read_dir(entry.path())
+                .unwrap()
+                .next()
+                .unwrap()
+                .unwrap()
+                .path()
         } else {
             entry.path()
         };

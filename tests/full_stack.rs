@@ -8,7 +8,9 @@ use std::time::Duration;
 use ginja::cloud::{MemStore, MeteredStore, ObjectStore};
 use ginja::core::{recover_into, verify_backup_in_memory, Ginja, GinjaConfig};
 use ginja::db::{Database, DbProfile, ProfileKind};
-use ginja::vfs::{DbmsProcessor, FileSystem, InterceptFs, MemFs, MySqlProcessor, PostgresProcessor};
+use ginja::vfs::{
+    DbmsProcessor, FileSystem, InterceptFs, MemFs, MySqlProcessor, PostgresProcessor,
+};
 use ginja::workload::{probe_tpcc, tables, Tpcc, TpccScale};
 
 fn processor_for(kind: ProfileKind) -> Arc<dyn DbmsProcessor> {
@@ -61,7 +63,10 @@ fn tpcc_disaster_recovery_both_profiles() {
         let reference_customers = db.dump_table(tables::CUSTOMER).unwrap();
         assert!(ginja.sync(Duration::from_secs(20)), "pipeline must drain");
         let stats = ginja.stats();
-        assert!(stats.checkpoints_seen > 0, "{kind:?} should have checkpointed");
+        assert!(
+            stats.checkpoints_seen > 0,
+            "{kind:?} should have checkpointed"
+        );
         ginja.shutdown();
         drop(db);
 
@@ -69,7 +74,11 @@ fn tpcc_disaster_recovery_both_profiles() {
         let rebuilt = Arc::new(MemFs::new());
         recover_into(rebuilt.as_ref(), cloud.as_ref(), &config()).unwrap();
         let db = Database::open(rebuilt, profile).unwrap();
-        assert_eq!(db.dump_table(tables::STOCK).unwrap(), reference_stock, "{kind:?} stock");
+        assert_eq!(
+            db.dump_table(tables::STOCK).unwrap(),
+            reference_stock,
+            "{kind:?} stock"
+        );
         assert_eq!(
             db.dump_table(tables::CUSTOMER).unwrap(),
             reference_customers,
@@ -126,7 +135,9 @@ fn tpcc_order_lines_consistent_after_recovery() {
             // Every order has line 0 if it has any lines recorded.
             if db.get(tables::NEW_ORDER, *order_key).unwrap().is_some() {
                 assert!(
-                    db.get(tables::ORDER_LINE, order_key * 15).unwrap().is_some(),
+                    db.get(tables::ORDER_LINE, order_key * 15)
+                        .unwrap()
+                        .is_some(),
                     "order {order_key} lost its lines"
                 );
                 checked += 1;

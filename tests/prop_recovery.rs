@@ -9,7 +9,9 @@ use std::time::Duration;
 use ginja::cloud::{FaultPlan, FaultStore, MemStore};
 use ginja::core::{recover_into, Ginja, GinjaConfig};
 use ginja::db::{Database, DbProfile, ProfileKind};
-use ginja::vfs::{DbmsProcessor, FileSystem, InterceptFs, MemFs, MySqlProcessor, PostgresProcessor};
+use ginja::vfs::{
+    DbmsProcessor, FileSystem, InterceptFs, MemFs, MySqlProcessor, PostgresProcessor,
+};
 use proptest::prelude::*;
 
 fn processor_for(kind: ProfileKind) -> Arc<dyn DbmsProcessor> {
@@ -62,8 +64,7 @@ fn run_case(kind: ProfileKind, steps: Vec<Step>, batch: usize, safety: usize) {
     let mem = Arc::new(MemStore::new());
     let plan = Arc::new(FaultPlan::new());
     let cloud = Arc::new(FaultStore::new(mem.clone(), plan.clone()));
-    let ginja =
-        Ginja::boot(local.clone(), cloud, processor_for(kind), config.clone()).unwrap();
+    let ginja = Ginja::boot(local.clone(), cloud, processor_for(kind), config.clone()).unwrap();
     let protected: Arc<dyn FileSystem> =
         Arc::new(InterceptFs::new(local.clone(), Arc::new(ginja.clone())));
     let db = Database::open(protected, profile.clone()).unwrap();

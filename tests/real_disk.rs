@@ -61,7 +61,10 @@ fn disaster_recovery_on_real_disk() {
     recover_into(rebuilt.as_ref(), cloud.as_ref(), &config).unwrap();
     let db = Database::open(rebuilt, profile).unwrap();
     for i in 0..60u64 {
-        assert_eq!(db.get(1, i).unwrap().unwrap(), format!("disk-row-{i}").into_bytes());
+        assert_eq!(
+            db.get(1, i).unwrap().unwrap(),
+            format!("disk-row-{i}").into_bytes()
+        );
     }
     let _ = std::fs::remove_dir_all(&recovery_dir);
 }

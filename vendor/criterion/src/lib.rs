@@ -1,0 +1,285 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the harness subset this workspace's micro-benchmarks use
+//! (`criterion_group!`/`criterion_main!`, `Criterion`, groups,
+//! throughput annotation, `Bencher::iter`). Measurement is a simple
+//! calibrated wall-clock loop reporting mean time per iteration and
+//! throughput; there is no statistical analysis, plotting, or baseline
+//! comparison.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(&self.id)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    result: Option<Measurement>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then running as many
+    /// iterations as fit in the configured measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: count how many iterations fit.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut calibration_iters: u64 = 0;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_iter = self.warm_up_time.as_nanos() as u64 / calibration_iters.max(1);
+        let target_iters = (self.measurement_time.as_nanos() as u64 / per_iter.max(1)).max(1);
+
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.result = Some(Measurement {
+            mean: elapsed / target_iters as u32,
+            iters: target_iters,
+        });
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count (retained for API compatibility;
+    /// this stub times one merged sample).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        run_one(&format!("{id}"), None, self.measurement_time, self.warm_up_time, f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: format!("{name}"),
+            throughput: None,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _criterion: self,
+        }
+    }
+
+    /// Nominal sample count (unused by the stub's measurement loop).
+    pub fn configured_sample_size(&self) -> usize {
+        self.sample_size
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            self.measurement_time,
+            self.warm_up_time,
+            f,
+        );
+    }
+
+    /// Runs a benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            self.measurement_time,
+            self.warm_up_time,
+            |b| f(b, input),
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        measurement_time,
+        warm_up_time,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(m) => {
+            let per_iter = m.mean;
+            let rate = match throughput {
+                Some(Throughput::Bytes(bytes)) if per_iter.as_nanos() > 0 => {
+                    let gib_s = bytes as f64 / per_iter.as_secs_f64() / (1u64 << 30) as f64;
+                    format!("  {gib_s:>8.3} GiB/s")
+                }
+                Some(Throughput::Elements(n)) if per_iter.as_nanos() > 0 => {
+                    let elem_s = n as f64 / per_iter.as_secs_f64();
+                    format!("  {elem_s:>10.0} elem/s")
+                }
+                _ => String::new(),
+            };
+            println!("{label:<44} {per_iter:>12.3?}/iter  ({} iters){rate}", m.iters);
+        }
+        None => println!("{label:<44} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_bench_with_input() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_with_input(BenchmarkId::new("id", 64), &vec![0u8; 64], |b, data| {
+            b.iter(|| data.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        group.finish();
+    }
+}
