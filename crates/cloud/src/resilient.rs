@@ -142,7 +142,9 @@ pub struct ResilienceSnapshot {
     pub hedges_launched: u64,
     /// Hedges where the second attempt acknowledged first.
     pub hedges_won: u64,
-    /// Hedges where the primary acknowledged first anyway.
+    /// Hedges that did not win: the primary acknowledged first anyway,
+    /// or the operation failed. Every launched hedge resolves as
+    /// exactly one of won or lost.
     pub hedges_lost: u64,
     /// Closed → open transitions.
     pub breaker_trips: u64,
@@ -460,7 +462,13 @@ impl ResilientStore {
                 }
                 result
             } else {
-                Err(StoreError::unavailable("circuit breaker open"))
+                // Non-retryable on purpose: an open breaker means the
+                // backend is presumed down for the whole cooldown, so
+                // sleeping through this layer's backoff schedule would
+                // just fail slow. Returning immediately lets the outer
+                // safety loop (put_with_retry in ginja-core) pace, and
+                // keeps breaker_fast_fails at one per operation.
+                Err(StoreError::fatal("circuit breaker open"))
             };
             match result {
                 Ok(value) => return Ok(value),
@@ -500,61 +508,79 @@ impl ResilientStore {
     /// to finish (or fail) in the background.
     fn hedged_put(&self, name: &str, data: &[u8], threshold: Duration) -> Result<(), StoreError> {
         let (tx, rx) = mpsc::channel::<(bool, Result<(), StoreError>)>();
-        let spawn_attempt = |secondary: bool| {
+        let spawn_attempt = |tx: mpsc::Sender<(bool, Result<(), StoreError>)>, secondary: bool| {
             let inner = self.inner.clone();
             let name = name.to_string();
             let data = data.to_vec();
-            let tx = tx.clone();
             std::thread::spawn(move || {
                 // The receiver may be gone if the other attempt won.
                 let _ = tx.send((secondary, inner.put(&name, &data)));
             });
         };
-        spawn_attempt(false);
+        spawn_attempt(tx.clone(), false);
+        // Whether *this call* launched a secondary. Outcomes are
+        // attributed per call, never inferred from the shared counters
+        // (concurrent puts would race), and a blocking recv() is only
+        // ever issued while a worker still holds a sender.
+        let mut hedged = false;
         let first = match rx.recv_timeout(threshold) {
-            Ok(message) => message,
+            Ok(message) => {
+                drop(tx);
+                message
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 self.counters
                     .hedges_launched
                     .fetch_add(1, Ordering::Relaxed);
-                spawn_attempt(true);
+                hedged = true;
+                // Moves the last local sender into the worker, so once
+                // both workers finish the channel disconnects and no
+                // recv() below can block forever.
+                spawn_attempt(tx, true);
                 match rx.recv() {
                     Ok(message) => message,
-                    Err(_) => return Err(StoreError::unavailable("hedged put lost both attempts")),
+                    // Both workers died without reporting.
+                    Err(_) => {
+                        self.counters.hedges_lost.fetch_add(1, Ordering::Relaxed);
+                        return Err(StoreError::unavailable("hedged put lost both attempts"));
+                    }
                 }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 return Err(StoreError::unavailable("hedged put worker vanished"));
             }
         };
-        match first {
-            (secondary, Ok(())) => {
-                if secondary {
-                    self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
-                } else if self.counters.hedges_launched.load(Ordering::Relaxed)
-                    > self.counters.hedges_won.load(Ordering::Relaxed)
-                        + self.counters.hedges_lost.load(Ordering::Relaxed)
-                {
-                    self.counters.hedges_lost.fetch_add(1, Ordering::Relaxed);
-                }
-                Ok(())
+        let (result, won_by_secondary) = match first {
+            (secondary, Ok(())) => (Ok(()), secondary),
+            (_, Err(first_err)) if !hedged => {
+                // The primary failed before the hedge threshold: no
+                // secondary is in flight, so its error is the
+                // operation's error. Waiting on the channel here would
+                // block forever — nothing else will ever send.
+                (Err(first_err), false)
             }
             (_, Err(first_err)) => {
-                // First reply failed; if a second attempt is in flight,
-                // its answer decides.
+                // First reply failed but the other attempt is still in
+                // flight; its answer decides.
                 match rx.recv() {
-                    Ok((secondary, Ok(()))) => {
-                        if secondary {
-                            self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Ok(())
-                    }
-                    Ok((_, Err(second_err))) => Err(second_err),
-                    // No second attempt was launched.
-                    Err(_) => Err(first_err),
+                    Ok((secondary, Ok(()))) => (Ok(()), secondary),
+                    Ok((_, Err(second_err))) => (Err(second_err), false),
+                    // The other worker died without reporting.
+                    Err(_) => (Err(first_err), false),
                 }
             }
+        };
+        if hedged {
+            // Every launched hedge resolves exactly once: won when the
+            // secondary's ack was the one accepted, lost otherwise
+            // (primary acked first, or the whole put failed).
+            if won_by_secondary && result.is_ok() {
+                self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.counters.hedges_lost.fetch_add(1, Ordering::Relaxed);
+            }
         }
+        result
     }
 }
 
@@ -732,6 +758,36 @@ mod tests {
     }
 
     #[test]
+    fn open_breaker_fails_fast_and_nonretryable() {
+        // With in-layer retries enabled, an open breaker must not burn
+        // the backoff schedule before surfacing: the fast-fail is
+        // non-retryable (the outer safety loop paces instead) and
+        // counts exactly once per operation, not once per attempt.
+        let (store, plan) = faulty_store(RetryConfig {
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(60),
+            breaker_probes: 1,
+            ..fast_config(4)
+        });
+        plan.fail_next(OpKind::Put, usize::MAX);
+        while store.breaker_state() != BreakerState::Open {
+            assert!(store.put("a", b"1").is_err());
+        }
+        let before = store.snapshot();
+        let err = store.put("a", b"1").unwrap_err();
+        assert!(
+            !err.is_retryable(),
+            "breaker fast-fail must not be retried in-layer"
+        );
+        let after = store.snapshot();
+        assert_eq!(after.breaker_fast_fails, before.breaker_fast_fails + 1);
+        assert_eq!(
+            after.retries, before.retries,
+            "no in-layer retries while open"
+        );
+    }
+
+    #[test]
     fn not_found_does_not_move_the_breaker() {
         let (store, _plan) = faulty_store(breaker_config());
         for _ in 0..10 {
@@ -773,6 +829,70 @@ mod tests {
             snapshot.hedges_won + snapshot.hedges_lost,
             snapshot.hedges_launched
         );
+    }
+
+    #[test]
+    fn hedge_with_fast_failing_primary_returns_without_hanging() {
+        // Regression: a primary failing *before* the hedge threshold
+        // used to leave hedged_put blocked on recv() forever (no
+        // secondary in flight, and the local sender kept the channel
+        // connected), wedging the uploader thread.
+        let (store, plan) = faulty_store(RetryConfig {
+            hedge: true,
+            hedge_percentile: 0.5,
+            ..fast_config(1)
+        });
+        for _ in 0..HEDGE_MIN_SAMPLES {
+            store.latencies.record(Duration::from_millis(500));
+        }
+        plan.fail_next(OpKind::Put, 1);
+        let started = Instant::now();
+        let err = store.put("a", b"1").unwrap_err();
+        assert!(err.is_retryable());
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "fast primary failure must surface before the hedge threshold"
+        );
+        assert_eq!(store.snapshot().hedges_launched, 0);
+        // The wrapper is still usable afterwards.
+        store.put("a", b"1").unwrap();
+    }
+
+    #[test]
+    fn hedged_put_failure_counts_as_lost() {
+        // Both attempts slow (20 ms) and failing: the hedge fires, both
+        // report errors, and the accounting still balances per call
+        // (won + lost == launched) instead of being inferred from the
+        // shared counters.
+        let model = LatencyModel {
+            put_base: Duration::from_millis(20),
+            upload_bandwidth: f64::INFINITY,
+            get_base: Duration::ZERO,
+            download_bandwidth: f64::INFINITY,
+            list_base: Duration::ZERO,
+            delete_base: Duration::ZERO,
+            jitter: 0.0,
+            time_scale: 1.0,
+        };
+        let plan = Arc::new(FaultPlan::new());
+        let slow_faulty = LatencyStore::new(FaultStore::new(MemStore::new(), plan.clone()), model);
+        let store = ResilientStore::new(
+            Arc::new(slow_faulty),
+            RetryConfig {
+                hedge: true,
+                hedge_percentile: 0.5,
+                ..fast_config(1)
+            },
+        );
+        for _ in 0..HEDGE_MIN_SAMPLES {
+            store.latencies.record(Duration::from_millis(1));
+        }
+        plan.fail_next(OpKind::Put, usize::MAX);
+        assert!(store.put("a", b"1").is_err());
+        let snapshot = store.snapshot();
+        assert_eq!(snapshot.hedges_launched, 1);
+        assert_eq!(snapshot.hedges_won, 0);
+        assert_eq!(snapshot.hedges_lost, 1);
     }
 
     #[test]

@@ -120,7 +120,21 @@ proptest! {
         );
         let mut expected = std::collections::BTreeMap::new();
         for (name, data) in &objects {
-            store.put(name, data).unwrap();
+            // An open breaker fails fast (non-retryable) and leaves
+            // pacing to the caller, so mirror ginja-core's outer safety
+            // loop: retry until durable, sleeping past the cooldown so
+            // the breaker can half-open and probe.
+            let mut tries = 0u32;
+            loop {
+                match store.put(name, data) {
+                    Ok(()) => break,
+                    Err(_) => {
+                        tries += 1;
+                        prop_assert!(tries < 1_000, "put of {name} never completed");
+                        std::thread::sleep(Duration::from_micros(250));
+                    }
+                }
+            }
             expected.insert(name.clone(), data.clone());
         }
         for (name, data) in &expected {

@@ -103,7 +103,8 @@ pub struct GinjaStatsSnapshot {
     pub hedges_launched: u64,
     /// Hedges where the second attempt acknowledged first.
     pub hedges_won: u64,
-    /// Hedges where the primary acknowledged first anyway.
+    /// Hedges that did not win: the primary acknowledged first anyway,
+    /// or the operation failed.
     pub hedges_lost: u64,
     /// Circuit-breaker closed → open transitions.
     pub breaker_trips: u64,
