@@ -14,7 +14,7 @@ use ginja_bench::table::Table;
 use ginja_bench::timescale::{run_wall_duration, sim_minutes, time_scale};
 use ginja_cloud::{LatencyModel, LatencyStore, MemStore, ObjectStore};
 use ginja_core::archiver::{restore_archive, SegmentArchiver};
-use ginja_core::{recover_into, Ginja, GinjaConfig};
+use ginja_core::{recover_into, Ginja, GinjaConfig, GinjaStatsSnapshot};
 use ginja_db::{Database, DbProfile};
 use ginja_vfs::{FileSystem, InterceptFs, IoProcessor, MemFs, PostgresProcessor};
 
@@ -54,6 +54,7 @@ fn run_scenario(mechanism: &str, updates: u64) -> (u64, u64) {
     let _ = mem; // (kept for symmetry; the latency store owns its own MemStore)
     let cfg = config(10, 200);
 
+    let mut archiver_handle: Option<Arc<SegmentArchiver>> = None;
     let (processor, ginja): (Arc<dyn IoProcessor>, Option<Ginja>) = match mechanism {
         "ginja" => {
             let g = Ginja::boot(
@@ -66,14 +67,17 @@ fn run_scenario(mechanism: &str, updates: u64) -> (u64, u64) {
             (Arc::new(g.clone()), Some(g))
         }
         _ => {
-            let archiver = SegmentArchiver::start(
-                local.clone(),
-                cloud.clone(),
-                Arc::new(PostgresProcessor::new()),
-                &cfg,
-            )
-            .unwrap();
-            (Arc::new(archiver), None)
+            let archiver = Arc::new(
+                SegmentArchiver::start(
+                    local.clone(),
+                    cloud.clone(),
+                    Arc::new(PostgresProcessor::new()),
+                    &cfg,
+                )
+                .unwrap(),
+            );
+            archiver_handle = Some(archiver.clone());
+            (archiver, None)
         }
     };
 
@@ -82,6 +86,16 @@ fn run_scenario(mechanism: &str, updates: u64) -> (u64, u64) {
     for i in 0..updates {
         db.put(1, i, format!("update-{i:0100}").into_bytes())
             .unwrap();
+    }
+    if let Some(archiver) = &archiver_handle {
+        // The baseline's counters surface through the same snapshot the
+        // middleware reports from.
+        let mut snap = GinjaStatsSnapshot::default();
+        snap.merge_archiver(&archiver.stats());
+        println!(
+            "  [archiver] {} segment(s) archived, {} update(s) exposed in the unfinished segment",
+            snap.segments_archived, snap.archiver_exposed_updates
+        );
     }
     // Disaster strikes mid-flight: no sync, no shutdown courtesy. (The
     // middleware threads are stopped afterwards only so the process can

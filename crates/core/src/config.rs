@@ -16,6 +16,66 @@ pub struct PitrConfig {
     pub keep_snapshots: usize,
 }
 
+/// Configuration of the DR sentinel — the background subsystem that
+/// continuously audits the cloud state behind a live deployment
+/// (scrubbing), rehearses recovery (measuring achieved RTO/RPO), and
+/// repairs anomalies it can heal from local state.
+///
+/// A DR system whose backups can silently rot is worse than no DR at
+/// all: nothing in the paper's algorithms ever re-checks that the
+/// objects uploaded yesterday are still present and uncorrupted today.
+/// The sentinel closes that gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SentinelConfig {
+    /// How often the scrubber audits the bucket (list + classify).
+    pub scrub_interval: Duration,
+    /// Number of object payloads MAC-verified per scrub cycle, walked
+    /// round-robin so every object is eventually covered; 0 verifies
+    /// every object every cycle (thorough, GET-heavy).
+    pub scrub_sample: usize,
+    /// How often a restore rehearsal runs (full recovery into a scratch
+    /// file system, measuring achieved RTO and RPO).
+    pub rehearsal_interval: Duration,
+    /// Whether the repair loop re-uploads missing/corrupt objects from
+    /// local state and re-dumps on unhealable DB objects.
+    pub repair: bool,
+    /// Whether confirmed orphans (objects in the bucket that the live
+    /// view does not track — e.g. garbage left by a failed GC DELETE)
+    /// are deleted. Orphans are quarantined for one full scrub cycle
+    /// before deletion, so an in-flight upload can never be swept.
+    pub delete_orphans: bool,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        SentinelConfig {
+            scrub_interval: Duration::from_secs(60),
+            scrub_sample: 64,
+            rehearsal_interval: Duration::from_secs(3600),
+            repair: true,
+            delete_orphans: true,
+        }
+    }
+}
+
+impl SentinelConfig {
+    /// Validates invariants, returning a description of the first
+    /// violation.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.scrub_interval.is_zero() {
+            return Err("sentinel.scrub_interval must be nonzero".into());
+        }
+        if self.rehearsal_interval.is_zero() {
+            return Err("sentinel.rehearsal_interval must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of the Ginja middleware.
 ///
 /// The two headline parameters come straight from §5.1:
@@ -63,6 +123,11 @@ pub struct GinjaConfig {
     /// Ginja issues (boot uploads, batch uploads, checkpoint merges,
     /// garbage collection) goes through this policy.
     pub retry: RetryConfig,
+    /// DR sentinel policy: continuous scrubbing, restore rehearsal and
+    /// self-healing repair (see `ginja-sentinel`). The middleware
+    /// itself only carries the knobs; spawning the sentinel is the
+    /// deployment's choice.
+    pub sentinel: SentinelConfig,
 }
 
 impl GinjaConfig {
@@ -105,6 +170,7 @@ impl GinjaConfig {
             ));
         }
         self.retry.validate().map_err(GinjaError::Config)?;
+        self.sentinel.validate().map_err(GinjaError::Config)?;
         Ok(())
     }
 }
@@ -137,6 +203,7 @@ impl GinjaConfigBuilder {
                 pitr: None,
                 coalesce: true,
                 retry: RetryConfig::default(),
+                sentinel: SentinelConfig::default(),
             },
         }
     }
@@ -225,6 +292,14 @@ impl GinjaConfigBuilder {
     #[must_use]
     pub fn hedging(mut self, enabled: bool) -> Self {
         self.config.retry.hedge = enabled;
+        self
+    }
+
+    /// Sets the DR sentinel policy (scrub cadence, rehearsal cadence,
+    /// repair behaviour).
+    #[must_use]
+    pub fn sentinel(mut self, sentinel: SentinelConfig) -> Self {
+        self.config.sentinel = sentinel;
         self
     }
 
@@ -326,6 +401,35 @@ mod tests {
             .unwrap();
         assert!(c.retry.hedge);
         assert_eq!(c.retry.max_attempts, 9);
+    }
+
+    #[test]
+    fn sentinel_policy_carried_through_and_validated() {
+        let c = GinjaConfig::builder()
+            .sentinel(SentinelConfig {
+                scrub_interval: Duration::from_secs(5),
+                scrub_sample: 0,
+                ..SentinelConfig::default()
+            })
+            .build()
+            .unwrap();
+        assert_eq!(c.sentinel.scrub_interval, Duration::from_secs(5));
+        assert_eq!(c.sentinel.scrub_sample, 0);
+        assert!(c.sentinel.repair && c.sentinel.delete_orphans);
+
+        let zero_scrub = SentinelConfig {
+            scrub_interval: Duration::ZERO,
+            ..SentinelConfig::default()
+        };
+        assert!(GinjaConfig::builder().sentinel(zero_scrub).build().is_err());
+        let zero_rehearsal = SentinelConfig {
+            rehearsal_interval: Duration::ZERO,
+            ..SentinelConfig::default()
+        };
+        assert!(GinjaConfig::builder()
+            .sentinel(zero_rehearsal)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::bundle::{self, FileRange};
 use crate::config::GinjaConfig;
 use crate::names::{DbObjectKind, DbObjectName, WalObjectName};
 use crate::queue::{CommitQueue, WalWrite};
-use crate::stats::{GinjaStats, GinjaStatsSnapshot};
+use crate::stats::{GinjaStats, GinjaStatsSnapshot, SentinelStats};
 use crate::view::CloudView;
 use crate::GinjaError;
 
@@ -73,6 +73,11 @@ pub struct Exposure {
     /// failing persistently: exposure is growing toward the Safety
     /// limit, at which point the DBMS blocks rather than lose updates.
     pub breaker: BreakerState,
+    /// Set by an attached DR sentinel when it found damage in the cloud
+    /// it could not repair: recovery from the current cloud state may
+    /// lose data, so the operator must intervene. Always `false` when
+    /// no sentinel is attached.
+    pub degraded: bool,
 }
 
 /// Checkpoint accumulation state (the paper's Algorithm 3 lines 1–16).
@@ -101,6 +106,12 @@ struct Shared {
     batch_counter: AtomicU64,
     shutdown: AtomicBool,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Garbage objects whose delete exhausted its retry budget; retried
+    /// at the next checkpoint's GC pass instead of leaking forever.
+    gc_backlog: Mutex<Vec<String>>,
+    /// Counters of an attached DR sentinel (`ginja-sentinel` crate),
+    /// merged into [`Ginja::stats`] and [`Ginja::exposure`].
+    sentinel: Mutex<Option<Arc<SentinelStats>>>,
 }
 
 /// The Ginja disaster-recovery middleware.
@@ -271,6 +282,8 @@ impl Ginja {
             batch_counter: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
+            gc_backlog: Mutex::new(Vec::new()),
+            sentinel: Mutex::new(None),
         });
 
         let (upload_tx, upload_rx) = unbounded::<UploadJob>();
@@ -364,6 +377,10 @@ impl Ginja {
         snap.breaker_trips = resilience.breaker_trips;
         snap.breaker_fast_fails = resilience.breaker_fast_fails;
         snap.breaker_open_time = resilience.breaker_open_time;
+        snap.gc_backlog = self.shared.gc_backlog.lock().len() as u64;
+        if let Some(sentinel) = self.shared.sentinel.lock().as_ref() {
+            snap.sentinel = sentinel.snapshot();
+        }
         snap
     }
 
@@ -382,12 +399,82 @@ impl Ginja {
             pending_checkpoints: self.shared.pending_ckpt_jobs.load(Ordering::SeqCst),
             oldest_age: self.shared.queue.oldest_pending_age(),
             breaker: self.shared.cloud.snapshot().breaker_state,
+            degraded: self
+                .shared
+                .sentinel
+                .lock()
+                .as_ref()
+                .is_some_and(|s| s.is_degraded()),
         }
     }
 
     /// A copy of the current cloud view (tests and tooling).
     pub fn view(&self) -> CloudView {
         self.shared.view.lock().clone()
+    }
+
+    /// Registers a DR sentinel's counters with this instance: its
+    /// snapshot is merged into [`Ginja::stats`], and its degraded flag
+    /// surfaces in [`Ginja::exposure`]. Replaces any previous sentinel.
+    pub fn attach_sentinel(&self, stats: Arc<SentinelStats>) {
+        *self.shared.sentinel.lock() = Some(stats);
+    }
+
+    /// The resilient cloud handle the pipeline itself uses. A sentinel
+    /// repairs through this handle so its uploads share the same retry
+    /// policy and circuit breaker as regular traffic.
+    pub fn resilient_cloud(&self) -> Arc<ResilientStore> {
+        self.shared.cloud.clone()
+    }
+
+    /// The local file system the protected DBMS writes to (the source
+    /// of truth a sentinel repairs from).
+    pub fn local_fs(&self) -> Arc<dyn FileSystem> {
+        self.shared.fs.clone()
+    }
+
+    /// The configuration this instance was created with.
+    pub fn config(&self) -> &GinjaConfig {
+        &self.shared.config
+    }
+
+    /// Requests an out-of-band full dump of the database files, queued
+    /// through the regular checkpointer. The resulting DB object
+    /// supersedes (and garbage-collects) every older DB object — this
+    /// is how a sentinel heals a corrupt or missing checkpoint/dump it
+    /// cannot reconstruct object-by-object.
+    ///
+    /// Returns once the job is queued; use [`Ginja::sync`] to wait for
+    /// durability.
+    ///
+    /// # Errors
+    ///
+    /// [`GinjaError::ShutDown`] if the pipeline has stopped; file-system
+    /// errors reading the database files propagate.
+    pub fn request_dump(&self) -> Result<(), GinjaError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(GinjaError::ShutDown);
+        }
+        let entries = read_db_files(self.shared.fs.as_ref(), self.shared.processor.as_ref())?;
+        let ts = self.shared.view.lock().last_wal_ts();
+        let job = CkptJob {
+            ts,
+            kind: DbObjectKind::Dump,
+            entries,
+        };
+        self.shared
+            .stats
+            .dumps_uploaded
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.pending_ckpt_jobs.fetch_add(1, Ordering::SeqCst);
+        let tx = self.shared.ckpt_tx.lock();
+        match tx.as_ref().map(|tx| tx.send(job)) {
+            Some(Ok(())) => Ok(()),
+            _ => {
+                self.shared.pending_ckpt_jobs.fetch_sub(1, Ordering::SeqCst);
+                Err(GinjaError::ShutDown)
+            }
+        }
     }
 
     fn handle_data_write(&self, event: &WriteEvent) {
@@ -581,28 +668,38 @@ fn put_with_retry(shared: &Shared, name: &str, sealed: &[u8]) -> bool {
     }
 }
 
-fn delete_with_retry(shared: &Shared, name: &str) {
-    for _ in 0..3 {
+/// Deletes a garbage object with a small bounded retry budget. Returns
+/// `false` only when the budget ran out on a *retryable* error — the
+/// object probably still exists and the delete is worth re-issuing
+/// later. `NotFound`/fatal errors return `true`: re-issuing cannot
+/// help, and a fatally undeletable object is the sentinel orphan
+/// sweep's problem, not the checkpointer's.
+fn delete_with_retry(shared: &Shared, name: &str) -> bool {
+    for attempt in 0..3 {
         let err = match shared.cloud.delete(name) {
             Ok(()) => {
                 shared.stats.gc_deletes.fetch_add(1, Ordering::Relaxed);
-                return;
+                return true;
             }
             Err(err) => err,
         };
         if shared.shutdown.load(Ordering::SeqCst) {
-            return;
+            // Shutting down: never a correctness problem (the object is
+            // garbage), and the backlog would never drain anyway.
+            return true;
         }
         if !err.is_retryable() {
             // NotFound / fatal: re-issuing the delete cannot help.
-            break;
+            return true;
+        }
+        if attempt == 2 {
+            return false;
         }
         std::thread::sleep(
             Duration::from_millis(20).max(err.retry_after().unwrap_or(Duration::ZERO)),
         );
     }
-    // Persistent delete failure leaves a garbage object behind — a cost
-    // leak, never a correctness problem.
+    false
 }
 
 fn aggregator_loop(shared: &Shared, upload_tx: Sender<UploadJob>, unlock_tx: Sender<UnlockMsg>) {
@@ -902,8 +999,28 @@ fn checkpointer_loop(shared: &Shared, ckpt_rx: Receiver<CkptJob>) {
             (wal_garbage, db_garbage)
         };
 
-        for name in wal_garbage.iter().chain(db_garbage.iter()) {
-            delete_with_retry(shared, name);
+        // GC pass: retry earlier deferred deletes first (a persistently
+        // failed delete is a cost leak, never a correctness problem —
+        // but "forever" is not an acceptable leak duration), then the
+        // garbage this checkpoint produced. Whatever still fails is
+        // deferred to the next checkpoint.
+        let backlog: Vec<String> = std::mem::take(&mut *shared.gc_backlog.lock());
+        let mut deferred = Vec::new();
+        for name in backlog
+            .iter()
+            .chain(wal_garbage.iter())
+            .chain(db_garbage.iter())
+        {
+            if !delete_with_retry(shared, name) {
+                shared
+                    .stats
+                    .gc_deletes_deferred
+                    .fetch_add(1, Ordering::Relaxed);
+                deferred.push(name.clone());
+            }
+        }
+        if !deferred.is_empty() {
+            shared.gc_backlog.lock().extend(deferred);
         }
         shared.pending_ckpt_jobs.fetch_sub(1, Ordering::SeqCst);
     }

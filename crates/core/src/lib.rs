@@ -66,7 +66,7 @@ mod error;
 mod ginja;
 mod stats;
 
-pub use config::{GinjaConfig, GinjaConfigBuilder, PitrConfig};
+pub use config::{GinjaConfig, GinjaConfigBuilder, PitrConfig, SentinelConfig};
 pub use error::GinjaError;
 pub use ginja::{Exposure, Ginja};
 pub use ginja_cloud::{BreakerState, ResilienceSnapshot, RetryConfig};
@@ -75,6 +75,6 @@ pub use recovery::{
     list_restore_points, recover_into, recover_to_point, RecoveryReport, RestorePoint,
     RestorePointKind,
 };
-pub use stats::{GinjaStats, GinjaStatsSnapshot};
+pub use stats::{GinjaStats, GinjaStatsSnapshot, SentinelSnapshot, SentinelStats};
 pub use verify::{verify_backup, verify_backup_in_memory, VerifyReport};
 pub use view::CloudView;

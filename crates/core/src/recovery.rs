@@ -493,6 +493,101 @@ mod tests {
     }
 
     #[test]
+    fn restore_points_empty_bucket_is_empty() {
+        let cloud = MemStore::new();
+        assert_eq!(list_restore_points(&cloud).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn restore_points_wal_only_bucket_is_empty() {
+        // WAL with no dump anchors nothing: there is no base state to
+        // apply it to.
+        let cloud = MemStore::new();
+        let codec = Codec::new(config().codec);
+        put_wal(&cloud, &codec, 1, "seg", 0, b"1");
+        put_wal(&cloud, &codec, 2, "seg", 1, b"2");
+        assert!(list_restore_points(&cloud).unwrap().is_empty());
+    }
+
+    #[test]
+    fn restore_points_reject_malformed_names() {
+        let cloud = MemStore::new();
+        let codec = Codec::new(config().codec);
+        put_db(
+            &cloud,
+            &codec,
+            0,
+            DbObjectKind::Dump,
+            &[range("f", 0, b"base")],
+        );
+        // A foreign object in the bucket is a configuration error worth
+        // surfacing, not something to silently skip.
+        cloud.put("WAL/not-a-ts_seg_0", b"junk").unwrap();
+        let err = list_restore_points(&cloud).unwrap_err();
+        assert!(matches!(err, GinjaError::BadObjectName(_)), "{err:?}");
+
+        cloud.delete("WAL/not-a-ts_seg_0").unwrap();
+        cloud.put("DB/5_dump", b"too-few-fields").unwrap();
+        let err = list_restore_points(&cloud).unwrap_err();
+        assert!(matches!(err, GinjaError::BadObjectName(_)), "{err:?}");
+    }
+
+    #[test]
+    fn restore_points_skip_incomplete_multipart_dump() {
+        let cloud = MemStore::new();
+        let codec = Codec::new(config().codec);
+        put_db(
+            &cloud,
+            &codec,
+            0,
+            DbObjectKind::Dump,
+            &[range("f", 0, b"base")],
+        );
+        put_wal(&cloud, &codec, 1, "seg", 0, b"1");
+        // A 2-part dump at ts 1 with only part 0 present: not a
+        // restore point (DbEntry::is_complete is false) — but it must
+        // not hide the WAL point at the same ts either.
+        let partial = DbObjectName {
+            ts: 1,
+            kind: DbObjectKind::Dump,
+            size: 99,
+            part: 0,
+            parts: 2,
+        };
+        let sealed = codec.seal(&partial.to_name(), b"half").unwrap();
+        cloud.put(&partial.to_name(), &sealed).unwrap();
+
+        let points = list_restore_points(&cloud).unwrap();
+        let ts: Vec<u64> = points.iter().map(|p| p.ts).collect();
+        assert_eq!(ts, vec![0, 1]);
+        assert_eq!(points[0].kind, RestorePointKind::Dump);
+        assert_eq!(
+            points[1].kind,
+            RestorePointKind::Wal,
+            "the incomplete dump must not anchor the point"
+        );
+    }
+
+    #[test]
+    fn restore_points_incomplete_oldest_dump_not_an_anchor() {
+        // The only dump is incomplete: nothing is restorable, even
+        // though WAL and the partial dump exist.
+        let cloud = MemStore::new();
+        let codec = Codec::new(config().codec);
+        let partial = DbObjectName {
+            ts: 0,
+            kind: DbObjectKind::Dump,
+            size: 99,
+            part: 1,
+            parts: 3,
+        };
+        let sealed = codec.seal(&partial.to_name(), b"third").unwrap();
+        cloud.put(&partial.to_name(), &sealed).unwrap();
+        put_wal(&cloud, &codec, 1, "seg", 0, b"1");
+        assert!(list_restore_points(&cloud).unwrap().is_empty());
+    }
+
+    #[test]
     fn corrupted_object_fails_recovery() {
         let fs = MemFs::new();
         let cloud = MemStore::new();

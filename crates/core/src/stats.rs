@@ -1,7 +1,7 @@
 //! Runtime statistics of the middleware — blocking time, uploads,
 //! object sizes. These counters feed the Table 3/4 experiments.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Shared atomic counters updated by every pipeline stage.
@@ -20,6 +20,7 @@ pub struct GinjaStats {
     pub(crate) checkpoints_seen: AtomicU64,
     pub(crate) dumps_uploaded: AtomicU64,
     pub(crate) gc_deletes: AtomicU64,
+    pub(crate) gc_deletes_deferred: AtomicU64,
     pub(crate) upload_retries: AtomicU64,
     pub(crate) seal_micros: AtomicU64,
 }
@@ -49,6 +50,8 @@ impl GinjaStats {
             checkpoints_seen: self.checkpoints_seen.load(Ordering::Relaxed),
             dumps_uploaded: self.dumps_uploaded.load(Ordering::Relaxed),
             gc_deletes: self.gc_deletes.load(Ordering::Relaxed),
+            gc_deletes_deferred: self.gc_deletes_deferred.load(Ordering::Relaxed),
+            gc_backlog: 0,
             upload_retries: self.upload_retries.load(Ordering::Relaxed),
             seal_time: Duration::from_micros(self.seal_micros.load(Ordering::Relaxed)),
             cloud_retries: 0,
@@ -58,8 +61,148 @@ impl GinjaStats {
             breaker_trips: 0,
             breaker_fast_fails: 0,
             breaker_open_time: Duration::ZERO,
+            sentinel: SentinelSnapshot::default(),
+            segments_archived: 0,
+            archiver_exposed_updates: 0,
         }
     }
+}
+
+/// Shared atomic counters updated by the DR sentinel (`ginja-sentinel`).
+///
+/// The sentinel lives in its own crate (it orchestrates scrub, rehearsal
+/// and repair *around* the middleware), but its counters belong next to
+/// the pipeline's: a deployment reads one [`GinjaStatsSnapshot`] and
+/// sees uploads, retries, breaker activity *and* backup health together.
+/// Create one, hand it to [`crate::Ginja::attach_sentinel`], and update
+/// it through these methods.
+#[derive(Debug, Default)]
+pub struct SentinelStats {
+    objects_scrubbed: AtomicU64,
+    scrub_cycles: AtomicU64,
+    anomalies_missing: AtomicU64,
+    anomalies_corrupt: AtomicU64,
+    anomalies_orphan: AtomicU64,
+    repairs_uploaded: AtomicU64,
+    orphans_deleted: AtomicU64,
+    repairs_failed: AtomicU64,
+    rehearsals: AtomicU64,
+    rehearsal_failures: AtomicU64,
+    last_rto_micros: AtomicU64,
+    last_rpo_updates: AtomicU64,
+    last_rpo_within_bound: AtomicBool,
+    degraded: AtomicBool,
+}
+
+impl SentinelStats {
+    /// Records one finished scrub cycle and its classified anomalies.
+    pub fn record_scrub(&self, objects: u64, missing: u64, corrupt: u64, orphan: u64) {
+        self.scrub_cycles.fetch_add(1, Ordering::Relaxed);
+        self.objects_scrubbed.fetch_add(objects, Ordering::Relaxed);
+        self.anomalies_missing.fetch_add(missing, Ordering::Relaxed);
+        self.anomalies_corrupt.fetch_add(corrupt, Ordering::Relaxed);
+        self.anomalies_orphan.fetch_add(orphan, Ordering::Relaxed);
+    }
+
+    /// Records one repair pass: objects re-uploaded, orphans swept, and
+    /// repairs that could not be completed.
+    pub fn record_repair(&self, uploaded: u64, orphans_deleted: u64, failed: u64) {
+        self.repairs_uploaded.fetch_add(uploaded, Ordering::Relaxed);
+        self.orphans_deleted
+            .fetch_add(orphans_deleted, Ordering::Relaxed);
+        self.repairs_failed.fetch_add(failed, Ordering::Relaxed);
+    }
+
+    /// Records one restore rehearsal: the measured RTO (wall-clock
+    /// restore time), the achieved RPO in updates (committed updates
+    /// that the cloud could not yet restore), whether that RPO was
+    /// within the configured Safety bound, and whether the rehearsal
+    /// passed overall.
+    pub fn record_rehearsal(&self, rto: Duration, rpo_updates: u64, within_bound: bool, ok: bool) {
+        self.rehearsals.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.rehearsal_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        self.last_rto_micros
+            .store(rto.as_micros() as u64, Ordering::Relaxed);
+        self.last_rpo_updates.store(rpo_updates, Ordering::Relaxed);
+        self.last_rpo_within_bound
+            .store(within_bound, Ordering::Relaxed);
+    }
+
+    /// Raises or clears the degraded-mode flag (repair impossible /
+    /// rehearsal failing); surfaced through `Ginja::exposure`.
+    pub fn set_degraded(&self, degraded: bool) {
+        self.degraded.store(degraded, Ordering::SeqCst);
+    }
+
+    /// Whether the sentinel currently considers the backup degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> SentinelSnapshot {
+        SentinelSnapshot {
+            objects_scrubbed: self.objects_scrubbed.load(Ordering::Relaxed),
+            scrub_cycles: self.scrub_cycles.load(Ordering::Relaxed),
+            anomalies_missing: self.anomalies_missing.load(Ordering::Relaxed),
+            anomalies_corrupt: self.anomalies_corrupt.load(Ordering::Relaxed),
+            anomalies_orphan: self.anomalies_orphan.load(Ordering::Relaxed),
+            repairs_uploaded: self.repairs_uploaded.load(Ordering::Relaxed),
+            orphans_deleted: self.orphans_deleted.load(Ordering::Relaxed),
+            repairs_failed: self.repairs_failed.load(Ordering::Relaxed),
+            rehearsals: self.rehearsals.load(Ordering::Relaxed),
+            rehearsal_failures: self.rehearsal_failures.load(Ordering::Relaxed),
+            last_rto: Duration::from_micros(self.last_rto_micros.load(Ordering::Relaxed)),
+            last_rpo_updates: self.last_rpo_updates.load(Ordering::Relaxed),
+            last_rpo_within_bound: self.last_rpo_within_bound.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// A point-in-time copy of [`SentinelStats`], embedded in
+/// [`GinjaStatsSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SentinelSnapshot {
+    /// Objects examined by the scrubber (listing entries classified).
+    pub objects_scrubbed: u64,
+    /// Completed scrub cycles.
+    pub scrub_cycles: u64,
+    /// Anomalies classified as *missing* (tracked by the live view but
+    /// absent from the bucket — e.g. deleted by an external actor).
+    pub anomalies_missing: u64,
+    /// Anomalies classified as *corrupt* (payload failed its MAC/CRC
+    /// envelope check).
+    pub anomalies_corrupt: u64,
+    /// Anomalies classified as *orphan* (present in the bucket but not
+    /// tracked — e.g. garbage left behind by a failed GC DELETE).
+    pub anomalies_orphan: u64,
+    /// Missing/corrupt objects healed by re-uploading from local state
+    /// (plus forced re-dumps for unhealable DB objects).
+    pub repairs_uploaded: u64,
+    /// Confirmed orphans deleted by the sweep.
+    pub orphans_deleted: u64,
+    /// Repairs that could not be completed (local bytes gone, cloud
+    /// refusing writes); the degraded flag rises with these.
+    pub repairs_failed: u64,
+    /// Restore rehearsals run.
+    pub rehearsals: u64,
+    /// Rehearsals that failed (corrupt objects, rebuild failure, RPO
+    /// out of bound).
+    pub rehearsal_failures: u64,
+    /// Wall-clock restore time of the most recent rehearsal — the
+    /// *achieved* RTO, measured, not assumed.
+    pub last_rto: Duration,
+    /// Committed updates the cloud could not restore at the most recent
+    /// rehearsal — the *achieved* RPO, to check against `S`.
+    pub last_rpo_updates: u64,
+    /// Whether the most recent rehearsal's RPO was within the
+    /// configured Safety bound.
+    pub last_rpo_within_bound: bool,
+    /// Whether the sentinel currently flags the backup as degraded.
+    pub degraded: bool,
 }
 
 /// A point-in-time copy of [`GinjaStats`].
@@ -91,6 +234,12 @@ pub struct GinjaStatsSnapshot {
     pub dumps_uploaded: u64,
     /// Cloud DELETE operations issued by garbage collection.
     pub gc_deletes: u64,
+    /// GC DELETEs that exhausted their retry budget and were deferred
+    /// to the next checkpoint's garbage-collection pass.
+    pub gc_deletes_deferred: u64,
+    /// Deferred GC DELETEs currently waiting for the next checkpoint
+    /// (a gauge, not a counter).
+    pub gc_backlog: u64,
     /// Upload attempts that failed and were retried.
     pub upload_retries: u64,
     /// CPU-ish time spent sealing objects (compression + encryption +
@@ -113,9 +262,27 @@ pub struct GinjaStatsSnapshot {
     /// Cumulative time the circuit breaker spent open — stalls during
     /// these windows are attributable to cloud faults, not Ginja.
     pub breaker_open_time: Duration,
+    /// DR sentinel counters (scrub/repair/rehearsal), merged in by
+    /// `Ginja::stats` when a sentinel is attached; zero otherwise.
+    pub sentinel: SentinelSnapshot,
+    /// Completed WAL segments uploaded by the Continuous-Archiving
+    /// baseline (zero unless an archiver's stats were merged in via
+    /// [`GinjaStatsSnapshot::merge_archiver`]).
+    pub segments_archived: u64,
+    /// The archiver baseline's data-loss exposure: updates observed in
+    /// the never-archived current segment.
+    pub archiver_exposed_updates: u64,
 }
 
 impl GinjaStatsSnapshot {
+    /// Merges the Continuous-Archiving baseline's counters into this
+    /// snapshot, so head-to-head comparisons (§9) read one struct for
+    /// both mechanisms.
+    pub fn merge_archiver(&mut self, archiver: &crate::archiver::ArchiverStats) {
+        self.segments_archived = archiver.segments_archived;
+        self.archiver_exposed_updates = archiver.updates_since_last_archive;
+    }
+
     /// Mean sealed WAL object size, or 0 with no uploads.
     pub fn avg_wal_object_size(&self) -> u64 {
         self.wal_bytes_sealed
@@ -167,5 +334,51 @@ mod tests {
         let snap = GinjaStats::default().snapshot();
         assert_eq!(snap.avg_wal_object_size(), 0);
         assert!((snap.wal_seal_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sentinel_stats_accumulate_and_snapshot() {
+        let s = SentinelStats::default();
+        s.record_scrub(10, 1, 2, 3);
+        s.record_scrub(5, 0, 0, 1);
+        s.record_repair(3, 4, 1);
+        s.record_rehearsal(Duration::from_millis(40), 7, true, true);
+        s.set_degraded(true);
+        let snap = s.snapshot();
+        assert_eq!(snap.objects_scrubbed, 15);
+        assert_eq!(snap.scrub_cycles, 2);
+        assert_eq!(snap.anomalies_missing, 1);
+        assert_eq!(snap.anomalies_corrupt, 2);
+        assert_eq!(snap.anomalies_orphan, 4);
+        assert_eq!(snap.repairs_uploaded, 3);
+        assert_eq!(snap.orphans_deleted, 4);
+        assert_eq!(snap.repairs_failed, 1);
+        assert_eq!(snap.rehearsals, 1);
+        assert_eq!(snap.rehearsal_failures, 0);
+        assert_eq!(snap.last_rto, Duration::from_millis(40));
+        assert_eq!(snap.last_rpo_updates, 7);
+        assert!(snap.last_rpo_within_bound);
+        assert!(snap.degraded && s.is_degraded());
+    }
+
+    #[test]
+    fn failed_rehearsal_counted() {
+        let s = SentinelStats::default();
+        s.record_rehearsal(Duration::from_millis(1), 0, false, false);
+        let snap = s.snapshot();
+        assert_eq!(snap.rehearsal_failures, 1);
+        assert!(!snap.last_rpo_within_bound);
+    }
+
+    #[test]
+    fn archiver_counters_merge_into_snapshot() {
+        let mut snap = GinjaStats::default().snapshot();
+        assert_eq!(snap.segments_archived, 0);
+        snap.merge_archiver(&crate::archiver::ArchiverStats {
+            segments_archived: 9,
+            updates_since_last_archive: 41,
+        });
+        assert_eq!(snap.segments_archived, 9);
+        assert_eq!(snap.archiver_exposed_updates, 41);
     }
 }

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+//! The DR sentinel: continuous auditing and self-healing for a Ginja
+//! deployment.
+//!
+//! Ginja's value proposition is *recoverability*, yet nothing in the
+//! base middleware ever re-checks that the objects in the cloud are
+//! still present, uncorrupted, and sufficient to meet the configured
+//! RPO/RTO — a backup that silently rots is worse than no DR at all.
+//! This crate adds three cooperating components behind a live
+//! [`ginja_core::Ginja`] instance:
+//!
+//! * the **scrubber** ([`scrub`]) lists the bucket, diffs it against
+//!   the live `CloudView`, and MAC-verifies object payloads on a
+//!   round-robin sample, classifying anomalies as *missing* (tracked
+//!   but gone from the bucket), *corrupt* (payload fails the envelope
+//!   HMAC/CRC), or *orphan* (in the bucket but untracked — e.g. the
+//!   residue of a failed GC DELETE);
+//! * the **rehearsal engine** ([`rehearse`]) periodically performs a
+//!   full restore into a scratch in-memory file system and measures
+//!   the *achieved* RTO (wall-clock restore time) and *achieved* RPO
+//!   (committed updates that would be lost right now, checked against
+//!   the Safety bound);
+//! * the **repair loop** ([`Sentinel::run_cycle`]) re-uploads missing
+//!   and corrupt objects from local state through the pipeline's own
+//!   [`ginja_cloud::ResilientStore`] (sharing its retry policy and
+//!   circuit breaker), deletes confirmed orphans, and raises the
+//!   degraded flag in [`ginja_core::Exposure`] when damage cannot be
+//!   healed.
+//!
+//! ```rust
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use ginja_cloud::MemStore;
+//! use ginja_core::{Ginja, GinjaConfig};
+//! use ginja_sentinel::Sentinel;
+//! use ginja_vfs::{FileSystem, InterceptFs, MemFs, PostgresProcessor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let local = Arc::new(MemFs::new());
+//! let cloud = Arc::new(MemStore::new());
+//! let config = GinjaConfig::builder().batch(1).safety(4).build()?;
+//! let ginja = Ginja::boot(
+//!     local.clone(),
+//!     cloud.clone(),
+//!     Arc::new(PostgresProcessor::new()),
+//!     config,
+//! )?;
+//! let sentinel = Sentinel::new(&ginja);
+//!
+//! let fs = InterceptFs::new(local, Arc::new(ginja.clone()));
+//! fs.write("pg_xlog/000000000000000000000000", 0, b"commit", true)?;
+//! ginja.sync(Duration::from_secs(5));
+//!
+//! let cycle = sentinel.run_cycle()?;
+//! assert!(cycle.scrub.anomalies.is_empty());
+//! let rehearsal = sentinel.rehearse()?;
+//! assert!(rehearsal.restorable());
+//! assert!(ginja.stats().sentinel.last_rto > Duration::ZERO);
+//! ginja.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod rehearse;
+pub mod scrub;
+
+mod sentinel;
+
+pub use rehearse::{rehearse_bucket, RehearsalReport};
+pub use scrub::{scrub_bucket, Anomaly, AnomalyKind, ScrubReport};
+pub use sentinel::{CycleReport, RepairReport, Sentinel};

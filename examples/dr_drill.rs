@@ -1,0 +1,127 @@
+//! Disaster-recovery drill: the DR sentinel detecting and healing
+//! silent backup rot.
+//!
+//! A backup that is never exercised is a hope, not a guarantee. This
+//! example damages a live Ginja bucket in all three ways the sentinel
+//! classifies — a corrupt object (bit rot), a missing WAL object (lost
+//! by the provider), and an orphan (left behind by a failed GC delete)
+//! — then lets the sentinel scrub, repair, and rehearse a full restore,
+//! and finally proves the healed bucket recovers with zero loss.
+//!
+//! ```sh
+//! cargo run --example dr_drill
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ginja::cloud::{MemStore, ObjectStore};
+use ginja::core::{recover_into, Ginja, GinjaConfig, SentinelConfig};
+use ginja::db::{Database, DbProfile};
+use ginja::sentinel::{AnomalyKind, Sentinel};
+use ginja::vfs::{FileSystem, InterceptFs, MemFs, PostgresProcessor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let local = Arc::new(MemFs::new());
+    let db = Database::create(local.clone(), DbProfile::postgres_small())?;
+    db.create_table(1, 128)?;
+    drop(db);
+
+    let cloud = Arc::new(MemStore::new());
+    let config = GinjaConfig::builder()
+        .batch(2)
+        .safety(20)
+        .batch_timeout(Duration::from_millis(30))
+        .sentinel(SentinelConfig {
+            scrub_sample: 0, // drill mode: verify every payload
+            ..SentinelConfig::default()
+        })
+        .build()?;
+    let ginja = Ginja::boot(
+        local.clone(),
+        cloud.clone(),
+        Arc::new(PostgresProcessor::new()),
+        config.clone(),
+    )?;
+    let sentinel = Sentinel::new(&ginja);
+    let protected: Arc<dyn FileSystem> =
+        Arc::new(InterceptFs::new(local.clone(), Arc::new(ginja.clone())));
+    let db = Database::open(protected, DbProfile::postgres_small())?;
+
+    for i in 0..20u64 {
+        db.put(1, i, format!("ledger-entry-{i}").into_bytes())?;
+    }
+    db.checkpoint()?;
+    // More traffic after the checkpoint, so the live view holds several
+    // WAL objects on top of the dump.
+    for i in 20..40u64 {
+        db.put(1, i, format!("ledger-entry-{i}").into_bytes())?;
+    }
+    ginja.sync(Duration::from_secs(10));
+    println!("• 40 updates committed and replicated");
+
+    // A quiet month passes, during which the cloud misbehaves: one
+    // object rots, one vanishes, and a GC delete that "succeeded"
+    // actually left its garbage behind.
+    let wal: Vec<String> = ginja.view().wal_entries().map(|w| w.to_name()).collect();
+    let mut sealed = cloud.get(&wal[0])?;
+    let mid = sealed.len() / 2;
+    sealed[mid] ^= 0x40;
+    cloud.put(&wal[0], &sealed)?;
+    cloud.delete(wal.last().unwrap())?;
+    cloud.put("WAL/999999_pg_xlog/stale_0_8", b"gc-leak!")?;
+    println!("• bucket damaged: 1 corrupted, 1 deleted, 1 orphan injected");
+
+    // Drill, cycle 1: detect everything, re-upload the damaged WAL
+    // objects from local state (the orphan is quarantined, not yet
+    // swept — it could be a PUT whose registration is still in flight).
+    let cycle = sentinel.run_cycle()?;
+    println!(
+        "• scrub #1: {} objects, {} payloads verified — {} corrupt, {} missing, {} orphan(s)",
+        cycle.scrub.objects_listed,
+        cycle.scrub.payloads_verified,
+        cycle.scrub.count(AnomalyKind::Corrupt),
+        cycle.scrub.count(AnomalyKind::MissingWal),
+        cycle.scrub.count(AnomalyKind::Orphan),
+    );
+    println!("  repaired by re-upload: {:?}", cycle.repair.uploaded);
+    assert_eq!(cycle.repair.uploaded.len(), 2);
+
+    // Cycle 2: the repairs verify clean; the orphan, still present, is
+    // past quarantine and gets swept.
+    let cycle = sentinel.run_cycle()?;
+    assert_eq!(cycle.repair.orphans_deleted.len(), 1);
+    println!("  orphan swept: {:?}", cycle.repair.orphans_deleted);
+    assert!(sentinel.run_cycle()?.scrub.is_clean());
+    println!(
+        "• scrub #3: bucket clean, degraded = {}",
+        ginja.exposure().degraded
+    );
+
+    // Rehearse the restore: a full rebuild into scratch memory, clocked
+    // as the achieved RTO, with the achieved RPO checked against S.
+    let rehearsal = sentinel.rehearse()?;
+    assert!(rehearsal.restorable());
+    let snap = ginja.stats().sentinel;
+    println!(
+        "• rehearsal: restorable, achieved RTO {:?}, achieved RPO {} update(s) (bound S = {}) ✔",
+        snap.last_rto, snap.last_rpo_updates, config.safety
+    );
+
+    // The drill's final word: an actual disaster, recovered from the
+    // healed bucket alone.
+    ginja.sync(Duration::from_secs(10));
+    ginja.shutdown();
+    drop(db);
+    let rebuilt = Arc::new(MemFs::new());
+    recover_into(rebuilt.as_ref(), cloud.as_ref(), &config)?;
+    let recovered = Database::open(rebuilt, DbProfile::postgres_small())?;
+    for i in 0..40u64 {
+        assert_eq!(
+            recovered.get(1, i)?.unwrap(),
+            format!("ledger-entry-{i}").into_bytes()
+        );
+    }
+    println!("• disaster recovery from the healed bucket: all 40 entries intact ✔");
+    Ok(())
+}

@@ -6,3 +6,6 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
+# The DR-sentinel acceptance scenario, run on its own so a chaos
+# regression is unmissable in the log.
+cargo test -q --test sentinel_chaos -- --nocapture

@@ -27,6 +27,8 @@
 //! * [`codec`] (`ginja-codec`) — compression, AES-128-CTR, HMAC-SHA1.
 //! * [`workload`] (`ginja-workload`) — TPC-C-style and synthetic drivers.
 //! * [`cost`] (`ginja-cost`) — the §7 monetary cost model.
+//! * [`sentinel`] (`ginja-sentinel`) — the DR sentinel: continuous cloud
+//!   scrubbing, restore rehearsal, and self-healing repair.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +67,7 @@ pub use ginja_codec as codec;
 pub use ginja_core as core;
 pub use ginja_cost as cost;
 pub use ginja_db as db;
+pub use ginja_sentinel as sentinel;
 pub use ginja_vfs as vfs;
 pub use ginja_workload as workload;
 

@@ -78,6 +78,11 @@ fn cli_full_operator_flow() {
     let out = run_ok(&["verify", bucket]);
     assert!(out.contains("backup verification PASSED"), "{out}");
 
+    // drill: one-shot scrub + restore rehearsal
+    let out = run_ok(&["drill", bucket]);
+    assert!(out.contains("drill PASSED"), "{out}");
+    assert!(out.contains("achieved RTO"), "{out}");
+
     // recover, then reopen the database over the restored directory.
     let out = run_ok(&["recover", bucket, target_dir.to_str().unwrap()]);
     assert!(out.contains("recovered into"), "{out}");
@@ -117,6 +122,12 @@ fn cli_full_operator_flow() {
         std::fs::write(&path, bytes).unwrap();
         let output = cli().args(["verify", bucket]).output().unwrap();
         assert!(!output.status.success(), "verify must fail on corruption");
+        let output = cli().args(["drill", bucket]).output().unwrap();
+        assert!(!output.status.success(), "drill must fail on corruption");
+        assert!(
+            String::from_utf8_lossy(&output.stdout).contains("corrupt"),
+            "drill must classify the corruption"
+        );
     }
 
     // bad usage exits nonzero.

@@ -1,0 +1,206 @@
+//! Sentinel chaos test — the acceptance scenario for the DR sentinel:
+//! a TPC-C run suffers a persistent GC-delete fault (leaking garbage),
+//! then direct object corruption, deletion, and an injected orphan.
+//! The deferred-delete backlog must drain the leak, the sentinel must
+//! detect all three anomaly classes and heal them through the
+//! resilient store, a rehearsal must report a nonzero achieved RTO and
+//! an RPO within the Safety bound, and a subsequent disaster recovery
+//! must be zero-loss.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ginja::cloud::{FaultPlan, FaultStore, MemStore, ObjectStore, OpKind};
+use ginja::core::{recover_into, Ginja, GinjaConfig, RetryConfig, SentinelConfig};
+use ginja::db::{Database, DbProfile};
+use ginja::sentinel::{AnomalyKind, Sentinel};
+use ginja::vfs::{FileSystem, InterceptFs, MemFs, PostgresProcessor};
+use ginja::workload::{probe_tpcc, Tpcc, TpccScale};
+
+#[test]
+fn sentinel_detects_and_heals_chaos_damage() {
+    // Checkpoints only on demand, so the test controls when GC runs.
+    let profile = DbProfile::postgres_small().with_checkpoint_every(100_000);
+    let local = Arc::new(MemFs::new());
+    let db = Database::create(local.clone(), profile.clone()).unwrap();
+    let mut tpcc = Tpcc::new(1, 0xD1257, TpccScale::tiny());
+    tpcc.create_schema(&db).unwrap();
+    tpcc.load(&db).unwrap();
+    drop(db);
+
+    let mem = Arc::new(MemStore::new());
+    let plan = Arc::new(FaultPlan::new());
+    let cloud = Arc::new(FaultStore::new(mem.clone(), plan.clone()));
+    let config = GinjaConfig::builder()
+        .batch(4)
+        .safety(64)
+        .batch_timeout(Duration::from_millis(5))
+        .safety_timeout(Duration::from_secs(30))
+        .retry(RetryConfig {
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(10),
+            breaker_threshold: 0, // isolate the fault from the breaker
+            ..RetryConfig::default()
+        })
+        .sentinel(SentinelConfig {
+            scrub_sample: 0, // verify every payload every cycle
+            ..SentinelConfig::default()
+        })
+        .build()
+        .unwrap();
+    let ginja = Ginja::boot(
+        local.clone(),
+        cloud,
+        Arc::new(PostgresProcessor::new()),
+        config.clone(),
+    )
+    .unwrap();
+    let sentinel = Sentinel::new(&ginja);
+    let fs: Arc<dyn FileSystem> = Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+    let db = Database::open(fs, profile.clone()).unwrap();
+
+    // --- Phase 1: healthy traffic, one checkpoint. -------------------
+    for _ in 0..40 {
+        tpcc.run_transaction(&db).unwrap();
+    }
+    db.checkpoint().unwrap();
+    assert!(ginja.sync(Duration::from_secs(30)));
+
+    // --- Phase 2: the GC leak. Every DELETE fails persistently, so
+    // the checkpoint's garbage collection must defer instead of leak
+    // forever. -------------------------------------------------------
+    plan.fail_matching(OpKind::Delete, "", 1_000_000);
+    for _ in 0..30 {
+        tpcc.run_transaction(&db).unwrap();
+    }
+    db.checkpoint().unwrap();
+    assert!(ginja.sync(Duration::from_secs(30)));
+    plan.clear();
+
+    let stats = ginja.stats();
+    assert!(
+        stats.gc_deletes_deferred > 0,
+        "failed deletes must be deferred, not dropped: {stats:?}"
+    );
+    assert!(stats.gc_backlog > 0, "backlog must be queued: {stats:?}");
+    // The leak is visible in the bucket: objects the view no longer
+    // tracks survived their DELETE.
+    let tracked: BTreeSet<String> = {
+        let view = ginja.view();
+        let mut names: BTreeSet<String> = view.wal_entries().map(|w| w.to_name()).collect();
+        for (_, entry) in view.db_entries() {
+            names.extend(entry.parts.iter().map(|p| p.to_name()));
+        }
+        names
+    };
+    let leaked: Vec<String> = mem
+        .list("")
+        .unwrap()
+        .into_iter()
+        .filter(|n| !tracked.contains(n))
+        .collect();
+    assert!(!leaked.is_empty(), "the delete fault must leak garbage");
+
+    // The next checkpoint's GC pass drains the backlog (satellite 1).
+    for _ in 0..10 {
+        tpcc.run_transaction(&db).unwrap();
+    }
+    db.checkpoint().unwrap();
+    assert!(ginja.sync(Duration::from_secs(30)));
+    assert_eq!(
+        ginja.stats().gc_backlog,
+        0,
+        "backlog must drain once deletes succeed again"
+    );
+    for name in &leaked {
+        assert!(
+            mem.get(name).is_err(),
+            "deferred delete must eventually remove {name}"
+        );
+    }
+
+    // --- Phase 3: direct damage to the bucket — one tracked WAL
+    // object corrupted, another deleted, plus an orphan that a failed
+    // GC delete could have left. --------------------------------------
+    for _ in 0..20 {
+        tpcc.run_transaction(&db).unwrap();
+    }
+    assert!(ginja.sync(Duration::from_secs(30)));
+
+    let wal_names: Vec<String> = ginja.view().wal_entries().map(|w| w.to_name()).collect();
+    assert!(wal_names.len() >= 2, "need at least two live WAL objects");
+    let corrupt_victim = wal_names[0].clone();
+    let delete_victim = wal_names[wal_names.len() - 1].clone();
+    let mut sealed = mem.get(&corrupt_victim).unwrap();
+    let mid = sealed.len() / 2;
+    sealed[mid] ^= 0x11;
+    mem.put(&corrupt_victim, &sealed).unwrap();
+    mem.delete(&delete_victim).unwrap();
+    let orphan = "WAL/1000000_pg_xlog/feedcafe_0_4";
+    mem.put(orphan, b"junk").unwrap();
+
+    // --- Phase 4: the sentinel detects all three classes and heals
+    // them through the resilient store. -------------------------------
+    let cycle = sentinel.run_cycle().unwrap();
+    assert_eq!(cycle.scrub.count(AnomalyKind::Corrupt), 1, "{cycle:?}");
+    assert_eq!(cycle.scrub.count(AnomalyKind::MissingWal), 1, "{cycle:?}");
+    assert_eq!(cycle.scrub.count(AnomalyKind::Orphan), 1, "{cycle:?}");
+    let mut expected = vec![corrupt_victim.clone(), delete_victim.clone()];
+    expected.sort();
+    let mut uploaded = cycle.repair.uploaded.clone();
+    uploaded.sort();
+    assert_eq!(uploaded, expected, "both damaged objects re-uploaded");
+    assert!(cycle.repair.failed.is_empty(), "{cycle:?}");
+    assert!(!ginja.exposure().degraded);
+
+    // Second cycle: clean inventory, and the quarantined orphan sweeps.
+    let cycle = sentinel.run_cycle().unwrap();
+    assert_eq!(
+        cycle.repair.orphans_deleted,
+        vec![orphan.to_string()],
+        "{cycle:?}"
+    );
+    assert!(mem.get(orphan).is_err(), "orphan must be gone");
+    assert!(sentinel.run_cycle().unwrap().scrub.is_clean());
+
+    let snap = ginja.stats().sentinel;
+    assert!(snap.anomalies_missing >= 1, "{snap:?}");
+    assert!(snap.anomalies_corrupt >= 1, "{snap:?}");
+    assert!(snap.anomalies_orphan >= 1, "{snap:?}");
+    assert_eq!(snap.repairs_uploaded, 2, "{snap:?}");
+    assert_eq!(snap.orphans_deleted, 1, "{snap:?}");
+    assert_eq!(snap.repairs_failed, 0, "{snap:?}");
+    assert!(!snap.degraded, "{snap:?}");
+
+    // --- Phase 5: rehearsal — achieved RTO nonzero, achieved RPO
+    // within the Safety bound, all exposed via GinjaStatsSnapshot. -----
+    let rehearsal = sentinel.rehearse().unwrap();
+    assert!(rehearsal.restorable(), "{rehearsal:?}");
+    let snap = ginja.stats().sentinel;
+    assert_eq!(snap.rehearsals, 1);
+    assert!(snap.last_rto > Duration::ZERO, "{snap:?}");
+    assert!(snap.last_rpo_within_bound, "{snap:?}");
+    assert!(
+        (snap.last_rpo_updates as usize) <= config.safety,
+        "{snap:?}"
+    );
+
+    // --- Phase 6: disaster. Recovery from the healed bucket must be
+    // zero-loss. ------------------------------------------------------
+    assert!(ginja.sync(Duration::from_secs(30)));
+    ginja.shutdown();
+    let reference_stock = db.dump_table(ginja::workload::tables::STOCK).unwrap();
+    drop(db);
+
+    let rebuilt = Arc::new(MemFs::new());
+    recover_into(rebuilt.as_ref(), mem.as_ref(), &config).unwrap();
+    let db = Database::open(rebuilt, profile).unwrap();
+    assert_eq!(
+        db.dump_table(ginja::workload::tables::STOCK).unwrap(),
+        reference_stock,
+        "recovery after sentinel healing must be zero-loss"
+    );
+    let probe = probe_tpcc(&db).unwrap();
+    assert!(probe.is_consistent(), "{probe:?}");
+}
