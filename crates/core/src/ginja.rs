@@ -232,13 +232,23 @@ impl Ginja {
         Ok(ginja)
     }
 
-    /// Reboot mode (Algorithm 1 lines 19–22): the cloud is already
-    /// synchronized with the local files (clean stop); rebuild the
-    /// `cloudView` from a LIST and start the pipeline.
+    /// Reboot mode (Algorithm 1 lines 19–22): rebuild the `cloudView`
+    /// from a LIST and start the pipeline.
+    ///
+    /// The paper's Reboot assumes a clean stop ("the cloud is already
+    /// synchronized"). After a *crash* that assumption is false: the
+    /// local durable WAL may hold up to Safety-S acknowledged updates
+    /// the cloud never received, and the cloud's copy of a rewritten
+    /// tail block may be stale. Reboot therefore resyncs first — it
+    /// compares the local WAL files against the cloud's reconstruction
+    /// of them and uploads fresh WAL objects for every range that
+    /// differs, so a disaster after the reboot loses nothing that was
+    /// locally durable before it. The pass is a no-op after a clean
+    /// stop.
     ///
     /// # Errors
     ///
-    /// Cloud and name-parsing errors propagate.
+    /// Cloud, file-system and name-parsing errors propagate.
     pub fn reboot(
         fs: Arc<dyn FileSystem>,
         cloud: Arc<dyn ObjectStore>,
@@ -248,8 +258,27 @@ impl Ginja {
         config.validate()?;
         let cloud = Arc::new(ResilientStore::new(cloud, config.retry.clone()));
         let codec = Codec::new(config.codec.clone());
-        let view = CloudView::from_listing(cloud.list("")?)?;
-        Ok(Self::assemble(fs, cloud, processor, config, codec, view))
+        let mut view = CloudView::from_listing(cloud.list("")?)?;
+        let (resync_objects, resync_bytes) = resync_local_wal(
+            fs.as_ref(),
+            &cloud,
+            processor.as_ref(),
+            &config,
+            &codec,
+            &mut view,
+        )?;
+        let ginja = Self::assemble(fs, cloud, processor, config, codec, view);
+        ginja
+            .shared
+            .stats
+            .wal_resync_objects
+            .fetch_add(resync_objects, Ordering::Relaxed);
+        ginja
+            .shared
+            .stats
+            .wal_resync_bytes
+            .fetch_add(resync_bytes, Ordering::Relaxed);
+        Ok(ginja)
     }
 
     fn assemble(
@@ -619,6 +648,95 @@ fn ranges_to_entries(
         }
     }
     entries
+}
+
+/// The Reboot resync pass: for each local WAL file, rebuild the cloud's
+/// image of it (its WAL objects applied in timestamp order) and upload
+/// a fresh WAL object for every byte range where the local durable
+/// content differs — content the DBMS acknowledged before the crash
+/// but Ginja never finished uploading, or a tail-block rewrite whose
+/// cloud copy is stale. A cloud object that cannot be fetched or opened
+/// counts as not covering its range, so the pass also heals WAL objects
+/// lost from the bucket.
+///
+/// One deliberate exception: when a file has cloud coverage, bytes
+/// *below* its lowest covered offset are skipped. Those ranges were
+/// garbage-collected after a checkpoint — their effects live in DB
+/// objects and recovery never replays them — so re-uploading would be
+/// pure cost. (WAL appends are forward-only, so GC'd ranges form a
+/// prefix; a file with no coverage at all is uploaded whole, since its
+/// records may exist nowhere else.)
+///
+/// Returns `(objects uploaded, raw bytes uploaded)`.
+fn resync_local_wal(
+    fs: &dyn FileSystem,
+    cloud: &Arc<ResilientStore>,
+    processor: &dyn DbmsProcessor,
+    config: &GinjaConfig,
+    codec: &Codec,
+    view: &mut CloudView,
+) -> Result<(u64, u64), GinjaError> {
+    let mut wal_files = fs.list(processor.wal_prefix())?;
+    wal_files.sort();
+    let mut objects = 0u64;
+    let mut bytes = 0u64;
+    for file in wal_files {
+        let local = fs.read_all(&file)?;
+        let names: Vec<WalObjectName> = view
+            .wal_entries()
+            .filter(|w| w.file == file)
+            .cloned()
+            .collect();
+        // The cloud's image of this file: later timestamps win, `None`
+        // marks bytes the cloud does not cover.
+        let mut image: Vec<Option<u8>> = vec![None; local.len()];
+        for name in &names {
+            let opened = cloud
+                .get(&name.to_name())
+                .ok()
+                .and_then(|sealed| codec.open(&name.to_name(), &sealed).ok());
+            let Some(data) = opened else {
+                continue; // unreadable object: range stays uncovered
+            };
+            for (i, byte) in data.iter().enumerate() {
+                let pos = name.offset as usize + i;
+                if pos < image.len() {
+                    image[pos] = Some(*byte);
+                }
+            }
+        }
+        let skip_below = names.iter().map(|n| n.offset as usize).min().unwrap_or(0);
+
+        // Upload every maximal differing run, chunked at the object cap.
+        let mut pos = skip_below;
+        while pos < local.len() {
+            if image[pos] == Some(local[pos]) {
+                pos += 1;
+                continue;
+            }
+            let start = pos;
+            while pos < local.len()
+                && image[pos] != Some(local[pos])
+                && pos - start < config.max_object_size.max(1)
+            {
+                pos += 1;
+            }
+            let chunk = &local[start..pos];
+            let ts = view.alloc_wal_ts();
+            let name = WalObjectName {
+                ts,
+                file: file.clone(),
+                offset: start as u64,
+                len: chunk.len() as u64,
+            };
+            let sealed = codec.seal(&name.to_name(), chunk)?;
+            cloud.put(&name.to_name(), &sealed)?;
+            view.add_wal(name);
+            objects += 1;
+            bytes += chunk.len() as u64;
+        }
+    }
+    Ok((objects, bytes))
 }
 
 fn read_db_files(

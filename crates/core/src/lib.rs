@@ -75,6 +75,6 @@ pub use recovery::{
     list_restore_points, recover_into, recover_to_point, RecoveryReport, RestorePoint,
     RestorePointKind,
 };
-pub use stats::{GinjaStats, GinjaStatsSnapshot, SentinelSnapshot, SentinelStats};
+pub use stats::{CrashFsSnapshot, GinjaStats, GinjaStatsSnapshot, SentinelSnapshot, SentinelStats};
 pub use verify::{verify_backup, verify_backup_in_memory, VerifyReport};
 pub use view::CloudView;

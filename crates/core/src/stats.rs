@@ -23,6 +23,8 @@ pub struct GinjaStats {
     pub(crate) gc_deletes_deferred: AtomicU64,
     pub(crate) upload_retries: AtomicU64,
     pub(crate) seal_micros: AtomicU64,
+    pub(crate) wal_resync_objects: AtomicU64,
+    pub(crate) wal_resync_bytes: AtomicU64,
 }
 
 impl GinjaStats {
@@ -54,6 +56,8 @@ impl GinjaStats {
             gc_backlog: 0,
             upload_retries: self.upload_retries.load(Ordering::Relaxed),
             seal_time: Duration::from_micros(self.seal_micros.load(Ordering::Relaxed)),
+            wal_resync_objects: self.wal_resync_objects.load(Ordering::Relaxed),
+            wal_resync_bytes: self.wal_resync_bytes.load(Ordering::Relaxed),
             cloud_retries: 0,
             hedges_launched: 0,
             hedges_won: 0,
@@ -64,6 +68,7 @@ impl GinjaStats {
             sentinel: SentinelSnapshot::default(),
             segments_archived: 0,
             archiver_exposed_updates: 0,
+            crashfs: CrashFsSnapshot::default(),
         }
     }
 }
@@ -245,6 +250,12 @@ pub struct GinjaStatsSnapshot {
     /// CPU-ish time spent sealing objects (compression + encryption +
     /// MAC) — the codec contribution to Table 4's CPU overhead.
     pub seal_time: Duration,
+    /// WAL objects uploaded by the Reboot resync pass (local durable
+    /// WAL content the cloud was missing after a crash — see
+    /// `Ginja::reboot`).
+    pub wal_resync_objects: u64,
+    /// Raw bytes those resync objects carried.
+    pub wal_resync_bytes: u64,
     /// Retries issued *inside* the resilience layer (backoff + jitter),
     /// across every cloud operation. Zero with retries disabled.
     pub cloud_retries: u64,
@@ -272,6 +283,27 @@ pub struct GinjaStatsSnapshot {
     /// The archiver baseline's data-loss exposure: updates observed in
     /// the never-archived current segment.
     pub archiver_exposed_updates: u64,
+    /// Local-fault / crash-point exploration counters, merged in via
+    /// [`GinjaStatsSnapshot::merge_crashfs`]; zero otherwise.
+    pub crashfs: CrashFsSnapshot,
+}
+
+/// Counters from the local-storage fault layer (`ginja-vfs`'s
+/// `VfsFaultPlan`) and the crash-point explorer, embedded in
+/// [`GinjaStatsSnapshot`] the same way sentinel counters are: one
+/// snapshot tells the whole robustness story — cloud faults survived,
+/// local faults injected, crash points explored.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrashFsSnapshot {
+    /// Local file-system faults injected (EIO, ENOSPC, short writes,
+    /// lost fsyncs) across the run.
+    pub fs_faults_injected: u64,
+    /// Crash points explored by the harness (each one a full
+    /// power-cut → recover → verify cycle).
+    pub crash_points_explored: u64,
+    /// Crash recoveries that found a torn WAL tail block and salvaged
+    /// it from the doublewrite journal.
+    pub torn_tails_truncated: u64,
 }
 
 impl GinjaStatsSnapshot {
@@ -281,6 +313,13 @@ impl GinjaStatsSnapshot {
     pub fn merge_archiver(&mut self, archiver: &crate::archiver::ArchiverStats) {
         self.segments_archived = archiver.segments_archived;
         self.archiver_exposed_updates = archiver.updates_since_last_archive;
+    }
+
+    /// Merges local-fault / crash-point counters into this snapshot, so
+    /// a robustness run reports cloud and local fault handling through
+    /// one struct.
+    pub fn merge_crashfs(&mut self, crashfs: CrashFsSnapshot) {
+        self.crashfs = crashfs;
     }
 
     /// Mean sealed WAL object size, or 0 with no uploads.
@@ -368,6 +407,20 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.rehearsal_failures, 1);
         assert!(!snap.last_rpo_within_bound);
+    }
+
+    #[test]
+    fn crashfs_counters_merge_into_snapshot() {
+        let mut snap = GinjaStats::default().snapshot();
+        assert_eq!(snap.crashfs, CrashFsSnapshot::default());
+        snap.merge_crashfs(CrashFsSnapshot {
+            fs_faults_injected: 4,
+            crash_points_explored: 17,
+            torn_tails_truncated: 2,
+        });
+        assert_eq!(snap.crashfs.fs_faults_injected, 4);
+        assert_eq!(snap.crashfs.crash_points_explored, 17);
+        assert_eq!(snap.crashfs.torn_tails_truncated, 2);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use ginja_vfs::FileSystem;
+use ginja_vfs::{FileSystem, FsError};
 use parking_lot::Mutex;
 
 use crate::control::ControlData;
@@ -46,6 +46,10 @@ pub struct DbStats {
     pub pages_flushed: u64,
     /// Checkpoints forced by circular-log pressure.
     pub forced_checkpoints: u64,
+    /// Crash scans that found a torn tail block on disk, discarded it,
+    /// and recovered its contents from the doublewrite journal (set by
+    /// [`Database::open`]).
+    pub torn_tails_truncated: u64,
 }
 
 struct Inner {
@@ -160,8 +164,11 @@ impl Database {
         let space = Self::log_space(&profile);
         match profile.kind {
             ProfileKind::Postgres => {
-                // Zero-initialized transaction-status page.
-                fs.write(PG_CLOG_PATH, 0, &vec![0u8; profile.page_size], false)?;
+                // Zero-initialized transaction-status page. Synced: the
+                // freshly-created cluster must survive an immediate
+                // power cut, or the first crash scan finds half a
+                // database.
+                fs.write(PG_CLOG_PATH, 0, &vec![0u8; profile.page_size], true)?;
             }
             ProfileKind::MySql => {
                 // Preallocate the circular log pair, as InnoDB does. The
@@ -179,7 +186,9 @@ impl Database {
                 header[..8].copy_from_slice(b"GNJIBLOG");
                 fs.write(file0, 0, &header, true)?;
                 fs.truncate(file0, segment_size)?;
-                fs.write(file1, 0, &header, false)?;
+                // Synced like file0: preallocation must be durable at
+                // create time, before any power cut can intervene.
+                fs.write(file1, 0, &header, true)?;
                 fs.truncate(file1, segment_size)?;
             }
         }
@@ -270,7 +279,10 @@ impl Database {
             redo_block: control.redo_block,
             ckpt_counter: control.counter,
             commits_since_ckpt: 0,
-            stats: DbStats::default(),
+            stats: DbStats {
+                torn_tails_truncated: scan.tail_salvaged as u64,
+                ..DbStats::default()
+            },
         };
         Ok(Database {
             fs,
@@ -297,7 +309,7 @@ impl Database {
             .ok_or_else(|| DbError::RecoveryFailed(format!("wal references table {table}")))?;
         let (page_idx, slot) = meta.locate(key, profile.page_size);
         let id: PageId = (table, page_idx);
-        let frame = pool.get_or_load(id, || Self::load_page(fs, profile, &meta, page_idx));
+        let frame = pool.get_or_load(id, || Self::load_page(fs, profile, &meta, page_idx))?;
         // ARIES redo test: apply only if the page has not seen this LSN.
         if record.lsn > frame.page.lsn {
             match value {
@@ -315,13 +327,20 @@ impl Database {
         profile: &DbProfile,
         meta: &TableMeta,
         page_idx: u64,
-    ) -> Page {
+    ) -> Result<Page, DbError> {
         let path = meta.file_path(profile.kind);
         let offset = page_idx * profile.page_size as u64;
         match fs.read(&path, offset, profile.page_size) {
-            Ok(bytes) => Page::from_bytes(&bytes, meta.slot_size as usize)
-                .unwrap_or_else(|_| Page::empty(meta.slots_per_page(profile.page_size))),
-            Err(_) => Page::empty(meta.slots_per_page(profile.page_size)),
+            Ok(bytes) => Ok(Page::from_bytes(&bytes, meta.slot_size as usize)
+                .unwrap_or_else(|_| Page::empty(meta.slots_per_page(profile.page_size)))),
+            // A page that was never written is legitimately empty; any
+            // other failure (EIO, injected fault) must NOT be silently
+            // treated as an empty page — that turns a disk error into
+            // quiet data loss.
+            Err(FsError::NotFound(_)) | Err(FsError::OutOfBounds { .. }) => {
+                Ok(Page::empty(meta.slots_per_page(profile.page_size)))
+            }
+            Err(err) => Err(err.into()),
         }
     }
 
@@ -428,7 +447,7 @@ impl Database {
         let profile = self.profile.clone();
         let frame = inner.pool.get_or_load((table, page_idx), || {
             Self::load_page(fs.as_ref(), &profile, &meta, page_idx)
-        });
+        })?;
         Ok(frame
             .page
             .slot(slot)
@@ -523,7 +542,7 @@ impl Database {
             let profile = self.profile.clone();
             let frame = inner.pool.get_or_load(id, || {
                 Self::load_page(fs.as_ref(), &profile, &meta, page_idx)
-            });
+            })?;
             match value {
                 Some(v) => frame.page.set_slot(slot, key, v),
                 None => frame.page.clear_slot(slot),
@@ -761,7 +780,7 @@ impl Database {
             let profile = self.profile.clone();
             let frame = inner.pool.get_or_load((table, page_idx), || {
                 Self::load_page(fs.as_ref(), &profile, &meta, page_idx)
-            });
+            })?;
             for (key, value) in frame.page.iter() {
                 rows.push((*key, value.clone()));
             }

@@ -59,14 +59,23 @@ impl BufferPool {
     }
 
     /// Returns the frame for `id`, loading it with `load` on a miss.
-    pub fn get_or_load(&mut self, id: PageId, load: impl FnOnce() -> Page) -> &mut Frame {
+    /// A loader error leaves the pool unchanged — an unreadable page
+    /// must surface to the caller, not masquerade as an empty one.
+    pub fn get_or_load<E>(
+        &mut self,
+        id: PageId,
+        load: impl FnOnce() -> Result<Page, E>,
+    ) -> Result<&mut Frame, E> {
         self.maybe_evict();
-        self.frames.entry(id).or_insert_with(|| Frame {
-            page: load(),
-            dirty: false,
-            rec_lsn: 0,
-            rec_block: 0,
-        })
+        match self.frames.entry(id) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
+            std::collections::hash_map::Entry::Vacant(v) => Ok(v.insert(Frame {
+                page: load()?,
+                dirty: false,
+                rec_lsn: 0,
+                rec_block: 0,
+            })),
+        }
     }
 
     /// Returns the frame for `id` if resident.
@@ -174,12 +183,14 @@ mod tests {
         let mut loads = 0;
         p.get_or_load((1, 0), || {
             loads += 1;
-            Page::empty(4)
-        });
+            Ok::<_, ()>(Page::empty(4))
+        })
+        .unwrap();
         p.get_or_load((1, 0), || {
             loads += 1;
-            Page::empty(4)
-        });
+            Ok::<_, ()>(Page::empty(4))
+        })
+        .unwrap();
         assert_eq!(loads, 1);
         assert_eq!(p.len(), 1);
     }
@@ -187,7 +198,8 @@ mod tests {
     #[test]
     fn dirty_tracking_first_modification_wins() {
         let mut p = pool();
-        p.get_or_load((1, 0), || Page::empty(4));
+        p.get_or_load((1, 0), || Ok::<_, ()>(Page::empty(4)))
+            .unwrap();
         p.mark_dirty((1, 0), 10, 2);
         p.mark_dirty((1, 0), 20, 5); // later mod must not move rec coords
         let f = p.get(&(1, 0)).unwrap();
@@ -199,7 +211,8 @@ mod tests {
     #[test]
     fn clean_resets_coords() {
         let mut p = pool();
-        p.get_or_load((1, 0), || Page::empty(4));
+        p.get_or_load((1, 0), || Ok::<_, ()>(Page::empty(4)))
+            .unwrap();
         p.mark_dirty((1, 0), 10, 2);
         p.mark_clean(&(1, 0));
         assert_eq!(p.dirty_count(), 0);
@@ -211,7 +224,8 @@ mod tests {
     fn oldest_first_ordering() {
         let mut p = pool();
         for (idx, block) in [(0u64, 7u64), (1, 3), (2, 5)] {
-            p.get_or_load((1, idx), || Page::empty(4));
+            p.get_or_load((1, idx), || Ok::<_, ()>(Page::empty(4)))
+                .unwrap();
             p.mark_dirty((1, idx), block * 10, block);
         }
         assert_eq!(p.dirty_ids_oldest_first(), vec![(1, 1), (1, 2), (1, 0)]);
@@ -221,17 +235,20 @@ mod tests {
     #[test]
     fn oldest_dirty_none_when_clean() {
         let mut p = pool();
-        p.get_or_load((1, 0), || Page::empty(4));
+        p.get_or_load((1, 0), || Ok::<_, ()>(Page::empty(4)))
+            .unwrap();
         assert_eq!(p.oldest_dirty(), None);
     }
 
     #[test]
     fn eviction_spares_dirty_pages() {
         let mut p = BufferPool::new(2);
-        p.get_or_load((1, 0), || Page::empty(4));
+        p.get_or_load((1, 0), || Ok::<_, ()>(Page::empty(4)))
+            .unwrap();
         p.mark_dirty((1, 0), 1, 1);
         for i in 1..8u64 {
-            p.get_or_load((1, i), || Page::empty(4));
+            p.get_or_load((1, i), || Ok::<_, ()>(Page::empty(4)))
+                .unwrap();
         }
         assert!(p.get(&(1, 0)).is_some(), "dirty page evicted");
         assert!(p.get(&(1, 0)).unwrap().dirty);
@@ -244,9 +261,12 @@ mod tests {
     #[test]
     fn max_page_index_per_table() {
         let mut p = pool();
-        p.get_or_load((1, 3), || Page::empty(4));
-        p.get_or_load((1, 7), || Page::empty(4));
-        p.get_or_load((2, 50), || Page::empty(4));
+        p.get_or_load((1, 3), || Ok::<_, ()>(Page::empty(4)))
+            .unwrap();
+        p.get_or_load((1, 7), || Ok::<_, ()>(Page::empty(4)))
+            .unwrap();
+        p.get_or_load((2, 50), || Ok::<_, ()>(Page::empty(4)))
+            .unwrap();
         assert_eq!(p.max_page_index(1), Some(7));
         assert_eq!(p.max_page_index(2), Some(50));
         assert_eq!(p.max_page_index(3), None);
@@ -255,7 +275,8 @@ mod tests {
     #[test]
     fn clear_drops_everything() {
         let mut p = pool();
-        p.get_or_load((1, 0), || Page::empty(4));
+        p.get_or_load((1, 0), || Ok::<_, ()>(Page::empty(4)))
+            .unwrap();
         p.clear();
         assert!(p.is_empty());
     }

@@ -27,6 +27,22 @@ pub const FRAG_HEADER: usize = 3;
 /// two checkpoint blocks + one spare, as in InnoDB).
 pub const CIRCULAR_RESERVED: u64 = 2048;
 
+/// Doublewrite journal for in-place tail-block rewrites.
+///
+/// Rewriting the partially-filled tail block is the one WAL write that
+/// can *lose already-acknowledged records* if it tears: the old block
+/// contents (acked) and the new contents (acked + fresh) are mixed, the
+/// CRC fails, and a crash scan stops one block early. Before any such
+/// rewrite the writer persists `[block number (8 LE)][serialized
+/// block]` here with a synchronous write — InnoDB's doublewrite buffer,
+/// scoped to the single page that needs it. [`scan`] salvages the block
+/// from this file when the on-disk copy fails to parse.
+///
+/// Lives at the data-directory root so both I/O processors classify
+/// writes to it as `IoClass::Other` (it is redundant with the WAL
+/// content Ginja already captures).
+pub const TAIL_JOURNAL_PATH: &str = "wal_tail.journal";
+
 const FLAG_FIRST: u8 = 0b01;
 const FLAG_LAST: u8 = 0b10;
 
@@ -193,6 +209,11 @@ pub struct WalWriter {
     pending: Vec<(u64, Vec<u8>)>,
     tail_dirty: bool,
     blocks_written: u64,
+    /// Highest block number known to be on disk, if any. A write at or
+    /// below this is an in-place rewrite and goes through the
+    /// [`TAIL_JOURNAL_PATH`] doublewrite first.
+    written_through: Option<u64>,
+    tail_journal_writes: u64,
 }
 
 impl WalWriter {
@@ -210,6 +231,8 @@ impl WalWriter {
             pending: Vec::new(),
             tail_dirty: false,
             blocks_written: 0,
+            written_through: None,
+            tail_journal_writes: 0,
         }
     }
 
@@ -218,6 +241,11 @@ impl WalWriter {
     pub fn resume(space: LogSpace, block_size: usize, block_no: u64, payload: Vec<u8>) -> Self {
         let mut w = Self::new(space, block_size);
         w.block_no = block_no;
+        // A non-empty resume payload means the scan parsed this block
+        // off disk, so the next flush rewrites it in place.
+        if !payload.is_empty() {
+            w.written_through = Some(block_no);
+        }
         w.payload = payload;
         w
     }
@@ -230,6 +258,12 @@ impl WalWriter {
     /// Total synchronous block writes issued so far.
     pub fn blocks_written(&self) -> u64 {
         self.blocks_written
+    }
+
+    /// Doublewrite-journal writes issued ahead of in-place tail
+    /// rewrites.
+    pub fn tail_journal_writes(&self) -> u64 {
+        self.tail_journal_writes
     }
 
     /// The log space this writer appends to.
@@ -281,26 +315,43 @@ impl WalWriter {
     /// Writes all completed blocks plus the (dirty) tail block with
     /// synchronous writes. Returns the number of block writes issued.
     ///
+    /// An in-place rewrite of a block that already reached disk (the
+    /// common "tail block rewritten with more updates" case) is
+    /// preceded by a synchronous doublewrite to [`TAIL_JOURNAL_PATH`],
+    /// so a torn rewrite can never lose acknowledged records.
+    ///
     /// # Errors
     ///
     /// Propagates file-system failures; pending blocks stay queued.
     pub fn flush(&mut self, fs: &dyn FileSystem) -> Result<usize, DbError> {
         let mut writes = 0;
         while let Some((no, block)) = self.pending.first().cloned() {
-            let (file, off) = self.space.locate(no, self.block_size);
-            fs.write(&file, off, &block, true)?;
+            self.write_block(fs, no, &block)?;
             self.pending.remove(0);
             writes += 1;
         }
         if self.tail_dirty {
             let block = serialize_block(self.block_no, &self.payload, self.block_size);
-            let (file, off) = self.space.locate(self.block_no, self.block_size);
-            fs.write(&file, off, &block, true)?;
+            self.write_block(fs, self.block_no, &block)?;
             self.tail_dirty = false;
             writes += 1;
         }
         self.blocks_written += writes as u64;
         Ok(writes)
+    }
+
+    fn write_block(&mut self, fs: &dyn FileSystem, no: u64, block: &[u8]) -> Result<(), DbError> {
+        if self.written_through.is_some_and(|high| high >= no) {
+            let mut entry = Vec::with_capacity(8 + block.len());
+            entry.extend_from_slice(&no.to_le_bytes());
+            entry.extend_from_slice(block);
+            fs.write(TAIL_JOURNAL_PATH, 0, &entry, true)?;
+            self.tail_journal_writes += 1;
+        }
+        let (file, off) = self.space.locate(no, self.block_size);
+        fs.write(&file, off, block, true)?;
+        self.written_through = Some(self.written_through.map_or(no, |high| high.max(no)));
+        Ok(())
     }
 }
 
@@ -315,10 +366,35 @@ pub struct WalScan {
     pub resume_block: u64,
     /// Payload of the resume block (its fragments so far).
     pub resume_payload: Vec<u8>,
+    /// Whether the frontier block was unreadable or torn on disk and
+    /// was recovered from the [`TAIL_JOURNAL_PATH`] doublewrite.
+    pub tail_salvaged: bool,
+}
+
+/// Reads the doublewrite journal and returns the raw serialized bytes
+/// of block `expected` if the journal holds a CRC-valid copy of exactly
+/// that block. A missing, stale, or itself-torn journal yields `None`.
+fn salvage_tail(fs: &dyn FileSystem, expected: u64, block_size: usize) -> Option<Vec<u8>> {
+    let data = fs.read_all(TAIL_JOURNAL_PATH).ok()?;
+    if data.len() < 8 + BLOCK_HEADER || data.len() < 8 + block_size {
+        return None;
+    }
+    let block_no = u64::from_le_bytes(data[0..8].try_into().unwrap());
+    if block_no != expected {
+        return None;
+    }
+    let raw = data[8..8 + block_size].to_vec();
+    parse_block(&raw, expected).is_some().then_some(raw)
 }
 
 /// Scans the log forward from `start_block`, stopping at the first
 /// missing, torn, or stale block.
+///
+/// A block that fails to parse off disk is salvaged from the
+/// [`TAIL_JOURNAL_PATH`] doublewrite when the journal holds a valid
+/// copy of exactly that block — the torn-tail-rewrite crash. The
+/// salvaged contents supersede the torn on-disk copy, and the scan
+/// reports [`WalScan::tail_salvaged`].
 ///
 /// # Errors
 ///
@@ -337,15 +413,30 @@ pub fn scan(
     let mut expected = start_block;
     let mut resume_block = start_block;
     let mut resume_payload = Vec::new();
+    let mut tail_salvaged = false;
 
     loop {
         let (file, off) = space.locate(expected, block_size);
-        let data = match fs.read(&file, off, block_size) {
-            Ok(data) => data,
-            Err(_) => break,
-        };
-        let Some(payload) = parse_block(&data, expected) else {
-            break;
+        let on_disk = fs
+            .read(&file, off, block_size)
+            .ok()
+            .and_then(|data| parse_block(&data, expected));
+        let payload = match on_disk {
+            Some(payload) => payload,
+            None => match salvage_tail(fs, expected, block_size) {
+                Some(raw) => {
+                    // Heal the torn on-disk copy from the journal's good
+                    // one: the journal holds only a single block, so the
+                    // next tail rewrite (of a *later* block) would
+                    // overwrite it and strand this block torn forever.
+                    // Best effort — if the write fails the journal still
+                    // holds the block for the next scan.
+                    let _ = fs.write(&file, off, &raw, true);
+                    tail_salvaged = true;
+                    parse_block(&raw, expected).expect("salvage_tail validated the CRC")
+                }
+                None => break,
+            },
         };
 
         // Parse fragments.
@@ -391,6 +482,7 @@ pub fn scan(
         records,
         resume_block,
         resume_payload,
+        tail_salvaged,
     })
 }
 
@@ -640,6 +732,130 @@ mod tests {
         assert!(s.records.is_empty());
         assert_eq!(s.resume_block, 0);
         assert!(s.resume_payload.is_empty());
+    }
+
+    /// Builds the torn-tail-rewrite crash state: block 0 is flushed
+    /// with `rec1` (acknowledged), then rewritten with `rec1 + rec2`,
+    /// and the rewrite tears after `torn_at` bytes — the on-disk block
+    /// mixes new header/CRC with old payload bytes and fails to parse.
+    /// Returns the fs (journal intact) and the two records.
+    fn torn_tail_state(torn_at: usize) -> (MemFs, WalRecord, WalRecord) {
+        let fs = MemFs::new();
+        let mut w = WalWriter::new(seg_space(), 512);
+        let rec1 = put(1, 1, 60);
+        let rec2 = put(2, 2, 60);
+        w.append(&rec1);
+        w.flush(&fs).unwrap(); // rec1 is on disk — acknowledged.
+        let (file, off) = seg_space().locate(0, 512);
+        let v1 = fs.read(&file, off, 512).unwrap();
+        w.append(&rec2);
+        w.flush(&fs).unwrap(); // journaled doublewrite + in-place rewrite
+        let v2 = fs.read(&file, off, 512).unwrap();
+        assert_ne!(v1, v2);
+        // Tear the in-place rewrite at a sector boundary: new prefix,
+        // old suffix.
+        let mut torn = v2[..torn_at].to_vec();
+        torn.extend_from_slice(&v1[torn_at..]);
+        fs.write(&file, off, &torn, false).unwrap();
+        (fs, rec1, rec2)
+    }
+
+    #[test]
+    fn torn_tail_rewrite_without_journal_loses_acked_records() {
+        // The pre-hardening failure mode: with the doublewrite journal
+        // gone, a torn tail rewrite silently erases record 1 even
+        // though its flush had completed (it was acknowledged).
+        let (fs, _rec1, _rec2) = torn_tail_state(64);
+        fs.delete(TAIL_JOURNAL_PATH).unwrap();
+        let s = scan(&fs, &seg_space(), 512, 0).unwrap();
+        assert!(s.records.is_empty(), "torn block should not parse");
+        assert!(!s.tail_salvaged);
+    }
+
+    #[test]
+    fn torn_tail_rewrite_salvaged_from_doublewrite_journal() {
+        let (fs, rec1, rec2) = torn_tail_state(64);
+        let s = scan(&fs, &seg_space(), 512, 0).unwrap();
+        assert!(s.tail_salvaged);
+        // The journal holds the full rewrite, so both the acknowledged
+        // record and the in-flight one come back.
+        assert_eq!(s.records, vec![rec1, rec2]);
+        assert_eq!(s.resume_block, 0);
+
+        // A writer resumed from the salvage continues normally and
+        // journals its own rewrite of the same block.
+        let mut w = WalWriter::resume(seg_space(), 512, s.resume_block, s.resume_payload);
+        let journal_writes = w.tail_journal_writes();
+        w.append(&put(3, 3, 60));
+        w.flush(&fs).unwrap();
+        assert_eq!(w.tail_journal_writes(), journal_writes + 1);
+        let s2 = scan(&fs, &seg_space(), 512, 0).unwrap();
+        assert_eq!(s2.records.len(), 3);
+        assert!(!s2.tail_salvaged);
+    }
+
+    #[test]
+    fn salvaged_tail_is_healed_back_to_disk() {
+        // Salvage must repair the torn on-disk block, not just read
+        // around it: the journal holds a single block, so the next tail
+        // rewrite (of a later block) overwrites it — an unhealed torn
+        // block would become unrecoverable at the crash after that.
+        let (fs, rec1, rec2) = torn_tail_state(64);
+        let s = scan(&fs, &seg_space(), 512, 0).unwrap();
+        assert!(s.tail_salvaged);
+        // Even with the journal gone, the records now survive because
+        // the scan wrote the good copy back over the torn one.
+        fs.delete(TAIL_JOURNAL_PATH).unwrap();
+        let s2 = scan(&fs, &seg_space(), 512, 0).unwrap();
+        assert!(!s2.tail_salvaged);
+        assert_eq!(s2.records, vec![rec1, rec2]);
+    }
+
+    #[test]
+    fn stale_journal_does_not_resurrect_other_blocks() {
+        // A journal entry for block 0 must not salvage a failure at a
+        // different block number.
+        let (fs, _rec1, _rec2) = torn_tail_state(64);
+        let s = scan(&fs, &seg_space(), 512, 3).unwrap();
+        assert!(s.records.is_empty());
+        assert!(!s.tail_salvaged);
+    }
+
+    #[test]
+    fn torn_journal_is_ignored() {
+        // If the crash tore the journal write itself (before the
+        // in-place write happened), the on-disk block is still the old
+        // valid copy and the corrupt journal must be ignored.
+        let fs = MemFs::new();
+        let mut w = WalWriter::new(seg_space(), 512);
+        w.append(&put(1, 1, 60));
+        w.flush(&fs).unwrap();
+        w.append(&put(2, 2, 60));
+        w.flush(&fs).unwrap(); // writes a valid journal entry
+        let journal = fs.read_all(TAIL_JOURNAL_PATH).unwrap();
+        let mut torn = journal.clone();
+        for b in &mut torn[100..] {
+            *b ^= 0xFF;
+        }
+        fs.write(TAIL_JOURNAL_PATH, 0, &torn, false).unwrap();
+        let s = scan(&fs, &seg_space(), 512, 0).unwrap();
+        // Block 0 on disk is valid (the rewrite completed), so the
+        // journal is never consulted; records are intact either way.
+        assert_eq!(s.records.len(), 2);
+        assert!(!s.tail_salvaged);
+    }
+
+    #[test]
+    fn first_write_of_a_block_is_not_journaled() {
+        let fs = MemFs::new();
+        let mut w = WalWriter::new(seg_space(), 512);
+        for i in 0..20 {
+            w.append(&put(i, i, 100));
+        }
+        w.flush(&fs).unwrap();
+        // One flush of fresh blocks: every write is a first write.
+        assert_eq!(w.tail_journal_writes(), 0);
+        assert!(!fs.exists(TAIL_JOURNAL_PATH));
     }
 
     #[test]

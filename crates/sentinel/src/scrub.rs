@@ -142,15 +142,24 @@ pub fn scrub_bucket(
         }
     }
 
-    // Missing WAL: gaps in the timestamp chain after the newest usable
-    // dump. Offline there is no view to compare against, but timestamps
-    // are allocated contiguously, so a hole after the dump is an object
-    // that existed and is gone. (Holes *before* the dump are what
-    // garbage collection leaves behind — expected, not an anomaly.)
-    let dump_ts = view.most_recent_dump().map(|(ts, _)| ts);
-    if let Some(dump_ts) = dump_ts {
-        let mut expected = dump_ts + 1;
-        for wal in view.wal_entries().filter(|w| w.ts > dump_ts) {
+    // Missing WAL: gaps in the timestamp chain after the GC horizon.
+    // Offline there is no view to compare against, but timestamps are
+    // allocated contiguously, so a hole above the horizon is an object
+    // that existed and is gone. The horizon is the newest *complete* DB
+    // object of either kind — not just the newest dump: checkpoints
+    // garbage-collect the WAL they cover (up to their watermark
+    // timestamp), so holes at or below a checkpoint's ts are
+    // indistinguishable from legitimate GC without the live view. Only
+    // a live sentinel, diffing against the pipeline's own inventory,
+    // can audit below the horizon.
+    let horizon = view
+        .db_entries()
+        .filter(|(_, e)| e.is_complete())
+        .map(|(ts, _)| ts)
+        .max();
+    if let Some(horizon) = horizon {
+        let mut expected = horizon + 1;
+        for wal in view.wal_entries().filter(|w| w.ts > horizon) {
             for missing in expected..wal.ts {
                 report.anomalies.push(Anomaly {
                     kind: AnomalyKind::MissingWal,
@@ -242,6 +251,71 @@ mod tests {
         put_sealed(&cloud, &config, &wal_name(6), b"record-f");
         let report = scrub_bucket(&cloud, &config).unwrap();
         assert!(report.is_clean(), "{:?}", report.anomalies);
+    }
+
+    #[test]
+    fn checkpoint_gc_holes_below_watermark_are_not_anomalies() {
+        let cloud = MemStore::new();
+        let config = config();
+        // A checkpoint at watermark 4 garbage-collected WAL 1–4; the
+        // dump stays at ts 0. The hole above the dump but at/below the
+        // checkpoint is legitimate GC, not loss.
+        put_sealed(&cloud, &config, "DB/0_dump_10", b"0123456789");
+        let ckpt = DbObjectName {
+            ts: 4,
+            kind: DbObjectKind::Checkpoint,
+            size: 8,
+            part: 0,
+            parts: 1,
+        };
+        put_sealed(&cloud, &config, &ckpt.to_name(), b"pagedata");
+        put_sealed(&cloud, &config, &wal_name(5), b"record-e");
+        put_sealed(&cloud, &config, &wal_name(6), b"record-f");
+        let report = scrub_bucket(&cloud, &config).unwrap();
+        assert!(report.is_clean(), "{:?}", report.anomalies);
+    }
+
+    #[test]
+    fn wal_gap_above_checkpoint_watermark_is_still_missing() {
+        let cloud = MemStore::new();
+        let config = config();
+        put_sealed(&cloud, &config, "DB/0_dump_10", b"0123456789");
+        let ckpt = DbObjectName {
+            ts: 4,
+            kind: DbObjectKind::Checkpoint,
+            size: 8,
+            part: 0,
+            parts: 1,
+        };
+        put_sealed(&cloud, &config, &ckpt.to_name(), b"pagedata");
+        put_sealed(&cloud, &config, &wal_name(5), b"record-e");
+        put_sealed(&cloud, &config, &wal_name(7), b"record-g");
+        let report = scrub_bucket(&cloud, &config).unwrap();
+        assert_eq!(report.count(AnomalyKind::MissingWal), 1);
+        assert_eq!(report.anomalies[0].name, "WAL/6_(gap)");
+    }
+
+    #[test]
+    fn incomplete_checkpoint_does_not_mask_wal_gaps() {
+        let cloud = MemStore::new();
+        let config = config();
+        // A half-uploaded checkpoint (part 0 of 2) cannot have GC'd
+        // anything — GC runs only after the upload completes — so it
+        // must not raise the gap horizon.
+        put_sealed(&cloud, &config, "DB/0_dump_10", b"0123456789");
+        let half = DbObjectName {
+            ts: 4,
+            kind: DbObjectKind::Checkpoint,
+            size: 16,
+            part: 0,
+            parts: 2,
+        };
+        put_sealed(&cloud, &config, &half.to_name(), b"half-the");
+        put_sealed(&cloud, &config, &wal_name(1), b"record-a");
+        put_sealed(&cloud, &config, &wal_name(3), b"record-c");
+        let report = scrub_bucket(&cloud, &config).unwrap();
+        assert_eq!(report.count(AnomalyKind::MissingWal), 1);
+        assert_eq!(report.count(AnomalyKind::MissingDb), 1);
     }
 
     #[test]

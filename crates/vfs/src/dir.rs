@@ -44,6 +44,24 @@ impl DirFs {
         Ok(self.root.join(path))
     }
 
+    /// Maps an OS error to the structured [`FsError`] for `path`.
+    /// `ENOSPC` gets its own variant — a full disk under the WAL is an
+    /// operational condition callers react to, not a generic string —
+    /// and `EIO` keeps its errno name so logs stay greppable across
+    /// locales.
+    fn io_err(path: &str, err: std::io::Error) -> FsError {
+        if err.kind() == std::io::ErrorKind::NotFound {
+            return FsError::NotFound(path.to_string());
+        }
+        if err.kind() == std::io::ErrorKind::StorageFull || err.raw_os_error() == Some(28) {
+            return FsError::NoSpace(path.to_string());
+        }
+        if err.raw_os_error() == Some(5) {
+            return FsError::Io(format!("EIO on {path}: {err}"));
+        }
+        FsError::Io(format!("{path}: {err}"))
+    }
+
     fn walk(dir: &Path, base: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
         for entry in fs::read_dir(dir)? {
             let entry = entry?;
@@ -65,16 +83,16 @@ impl FileSystem for DirFs {
             return Err(FsError::AlreadyExists(path.to_string()));
         }
         if let Some(parent) = full.parent() {
-            fs::create_dir_all(parent)?;
+            fs::create_dir_all(parent).map_err(|e| Self::io_err(path, e))?;
         }
-        fs::File::create(&full)?;
+        fs::File::create(&full).map_err(|e| Self::io_err(path, e))?;
         Ok(())
     }
 
     fn write(&self, path: &str, offset: u64, data: &[u8], sync: bool) -> Result<(), FsError> {
         let full = self.resolve(path)?;
         if let Some(parent) = full.parent() {
-            fs::create_dir_all(parent)?;
+            fs::create_dir_all(parent).map_err(|e| Self::io_err(path, e))?;
         }
         // Positional write semantics: never truncate existing content.
         let mut file = fs::OpenOptions::new()
@@ -82,25 +100,21 @@ impl FileSystem for DirFs {
             .write(true)
             .create(true)
             .truncate(false)
-            .open(&full)?;
-        file.seek(SeekFrom::Start(offset))?;
-        file.write_all(data)?;
+            .open(&full)
+            .map_err(|e| Self::io_err(path, e))?;
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| Self::io_err(path, e))?;
+        file.write_all(data).map_err(|e| Self::io_err(path, e))?;
         if sync {
-            file.sync_data()?;
+            file.sync_data().map_err(|e| Self::io_err(path, e))?;
         }
         Ok(())
     }
 
     fn read(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
         let full = self.resolve(path)?;
-        let mut file = fs::File::open(&full).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::NotFound {
-                FsError::NotFound(path.to_string())
-            } else {
-                FsError::Io(e.to_string())
-            }
-        })?;
-        let file_len = file.metadata()?.len();
+        let mut file = fs::File::open(&full).map_err(|e| Self::io_err(path, e))?;
+        let file_len = file.metadata().map_err(|e| Self::io_err(path, e))?.len();
         if offset + len as u64 > file_len {
             return Err(FsError::OutOfBounds {
                 path: path.to_string(),
@@ -108,31 +122,24 @@ impl FileSystem for DirFs {
                 len: file_len,
             });
         }
-        file.seek(SeekFrom::Start(offset))?;
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| Self::io_err(path, e))?;
         let mut buf = vec![0u8; len];
-        file.read_exact(&mut buf)?;
+        file.read_exact(&mut buf)
+            .map_err(|e| Self::io_err(path, e))?;
         Ok(buf)
     }
 
     fn read_all(&self, path: &str) -> Result<Vec<u8>, FsError> {
         let full = self.resolve(path)?;
-        fs::read(&full).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::NotFound {
-                FsError::NotFound(path.to_string())
-            } else {
-                FsError::Io(e.to_string())
-            }
-        })
+        fs::read(&full).map_err(|e| Self::io_err(path, e))
     }
 
     fn len(&self, path: &str) -> Result<u64, FsError> {
         let full = self.resolve(path)?;
         match fs::metadata(&full) {
             Ok(meta) => Ok(meta.len()),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                Err(FsError::NotFound(path.to_string()))
-            }
-            Err(e) => Err(FsError::Io(e.to_string())),
+            Err(e) => Err(Self::io_err(path, e)),
         }
     }
 
@@ -141,14 +148,8 @@ impl FileSystem for DirFs {
         let file = fs::OpenOptions::new()
             .write(true)
             .open(&full)
-            .map_err(|e| {
-                if e.kind() == std::io::ErrorKind::NotFound {
-                    FsError::NotFound(path.to_string())
-                } else {
-                    FsError::Io(e.to_string())
-                }
-            })?;
-        file.set_len(len)?;
+            .map_err(|e| Self::io_err(path, e))?;
+        file.set_len(len).map_err(|e| Self::io_err(path, e))?;
         Ok(())
     }
 
@@ -157,7 +158,7 @@ impl FileSystem for DirFs {
         match fs::remove_file(&full) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(FsError::Io(e.to_string())),
+            Err(e) => Err(Self::io_err(path, e)),
         }
     }
 
@@ -168,9 +169,9 @@ impl FileSystem for DirFs {
             return Err(FsError::NotFound(from.to_string()));
         }
         if let Some(parent) = to_full.parent() {
-            fs::create_dir_all(parent)?;
+            fs::create_dir_all(parent).map_err(|e| Self::io_err(to, e))?;
         }
-        fs::rename(&from_full, &to_full)?;
+        fs::rename(&from_full, &to_full).map_err(|e| Self::io_err(from, e))?;
         Ok(())
     }
 
@@ -258,6 +259,24 @@ mod tests {
         fs.write("z", 0, b"2", false).unwrap();
         fs.wipe().unwrap();
         assert!(fs.list("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn io_err_maps_errnos_structurally() {
+        // ENOSPC can't be provoked portably in a unit test; exercise
+        // the mapping helper directly.
+        let enospc = std::io::Error::from_raw_os_error(28);
+        assert!(matches!(
+            DirFs::io_err("wal/0", enospc),
+            FsError::NoSpace(p) if p == "wal/0"
+        ));
+        let eio = std::io::Error::from_raw_os_error(5);
+        match DirFs::io_err("f", eio) {
+            FsError::Io(msg) => assert!(msg.contains("EIO"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        let missing = std::io::Error::from(std::io::ErrorKind::NotFound);
+        assert!(matches!(DirFs::io_err("f", missing), FsError::NotFound(_)));
     }
 
     #[test]

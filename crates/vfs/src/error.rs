@@ -18,7 +18,11 @@ pub enum FsError {
         /// Actual file length.
         len: u64,
     },
-    /// An underlying I/O error (only from [`crate::DirFs`]).
+    /// The device is out of space (`ENOSPC` from [`crate::DirFs`], or an
+    /// injected fault from [`crate::FaultFs`]).
+    NoSpace(String),
+    /// An underlying I/O error (from [`crate::DirFs`], or injected by
+    /// [`crate::FaultFs`]).
     Io(String),
 }
 
@@ -33,6 +37,7 @@ impl fmt::Display for FsError {
                     "read past end of {path}: offset {offset}, file length {len}"
                 )
             }
+            FsError::NoSpace(path) => write!(f, "no space left on device: {path}"),
             FsError::Io(reason) => write!(f, "i/o error: {reason}"),
         }
     }
@@ -42,6 +47,12 @@ impl Error for FsError {}
 
 impl From<std::io::Error> for FsError {
     fn from(err: std::io::Error) -> Self {
+        // ENOSPC deserves structure: callers decide whether to fail the
+        // commit or trigger a forced checkpoint, and a stringly match on
+        // an OS-localized message would be wrong on every non-C locale.
+        if err.kind() == std::io::ErrorKind::StorageFull || err.raw_os_error() == Some(28) {
+            return FsError::NoSpace(err.to_string());
+        }
         FsError::Io(err.to_string())
     }
 }
@@ -62,6 +73,17 @@ mod tests {
         let fs: FsError = io.into();
         assert!(matches!(fs, FsError::Io(_)));
         assert!(fs.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn enospc_converts_to_no_space() {
+        let io = std::io::Error::from_raw_os_error(28); // ENOSPC
+        let fs: FsError = io.into();
+        assert!(matches!(fs, FsError::NoSpace(_)), "{fs:?}");
+        let io = std::io::Error::new(std::io::ErrorKind::StorageFull, "full");
+        let fs: FsError = io.into();
+        assert!(matches!(fs, FsError::NoSpace(_)), "{fs:?}");
+        assert!(FsError::NoSpace("f".into()).to_string().contains("space"));
     }
 
     #[test]

@@ -29,8 +29,10 @@ mod delay;
 mod dir;
 mod error;
 mod event;
+mod fault;
 mod fs;
 mod intercept;
+mod journal;
 mod mem;
 mod mysql;
 mod postgres;
@@ -39,8 +41,10 @@ pub use delay::{precise_sleep, DelayFs};
 pub use dir::DirFs;
 pub use error::FsError;
 pub use event::{DbmsProcessor, IoClass};
+pub use fault::{FaultFs, FsFaultKind, FsOpKind, VfsFaultPlan};
 pub use fs::FileSystem;
 pub use intercept::{InterceptFs, IoProcessor, NullProcessor, WriteEvent};
+pub use journal::{JournaledFs, DEFAULT_SECTOR_SIZE};
 pub use mem::MemFs;
 pub use mysql::MySqlProcessor;
 pub use postgres::PostgresProcessor;

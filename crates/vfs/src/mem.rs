@@ -1,4 +1,5 @@
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
@@ -6,9 +7,17 @@ use crate::{FileSystem, FsError};
 
 /// In-memory [`FileSystem`] — the default substrate for tests and
 /// simulated experiments (fast and trivially wiped for disaster drills).
+///
+/// Every write is durable the instant it returns ("sync-transparent"):
+/// there is no volatile page cache to lose, so `sync` only affects the
+/// [`MemFs::synced_writes`]/[`MemFs::unsynced_writes`] counters. Tests
+/// that need the real distinction — un-synced bytes that a power cut
+/// destroys — wrap their workload in [`crate::JournaledFs`] instead.
 #[derive(Debug, Default)]
 pub struct MemFs {
     files: RwLock<BTreeMap<String, Vec<u8>>>,
+    synced_writes: AtomicU64,
+    unsynced_writes: AtomicU64,
 }
 
 impl MemFs {
@@ -27,11 +36,25 @@ impl MemFs {
         self.files.read().values().map(|v| v.len() as u64).sum()
     }
 
+    /// Writes that asked for durability (`sync == true`).
+    pub fn synced_writes(&self) -> u64 {
+        self.synced_writes.load(Ordering::Relaxed)
+    }
+
+    /// Writes that did not ask for durability (`sync == false`) — the
+    /// ones a power cut would destroy on a real disk.
+    pub fn unsynced_writes(&self) -> u64 {
+        self.unsynced_writes.load(Ordering::Relaxed)
+    }
+
     /// A deep copy of the current state — the benchmark harness loads a
     /// database once and forks it for each experiment configuration.
+    /// Write counters start at zero in the copy.
     pub fn fork(&self) -> MemFs {
         MemFs {
             files: RwLock::new(self.files.read().clone()),
+            synced_writes: AtomicU64::new(0),
+            unsynced_writes: AtomicU64::new(0),
         }
     }
 }
@@ -46,7 +69,12 @@ impl FileSystem for MemFs {
         Ok(())
     }
 
-    fn write(&self, path: &str, offset: u64, data: &[u8], _sync: bool) -> Result<(), FsError> {
+    fn write(&self, path: &str, offset: u64, data: &[u8], sync: bool) -> Result<(), FsError> {
+        if sync {
+            self.synced_writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.unsynced_writes.fetch_add(1, Ordering::Relaxed);
+        }
         let mut files = self.files.write();
         let file = files.entry(path.to_string()).or_default();
         let offset = offset as usize;
@@ -246,6 +274,21 @@ mod tests {
         assert_eq!(fs.read_all("a").unwrap(), b"original");
         assert!(!fs.exists("b"));
         assert_eq!(copy.read_all("a").unwrap(), b"modified");
+    }
+
+    #[test]
+    fn sync_flag_is_observed() {
+        let fs = MemFs::new();
+        fs.write("f", 0, b"a", true).unwrap();
+        fs.write("f", 1, b"b", false).unwrap();
+        fs.write("f", 2, b"c", false).unwrap();
+        assert_eq!(fs.synced_writes(), 1);
+        assert_eq!(fs.unsynced_writes(), 2);
+        // Content is identical either way: MemFs stays sync-transparent.
+        assert_eq!(fs.read_all("f").unwrap(), b"abc");
+        let copy = fs.fork();
+        assert_eq!(copy.synced_writes(), 0);
+        assert_eq!(copy.unsynced_writes(), 0);
     }
 
     #[test]

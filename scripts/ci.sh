@@ -9,3 +9,8 @@ cargo test -q
 # The DR-sentinel acceptance scenario, run on its own so a chaos
 # regression is unmissable in the log.
 cargo test -q --test sentinel_chaos -- --nocapture
+# A bounded CrashFs crash-point sweep over both DBMS profiles: every
+# third mutating local I/O becomes a kill point (clean + torn), and
+# each survivor must recover locally, from the cloud, and via reboot.
+cargo run -q --release --bin ginja-cli -- crashtest --profile postgres --ops 6 --stride 3
+cargo run -q --release --bin ginja-cli -- crashtest --profile mysql --ops 6 --stride 3 --seed 7

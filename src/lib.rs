@@ -71,8 +71,10 @@ pub use ginja_sentinel as sentinel;
 pub use ginja_vfs as vfs;
 pub use ginja_workload as workload;
 
+pub mod crashpoint;
 pub mod harness;
 
+pub use crashpoint::{explore, CrashMode, CrashReport, ExplorerConfig, Violation};
 pub use harness::{HarnessError, ProtectedDb};
 
 /// Convenient re-exports of the most common entry points.

@@ -135,3 +135,33 @@ fn cli_full_operator_flow() {
 
     let _ = std::fs::remove_dir_all(&base);
 }
+
+#[test]
+fn cli_crashtest_sweeps_clean() {
+    // Bucket-less: the sweep runs against in-memory stores. Keep it
+    // small — each replay is a full boot → crash → recover cycle.
+    let out = run_ok(&["crashtest", "--ops", "3", "--stride", "6", "--no-torn"]);
+    assert!(out.contains("crashtest PASSED"), "{out}");
+    assert!(out.contains("crash points:"), "{out}");
+
+    let out = run_ok(&[
+        "crashtest",
+        "--profile",
+        "mysql",
+        "--ops",
+        "3",
+        "--stride",
+        "8",
+        "--seed",
+        "42",
+    ]);
+    assert!(out.contains("crashtest PASSED"), "{out}");
+
+    // Unknown profile exits nonzero.
+    assert!(!cli()
+        .args(["crashtest", "--profile", "oracle"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+}
