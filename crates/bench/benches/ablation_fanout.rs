@@ -1,0 +1,271 @@
+//! Ablation: recovery fan-out width and the pooled codec hot path.
+//!
+//! Two questions this harness answers:
+//!
+//! 1. **Does parallel recovery pay?** The same latency-injected bucket
+//!    (intra-region S3 model) is recovered at `recovery_fanout` 1, 4
+//!    and 8. Recovery is GET-latency bound, so wall-clock should fall
+//!    nearly linearly with the width until bandwidth or compute binds —
+//!    the run asserts at least a 2× cut at width 8 vs. serial, and that
+//!    every width rebuilds byte-identical files.
+//! 2. **Does the zero-copy codec pipeline pay?** `seal`/`seal_into` are
+//!    driven back-to-back over the same WAL-shaped payloads; the pooled
+//!    path must not allocate per object once the thread-local
+//!    [`ginja_codec::bufpool`] is warm (measured via its hit/miss
+//!    counters) while staying at least as fast as the allocating path.
+//!
+//! With `BENCH_PR4_OUT=<path>` the headline numbers are also written as
+//! a small JSON document (CI smoke uses this to archive a trend point).
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ginja_bench::table::{fmt, Table};
+use ginja_bench::timescale::{time_scale, to_sim_duration};
+use ginja_cloud::{LatencyModel, LatencyStore, MemStore, ObjectStore};
+use ginja_codec::{bufpool, Codec};
+use ginja_core::{bundle, recover_into, DbObjectKind, DbObjectName, GinjaConfig, WalObjectName};
+use ginja_vfs::{FileSystem, MemFs};
+
+/// WAL objects seeded into the bucket (the knob recovery fan-out works
+/// on: each is one GET).
+const WAL_OBJECTS: u64 = 96;
+
+/// Incremental checkpoints seeded after the dump.
+const CHECKPOINTS: u64 = 16;
+
+/// Payload bytes per WAL object.
+const WAL_OBJECT_LEN: usize = 4 * 1024;
+
+fn config(fanout: usize) -> GinjaConfig {
+    GinjaConfig::builder()
+        .recovery_fanout(fanout)
+        .build()
+        .expect("valid config")
+}
+
+fn page_like_data(len: usize, salt: u64) -> Vec<u8> {
+    let mut data = Vec::with_capacity(len);
+    let mut state = 0x2545_F491_4F6C_DD1D ^ salt;
+    while data.len() < len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        data.extend_from_slice(&state.to_le_bytes());
+        data.extend_from_slice(b"wal-record-filler");
+    }
+    data.truncate(len);
+    data
+}
+
+/// Seeds a bucket shaped like a protected run left it: one dump, a
+/// stream of WAL objects, and a tail of incremental checkpoints.
+fn seed_bucket(codec: &Codec) -> MemStore {
+    let cloud = MemStore::new();
+    let dump = bundle::encode(&[bundle::FileRange {
+        path: "base/1".into(),
+        offset: 0,
+        data: page_like_data(256 * 1024, 1),
+    }]);
+    let name = DbObjectName {
+        ts: 0,
+        kind: DbObjectKind::Dump,
+        size: dump.len() as u64,
+        part: 0,
+        parts: 1,
+    };
+    let sealed = codec.seal(&name.to_name(), &dump).expect("seal dump");
+    cloud.put(&name.to_name(), &sealed).expect("put dump");
+
+    for ts in 1..=WAL_OBJECTS {
+        let data = page_like_data(WAL_OBJECT_LEN, ts);
+        let name = WalObjectName {
+            ts,
+            file: format!("pg_xlog/{:04}", ts / 32),
+            offset: (ts % 32) * WAL_OBJECT_LEN as u64,
+            len: data.len() as u64,
+        };
+        let sealed = codec.seal(&name.to_name(), &data).expect("seal wal");
+        cloud.put(&name.to_name(), &sealed).expect("put wal");
+    }
+
+    for i in 0..CHECKPOINTS {
+        let ts = WAL_OBJECTS - CHECKPOINTS + i; // interleaved with the WAL tail
+        let body = bundle::encode(&[bundle::FileRange {
+            path: "base/1".into(),
+            offset: (i * 8192) % (128 * 1024),
+            data: page_like_data(8 * 1024, 0x5eed ^ i),
+        }]);
+        let name = DbObjectName {
+            ts,
+            kind: DbObjectKind::Checkpoint,
+            size: body.len() as u64,
+            part: 0,
+            parts: 1,
+        };
+        let sealed = codec.seal(&name.to_name(), &body).expect("seal ckpt");
+        cloud.put(&name.to_name(), &sealed).expect("put ckpt");
+    }
+    cloud
+}
+
+fn copy_store(src: &MemStore) -> MemStore {
+    let dst = MemStore::new();
+    for name in src.list("").expect("list") {
+        dst.put(&name, &src.get(&name).expect("get")).expect("put");
+    }
+    dst
+}
+
+/// Recovers the seeded bucket through a latency-injected store at the
+/// given fan-out; returns (simulated seconds, rebuilt files).
+fn timed_recovery(src: &MemStore, scale: f64, fanout: usize) -> (f64, Vec<(String, Vec<u8>)>) {
+    let cloud = LatencyStore::with_seed(
+        copy_store(src),
+        LatencyModel::s3_intra_region().scaled(scale),
+        0xab1a + fanout as u64,
+    );
+    let target = Arc::new(MemFs::new());
+    let start = Instant::now();
+    recover_into(target.as_ref(), &cloud, &config(fanout)).expect("recovery");
+    let sim = to_sim_duration(start.elapsed()).as_secs_f64();
+    let mut files: Vec<(String, Vec<u8>)> = target
+        .list("")
+        .expect("list rebuilt")
+        .into_iter()
+        .map(|path| {
+            let data = target.read_all(&path).expect("read rebuilt");
+            (path, data)
+        })
+        .collect();
+    files.sort();
+    (sim, files)
+}
+
+/// Objects/s through the allocating seal and the pooled seal_into, plus
+/// the pool miss delta of the pooled run.
+fn seal_throughput(codec: &Codec, rounds: usize) -> (f64, f64, u64, u64) {
+    let payloads: Vec<Vec<u8>> = (0..64)
+        .map(|i| page_like_data(WAL_OBJECT_LEN, 0xc0dec ^ i))
+        .collect();
+
+    let start = Instant::now();
+    for r in 0..rounds {
+        for (i, data) in payloads.iter().enumerate() {
+            let sealed = codec
+                .seal(&format!("WAL/{}_seg_{i}", r), data)
+                .expect("seal");
+            std::hint::black_box(&sealed);
+        }
+    }
+    let alloc_rate = (rounds * payloads.len()) as f64 / start.elapsed().as_secs_f64();
+
+    // Warm the pool, then measure with the counters bracketed.
+    let mut out = Vec::new();
+    codec
+        .seal_into("WAL/warmup", &payloads[0], &mut out)
+        .expect("warmup");
+    let (h0, m0) = bufpool::counters();
+    let start = Instant::now();
+    for r in 0..rounds {
+        for (i, data) in payloads.iter().enumerate() {
+            codec
+                .seal_into(&format!("WAL/{}_seg_{i}", r), data, &mut out)
+                .expect("seal_into");
+            std::hint::black_box(&out);
+        }
+    }
+    let pooled_rate = (rounds * payloads.len()) as f64 / start.elapsed().as_secs_f64();
+    let (h1, m1) = bufpool::counters();
+    (alloc_rate, pooled_rate, h1 - h0, m1 - m0)
+}
+
+fn main() {
+    let scale = time_scale();
+    println!("time scale: {scale}");
+    println!("== Ablation: recovery fan-out width + pooled codec hot path ==\n");
+
+    let codec = Codec::new(config(1).codec.clone());
+    let bucket = seed_bucket(&codec);
+    println!(
+        "bucket: {} objects ({} WAL x {} B, {} checkpoints, 1 dump)\n",
+        bucket.list("").expect("list").len(),
+        WAL_OBJECTS,
+        WAL_OBJECT_LEN,
+        CHECKPOINTS,
+    );
+
+    let mut t = Table::new(&["recovery_fanout", "recovery (sim s)", "speedup vs serial"]);
+    let mut times = Vec::new();
+    let mut reference: Option<Vec<(String, Vec<u8>)>> = None;
+    for fanout in [1usize, 4, 8] {
+        let (sim, files) = timed_recovery(&bucket, scale, fanout);
+        match &reference {
+            None => reference = Some(files),
+            Some(expect) => assert_eq!(
+                expect, &files,
+                "fan-out {fanout} rebuilt different bytes than serial"
+            ),
+        }
+        let serial = *times.first().unwrap_or(&sim);
+        t.row(&[
+            fanout.to_string(),
+            fmt(sim, 2),
+            format!("{:.1}x", serial / sim.max(1e-9)),
+        ]);
+        times.push(sim);
+    }
+    t.print();
+    let speedup8 = times[0] / times[2].max(1e-9);
+    assert!(
+        speedup8 >= 2.0,
+        "fan-out 8 must cut recovery at least 2x vs serial (got {speedup8:.2}x: \
+         {times:?} sim s)"
+    );
+
+    let (alloc_rate, pooled_rate, hits, misses) = seal_throughput(&codec, 64);
+    println!("\nseal hot path (4 KiB WAL-shaped objects):");
+    let mut t = Table::new(&["path", "objects/s", "pool hits", "pool misses"]);
+    t.row(&[
+        "seal (allocating)".into(),
+        fmt(alloc_rate, 0),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.row(&[
+        "seal_into (pooled)".into(),
+        fmt(pooled_rate, 0),
+        hits.to_string(),
+        misses.to_string(),
+    ]);
+    t.print();
+    assert!(
+        misses <= 2,
+        "a warm pool must serve the whole run without allocating ({misses} misses)"
+    );
+    assert!(
+        pooled_rate >= alloc_rate * 0.8,
+        "the pooled path must not be slower than the allocating one \
+         ({pooled_rate:.0} vs {alloc_rate:.0} objects/s)"
+    );
+
+    println!(
+        "\nshape check: recovery wall-clock falls ~linearly with fan-out width; \
+         the pooled seal path allocates nothing once warm"
+    );
+
+    if let Ok(path) = std::env::var("BENCH_PR4_OUT") {
+        let json = format!(
+            "{{\n  \"recovery_sim_s\": {{\"fanout_1\": {:.4}, \"fanout_4\": {:.4}, \
+             \"fanout_8\": {:.4}}},\n  \"recovery_speedup_8x\": {:.2},\n  \
+             \"seal_objects_per_s_alloc\": {:.0},\n  \"seal_objects_per_s_pooled\": {:.0},\n  \
+             \"bufpool_hits\": {},\n  \"bufpool_misses\": {}\n}}\n",
+            times[0], times[1], times[2], speedup8, alloc_rate, pooled_rate, hits, misses
+        );
+        let mut file = std::fs::File::create(&path).expect("create BENCH_PR4_OUT");
+        file.write_all(json.as_bytes())
+            .expect("write BENCH_PR4_OUT");
+        println!("\nwrote {path}");
+    }
+}

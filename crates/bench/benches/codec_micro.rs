@@ -2,7 +2,7 @@
 //! regression tracking; not a paper experiment).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ginja_codec::{aes, ctr, glz, sha1, Codec, CodecConfig};
+use ginja_codec::{aes, bufpool, ctr, glz, sha1, Codec, CodecConfig};
 
 fn page_like_data(len: usize) -> Vec<u8> {
     let mut data = Vec::with_capacity(len);
@@ -72,9 +72,34 @@ fn bench_seal_open(c: &mut Criterion) {
         group.bench_function(format!("seal_{label}"), |b| {
             b.iter(|| codec.seal("WAL/1_seg_0", &data).unwrap())
         });
+        // The pooled variant reuses the caller's output buffer and the
+        // thread-local bufpool for intermediates: zero allocations per
+        // object once warm (the miss counter below proves it).
+        let mut out = Vec::new();
+        let (_, m0) = bufpool::counters();
+        group.bench_function(format!("seal_into_{label}"), |b| {
+            b.iter(|| {
+                codec.seal_into("WAL/1_seg_0", &data, &mut out).unwrap();
+                out.len()
+            })
+        });
+        let (_, m1) = bufpool::counters();
+        println!(
+            "    seal_into_{label}: {} pool misses over the whole run",
+            m1 - m0
+        );
         let sealed = codec.seal("WAL/1_seg_0", &data).unwrap();
         group.bench_function(format!("open_{label}"), |b| {
             b.iter(|| codec.open("WAL/1_seg_0", &sealed).unwrap())
+        });
+        let mut opened = Vec::new();
+        group.bench_function(format!("open_into_{label}"), |b| {
+            b.iter(|| {
+                codec
+                    .open_into("WAL/1_seg_0", &sealed, &mut opened)
+                    .unwrap();
+                opened.len()
+            })
         });
     }
     group.finish();

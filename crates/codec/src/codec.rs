@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::aes::Aes128;
+use crate::bufpool;
 use crate::envelope::{self, Envelope, EnvelopeFlags};
 use crate::glz::{self, Level};
 use crate::hmac::HmacSha1;
@@ -171,6 +172,52 @@ impl Codec {
         ))
     }
 
+    /// Seals `plaintext` into `out` (cleared first), reusing `out`'s
+    /// allocation and a thread-local [`bufpool`] buffer for the
+    /// intermediate compress/encrypt body. Produces output byte-identical
+    /// to [`Codec::seal`] (for the same nonce-counter state); the hot
+    /// paths use this variant so steady-state sealing does not allocate.
+    ///
+    /// # Errors
+    ///
+    /// Currently never returns an error.
+    pub fn seal_into(
+        &self,
+        name: &str,
+        plaintext: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let mut flags = EnvelopeFlags::empty();
+        let mut body = bufpool::take();
+
+        match self.compression {
+            Some(level) => {
+                glz::compress_into(plaintext, level, &mut body);
+                if body.len() < plaintext.len() {
+                    flags = flags.union(EnvelopeFlags::COMPRESSED);
+                } else {
+                    body.clear();
+                    body.extend_from_slice(plaintext);
+                }
+            }
+            None => {
+                body.clear();
+                body.extend_from_slice(plaintext);
+            }
+        }
+
+        let mut nonce = [0u8; 16];
+        if let Some(aes) = &self.aes {
+            flags = flags.union(EnvelopeFlags::ENCRYPTED);
+            nonce = self.next_nonce(name);
+            ctr::apply_keystream(aes, &nonce, &mut body);
+        }
+
+        envelope::assemble_into(&self.mac_key, name, flags, &nonce, &body, out);
+        bufpool::recycle(body);
+        Ok(())
+    }
+
     /// Opens a sealed object, returning the plaintext.
     ///
     /// # Errors
@@ -191,6 +238,50 @@ impl Codec {
             body = glz::decompress(&body)?;
         }
         Ok(body)
+    }
+
+    /// Opens a sealed object into `out` (cleared first), reusing `out`'s
+    /// allocation and a pooled intermediate buffer. Produces the same
+    /// plaintext as [`Codec::open`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Codec::open`]; on error `out`'s contents are
+    /// unspecified.
+    pub fn open_into(
+        &self,
+        name: &str,
+        sealed: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let env = Envelope::parse(sealed)?;
+        env.verify(&self.mac_key, name)?;
+
+        if env.flags.contains(EnvelopeFlags::COMPRESSED) {
+            let mut body = bufpool::take();
+            body.extend_from_slice(env.body);
+            if env.flags.contains(EnvelopeFlags::ENCRYPTED) {
+                let aes = match self.aes.as_ref() {
+                    Some(aes) => aes,
+                    None => {
+                        bufpool::recycle(body);
+                        return Err(CodecError::KeyMissing);
+                    }
+                };
+                ctr::apply_keystream(aes, &env.nonce, &mut body);
+            }
+            let result = glz::decompress_into(&body, glz::DEFAULT_MAX_OUTPUT, out);
+            bufpool::recycle(body);
+            result
+        } else {
+            out.clear();
+            out.extend_from_slice(env.body);
+            if env.flags.contains(EnvelopeFlags::ENCRYPTED) {
+                let aes = self.aes.as_ref().ok_or(CodecError::KeyMissing)?;
+                ctr::apply_keystream(aes, &env.nonce, out);
+            }
+            Ok(())
+        }
     }
 
     /// Verifies only the integrity of a sealed object without decoding
@@ -351,6 +442,69 @@ mod tests {
         );
         let sealed = codec.seal("o", b"").unwrap();
         assert_eq!(codec.open("o", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn seal_into_and_open_into_match_allocating_paths() {
+        let data = compressible();
+        for (comp, enc) in [(false, false), (true, false), (false, true), (true, true)] {
+            let build = || {
+                let mut cfg = CodecConfig::new().compression(comp).kdf_iterations(2);
+                if enc {
+                    cfg = cfg.password("pw");
+                }
+                Codec::new(cfg)
+            };
+            // Two identically-constructed codecs so the nonce counters
+            // advance in lockstep across the two API paths.
+            let reference = build();
+            let pooled = build();
+            let mut sealed = Vec::new();
+            let mut opened = Vec::new();
+            for round in 0..3 {
+                let expect = reference.seal("WAL/7_f_0", &data).unwrap();
+                pooled.seal_into("WAL/7_f_0", &data, &mut sealed).unwrap();
+                assert_eq!(sealed, expect, "comp={comp} enc={enc} round={round}");
+                pooled.open_into("WAL/7_f_0", &sealed, &mut opened).unwrap();
+                assert_eq!(opened, data);
+                assert_eq!(reference.open("WAL/7_f_0", &expect).unwrap(), data);
+            }
+        }
+    }
+
+    #[test]
+    fn open_into_rejects_what_open_rejects() {
+        let codec = Codec::plain();
+        let sealed = codec.seal("o", b"payload").unwrap();
+        let mut out = Vec::new();
+        assert_eq!(
+            codec.open_into("other", &sealed, &mut out),
+            Err(CodecError::MacMismatch)
+        );
+        let mut bad = sealed.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            codec.open_into("o", &bad, &mut out),
+            Err(CodecError::BadMagic)
+        );
+        // Encrypted object opened by a codec without a key, sharing the
+        // MAC default so the failure is specifically the missing key.
+        let enc = Codec::new(CodecConfig::new().password("pw").kdf_iterations(2));
+        let sealed_enc = enc.seal("o", b"data").unwrap();
+        let env = Envelope::parse(&sealed_enc).unwrap();
+        let retagged = envelope::assemble(
+            // Re-MAC the encrypted body under the plain codec's key to
+            // isolate the KeyMissing path from MacMismatch.
+            &DerivedKeys::mac_only("ginja-default-mac-key"),
+            "o",
+            env.flags,
+            &env.nonce,
+            env.body,
+        );
+        assert_eq!(
+            codec.open_into("o", &retagged, &mut out),
+            Err(CodecError::KeyMissing)
+        );
     }
 
     #[test]

@@ -152,13 +152,28 @@ pub fn assemble(
     body: &[u8],
 ) -> Vec<u8> {
     let mut out = Vec::with_capacity(MIN_LEN + body.len());
+    assemble_into(mac_key, name, flags, nonce, body, &mut out);
+    out
+}
+
+/// Assembles a complete envelope into `out` (cleared first), reusing its
+/// allocation. The zero-copy sibling of [`assemble`].
+pub fn assemble_into(
+    mac_key: &[u8],
+    name: &str,
+    flags: EnvelopeFlags,
+    nonce: &[u8; 16],
+    body: &[u8],
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    out.reserve(MIN_LEN + body.len());
     out.extend_from_slice(&MAGIC);
     out.push(flags.bits());
     out.extend_from_slice(nonce);
     out.extend_from_slice(body);
     let tag = compute_tag(mac_key, name, flags, nonce, body);
     out.extend_from_slice(&tag);
-    out
 }
 
 #[cfg(test)]
@@ -182,6 +197,25 @@ mod tests {
         assert_eq!(env.nonce, nonce);
         assert_eq!(env.body, b"payload");
         env.verify(KEY, "WAL/1_x_0").unwrap();
+    }
+
+    #[test]
+    fn assemble_into_matches_assemble_and_reuses_buffer() {
+        let nonce = [7u8; 16];
+        let allocating = assemble(KEY, "WAL/3_x_0", EnvelopeFlags::COMPRESSED, &nonce, b"abc");
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(b"stale contents that must be cleared");
+        let cap_before = out.capacity();
+        assemble_into(
+            KEY,
+            "WAL/3_x_0",
+            EnvelopeFlags::COMPRESSED,
+            &nonce,
+            b"abc",
+            &mut out,
+        );
+        assert_eq!(out, allocating);
+        assert_eq!(out.capacity(), cap_before, "no reallocation");
     }
 
     #[test]

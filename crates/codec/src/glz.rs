@@ -68,21 +68,117 @@ fn hash4(data: &[u8], pos: usize) -> usize {
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
+/// Chain index for the hash-chain matcher. `u32` halves the footprint of
+/// the chain arrays and lets them live in a thread-local pool; `usize`
+/// is the fallback for inputs too large to index with 32 bits.
+trait ChainIdx: Copy {
+    const NONE: Self;
+    fn from_usize(v: usize) -> Self;
+    fn to_usize(self) -> usize;
+    fn is_none(self) -> bool;
+}
+
+impl ChainIdx for u32 {
+    const NONE: u32 = u32::MAX;
+    #[inline]
+    fn from_usize(v: usize) -> u32 {
+        v as u32
+    }
+    #[inline]
+    fn to_usize(self) -> usize {
+        self as usize
+    }
+    #[inline]
+    fn is_none(self) -> bool {
+        self == u32::MAX
+    }
+}
+
+impl ChainIdx for usize {
+    const NONE: usize = usize::MAX;
+    #[inline]
+    fn from_usize(v: usize) -> usize {
+        v
+    }
+    #[inline]
+    fn to_usize(self) -> usize {
+        self
+    }
+    #[inline]
+    fn is_none(self) -> bool {
+        self == usize::MAX
+    }
+}
+
+/// Reusable matcher state, kept per thread so steady-state sealing does
+/// not allocate two chain arrays per object.
+struct MatchState {
+    head: Vec<u32>,
+    prev: Vec<u32>,
+}
+
+thread_local! {
+    static MATCH_STATE: std::cell::RefCell<MatchState> = const {
+        std::cell::RefCell::new(MatchState {
+            head: Vec::new(),
+            prev: Vec::new(),
+        })
+    };
+}
+
 /// Compresses `data` and returns the GLZ stream.
 ///
 /// Compression never fails; incompressible input grows by at most a few
 /// bytes per 2³² of input (the literal-run headers).
 pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
-    varint::write_u64(&mut out, data.len() as u64);
+    compress_into(data, level, &mut out);
+    out
+}
+
+/// Compresses `data` into `out` (cleared first), reusing both the output
+/// allocation and a thread-local pool of matcher chain arrays. The
+/// zero-copy sibling of [`compress`].
+pub fn compress_into(data: &[u8], level: Level, out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(data.len() / 2 + 16);
+    varint::write_u64(out, data.len() as u64);
     if data.is_empty() {
-        return out;
+        return;
     }
 
-    let probes = level.probes();
-    let mut head = vec![usize::MAX; HASH_SIZE];
-    let mut prev = vec![usize::MAX; data.len()];
+    if u32::try_from(data.len()).is_ok() {
+        MATCH_STATE.with(|state| {
+            let mut state = state.borrow_mut();
+            let MatchState { head, prev } = &mut *state;
+            // `head` must start clean — chains may only reach positions
+            // inserted during *this* call. `prev` needs no clearing:
+            // every entry is written before it becomes reachable through
+            // `head`, so stale contents from earlier calls are dead.
+            head.clear();
+            head.resize(HASH_SIZE, u32::NONE);
+            if prev.len() < data.len() {
+                prev.resize(data.len(), u32::NONE);
+            }
+            compress_core::<u32>(data, level, head, prev, out);
+        });
+    } else {
+        // Inputs ≥ 4 GiB (never produced by Ginja, whose objects are
+        // chunked at 20 MiB) fall back to allocating full-width chains.
+        let mut head = vec![usize::NONE; HASH_SIZE];
+        let mut prev = vec![usize::NONE; data.len()];
+        compress_core::<usize>(data, level, &mut head, &mut prev, out);
+    }
+}
 
+fn compress_core<I: ChainIdx>(
+    data: &[u8],
+    level: Level,
+    head: &mut [I],
+    prev: &mut [I],
+    out: &mut Vec<u8>,
+) {
+    let probes = level.probes();
     let mut pos = 0usize;
     let mut literal_start = 0usize;
 
@@ -94,13 +190,14 @@ pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
         let max_len = (data.len() - pos).min(MAX_MATCH);
 
         let mut remaining_probes = probes;
-        while candidate != usize::MAX && remaining_probes > 0 {
-            debug_assert!(candidate < pos);
-            let dist = pos - candidate;
+        while !candidate.is_none() && remaining_probes > 0 {
+            let cand = candidate.to_usize();
+            debug_assert!(cand < pos);
+            let dist = pos - cand;
             // Quick reject: the byte just past the current best must match
             // for the candidate to beat it.
-            if best_len == 0 || data[candidate + best_len] == data[pos + best_len] {
-                let len = match_length(data, candidate, pos, max_len);
+            if best_len == 0 || data[cand + best_len] == data[pos + best_len] {
+                let len = match_length(data, cand, pos, max_len);
                 if len > best_len {
                     best_len = len;
                     best_dist = dist;
@@ -109,15 +206,15 @@ pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
                     }
                 }
             }
-            candidate = prev[candidate];
+            candidate = prev[cand];
             remaining_probes -= 1;
         }
 
         if best_len >= MIN_MATCH {
-            flush_literals(&mut out, &data[literal_start..pos]);
+            flush_literals(out, &data[literal_start..pos]);
             let v = (((best_len - MIN_MATCH) as u64) << 1) | 1;
-            varint::write_u64(&mut out, v);
-            varint::write_u64(&mut out, best_dist as u64);
+            varint::write_u64(out, v);
+            varint::write_u64(out, best_dist as u64);
 
             // Index the skipped positions so later matches can refer into
             // this region (cap the work for very long matches).
@@ -128,25 +225,39 @@ pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
             while pos < index_until {
                 let h = hash4(data, pos);
                 prev[pos] = head[h];
-                head[h] = pos;
+                head[h] = I::from_usize(pos);
                 pos += 1;
             }
             pos = end;
             literal_start = pos;
         } else {
             prev[pos] = head[h];
-            head[h] = pos;
+            head[h] = I::from_usize(pos);
             pos += 1;
         }
     }
 
-    flush_literals(&mut out, &data[literal_start..]);
-    out
+    flush_literals(out, &data[literal_start..]);
 }
 
+/// Longest common prefix of `data[a..]` and `data[b..]`, capped at
+/// `max_len` — compared a word at a time. Callers guarantee `a < b` and
+/// `b + max_len <= data.len()`, so every 8-byte load below is in bounds.
 #[inline]
 fn match_length(data: &[u8], a: usize, b: usize, max_len: usize) -> usize {
+    debug_assert!(a < b && b + max_len <= data.len());
     let mut len = 0;
+    while len + 8 <= max_len {
+        let x = u64::from_le_bytes(data[a + len..a + len + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(data[b + len..b + len + 8].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            // The first differing byte is the lowest set byte of the XOR
+            // (little-endian loads keep byte order = memory order).
+            return len + (diff.trailing_zeros() / 8) as usize;
+        }
+        len += 8;
+    }
     while len < max_len && data[a + len] == data[b + len] {
         len += 1;
     }
@@ -188,6 +299,22 @@ pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
 ///
 /// Same as [`decompress`].
 pub fn decompress_with_limit(stream: &[u8], max_output: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    decompress_into(stream, max_output, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses into `out` (cleared first), reusing its allocation. The
+/// zero-copy sibling of [`decompress_with_limit`], with the same checks.
+///
+/// # Errors
+///
+/// Same as [`decompress`]; on error `out` holds a partial prefix.
+pub fn decompress_into(
+    stream: &[u8],
+    max_output: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), CodecError> {
     let corrupt = |reason: &str| CodecError::CorruptCompression(reason.to_string());
     let (original_len, mut off) =
         varint::read_u64(stream).ok_or_else(|| corrupt("missing length header"))?;
@@ -197,7 +324,8 @@ pub fn decompress_with_limit(stream: &[u8], max_output: usize) -> Result<Vec<u8>
     }
     // Never trust the header for a large up-front allocation: a corrupt
     // or hostile stream could claim terabytes. Grow organically past 1 MiB.
-    let mut out = Vec::with_capacity(original_len.min(1 << 20));
+    out.clear();
+    out.reserve(original_len.min(1 << 20));
 
     while off < stream.len() {
         let (v, n) = varint::read_u64(&stream[off..]).ok_or_else(|| corrupt("bad token"))?;
@@ -247,7 +375,7 @@ pub fn decompress_with_limit(stream: &[u8], max_output: usize) -> Result<Vec<u8>
             actual: out.len(),
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Convenience: the ratio `original / compressed` for `data` at `level`.
@@ -448,6 +576,68 @@ mod tests {
             decompress(&stream),
             Err(CodecError::LengthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let inputs: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"abc".to_vec(),
+            vec![b'a'; 4096],
+            (0..50_000u32).flat_map(|i| i.to_le_bytes()).collect(),
+            b"hello world, hello world, hello world".to_vec(),
+        ];
+        let mut packed = Vec::new();
+        let mut unpacked = Vec::new();
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            for data in &inputs {
+                compress_into(data, level, &mut packed);
+                assert_eq!(packed, compress(data, level));
+                decompress_into(&packed, DEFAULT_MAX_OUTPUT, &mut unpacked).unwrap();
+                assert_eq!(&unpacked, data);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_state_survives_shrinking_inputs() {
+        // The thread-local `prev` array is not cleared between calls; a
+        // big input followed by smaller ones must still round-trip (the
+        // stale entries are unreachable because `head` is reset).
+        let big: Vec<u8> = (0..100_000u32)
+            .flat_map(|i| (i % 251).to_le_bytes())
+            .collect();
+        assert_eq!(roundtrip(&big, Level::Fast), big);
+        for len in [1usize, 5, 100, 4096, 65_537] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 7) as u8).collect();
+            assert_eq!(roundtrip(&data, Level::Fast), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn match_length_word_wise_agrees_with_bytewise() {
+        let mut data: Vec<u8> = (0..600usize).map(|i| (i % 13) as u8).collect();
+        // Plant two regions equal for a prefix of every length 0..40.
+        for prefix in 0..40usize {
+            data.truncate(600);
+            let a = 100;
+            let b = 300;
+            for i in 0..prefix {
+                data[b + i] = data[a + i];
+            }
+            if b + prefix < data.len() {
+                data[b + prefix] = data[a + prefix].wrapping_add(1);
+            }
+            let max_len = (data.len() - b).min(MAX_MATCH);
+            let naive = (0..max_len)
+                .take_while(|&i| data[a + i] == data[b + i])
+                .count();
+            assert_eq!(match_length(&data, a, b, max_len), naive, "prefix {prefix}");
+            // And with a cap below the true match length.
+            let cap = prefix / 2 + 1;
+            let naive_capped = (0..cap).take_while(|&i| data[a + i] == data[b + i]).count();
+            assert_eq!(match_length(&data, a, b, cap), naive_capped);
+        }
     }
 
     #[test]

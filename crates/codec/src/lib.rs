@@ -34,6 +34,7 @@
 //! RFC 6070 for PBKDF2).
 
 pub mod aes;
+pub mod bufpool;
 pub mod ctr;
 pub mod envelope;
 pub mod glz;

@@ -69,29 +69,35 @@ impl Sha1 {
                 self.buf_len = 0;
             }
         }
-        while rest.len() >= BLOCK_LEN {
-            let (block, tail) = rest.split_at(BLOCK_LEN);
-            let mut b = [0u8; BLOCK_LEN];
-            b.copy_from_slice(block);
-            self.process_block(&b);
-            rest = tail;
+        // Absorb whole blocks straight from the input — no intermediate
+        // stack copy per block.
+        let mut blocks = rest.chunks_exact(BLOCK_LEN);
+        for block in blocks.by_ref() {
+            let block: &[u8; BLOCK_LEN] = block.try_into().expect("chunks_exact yields 64");
+            self.process_block(block);
         }
-        if !rest.is_empty() {
-            self.buf[..rest.len()].copy_from_slice(rest);
-            self.buf_len = rest.len();
+        let tail = blocks.remainder();
+        if !tail.is_empty() {
+            self.buf[..tail.len()].copy_from_slice(tail);
+            self.buf_len = tail.len();
         }
     }
 
     /// Consumes the hasher and returns the 20-byte digest.
     pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
         let bit_len = self.len.wrapping_mul(8);
-        // Padding: 0x80 then zeros until 8 bytes remain in the block.
-        self.update(&[0x80]);
-        while self.buf_len != BLOCK_LEN - 8 {
-            self.update(&[0x00]);
-        }
-        // Length is fed directly (it must not count toward `len`).
+        // Build the padding in place: 0x80, zeros, then the 64-bit
+        // length — one block when the tail leaves >= 8 spare bytes after
+        // the 0x80 marker, two otherwise.
         let mut block = self.buf;
+        block[self.buf_len] = 0x80;
+        if self.buf_len + 1 > BLOCK_LEN - 8 {
+            block[self.buf_len + 1..].fill(0);
+            self.process_block(&block);
+            block.fill(0);
+        } else {
+            block[self.buf_len + 1..BLOCK_LEN - 8].fill(0);
+        }
         block[BLOCK_LEN - 8..].copy_from_slice(&bit_len.to_be_bytes());
         self.process_block(&block);
 

@@ -23,6 +23,7 @@ use ginja_vfs::{DbmsProcessor, FileSystem, IoClass, IoProcessor, WriteEvent};
 use parking_lot::Mutex;
 
 use crate::config::GinjaConfig;
+use crate::fanout::FanoutExecutor;
 use crate::GinjaError;
 
 /// Prefix for archived base-backup files.
@@ -78,14 +79,21 @@ impl SegmentArchiver {
         config: &GinjaConfig,
     ) -> Result<Self, GinjaError> {
         let codec = Codec::new(config.codec.clone());
-        // Base backup: every database file, plus current WAL segments.
-        for path in fs.list("")? {
-            if processor.is_db_file(&path) || path.starts_with(processor.wal_prefix()) {
-                let name = format!("{BASE_PREFIX}{path}");
-                let sealed = codec.seal(&name, &fs.read_all(&path)?)?;
-                cloud.put(&name, &sealed)?;
-            }
-        }
+        // Base backup: every database file, plus current WAL segments,
+        // sealed and uploaded as one concurrent wave (the backup is a
+        // point-in-time copy, so upload order is irrelevant).
+        let exec = FanoutExecutor::new(config.recovery_fanout);
+        let paths: Vec<String> = fs
+            .list("")?
+            .into_iter()
+            .filter(|p| processor.is_db_file(p) || p.starts_with(processor.wal_prefix()))
+            .collect();
+        exec.run_collect(paths, |_, path| {
+            let name = format!("{BASE_PREFIX}{path}");
+            let sealed = codec.seal(&name, &fs.read_all(&path)?)?;
+            cloud.put(&name, &sealed)?;
+            Ok::<_, GinjaError>(())
+        })?;
         Ok(SegmentArchiver {
             fs,
             cloud,
@@ -165,16 +173,27 @@ pub fn restore_archive(
     config: &GinjaConfig,
 ) -> Result<u64, GinjaError> {
     let codec = Codec::new(config.codec.clone());
+    let exec = FanoutExecutor::new(config.recovery_fanout);
     let mut files = 0;
+    // Base files first, then segments over them — order matters between
+    // the prefixes, so each is its own wave. Within a wave the fetches
+    // run concurrently and the writes land in listing order.
     for prefix in [BASE_PREFIX, SEG_PREFIX] {
-        for name in cloud.list(prefix)? {
-            let sealed = cloud.get(&name)?;
-            let data = codec.open(&name, &sealed)?;
-            let path = name.strip_prefix(prefix).expect("listed by prefix");
-            fs.delete(path)?;
-            fs.write(path, 0, &data, false)?;
-            files += 1;
-        }
+        exec.run_ordered(
+            cloud.list(prefix)?,
+            |_, name| {
+                let sealed = cloud.get(&name)?;
+                let data = codec.open(&name, &sealed)?;
+                Ok::<_, GinjaError>((name, data))
+            },
+            |_, (name, data)| {
+                let path = name.strip_prefix(prefix).expect("listed by prefix");
+                fs.delete(path)?;
+                fs.write(path, 0, &data, false)?;
+                files += 1;
+                Ok(())
+            },
+        )?;
     }
     Ok(files)
 }

@@ -103,6 +103,12 @@ pub struct GinjaConfig {
     /// Number of parallel uploader threads (the paper found 5 best in
     /// its environment, §8).
     pub uploaders: usize,
+    /// Fan-out width for bulk cloud transfers outside the steady-state
+    /// uploader pool: recovery GETs, checkpoint/dump part uploads,
+    /// reboot resync and sentinel repair waves. 1 means fully serial
+    /// (the pre-fan-out behaviour); larger values cut RTO roughly by
+    /// this factor on latency-bound stores.
+    pub recovery_fanout: usize,
     /// Maximum size of a single cloud object; larger payloads are split
     /// (§5.2 footnote: 20 MB default, "to optimize the upload latency").
     pub max_object_size: usize,
@@ -158,6 +164,11 @@ impl GinjaConfig {
                 "at least one uploader thread is required".into(),
             ));
         }
+        if self.recovery_fanout == 0 {
+            return Err(GinjaError::Config(
+                "recovery fan-out must be at least 1 (1 = serial)".into(),
+            ));
+        }
         if self.max_object_size < 4096 {
             return Err(GinjaError::Config(
                 "max object size must be at least 4 KiB".into(),
@@ -197,6 +208,7 @@ impl GinjaConfigBuilder {
                 safety: 1000,
                 safety_timeout: Duration::from_secs(5),
                 uploaders: 5,
+                recovery_fanout: 4,
                 max_object_size: 20 * 1024 * 1024,
                 dump_threshold: 1.5,
                 codec: CodecConfig::new(),
@@ -240,6 +252,14 @@ impl GinjaConfigBuilder {
     #[must_use]
     pub fn uploaders(mut self, n: usize) -> Self {
         self.config.uploaders = n;
+        self
+    }
+
+    /// Sets the fan-out width for recovery GETs, checkpoint part
+    /// uploads, reboot resync and sentinel repair (1 = serial).
+    #[must_use]
+    pub fn recovery_fanout(mut self, n: usize) -> Self {
+        self.config.recovery_fanout = n;
         self
     }
 
@@ -353,6 +373,16 @@ mod tests {
     #[test]
     fn zero_uploaders_rejected() {
         assert!(GinjaConfig::builder().uploaders(0).build().is_err());
+    }
+
+    #[test]
+    fn recovery_fanout_carried_through_and_validated() {
+        let c = GinjaConfig::builder().build().unwrap();
+        assert_eq!(c.recovery_fanout, 4, "default fan-out");
+        let c = GinjaConfig::builder().recovery_fanout(8).build().unwrap();
+        assert_eq!(c.recovery_fanout, 8);
+        assert!(GinjaConfig::builder().recovery_fanout(1).build().is_ok());
+        assert!(GinjaConfig::builder().recovery_fanout(0).build().is_err());
     }
 
     #[test]

@@ -26,11 +26,13 @@ use parking_lot::Mutex;
 use crate::agg::{self, AggregatedRange};
 use crate::bundle::{self, FileRange};
 use crate::config::GinjaConfig;
+use crate::fanout::FanoutExecutor;
 use crate::names::{DbObjectKind, DbObjectName, WalObjectName};
 use crate::queue::{CommitQueue, WalWrite};
 use crate::stats::{GinjaStats, GinjaStatsSnapshot, SentinelStats};
 use crate::view::CloudView;
 use crate::GinjaError;
+use ginja_codec::bufpool;
 
 /// An upload job for one WAL object.
 struct UploadJob {
@@ -78,6 +80,10 @@ pub struct Exposure {
     /// lose data, so the operator must intervene. Always `false` when
     /// no sentinel is attached.
     pub degraded: bool,
+    /// Set when a pipeline stage hit a fatal data-path error (e.g. a
+    /// seal failure) and stopped. The queue will no longer drain: the
+    /// DBMS blocks at the Safety limit until the operator intervenes.
+    pub fatal: bool,
 }
 
 /// Checkpoint accumulation state (the paper's Algorithm 3 lines 1–16).
@@ -100,6 +106,10 @@ struct Shared {
     view: Mutex<CloudView>,
     queue: CommitQueue,
     stats: GinjaStats,
+    /// Shared fan-out executor (width = `config.recovery_fanout`) for
+    /// bulk transfer waves: checkpoint part uploads, reboot resync and
+    /// sentinel repair.
+    fanout: FanoutExecutor,
     accum: Mutex<CkptAccum>,
     ckpt_tx: Mutex<Option<Sender<CkptJob>>>,
     pending_ckpt_jobs: AtomicUsize,
@@ -169,13 +179,22 @@ impl Ginja {
             ));
         }
         let codec = Codec::new(config.codec.clone());
+        let stats = GinjaStats::default();
+        let fanout = FanoutExecutor::new(config.recovery_fanout);
         let mut view = CloudView::new();
+        let direct_put = |name: &str, sealed: &[u8]| -> Result<(), GinjaError> {
+            cloud.put(name, sealed).map_err(GinjaError::from)
+        };
 
-        // One WAL object per local segment (chunked at the object cap).
+        // One WAL object per local segment (chunked at the object cap),
+        // sealed and PUT as one concurrent wave per file. In-order
+        // completion keeps `view` registration in timestamp order.
         let mut wal_files = fs.list(processor.wal_prefix())?;
         wal_files.sort();
         for file in wal_files {
             let content = fs.read_all(&file)?;
+            let mut names = Vec::new();
+            let mut jobs = Vec::new();
             for (i, chunk) in content.chunks(config.max_object_size.max(1)).enumerate() {
                 let ts = view.alloc_wal_ts();
                 let name = WalObjectName {
@@ -184,9 +203,11 @@ impl Ginja {
                     offset: (i * config.max_object_size) as u64,
                     len: chunk.len() as u64,
                 };
-                let sealed = codec.seal(&name.to_name(), chunk)?;
-                cloud.put(&name.to_name(), &sealed)?;
-                view.add_wal(name);
+                jobs.push(SealPut {
+                    name: name.to_name(),
+                    raw: chunk.to_vec(),
+                });
+                names.push(name);
             }
             if content.is_empty() {
                 // Preserve empty segments too (cheap, keeps boot simple).
@@ -197,10 +218,16 @@ impl Ginja {
                     offset: 0,
                     len: 0,
                 };
-                let sealed = codec.seal(&name.to_name(), &[])?;
-                cloud.put(&name.to_name(), &sealed)?;
-                view.add_wal(name);
+                jobs.push(SealPut {
+                    name: name.to_name(),
+                    raw: Vec::new(),
+                });
+                names.push(name);
             }
+            seal_put_wave(&fanout, &codec, &stats, &direct_put, jobs, |idx, _, _| {
+                view.add_wal(names[idx].clone());
+                Ok(())
+            })?;
         }
 
         // The initial dump, at the reserved timestamp 0 so every boot
@@ -210,6 +237,8 @@ impl Ginja {
         let total = bytes.len() as u64;
         let parts = bundle::chunk(bytes, config.max_object_size);
         let n = parts.len() as u32;
+        let mut names = Vec::new();
+        let mut jobs = Vec::new();
         for (i, part) in parts.into_iter().enumerate() {
             let name = DbObjectName {
                 ts: 0,
@@ -218,12 +247,18 @@ impl Ginja {
                 part: i as u32,
                 parts: n,
             };
-            let sealed = codec.seal(&name.to_name(), &part)?;
-            cloud.put(&name.to_name(), &sealed)?;
-            view.add_db_part(name);
+            jobs.push(SealPut {
+                name: name.to_name(),
+                raw: part,
+            });
+            names.push(name);
         }
+        seal_put_wave(&fanout, &codec, &stats, &direct_put, jobs, |idx, _, _| {
+            view.add_db_part(names[idx].clone());
+            Ok(())
+        })?;
 
-        let ginja = Self::assemble(fs, cloud, processor, config, codec, view);
+        let ginja = Self::assemble(fs, cloud, processor, config, codec, view, stats, fanout);
         ginja
             .shared
             .stats
@@ -258,6 +293,8 @@ impl Ginja {
         config.validate()?;
         let cloud = Arc::new(ResilientStore::new(cloud, config.retry.clone()));
         let codec = Codec::new(config.codec.clone());
+        let stats = GinjaStats::default();
+        let fanout = FanoutExecutor::new(config.recovery_fanout);
         let mut view = CloudView::from_listing(cloud.list("")?)?;
         let (resync_objects, resync_bytes) = resync_local_wal(
             fs.as_ref(),
@@ -265,22 +302,22 @@ impl Ginja {
             processor.as_ref(),
             &config,
             &codec,
+            &fanout,
+            &stats,
             &mut view,
         )?;
-        let ginja = Self::assemble(fs, cloud, processor, config, codec, view);
-        ginja
-            .shared
-            .stats
+        stats
             .wal_resync_objects
             .fetch_add(resync_objects, Ordering::Relaxed);
-        ginja
-            .shared
-            .stats
+        stats
             .wal_resync_bytes
             .fetch_add(resync_bytes, Ordering::Relaxed);
-        Ok(ginja)
+        Ok(Self::assemble(
+            fs, cloud, processor, config, codec, view, stats, fanout,
+        ))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         fs: Arc<dyn FileSystem>,
         cloud: Arc<ResilientStore>,
@@ -288,6 +325,8 @@ impl Ginja {
         config: GinjaConfig,
         codec: Codec,
         view: CloudView,
+        stats: GinjaStats,
+        fanout: FanoutExecutor,
     ) -> Self {
         let queue = CommitQueue::new(
             config.batch,
@@ -304,7 +343,8 @@ impl Ginja {
             processor,
             view: Mutex::new(view),
             queue,
-            stats: GinjaStats::default(),
+            stats,
+            fanout,
             accum: Mutex::new(CkptAccum::default()),
             ckpt_tx: Mutex::new(Some(ckpt_tx)),
             pending_ckpt_jobs: AtomicUsize::new(0),
@@ -407,6 +447,8 @@ impl Ginja {
         snap.breaker_fast_fails = resilience.breaker_fast_fails;
         snap.breaker_open_time = resilience.breaker_open_time;
         snap.gc_backlog = self.shared.gc_backlog.lock().len() as u64;
+        snap.fanout_waves = self.shared.fanout.waves();
+        snap.fanout_jobs = self.shared.fanout.jobs();
         if let Some(sentinel) = self.shared.sentinel.lock().as_ref() {
             snap.sentinel = sentinel.snapshot();
         }
@@ -434,6 +476,7 @@ impl Ginja {
                 .lock()
                 .as_ref()
                 .is_some_and(|s| s.is_degraded()),
+            fatal: self.shared.stats.pipeline_fatals.load(Ordering::Relaxed) > 0,
         }
     }
 
@@ -454,6 +497,15 @@ impl Ginja {
     /// policy and circuit breaker as regular traffic.
     pub fn resilient_cloud(&self) -> Arc<ResilientStore> {
         self.shared.cloud.clone()
+    }
+
+    /// The shared fan-out executor (width = `config.recovery_fanout`).
+    /// The checkpointer, reboot resync and sentinel repair all issue
+    /// their bulk transfer waves through this one executor, so the
+    /// middleware's total out-of-band cloud concurrency stays bounded by
+    /// one knob.
+    pub fn fanout(&self) -> &FanoutExecutor {
+        &self.shared.fanout
     }
 
     /// The local file system the protected DBMS writes to (the source
@@ -650,6 +702,57 @@ fn ranges_to_entries(
     entries
 }
 
+/// One object of a seal+PUT wave: the wire name plus raw payload.
+struct SealPut {
+    name: String,
+    raw: Vec<u8>,
+}
+
+/// The PUT half of a wave: callers pass either a direct store PUT or
+/// the uploader's retrying variant.
+type PutFn<'a> = &'a (dyn Fn(&str, &[u8]) -> Result<(), GinjaError> + Sync);
+
+/// Seals and PUTs a wave of objects through the fan-out executor — the
+/// one implementation of the seal+put loop that Boot (WAL segments and
+/// the initial dump), Reboot resync and the checkpointer all share.
+///
+/// Workers run seal (pooled buffers, timed into `stats.seal_histo`) and
+/// the PUT (timed into `stats.put_histo`) concurrently; `on_durable` is
+/// called with `(index, raw_len, sealed_len)` strictly in input order,
+/// so callers may register objects in the view — and a checkpoint-end
+/// marker only ever lands after every part at a lower index is durable.
+/// The first error aborts the wave.
+fn seal_put_wave(
+    exec: &FanoutExecutor,
+    codec: &Codec,
+    stats: &GinjaStats,
+    put: PutFn<'_>,
+    jobs: Vec<SealPut>,
+    mut on_durable: impl FnMut(usize, u64, u64) -> Result<(), GinjaError>,
+) -> Result<(), GinjaError> {
+    exec.run_ordered(
+        jobs,
+        |_, job| {
+            let raw_len = job.raw.len() as u64;
+            let mut sealed = bufpool::take();
+            let seal_start = Instant::now();
+            codec.seal_into(&job.name, &job.raw, &mut sealed)?;
+            let seal_elapsed = seal_start.elapsed();
+            stats.seal_histo.record(seal_elapsed);
+            stats
+                .seal_micros
+                .fetch_add(seal_elapsed.as_micros() as u64, Ordering::Relaxed);
+            let put_start = Instant::now();
+            put(&job.name, &sealed)?;
+            stats.put_histo.record(put_start.elapsed());
+            let sealed_len = sealed.len() as u64;
+            bufpool::recycle(sealed);
+            Ok((raw_len, sealed_len))
+        },
+        |idx, (raw_len, sealed_len)| on_durable(idx, raw_len, sealed_len),
+    )
+}
+
 /// The Reboot resync pass: for each local WAL file, rebuild the cloud's
 /// image of it (its WAL objects applied in timestamp order) and upload
 /// a fresh WAL object for every byte range where the local durable
@@ -668,18 +771,24 @@ fn ranges_to_entries(
 /// records may exist nowhere else.)
 ///
 /// Returns `(objects uploaded, raw bytes uploaded)`.
+#[allow(clippy::too_many_arguments)]
 fn resync_local_wal(
     fs: &dyn FileSystem,
     cloud: &Arc<ResilientStore>,
     processor: &dyn DbmsProcessor,
     config: &GinjaConfig,
     codec: &Codec,
+    exec: &FanoutExecutor,
+    stats: &GinjaStats,
     view: &mut CloudView,
 ) -> Result<(u64, u64), GinjaError> {
     let mut wal_files = fs.list(processor.wal_prefix())?;
     wal_files.sort();
     let mut objects = 0u64;
     let mut bytes = 0u64;
+    let direct_put = |name: &str, sealed: &[u8]| -> Result<(), GinjaError> {
+        cloud.put(name, sealed).map_err(GinjaError::from)
+    };
     for file in wal_files {
         let local = fs.read_all(&file)?;
         let names: Vec<WalObjectName> = view
@@ -687,16 +796,25 @@ fn resync_local_wal(
             .filter(|w| w.file == file)
             .cloned()
             .collect();
-        // The cloud's image of this file: later timestamps win, `None`
-        // marks bytes the cloud does not cover.
-        let mut image: Vec<Option<u8>> = vec![None; local.len()];
-        for name in &names {
+        // Fetch + open the file's WAL objects as one concurrent wave;
+        // `run_collect` hands results back in input order, so the apply
+        // below still sees them oldest-timestamp-first.
+        let fetched: Vec<Option<Vec<u8>>> = exec.run_collect(names.clone(), |_, name| {
+            let get_start = Instant::now();
             let opened = cloud
                 .get(&name.to_name())
                 .ok()
                 .and_then(|sealed| codec.open(&name.to_name(), &sealed).ok());
+            stats.get_histo.record(get_start.elapsed());
+            Ok::<_, GinjaError>(opened)
+        })?;
+        // The cloud's image of this file: later timestamps win, `None`
+        // marks bytes the cloud does not cover (an unreadable object
+        // leaves its range uncovered).
+        let mut image: Vec<Option<u8>> = vec![None; local.len()];
+        for (name, opened) in names.iter().zip(fetched) {
             let Some(data) = opened else {
-                continue; // unreadable object: range stays uncovered
+                continue;
             };
             for (i, byte) in data.iter().enumerate() {
                 let pos = name.offset as usize + i;
@@ -707,7 +825,10 @@ fn resync_local_wal(
         }
         let skip_below = names.iter().map(|n| n.offset as usize).min().unwrap_or(0);
 
-        // Upload every maximal differing run, chunked at the object cap.
+        // Collect every maximal differing run, chunked at the object
+        // cap, then seal + PUT them as one wave.
+        let mut run_names = Vec::new();
+        let mut jobs = Vec::new();
         let mut pos = skip_below;
         while pos < local.len() {
             if image[pos] == Some(local[pos]) {
@@ -729,12 +850,18 @@ fn resync_local_wal(
                 offset: start as u64,
                 len: chunk.len() as u64,
             };
-            let sealed = codec.seal(&name.to_name(), chunk)?;
-            cloud.put(&name.to_name(), &sealed)?;
-            view.add_wal(name);
-            objects += 1;
-            bytes += chunk.len() as u64;
+            jobs.push(SealPut {
+                name: name.to_name(),
+                raw: chunk.to_vec(),
+            });
+            run_names.push(name);
         }
+        seal_put_wave(exec, codec, stats, &direct_put, jobs, |idx, raw_len, _| {
+            view.add_wal(run_names[idx].clone());
+            objects += 1;
+            bytes += raw_len;
+            Ok(())
+        })?;
     }
     Ok((objects, bytes))
 }
@@ -770,9 +897,15 @@ fn read_db_files(
 /// `retry_after` hint the cloud attached to the error.
 fn put_with_retry(shared: &Shared, name: &str, sealed: &[u8]) -> bool {
     let mut delay = Duration::from_millis(10);
+    let start = Instant::now();
     loop {
         let err = match shared.cloud.put(name, sealed) {
-            Ok(()) => return true,
+            Ok(()) => {
+                // Time-to-durable including retries: that is what the
+                // queue (and so the DBMS) actually waits on.
+                shared.stats.put_histo.record(start.elapsed());
+                return true;
+            }
             Err(err) => err,
         };
         shared.stats.upload_retries.fetch_add(1, Ordering::Relaxed);
@@ -875,15 +1008,28 @@ fn aggregator_loop(shared: &Shared, upload_tx: Sender<UploadJob>, unlock_tx: Sen
 fn uploader_loop(shared: &Shared, upload_rx: Receiver<UploadJob>, unlock_tx: Sender<UnlockMsg>) {
     for job in upload_rx.iter() {
         let name = job.name.to_name();
+        let mut sealed = bufpool::take();
         let seal_start = Instant::now();
-        let sealed = match shared.codec.seal(&name, &job.raw) {
-            Ok(sealed) => sealed,
-            Err(_) => continue, // seal is infallible today; defensive
-        };
+        if shared
+            .codec
+            .seal_into(&name, &job.raw, &mut sealed)
+            .is_err()
+        {
+            // A seal failure is a data-path corruption we must not paper
+            // over: skipping the object (the old behavior) would ack a
+            // batch whose bytes never reached the cloud. Stop this
+            // uploader and leave the batch un-acked — the DBMS blocks at
+            // the Safety limit, and the fault surfaces via
+            // `Exposure::fatal` instead of as silent data loss.
+            shared.stats.pipeline_fatals.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let seal_elapsed = seal_start.elapsed();
+        shared.stats.seal_histo.record(seal_elapsed);
         shared
             .stats
             .seal_micros
-            .fetch_add(seal_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+            .fetch_add(seal_elapsed.as_micros() as u64, Ordering::Relaxed);
 
         if !put_with_retry(shared, &name, &sealed) {
             return; // shutdown while retrying
@@ -900,6 +1046,7 @@ fn uploader_loop(shared: &Shared, upload_rx: Receiver<UploadJob>, unlock_tx: Sen
             .stats
             .wal_bytes_sealed
             .fetch_add(sealed.len() as u64, Ordering::Relaxed);
+        bufpool::recycle(sealed);
         shared.view.lock().add_wal(job.name.clone());
         if unlock_tx
             .send(UnlockMsg::Ack {
@@ -972,23 +1119,24 @@ fn checkpointer_loop(shared: &Shared, ckpt_rx: Receiver<CkptJob>) {
         let existing = shared.view.lock().db_entry(job.ts).cloned();
         let mut replaced_parts = Vec::new();
         if let Some(entry) = existing {
-            let mut old_parts = Vec::new();
-            let mut ok = true;
-            for part in &entry.parts {
-                let name = part.to_name();
-                match shared
-                    .cloud
-                    .get(&name)
-                    .ok()
-                    .and_then(|sealed| shared.codec.open(&name, &sealed).ok())
-                {
-                    Some(bytes) => old_parts.push(bytes),
-                    None => {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
+            // Fetch the existing object's parts as one concurrent wave;
+            // an unreadable part means the merge is skipped (as before).
+            let part_names: Vec<String> = entry.parts.iter().map(|p| p.to_name()).collect();
+            let fetched = shared
+                .fanout
+                .run_collect(part_names, |_, name| {
+                    let get_start = Instant::now();
+                    let opened = shared
+                        .cloud
+                        .get(&name)
+                        .ok()
+                        .and_then(|sealed| shared.codec.open(&name, &sealed).ok());
+                    shared.stats.get_histo.record(get_start.elapsed());
+                    Ok::<_, GinjaError>(opened)
+                })
+                .unwrap_or_default();
+            let ok = fetched.len() == entry.parts.len() && fetched.iter().all(Option::is_some);
+            let old_parts: Vec<Vec<u8>> = fetched.into_iter().flatten().collect();
             if ok {
                 if let Ok(mut old_entries) = bundle::decode(&bundle::reassemble(old_parts)) {
                     old_entries.extend(job.entries);
@@ -1009,8 +1157,14 @@ fn checkpointer_loop(shared: &Shared, ckpt_rx: Receiver<CkptJob>) {
             .fetch_add(total, Ordering::Relaxed);
         let parts = bundle::chunk(bytes, shared.config.max_object_size);
         let n = parts.len() as u32;
-        let mut uploaded = Vec::new();
-        let mut aborted = false;
+        // Seal + PUT the parts as one concurrent wave. In-order durable
+        // completion means `uploaded` (and hence the view update below,
+        // which is what makes the checkpoint visible to recovery) only
+        // ever extends over a durable prefix — a crash mid-wave leaves
+        // orphan parts, exactly as the old serial loop did, never a
+        // checkpoint that claims parts the cloud does not hold.
+        let mut names = Vec::new();
+        let mut jobs = Vec::new();
         for (i, part) in parts.into_iter().enumerate() {
             let name = DbObjectName {
                 ts: job.ts,
@@ -1019,32 +1173,48 @@ fn checkpointer_loop(shared: &Shared, ckpt_rx: Receiver<CkptJob>) {
                 part: i as u32,
                 parts: n,
             };
-            let seal_start = Instant::now();
-            let Ok(sealed) = shared.codec.seal(&name.to_name(), &part) else {
-                aborted = true;
-                break;
-            };
-            shared
-                .stats
-                .seal_micros
-                .fetch_add(seal_start.elapsed().as_micros() as u64, Ordering::Relaxed);
-            if !put_with_retry(shared, &name.to_name(), &sealed) {
-                aborted = true;
-                break;
-            }
-            shared
-                .stats
-                .db_objects_uploaded
-                .fetch_add(1, Ordering::Relaxed);
-            shared
-                .stats
-                .db_bytes_sealed
-                .fetch_add(sealed.len() as u64, Ordering::Relaxed);
-            uploaded.push(name);
+            jobs.push(SealPut {
+                name: name.to_name(),
+                raw: part,
+            });
+            names.push(name);
         }
-        if aborted {
+        let retry_put = |name: &str, sealed: &[u8]| -> Result<(), GinjaError> {
+            if put_with_retry(shared, name, sealed) {
+                Ok(())
+            } else {
+                Err(GinjaError::ShutDown)
+            }
+        };
+        let mut uploaded = Vec::new();
+        let wave = seal_put_wave(
+            &shared.fanout,
+            &shared.codec,
+            &shared.stats,
+            &retry_put,
+            jobs,
+            |idx, _, sealed_len| {
+                shared
+                    .stats
+                    .db_objects_uploaded
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .db_bytes_sealed
+                    .fetch_add(sealed_len, Ordering::Relaxed);
+                uploaded.push(names[idx].clone());
+                Ok(())
+            },
+        );
+        if let Err(err) = wave {
+            if !matches!(err, GinjaError::ShutDown) {
+                // A seal failure (not a shutdown) is fatal to the data
+                // path: the checkpoint never becomes visible, and the
+                // fault surfaces via `Exposure::fatal`.
+                shared.stats.pipeline_fatals.fetch_add(1, Ordering::Relaxed);
+            }
             shared.pending_ckpt_jobs.fetch_sub(1, Ordering::SeqCst);
-            return; // shutdown mid-upload
+            return;
         }
 
         // The DB object is fully durable: update the view, then collect

@@ -55,6 +55,7 @@
 pub mod agg;
 pub mod archiver;
 pub mod bundle;
+pub mod fanout;
 pub mod names;
 pub mod queue;
 pub mod recovery;
@@ -68,6 +69,7 @@ mod stats;
 
 pub use config::{GinjaConfig, GinjaConfigBuilder, PitrConfig, SentinelConfig};
 pub use error::GinjaError;
+pub use fanout::FanoutExecutor;
 pub use ginja::{Exposure, Ginja};
 pub use ginja_cloud::{BreakerState, ResilienceSnapshot, RetryConfig};
 pub use names::{DbObjectKind, DbObjectName, WalObjectName};
@@ -75,6 +77,9 @@ pub use recovery::{
     list_restore_points, recover_into, recover_to_point, RecoveryReport, RestorePoint,
     RestorePointKind,
 };
-pub use stats::{CrashFsSnapshot, GinjaStats, GinjaStatsSnapshot, SentinelSnapshot, SentinelStats};
+pub use stats::{
+    CrashFsSnapshot, GinjaStats, GinjaStatsSnapshot, LatencyHisto, LatencySnapshot,
+    SentinelSnapshot, SentinelStats,
+};
 pub use verify::{verify_backup, verify_backup_in_memory, VerifyReport};
 pub use view::CloudView;

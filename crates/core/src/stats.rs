@@ -4,6 +4,86 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
+/// A lock-free latency histogram with power-of-two microsecond buckets.
+///
+/// Bucket `b` holds samples whose microsecond value has bit-width `b`
+/// (bucket 0 is exactly 0 µs, bucket 1 is 1 µs, bucket 2 is 2–3 µs, …),
+/// so recording is a `bit_width` plus one relaxed `fetch_add` — cheap
+/// enough to sit on the seal/PUT/GET hot paths it instruments.
+#[derive(Debug)]
+pub struct LatencyHisto {
+    buckets: [AtomicU64; 64],
+    total_micros: AtomicU64,
+}
+
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        LatencyHisto {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHisto {
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (u64::BITS - micros.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// A point-in-time summary (count, mean, p50, p99).
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return LatencySnapshot::default();
+        }
+        // A bucket's representative value is its lower bound: exact for
+        // buckets 0 and 1, within 2x above that — plenty for p50/p99
+        // over the order-of-magnitude spreads these stages exhibit.
+        let quantile = |q: f64| -> Duration {
+            let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (b, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    let lower = if b == 0 { 0u64 } else { 1u64 << (b - 1) };
+                    return Duration::from_micros(lower);
+                }
+            }
+            Duration::ZERO
+        };
+        LatencySnapshot {
+            count,
+            mean: Duration::from_micros(self.total_micros.load(Ordering::Relaxed) / count),
+            p50: quantile(0.50),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time summary of a [`LatencyHisto`], embedded per stage in
+/// [`GinjaStatsSnapshot`]. Percentiles are bucket lower bounds (exact to
+/// within 2x).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median latency (bucket lower bound).
+    pub p50: Duration,
+    /// 99th-percentile latency (bucket lower bound).
+    pub p99: Duration,
+}
+
 /// Shared atomic counters updated by every pipeline stage.
 #[derive(Debug, Default)]
 pub struct GinjaStats {
@@ -25,6 +105,10 @@ pub struct GinjaStats {
     pub(crate) seal_micros: AtomicU64,
     pub(crate) wal_resync_objects: AtomicU64,
     pub(crate) wal_resync_bytes: AtomicU64,
+    pub(crate) pipeline_fatals: AtomicU64,
+    pub(crate) seal_histo: LatencyHisto,
+    pub(crate) put_histo: LatencyHisto,
+    pub(crate) get_histo: LatencyHisto,
 }
 
 impl GinjaStats {
@@ -58,6 +142,12 @@ impl GinjaStats {
             seal_time: Duration::from_micros(self.seal_micros.load(Ordering::Relaxed)),
             wal_resync_objects: self.wal_resync_objects.load(Ordering::Relaxed),
             wal_resync_bytes: self.wal_resync_bytes.load(Ordering::Relaxed),
+            pipeline_fatals: self.pipeline_fatals.load(Ordering::Relaxed),
+            seal_latency: self.seal_histo.snapshot(),
+            put_latency: self.put_histo.snapshot(),
+            get_latency: self.get_histo.snapshot(),
+            fanout_waves: 0,
+            fanout_jobs: 0,
             cloud_retries: 0,
             hedges_launched: 0,
             hedges_won: 0,
@@ -256,6 +346,23 @@ pub struct GinjaStatsSnapshot {
     pub wal_resync_objects: u64,
     /// Raw bytes those resync objects carried.
     pub wal_resync_bytes: u64,
+    /// Fatal pipeline errors: failures on the data path (e.g. a seal
+    /// error in an uploader) that stop the stage rather than being
+    /// silently dropped. Any nonzero value means the pipeline is no
+    /// longer draining and the DBMS will block at Safety.
+    pub pipeline_fatals: u64,
+    /// Seal-stage latency (compress + encrypt + MAC per object).
+    pub seal_latency: LatencySnapshot,
+    /// Cloud PUT latency as observed by the pipeline (through the
+    /// resilience layer, so retries/hedges are included).
+    pub put_latency: LatencySnapshot,
+    /// Cloud GET latency as observed by checkpoint merges and resync.
+    pub get_latency: LatencySnapshot,
+    /// Fan-out waves executed by the shared executor (checkpoint part
+    /// uploads, resync, sentinel repair).
+    pub fanout_waves: u64,
+    /// Total jobs those waves carried.
+    pub fanout_jobs: u64,
     /// Retries issued *inside* the resilience layer (backoff + jitter),
     /// across every cloud operation. Zero with retries disabled.
     pub cloud_retries: u64,
@@ -407,6 +514,55 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.rehearsal_failures, 1);
         assert!(!snap.last_rpo_within_bound);
+    }
+
+    #[test]
+    fn latency_histo_quantiles() {
+        let h = LatencyHisto::default();
+        assert_eq!(h.snapshot(), LatencySnapshot::default());
+        // 100 fast samples and 10 slow outliers: the p50 must stay in
+        // the fast band while the p99 lands on the outliers' bucket.
+        for _ in 0..100 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(80));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 110);
+        // 100 µs has bit-width 7 -> bucket lower bound 64 µs.
+        assert_eq!(snap.p50, Duration::from_micros(64));
+        // 80 000 µs has bit-width 17 -> bucket lower bound 65 536 µs.
+        assert_eq!(snap.p99, Duration::from_micros(65_536));
+        let mean = snap.mean.as_micros() as u64;
+        let expect = (100 * 100 + 10 * 80_000) / 110;
+        assert!(mean.abs_diff(expect) <= 1, "mean {mean} µs");
+    }
+
+    #[test]
+    fn latency_histo_zero_and_one_micro_are_exact() {
+        let h = LatencyHisto::default();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_micros(1));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.p50, Duration::ZERO);
+        assert_eq!(snap.p99, Duration::from_micros(1));
+    }
+
+    #[test]
+    fn stage_latencies_surface_in_snapshot() {
+        let stats = GinjaStats::default();
+        stats.seal_histo.record(Duration::from_micros(10));
+        stats.put_histo.record(Duration::from_millis(30));
+        stats.get_histo.record(Duration::from_millis(20));
+        stats.pipeline_fatals.store(1, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert_eq!(snap.seal_latency.count, 1);
+        assert_eq!(snap.put_latency.count, 1);
+        assert_eq!(snap.get_latency.count, 1);
+        assert_eq!(snap.pipeline_fatals, 1);
+        assert!(snap.put_latency.mean >= snap.seal_latency.mean);
     }
 
     #[test]

@@ -259,14 +259,23 @@ impl Sentinel {
         let mut repair = RepairReport::default();
         let mut dump_needed = false;
         let mut unrepaired = 0usize;
+        let mut wal_repairs: Vec<String> = Vec::new();
         for anomaly in &scrub.anomalies {
             match anomaly.kind {
                 AnomalyKind::Orphan => {} // swept below, after quarantine
                 AnomalyKind::MissingWal => {
-                    self.repair_one_wal(&mut repair, &anomaly.name, cfg.repair, &mut unrepaired);
+                    if cfg.repair {
+                        wal_repairs.push(anomaly.name.clone());
+                    } else {
+                        unrepaired += 1;
+                    }
                 }
                 AnomalyKind::Corrupt if anomaly.name.starts_with("WAL/") => {
-                    self.repair_one_wal(&mut repair, &anomaly.name, cfg.repair, &mut unrepaired);
+                    if cfg.repair {
+                        wal_repairs.push(anomaly.name.clone());
+                    } else {
+                        unrepaired += 1;
+                    }
                 }
                 AnomalyKind::MissingDb | AnomalyKind::Corrupt => {
                     if cfg.repair {
@@ -275,6 +284,26 @@ impl Sentinel {
                         unrepaired += 1;
                     }
                 }
+            }
+        }
+        // Re-seal + re-upload the damaged WAL objects as one concurrent
+        // wave through the pipeline's shared fan-out executor. Each job
+        // reports its own outcome (the closure never returns `Err`), so
+        // one refused upload cannot abort the remaining repairs.
+        let outcomes = self
+            .ginja
+            .fanout()
+            .run_collect(wal_repairs, |_, name| {
+                let ok = self.reupload_wal(&name).is_ok();
+                Ok::<_, GinjaError>((name, ok))
+            })
+            .unwrap_or_default();
+        for (name, ok) in outcomes {
+            if ok {
+                repair.uploaded.push(name);
+            } else {
+                repair.failed.push(name);
+                unrepaired += 1;
             }
         }
         if dump_needed {
@@ -336,26 +365,6 @@ impl Sentinel {
         self.stats.set_degraded(unrepaired > 0);
 
         Ok(CycleReport { scrub, repair })
-    }
-
-    fn repair_one_wal(
-        &self,
-        repair: &mut RepairReport,
-        name: &str,
-        allowed: bool,
-        unrepaired: &mut usize,
-    ) {
-        if !allowed {
-            *unrepaired += 1;
-            return;
-        }
-        match self.reupload_wal(name) {
-            Ok(()) => repair.uploaded.push(name.to_string()),
-            Err(_) => {
-                repair.failed.push(name.to_string());
-                *unrepaired += 1;
-            }
-        }
     }
 
     /// Re-seals the object's byte range from the local WAL file and

@@ -14,3 +14,11 @@ cargo test -q --test sentinel_chaos -- --nocapture
 # each survivor must recover locally, from the cloud, and via reboot.
 cargo run -q --release --bin ginja-cli -- crashtest --profile postgres --ops 6 --stride 3
 cargo run -q --release --bin ginja-cli -- crashtest --profile mysql --ops 6 --stride 3 --seed 7
+# Bench smoke (small time scale): the codec hot-path micro-bench plus
+# the fan-out ablation, which asserts the >=2x recovery cut at width 8
+# and a warm, allocation-free bufpool, and archives its headline
+# numbers (objects/s sealed, recovery wall-clock at fan-out 1/4/8).
+GINJA_BENCH_SCALE=0.02 cargo bench -q -p ginja-bench --bench codec_micro
+GINJA_BENCH_SCALE=0.02 BENCH_PR4_OUT=BENCH_PR4.json \
+    cargo bench -q -p ginja-bench --bench ablation_fanout
+test -s BENCH_PR4.json

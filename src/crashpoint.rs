@@ -92,6 +92,10 @@ pub struct ExplorerConfig {
     /// Optionally inject one survivable fault at a mutating-op index
     /// before the crash (`fail_at_op`).
     pub fault: Option<(u64, FsFaultKind)>,
+    /// Fan-out width for recovery/resync GETs in the middleware under
+    /// test (`GinjaConfig::recovery_fanout`). 1 = serial; larger widths
+    /// exercise the reorder buffer under out-of-order fetch completion.
+    pub recovery_fanout: usize,
 }
 
 impl ExplorerConfig {
@@ -107,6 +111,7 @@ impl ExplorerConfig {
             torn: true,
             sector_size: 128,
             fault: None,
+            recovery_fanout: 1,
         }
     }
 }
@@ -304,6 +309,7 @@ fn build_stack(cfg: &ExplorerConfig) -> Stack {
         // Surface cloud failures immediately — the outage at the crash
         // instant must not be absorbed by backoff loops.
         .retry(RetryConfig::disabled())
+        .recovery_fanout(cfg.recovery_fanout.max(1))
         .build()
         .expect("explorer config");
 

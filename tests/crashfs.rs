@@ -97,6 +97,33 @@ fn sweep_with_injected_fsync_loss_stays_clean() {
 }
 
 #[test]
+fn sweep_with_parallel_recovery_stays_clean() {
+    // recovery_fanout > 1: every disaster recovery and reboot resync in
+    // the sweep fetches GETs concurrently, so fetch completion order is
+    // whatever the scheduler produces — the four invariants (notably
+    // cloud-prefix and reboot-resync, which depend on applies landing in
+    // timestamp order) prove the reorder buffer restores ordering.
+    let cfg = ExplorerConfig {
+        steps: 8,
+        recovery_fanout: 4,
+        ..ExplorerConfig::new(ProfileKind::Postgres)
+    };
+    assert_clean(&cfg);
+}
+
+#[test]
+fn sweep_with_parallel_recovery_mysql_stays_clean() {
+    let cfg = ExplorerConfig {
+        steps: 6,
+        stride: 2,
+        seed: 0x0fa0_u64,
+        recovery_fanout: 8,
+        ..ExplorerConfig::new(ProfileKind::MySql)
+    };
+    assert_clean(&cfg);
+}
+
+#[test]
 fn report_merges_into_stats_snapshot() {
     use ginja::core::GinjaStatsSnapshot;
 
