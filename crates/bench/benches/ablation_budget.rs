@@ -1,0 +1,322 @@
+//! Ablation: the live cost governor under a bursty TPC-C load.
+//!
+//! Two rigs run the same bursty workload (busy bursts separated by idle
+//! gaps — the traffic shape that breaks static B tuning) against a
+//! bench-scaled "month":
+//!
+//! * **fixed-B** — the operator's latency-friendly B/TB, never retuned;
+//! * **governed** — the same baseline knobs plus a [`BudgetConfig`]
+//!   sized at ~55 % of what the fixed rig actually spends, so the
+//!   governor *must* escalate B/TB mid-run to stay inside it.
+//!
+//! Acceptance: the governed run lands at or under its budget while the
+//! fixed rig overshoots it; governed p99 transaction latency stays
+//! bounded (escalating B defers uploads, it does not block commits);
+//! the safety bound S is never raised; and the governed bucket still
+//! recovers into a working database (no acked update is lost to cost
+//! pressure).
+//!
+//! With `BENCH_PR6_OUT=<path>` the headline numbers are also written as
+//! a small JSON document (CI smoke uses this to archive a trend point).
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ginja_bench::rig::{layout_profile, template, ProtectedRig, RigOptions};
+use ginja_bench::table::{fmt, Table};
+use ginja_bench::timescale::{run_wall_duration, time_scale, to_sim_duration};
+use ginja_core::{recover_into, GinjaConfig, GovernorSnapshot};
+use ginja_cost::governor::project_spend;
+use ginja_cost::BudgetConfig;
+use ginja_db::{Database, ProfileKind};
+use ginja_vfs::MemFs;
+use ginja_workload::{Tpcc, TpccScale};
+
+/// Busy bursts in the run.
+const BURSTS: usize = 4;
+
+/// Concurrent TPC-C terminals during a burst.
+const TERMINALS: u64 = 4;
+
+/// Fraction of each burst period spent busy (the rest is idle).
+const DUTY_CYCLE: f64 = 0.6;
+
+/// The governed budget as a fraction of the fixed rig's measured spend:
+/// low enough that the governor must escalate, high enough that the
+/// first burst (before the controller reacts) cannot blow it alone.
+const BUDGET_FRACTION: f64 = 0.55;
+
+fn base_config(scale: f64) -> GinjaConfig {
+    GinjaConfig::builder()
+        .batch(10)
+        .safety(1000)
+        .batch_timeout(Duration::from_secs_f64(5.0 * scale))
+        .safety_timeout(Duration::from_secs_f64(30.0 * scale))
+        .uploaders(5)
+        .build()
+        .expect("valid config")
+}
+
+/// Drives `BURSTS` busy/idle cycles against the rig's database, timing
+/// every transaction; returns (transactions, sorted latencies).
+fn bursty_run(
+    db: &Arc<Database>,
+    busy: Duration,
+    idle: Duration,
+    seed: u64,
+) -> (u64, Vec<Duration>) {
+    let mut latencies = Vec::new();
+    for burst in 0..BURSTS {
+        let stop_at = Instant::now() + busy;
+        let mut handles = Vec::new();
+        for terminal in 0..TERMINALS {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut tpcc = Tpcc::for_terminal(
+                    1,
+                    seed + burst as u64,
+                    TpccScale::bench(),
+                    terminal,
+                    TERMINALS,
+                );
+                let mut lat = Vec::new();
+                while Instant::now() < stop_at {
+                    let t = Instant::now();
+                    tpcc.run_transaction(&db).expect("transaction");
+                    lat.push(t.elapsed());
+                }
+                lat
+            }));
+        }
+        for handle in handles {
+            latencies.extend(handle.join().expect("terminal"));
+        }
+        if burst + 1 < BURSTS {
+            std::thread::sleep(idle);
+        }
+    }
+    latencies.sort();
+    (latencies.len() as u64, latencies)
+}
+
+fn p99(sorted: &[Duration]) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() - 1) * 99 / 100]
+}
+
+fn main() {
+    let scale = time_scale();
+    println!("time scale: {scale}");
+    println!("== Ablation: cost governor vs. fixed B under bursty TPC-C ==\n");
+
+    let total_wall = run_wall_duration();
+    let period = total_wall.div_f64(BURSTS as f64);
+    let busy = period.mul_f64(DUTY_CYCLE);
+    let idle = period.mul_f64(1.0 - DUTY_CYCLE);
+    // The governed "month" is the whole run (plus slack for boot): the
+    // projection math is scale-free in month length, so a seconds-long
+    // month exercises the same control loop as a 30-day one.
+    let month = total_wall.mul_f64(1.25);
+    println!(
+        "bursty load: {BURSTS} bursts x {TERMINALS} terminals, {:.2}s busy / {:.2}s idle, \
+         month = {:.2}s wall",
+        busy.as_secs_f64(),
+        idle.as_secs_f64(),
+        month.as_secs_f64(),
+    );
+
+    let template_fs = template(ProfileKind::Postgres, 1, TpccScale::bench(), 0xB06);
+
+    // -- Pass 1: fixed B (calibrates the budget). --------------------
+    let mut options = RigOptions::postgres(base_config(scale));
+    options.seed = 0xB06;
+    let rig = ProtectedRig::build(&template_fs, options);
+    rig.meter().reset_counters();
+    let (fixed_txns, fixed_lat) = bursty_run(&rig.db, busy, idle, 0xB06);
+    let fixed_p99 = p99(&fixed_lat);
+    let (fixed_stats, fixed_usage) = rig.finish();
+    let fixed_stats = fixed_stats.expect("fixed rig runs ginja");
+
+    // Price the fixed run with the same sheet the governor uses. At
+    // elapsed == month the projection is pure accounting: ops at list
+    // price plus a full month of storage for what the run left behind.
+    let reference = BudgetConfig {
+        month,
+        ..BudgetConfig::new(1.0)
+    };
+    let fixed_spend = project_spend(&fixed_usage, None, month, &reference).spent_usd;
+    assert!(
+        fixed_spend > 0.0 && fixed_usage.puts > 0,
+        "fixed rig must reach the cloud (spend {fixed_spend}, {} puts)",
+        fixed_usage.puts
+    );
+    let budget_usd = fixed_spend * BUDGET_FRACTION;
+
+    // -- Pass 2: governed, same workload, 55 % of the money. ---------
+    let governed_budget = BudgetConfig {
+        monthly_usd: budget_usd,
+        month,
+        poll_interval: Duration::from_millis(20),
+        ..BudgetConfig::new(1.0)
+    };
+    let config = GinjaConfig::builder()
+        .batch(10)
+        .safety(1000)
+        .batch_timeout(Duration::from_secs_f64(5.0 * scale))
+        .safety_timeout(Duration::from_secs_f64(30.0 * scale))
+        .uploaders(5)
+        .budget(governed_budget)
+        .build()
+        .expect("valid governed config");
+    let mut options = RigOptions::postgres(config);
+    options.seed = 0xB06;
+    let rig = ProtectedRig::build(&template_fs, options);
+    rig.meter().reset_counters();
+    let (governed_txns, governed_lat) = bursty_run(&rig.db, busy, idle, 0xB06);
+    let governed_p99 = p99(&governed_lat);
+
+    // Drain before snapshotting so "recoverable" covers every acked
+    // update, then capture the governor's final posture.
+    let ginja = rig.ginja.clone().expect("governed rig runs ginja");
+    ginja.sync(Duration::from_secs(60));
+    let gov: GovernorSnapshot = ginja.governor_snapshot();
+    let exposure = ginja.exposure();
+    let bucket = rig.snapshot_objects();
+    let (governed_stats, governed_usage) = rig.finish();
+    let governed_stats = governed_stats.expect("governed rig runs ginja");
+    let governed_spend = project_spend(&governed_usage, None, month, &reference).spent_usd;
+
+    // -- Report. -----------------------------------------------------
+    let mut t = Table::new(&[
+        "rig",
+        "txns",
+        "PUTs",
+        "spend $",
+        "budget $",
+        "p99 txn ms (sim)",
+        "final B",
+        "escalations",
+    ]);
+    t.row(&[
+        "fixed B=10".into(),
+        fixed_txns.to_string(),
+        fixed_usage.puts.to_string(),
+        format!("{fixed_spend:.6}"),
+        "-".into(),
+        fmt(to_sim_duration(fixed_p99).as_secs_f64() * 1000.0, 1),
+        "10".into(),
+        "-".into(),
+    ]);
+    t.row(&[
+        "governed".into(),
+        governed_txns.to_string(),
+        governed_usage.puts.to_string(),
+        format!("{governed_spend:.6}"),
+        format!("{budget_usd:.6}"),
+        fmt(to_sim_duration(governed_p99).as_secs_f64() * 1000.0, 1),
+        gov.batch.to_string(),
+        gov.escalations.to_string(),
+    ]);
+    t.print();
+    println!(
+        "\ngovernor: {} decisions ({} escalations, {} relaxations), \
+         projected ${:.6}, over_budget={}",
+        gov.decisions,
+        gov.escalations,
+        gov.relaxations,
+        gov.projected_microusd as f64 / 1e6,
+        exposure.over_budget,
+    );
+
+    // -- Acceptance. -------------------------------------------------
+    assert!(gov.enabled, "the governed rig must actually run a governor");
+    assert!(
+        governed_spend <= budget_usd,
+        "governed run must land inside its budget \
+         (spent ${governed_spend:.6} of ${budget_usd:.6})"
+    );
+    assert!(
+        governed_spend <= fixed_spend * 0.8,
+        "governing must beat fixed B by a real margin \
+         (${governed_spend:.6} vs ${fixed_spend:.6})"
+    );
+    assert!(
+        gov.escalations >= 1,
+        "a 55% budget must force at least one escalation"
+    );
+    assert_eq!(
+        gov.decisions,
+        gov.escalations + gov.relaxations,
+        "decision ledger must balance"
+    );
+
+    // The RPO bound is sacred: B may never exceed S, TB never TS.
+    assert!(
+        gov.batch <= 1000,
+        "governor raised B past the safety bound S ({})",
+        gov.batch
+    );
+    assert!(
+        Duration::from_micros(gov.batch_timeout_us) <= Duration::from_secs_f64(30.0 * scale),
+        "governor raised TB past the safety timeout TS ({} us)",
+        gov.batch_timeout_us
+    );
+
+    // Bounded ack latency: escalating B defers uploads, it must not
+    // stall commits. Generous backstop (debug builds, shared runners).
+    let p99_cap = fixed_p99.mul_f64(3.0) + Duration::from_secs_f64(0.05 * scale);
+    assert!(
+        governed_p99 <= p99_cap,
+        "governed p99 must stay bounded ({:?} vs fixed {:?})",
+        governed_p99,
+        fixed_p99
+    );
+
+    // No acked update is lost to cost pressure: the governed bucket
+    // still rebuilds a database that opens and serves rows.
+    assert!(governed_stats.updates_intercepted > 0);
+    assert!(fixed_stats.updates_intercepted > 0);
+    let target = Arc::new(MemFs::new());
+    recover_into(target.as_ref(), &bucket, &base_config(scale)).expect("governed bucket recovers");
+    let db =
+        Database::open(target, layout_profile(ProfileKind::Postgres)).expect("recovered db opens");
+    assert!(
+        db.get(ginja_workload::tables::WAREHOUSE, 0)
+            .expect("warehouse row readable")
+            .is_some(),
+        "recovered database must serve the warehouse row"
+    );
+
+    println!(
+        "\nshape check: the governor escalates B under budget pressure, lands under \
+         budget where fixed B overshoots, and the bucket still recovers cleanly"
+    );
+
+    if let Ok(path) = std::env::var("BENCH_PR6_OUT") {
+        let json = format!(
+            "{{\n  \"budget_usd\": {budget_usd:.6},\n  \"fixed_spend_usd\": {fixed_spend:.6},\n  \
+             \"governed_spend_usd\": {governed_spend:.6},\n  \
+             \"fixed_puts\": {},\n  \"governed_puts\": {},\n  \
+             \"fixed_p99_sim_ms\": {:.2},\n  \"governed_p99_sim_ms\": {:.2},\n  \
+             \"governor_decisions\": {},\n  \"governor_escalations\": {},\n  \
+             \"governor_relaxations\": {},\n  \"final_batch\": {},\n  \
+             \"over_budget\": {}\n}}\n",
+            fixed_usage.puts,
+            governed_usage.puts,
+            to_sim_duration(fixed_p99).as_secs_f64() * 1000.0,
+            to_sim_duration(governed_p99).as_secs_f64() * 1000.0,
+            gov.decisions,
+            gov.escalations,
+            gov.relaxations,
+            gov.batch,
+            exposure.over_budget,
+        );
+        let mut file = std::fs::File::create(&path).expect("create BENCH_PR6_OUT");
+        file.write_all(json.as_bytes())
+            .expect("write BENCH_PR6_OUT");
+        println!("\nwrote {path}");
+    }
+}

@@ -6,14 +6,15 @@
 //! 120 syncs/h) and C (4.3 GB, 240 syncs/h).
 
 use ginja_bench::table::{fmt, Table};
-use ginja_cost::{budget_frontier, max_db_size_gb, monthly_cost_simple, S3Pricing};
+use ginja_cost::{Budget, S3Pricing};
 
 fn main() {
     let pricing = S3Pricing::may_2017();
+    let budget = Budget::new(1.0);
     println!("== Figure 1: $1/month capacity frontier (Amazon S3, May 2017 prices) ==\n");
 
     let mut t = Table::new(&["syncs/hour", "max DB size (GB)", "storage $", "PUT $"]);
-    let series = budget_frontier((0..=275).step_by(25).map(|x| x as f64), 1.0, &pricing);
+    let series = budget.frontier((0..=275).step_by(25).map(|x| x as f64));
     for (rate, size) in &series {
         let put_cost = rate * 720.0 * pricing.put_op;
         t.row(&[
@@ -34,7 +35,7 @@ fn main() {
         "paper",
     ]);
     for (name, size, rate) in [("A", 35.0, 50.0), ("B", 20.0, 120.0), ("C", 4.3, 240.0)] {
-        let cost = monthly_cost_simple(size, rate, &pricing);
+        let cost = budget.monthly_cost_simple(size, rate);
         t.row(&[
             name.to_string(),
             fmt(size, 1),
@@ -47,7 +48,7 @@ fn main() {
 
     // Sanity: the frontier is consistent with the setups.
     for (size, rate) in [(35.0, 50.0), (20.0, 120.0), (4.3, 240.0)] {
-        let max = max_db_size_gb(rate, 1.0, &pricing);
+        let max = budget.max_db_size_gb(rate);
         assert!(
             (max - size).abs() < 5.0,
             "setup ({size} GB @ {rate}/h) should sit near the frontier ({max} GB)"

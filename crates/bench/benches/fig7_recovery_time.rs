@@ -52,21 +52,21 @@ fn main() {
         options.seed = 0xF17;
         let rig = ProtectedRig::build(&template_fs, options);
         let _report = rig.run(run_wall_duration());
-        let metered = rig.metered.clone();
+        // Objects as they stand after the run, beneath metering/latency.
+        let raw = rig.snapshot_objects();
         let (_stats, usage) = rig.finish();
         let cloud_mb = usage.stored_bytes as f64 / 1e6;
 
         // Recover from the same (now latency-remodelled) objects:
         // WAN and intra-region serially (the paper's two bars), then
         // intra-region again with the recovery fan-out wide open.
-        let raw = metered.inner().inner(); // the MemStore under metering
         let mut times = Vec::new();
         for (latency, fanout) in [
             (LatencyModel::s3_wan(), 1usize),
             (LatencyModel::s3_intra_region(), 1),
             (LatencyModel::s3_intra_region(), 8),
         ] {
-            let snapshot = copy_store(raw);
+            let snapshot = copy_store(&raw);
             let cloud = LatencyStore::new(snapshot, latency.scaled(scale));
             let target = Arc::new(MemFs::new());
             let recover_config = GinjaConfig::builder()

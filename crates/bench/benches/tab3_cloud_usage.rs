@@ -109,8 +109,7 @@ fn main() {
                 options.seed = 0x7B3;
                 let rig = ProtectedRig::build(&template_fs, options);
                 let _report = rig.run(run_wall_duration());
-                let metered = rig.metered.clone();
-                let samples = metered.put_samples();
+                let samples = rig.meter().put_samples();
                 let (stats, usage) = rig.finish();
                 let stats = stats.expect("ginja rig");
 

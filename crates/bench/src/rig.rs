@@ -19,7 +19,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ginja_cloud::{CloudUsage, LatencyModel, LatencyStore, MemStore, MeteredStore, ObjectStore};
+use ginja_cloud::{
+    CloudUsage, LatencyModel, LatencyStore, MemStore, MeteredStore, ObjectStore, UsageMeter,
+};
 use ginja_core::{Ginja, GinjaConfig, GinjaStatsSnapshot};
 use ginja_db::{Database, DbProfile, IoDelay, ProfileKind};
 use ginja_vfs::{
@@ -171,15 +173,19 @@ pub fn template(kind: ProfileKind, warehouses: u64, scale: TpccScale, seed: u64)
 }
 
 /// One experiment instance.
+///
+/// Benches read cloud usage through [`ProtectedRig::meter`] — the
+/// [`UsageMeter`] trait — rather than reaching into the concrete store
+/// stack; the layering under the meter (latency model, backing store)
+/// is the rig's own business.
 pub struct ProtectedRig {
     /// The (possibly protected) database.
     pub db: Arc<Database>,
     /// The middleware, when `baseline == Ginja`.
     pub ginja: Option<Ginja>,
-    /// The metered cloud the middleware writes to.
-    pub metered: Arc<MeteredStore<LatencyStore<MemStore>>>,
     /// The local file system under the database.
     pub local: Arc<MemFs>,
+    store: Arc<MeteredStore<LatencyStore<MemStore>>>,
     options: RigOptions,
 }
 
@@ -188,7 +194,7 @@ impl ProtectedRig {
     pub fn build(template: &MemFs, options: RigOptions) -> Self {
         let scale = time_scale();
         let local = Arc::new(template.fork());
-        let metered = Arc::new(MeteredStore::new(LatencyStore::new(
+        let store = Arc::new(MeteredStore::new(LatencyStore::new(
             MemStore::new(),
             options.latency.clone().scaled(scale),
         )));
@@ -213,7 +219,7 @@ impl ProtectedRig {
                     ProfileKind::Postgres => Arc::new(PostgresProcessor::new()),
                     ProfileKind::MySql => Arc::new(MySqlProcessor::new()),
                 };
-                let cloud: Arc<dyn ObjectStore> = metered.clone();
+                let cloud: Arc<dyn ObjectStore> = store.clone();
                 let ginja = Ginja::boot(local.clone(), cloud, processor, options.config.clone())
                     .expect("ginja boot");
                 let fs = Arc::new(InterceptFs::new(
@@ -228,17 +234,37 @@ impl ProtectedRig {
         ProtectedRig {
             db,
             ginja,
-            metered,
             local,
+            store,
             options,
         }
+    }
+
+    /// The usage meter in front of the rig's cloud: counters, put
+    /// samples, windowed rates — everything a bench needs, without the
+    /// concrete store stack.
+    pub fn meter(&self) -> Arc<dyn UsageMeter + Send + Sync> {
+        self.store.clone()
+    }
+
+    /// A point-in-time copy of the raw objects beneath the metering and
+    /// latency layers, for recovery benches that re-model latency over
+    /// the same bucket contents.
+    pub fn snapshot_objects(&self) -> MemStore {
+        let raw = self.store.inner().inner();
+        let copy = MemStore::new();
+        for name in raw.list("").expect("list bucket") {
+            copy.put(&name, &raw.get(&name).expect("get object"))
+                .expect("copy object");
+        }
+        copy
     }
 
     /// Runs TPC-C for `duration` (wall time) with the paper's terminal
     /// count and returns the throughput report.
     pub fn run(&self, duration: Duration) -> RunReport {
         // Don't meter the boot uploads into the run's numbers.
-        self.metered.reset_counters();
+        self.store.reset_counters();
         run_tpcc(
             &self.db,
             self.options.warehouses,
@@ -258,7 +284,7 @@ impl ProtectedRig {
             g.shutdown();
             stats
         });
-        (stats, self.metered.usage())
+        (stats, self.store.usage())
     }
 
     /// The rig's options.

@@ -48,6 +48,7 @@ mod metered;
 mod replicated;
 mod resilient;
 mod store;
+mod usage;
 
 pub use dir::DirStore;
 pub use erasure::{decode as erasure_decode, encode as erasure_encode, ErasureStore};
@@ -55,7 +56,10 @@ pub use error::StoreError;
 pub use fault::{FaultKind, FaultPlan, FaultStore, OpKind};
 pub use latency::{LatencyModel, LatencyStore};
 pub use mem::MemStore;
-pub use metered::{CloudUsage, MeteredStore, PutSample};
+pub use metered::MeteredStore;
 pub use replicated::ReplicatedStore;
 pub use resilient::{BreakerState, ResilienceSnapshot, ResilientStore, RetryConfig};
 pub use store::ObjectStore;
+pub use usage::{
+    CloudUsage, PutSample, UsageLedger, UsageMeter, UsageRates, DEFAULT_PUT_SAMPLE_CAPACITY,
+};

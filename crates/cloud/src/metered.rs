@@ -1,62 +1,20 @@
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-
+use crate::usage::{CloudUsage, PutSample, UsageLedger, UsageMeter};
 use crate::{ObjectStore, StoreError};
 
-/// One recorded PUT: payload size and observed end-to-end latency.
+/// An [`ObjectStore`] decorator that meters every operation into a
+/// shared [`UsageLedger`].
 ///
-/// The per-configuration averages of these samples are exactly what the
-/// paper's Table 3 reports ("Num. PUTs", "Object Size", "PUT latency").
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PutSample {
-    /// Uploaded object size in bytes.
-    pub bytes: u64,
-    /// Wall-clock latency of the PUT (includes simulated WAN time when
-    /// stacked over a [`crate::LatencyStore`]).
-    pub latency: Duration,
-}
-
-/// A snapshot of accumulated cloud usage.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct CloudUsage {
-    /// Successful PUT operations.
-    pub puts: u64,
-    /// Successful GET operations.
-    pub gets: u64,
-    /// Successful DELETE operations.
-    pub deletes: u64,
-    /// Successful LIST operations.
-    pub lists: u64,
-    /// Failed operations of any kind.
-    pub failures: u64,
-    /// Total bytes uploaded by successful PUTs.
-    pub bytes_uploaded: u64,
-    /// Total bytes downloaded by successful GETs.
-    pub bytes_downloaded: u64,
-    /// Bytes currently stored (sum of live object sizes).
-    pub stored_bytes: u64,
-    /// High-water mark of `stored_bytes`.
-    pub peak_stored_bytes: u64,
-}
-
-impl CloudUsage {
-    /// Average uploaded object size, or 0 when nothing was uploaded.
-    pub fn avg_put_size(&self) -> u64 {
-        self.bytes_uploaded.checked_div(self.puts).unwrap_or(0)
-    }
-}
-
-/// An [`ObjectStore`] decorator that meters every operation.
-///
-/// Tracks operation counts, transferred bytes, live stored bytes (it
-/// maintains its own name → size map so it works over any backend), and
-/// a full list of [`PutSample`]s for latency statistics.
+/// The decorator itself holds no counters any more: all accounting —
+/// operation counts, transferred bytes, live stored bytes, the bounded
+/// [`PutSample`] ring — lives in the ledger, which can be shared with
+/// other recording layers (e.g. [`crate::ResilientStore`]) and read
+/// through the one [`UsageMeter`] API.
 ///
 /// ```rust
-/// use ginja_cloud::{MemStore, MeteredStore, ObjectStore};
+/// use ginja_cloud::{MemStore, MeteredStore, ObjectStore, UsageMeter};
 ///
 /// # fn main() -> Result<(), ginja_cloud::StoreError> {
 /// let store = MeteredStore::new(MemStore::new());
@@ -72,36 +30,18 @@ impl CloudUsage {
 #[derive(Debug)]
 pub struct MeteredStore<S> {
     inner: S,
-    puts: AtomicU64,
-    gets: AtomicU64,
-    deletes: AtomicU64,
-    lists: AtomicU64,
-    failures: AtomicU64,
-    bytes_uploaded: AtomicU64,
-    bytes_downloaded: AtomicU64,
-    stored_bytes: AtomicU64,
-    peak_stored_bytes: AtomicU64,
-    sizes: Mutex<HashMap<String, u64>>,
-    put_samples: Mutex<Vec<PutSample>>,
+    ledger: Arc<UsageLedger>,
 }
 
 impl<S: ObjectStore> MeteredStore<S> {
-    /// Wraps `inner` with fresh counters.
+    /// Wraps `inner` with a fresh ledger.
     pub fn new(inner: S) -> Self {
-        MeteredStore {
-            inner,
-            puts: AtomicU64::new(0),
-            gets: AtomicU64::new(0),
-            deletes: AtomicU64::new(0),
-            lists: AtomicU64::new(0),
-            failures: AtomicU64::new(0),
-            bytes_uploaded: AtomicU64::new(0),
-            bytes_downloaded: AtomicU64::new(0),
-            stored_bytes: AtomicU64::new(0),
-            peak_stored_bytes: AtomicU64::new(0),
-            sizes: Mutex::new(HashMap::new()),
-            put_samples: Mutex::new(Vec::new()),
-        }
+        MeteredStore::with_ledger(inner, Arc::new(UsageLedger::new()))
+    }
+
+    /// Wraps `inner`, recording into an existing shared `ledger`.
+    pub fn with_ledger(inner: S, ledger: Arc<UsageLedger>) -> Self {
+        MeteredStore { inner, ledger }
     }
 
     /// The wrapped store.
@@ -109,69 +49,35 @@ impl<S: ObjectStore> MeteredStore<S> {
         &self.inner
     }
 
-    /// Current usage snapshot.
-    pub fn usage(&self) -> CloudUsage {
-        CloudUsage {
-            puts: self.puts.load(Ordering::SeqCst),
-            gets: self.gets.load(Ordering::SeqCst),
-            deletes: self.deletes.load(Ordering::SeqCst),
-            lists: self.lists.load(Ordering::SeqCst),
-            failures: self.failures.load(Ordering::SeqCst),
-            bytes_uploaded: self.bytes_uploaded.load(Ordering::SeqCst),
-            bytes_downloaded: self.bytes_downloaded.load(Ordering::SeqCst),
-            stored_bytes: self.stored_bytes.load(Ordering::SeqCst),
-            peak_stored_bytes: self.peak_stored_bytes.load(Ordering::SeqCst),
-        }
+    /// The shared ledger this store records into.
+    pub fn ledger(&self) -> &Arc<UsageLedger> {
+        &self.ledger
+    }
+}
+
+impl<S: ObjectStore> UsageMeter for MeteredStore<S> {
+    fn usage(&self) -> CloudUsage {
+        self.ledger.usage()
     }
 
-    /// All PUT samples recorded so far (cloned).
-    pub fn put_samples(&self) -> Vec<PutSample> {
-        self.put_samples.lock().clone()
+    fn put_samples(&self) -> Vec<PutSample> {
+        self.ledger.put_samples()
     }
 
-    /// Mean PUT latency, or zero when no PUT succeeded.
-    pub fn mean_put_latency(&self) -> Duration {
-        let samples = self.put_samples.lock();
-        if samples.is_empty() {
-            return Duration::ZERO;
-        }
-        let total: Duration = samples.iter().map(|s| s.latency).sum();
-        total / samples.len() as u32
+    fn dropped_put_samples(&self) -> u64 {
+        self.ledger.dropped_put_samples()
     }
 
-    /// Resets all counters and samples (stored-size tracking is kept, as
-    /// the objects are still in the backend).
-    pub fn reset_counters(&self) {
-        self.puts.store(0, Ordering::SeqCst);
-        self.gets.store(0, Ordering::SeqCst);
-        self.deletes.store(0, Ordering::SeqCst);
-        self.lists.store(0, Ordering::SeqCst);
-        self.failures.store(0, Ordering::SeqCst);
-        self.bytes_uploaded.store(0, Ordering::SeqCst);
-        self.bytes_downloaded.store(0, Ordering::SeqCst);
-        self.put_samples.lock().clear();
-        let stored = self.stored_bytes.load(Ordering::SeqCst);
-        self.peak_stored_bytes.store(stored, Ordering::SeqCst);
+    fn mean_put_latency(&self) -> Duration {
+        self.ledger.mean_put_latency()
     }
 
-    fn note_failure(&self) {
-        self.failures.fetch_add(1, Ordering::SeqCst);
+    fn reset_counters(&self) {
+        self.ledger.reset_counters()
     }
 
-    fn update_stored(&self, name: &str, new_size: Option<u64>) {
-        let mut sizes = self.sizes.lock();
-        let old = match new_size {
-            Some(size) => sizes.insert(name.to_string(), size),
-            None => sizes.remove(name),
-        };
-        let old = old.unwrap_or(0);
-        let new = new_size.unwrap_or(0);
-        let stored = if new >= old {
-            self.stored_bytes.fetch_add(new - old, Ordering::SeqCst) + (new - old)
-        } else {
-            self.stored_bytes.fetch_sub(old - new, Ordering::SeqCst) - (old - new)
-        };
-        self.peak_stored_bytes.fetch_max(stored, Ordering::SeqCst);
+    fn elapsed(&self) -> Duration {
+        self.ledger.elapsed()
     }
 }
 
@@ -180,19 +86,12 @@ impl<S: ObjectStore> ObjectStore for MeteredStore<S> {
         let start = Instant::now();
         match self.inner.put(name, data) {
             Ok(()) => {
-                let latency = start.elapsed();
-                self.puts.fetch_add(1, Ordering::SeqCst);
-                self.bytes_uploaded
-                    .fetch_add(data.len() as u64, Ordering::SeqCst);
-                self.update_stored(name, Some(data.len() as u64));
-                self.put_samples.lock().push(PutSample {
-                    bytes: data.len() as u64,
-                    latency,
-                });
+                self.ledger
+                    .record_put(name, data.len() as u64, start.elapsed());
                 Ok(())
             }
             Err(e) => {
-                self.note_failure();
+                self.ledger.record_failure();
                 Err(e)
             }
         }
@@ -201,13 +100,11 @@ impl<S: ObjectStore> ObjectStore for MeteredStore<S> {
     fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
         match self.inner.get(name) {
             Ok(data) => {
-                self.gets.fetch_add(1, Ordering::SeqCst);
-                self.bytes_downloaded
-                    .fetch_add(data.len() as u64, Ordering::SeqCst);
+                self.ledger.record_get(data.len() as u64);
                 Ok(data)
             }
             Err(e) => {
-                self.note_failure();
+                self.ledger.record_failure();
                 Err(e)
             }
         }
@@ -216,12 +113,11 @@ impl<S: ObjectStore> ObjectStore for MeteredStore<S> {
     fn delete(&self, name: &str) -> Result<(), StoreError> {
         match self.inner.delete(name) {
             Ok(()) => {
-                self.deletes.fetch_add(1, Ordering::SeqCst);
-                self.update_stored(name, None);
+                self.ledger.record_delete(name);
                 Ok(())
             }
             Err(e) => {
-                self.note_failure();
+                self.ledger.record_failure();
                 Err(e)
             }
         }
@@ -230,11 +126,11 @@ impl<S: ObjectStore> ObjectStore for MeteredStore<S> {
     fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
         match self.inner.list(prefix) {
             Ok(names) => {
-                self.lists.fetch_add(1, Ordering::SeqCst);
+                self.ledger.record_list();
                 Ok(names)
             }
             Err(e) => {
-                self.note_failure();
+                self.ledger.record_failure();
                 Err(e)
             }
         }
@@ -245,7 +141,6 @@ impl<S: ObjectStore> ObjectStore for MeteredStore<S> {
 mod tests {
     use super::*;
     use crate::{FaultPlan, FaultStore, MemStore, OpKind};
-    use std::sync::Arc;
 
     #[test]
     fn counts_successful_ops() {
@@ -281,6 +176,7 @@ mod tests {
 
     #[test]
     fn failures_counted_not_metered() {
+        use std::sync::Arc;
         let plan = Arc::new(FaultPlan::new());
         let store = MeteredStore::new(FaultStore::new(MemStore::new(), plan.clone()));
         plan.fail_next(OpKind::Put, 1);
@@ -329,7 +225,20 @@ mod tests {
     }
 
     #[test]
+    fn shared_ledger_merges_two_stores() {
+        use std::sync::Arc;
+        let ledger = Arc::new(UsageLedger::new());
+        let a = MeteredStore::with_ledger(MemStore::new(), ledger.clone());
+        let b = MeteredStore::with_ledger(MemStore::new(), ledger.clone());
+        a.put("x", &[0u8; 10]).unwrap();
+        b.put("y", &[0u8; 20]).unwrap();
+        assert_eq!(ledger.usage().puts, 2);
+        assert_eq!(ledger.usage().bytes_uploaded, 30);
+    }
+
+    #[test]
     fn concurrent_metering_consistent() {
+        use std::sync::Arc;
         let store = Arc::new(MeteredStore::new(MemStore::new()));
         let mut handles = Vec::new();
         for t in 0..4 {

@@ -39,6 +39,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::usage::UsageLedger;
 use crate::{ObjectStore, StoreError};
 
 /// Tuning for [`ResilientStore`]. Defaults suit a WAN object store
@@ -349,6 +350,9 @@ pub struct ResilientStore {
     breaker: Arc<Breaker>,
     latencies: Arc<LatencyWindow>,
     counters: Arc<Counters>,
+    /// Usage accounting shared with every layer that issues cloud ops
+    /// through this wrapper (the governor reads it).
+    ledger: Arc<UsageLedger>,
     /// splitmix64 state for jitter draws.
     jitter_state: Arc<AtomicU64>,
 }
@@ -371,6 +375,20 @@ impl ResilientStore {
     /// last line of defence; `GinjaConfig::validate` rejects bad
     /// configs with a proper error first).
     pub fn new(inner: Arc<dyn ObjectStore>, config: RetryConfig) -> Self {
+        ResilientStore::with_ledger(inner, config, Arc::new(UsageLedger::new()))
+    }
+
+    /// Wraps `inner` with the given policy, recording every operation
+    /// into an existing shared `ledger`.
+    ///
+    /// # Panics
+    ///
+    /// Same validation as [`ResilientStore::new`].
+    pub fn with_ledger(
+        inner: Arc<dyn ObjectStore>,
+        config: RetryConfig,
+        ledger: Arc<UsageLedger>,
+    ) -> Self {
         if let Err(why) = config.validate() {
             panic!("invalid RetryConfig: {why}");
         }
@@ -381,6 +399,7 @@ impl ResilientStore {
             breaker,
             latencies: Arc::new(LatencyWindow::new()),
             counters: Arc::new(Counters::default()),
+            ledger,
             jitter_state: Arc::new(AtomicU64::new(0x5DEE_CE66_D1CE_4E5B)),
         }
     }
@@ -393,6 +412,11 @@ impl ResilientStore {
     /// The wrapped store.
     pub fn inner(&self) -> &Arc<dyn ObjectStore> {
         &self.inner
+    }
+
+    /// The usage ledger every operation through this wrapper lands in.
+    pub fn ledger(&self) -> &Arc<UsageLedger> {
+        &self.ledger
     }
 
     /// Current breaker position.
@@ -586,25 +610,86 @@ impl ResilientStore {
 
 impl ObjectStore for ResilientStore {
     fn put(&self, name: &str, data: &[u8]) -> Result<(), StoreError> {
-        self.run(|| self.put_attempt(name, data))
+        let started = Instant::now();
+        match self.run(|| self.put_attempt(name, data)) {
+            Ok(()) => {
+                self.ledger
+                    .record_put(name, data.len() as u64, started.elapsed());
+                Ok(())
+            }
+            Err(e) => {
+                self.ledger.record_failure();
+                Err(e)
+            }
+        }
     }
 
     fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
-        self.run(|| self.inner.get(name))
+        match self.run(|| self.inner.get(name)) {
+            Ok(data) => {
+                self.ledger.record_get(data.len() as u64);
+                Ok(data)
+            }
+            Err(e) => {
+                self.ledger.record_failure();
+                Err(e)
+            }
+        }
     }
 
     fn delete(&self, name: &str) -> Result<(), StoreError> {
-        self.run(|| self.inner.delete(name))
+        match self.run(|| self.inner.delete(name)) {
+            Ok(()) => {
+                self.ledger.record_delete(name);
+                Ok(())
+            }
+            Err(e) => {
+                self.ledger.record_failure();
+                Err(e)
+            }
+        }
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
-        self.run(|| self.inner.list(prefix))
+        match self.run(|| self.inner.list(prefix)) {
+            Ok(names) => {
+                self.ledger.record_list();
+                Ok(names)
+            }
+            Err(e) => {
+                self.ledger.record_failure();
+                Err(e)
+            }
+        }
+    }
+}
+
+impl crate::usage::UsageMeter for ResilientStore {
+    fn usage(&self) -> crate::usage::CloudUsage {
+        self.ledger.usage()
+    }
+
+    fn put_samples(&self) -> Vec<crate::usage::PutSample> {
+        self.ledger.put_samples()
+    }
+
+    fn dropped_put_samples(&self) -> u64 {
+        self.ledger.dropped_put_samples()
+    }
+
+    fn reset_counters(&self) {
+        self.ledger.reset_counters()
+    }
+
+    fn elapsed(&self) -> Duration {
+        self.ledger.elapsed()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::usage::UsageMeter;
     use crate::{FaultPlan, FaultStore, LatencyModel, LatencyStore, MemStore, OpKind};
 
     /// Fast test policy: microsecond-scale delays, breaker off.
@@ -942,6 +1027,33 @@ mod tests {
 
         assert!(RetryConfig::default().validate().is_ok());
         assert!(RetryConfig::disabled().validate().is_ok());
+    }
+
+    #[test]
+    fn ledger_meters_every_operation() {
+        let (store, plan) = faulty_store(fast_config(5));
+        store.put("a", b"12345").unwrap();
+        store.get("a").unwrap();
+        store.list("").unwrap();
+        store.delete("a").unwrap();
+        // A transiently failing put still lands as ONE successful put
+        // in the ledger (attempt-level failures are the resilience
+        // layer's business; billing counts the logical operation).
+        plan.fail_next(OpKind::Put, 2);
+        store.put("b", b"xy").unwrap();
+        let u = store.usage();
+        assert_eq!(u.puts, 2);
+        assert_eq!(u.gets, 1);
+        assert_eq!(u.lists, 1);
+        assert_eq!(u.deletes, 1);
+        assert_eq!(u.bytes_uploaded, 7);
+        assert_eq!(u.stored_bytes, 2);
+        assert_eq!(u.failures, 0);
+        // An exhausted put is a ledger failure.
+        plan.fail_next(OpKind::Put, usize::MAX);
+        assert!(store.put("c", b"z").is_err());
+        assert_eq!(store.usage().failures, 1);
+        assert_eq!(store.put_samples().len(), 2);
     }
 
     #[test]

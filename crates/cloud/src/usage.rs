@@ -1,0 +1,483 @@
+//! The unified usage-metering surface: [`UsageMeter`] + [`UsageLedger`].
+//!
+//! Historically every consumer that wanted cloud-op accounting had to
+//! reach into the concrete [`crate::MeteredStore`] wrapper — which the
+//! live pipeline never used, so boot, uploader, checkpointer, GC and
+//! sentinel traffic was invisible to the §7 cost model. This module
+//! inverts that: a [`UsageLedger`] is a shared, thread-safe set of
+//! counters that *any* layer can record into, and [`UsageMeter`] is the
+//! one read API shared by benches, stats, and the cost governor.
+//!
+//! [`crate::MeteredStore`] and [`crate::ResilientStore`] both record into
+//! a ledger; the latter means every operation Ginja issues lands in a
+//! single ledger without extra decorators.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Default capacity of the PUT-sample ring kept by a [`UsageLedger`].
+///
+/// Bounded so a month-long run cannot grow the buffer without limit;
+/// once full, the oldest sample is evicted and
+/// [`UsageMeter::dropped_put_samples`] is incremented.
+pub const DEFAULT_PUT_SAMPLE_CAPACITY: usize = 8192;
+
+/// One recorded PUT: payload size and observed end-to-end latency.
+///
+/// The per-configuration averages of these samples are exactly what the
+/// paper's Table 3 reports ("Num. PUTs", "Object Size", "PUT latency").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PutSample {
+    /// Uploaded object size in bytes.
+    pub bytes: u64,
+    /// Wall-clock latency of the PUT (includes simulated WAN time when
+    /// stacked over a [`crate::LatencyStore`]).
+    pub latency: Duration,
+}
+
+/// A snapshot of accumulated cloud usage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CloudUsage {
+    /// Successful PUT operations.
+    pub puts: u64,
+    /// Successful GET operations.
+    pub gets: u64,
+    /// Successful DELETE operations.
+    pub deletes: u64,
+    /// Successful LIST operations.
+    pub lists: u64,
+    /// Failed operations of any kind.
+    pub failures: u64,
+    /// Total bytes uploaded by successful PUTs.
+    pub bytes_uploaded: u64,
+    /// Total bytes downloaded by successful GETs.
+    pub bytes_downloaded: u64,
+    /// Bytes currently stored (sum of live object sizes).
+    pub stored_bytes: u64,
+    /// High-water mark of `stored_bytes`.
+    pub peak_stored_bytes: u64,
+}
+
+impl CloudUsage {
+    /// Average uploaded object size, or 0 when nothing was uploaded.
+    pub fn avg_put_size(&self) -> u64 {
+        self.bytes_uploaded.checked_div(self.puts).unwrap_or(0)
+    }
+}
+
+/// Windowed operation rates derived from successive ledger observations.
+///
+/// Produced by [`UsageLedger::observe_rates`]; the cost governor feeds
+/// these into its month-end spend projection.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UsageRates {
+    /// Wall-clock span the rates were measured over.
+    pub span: Duration,
+    /// Successful PUTs per minute.
+    pub puts_per_min: f64,
+    /// Successful GETs per minute.
+    pub gets_per_min: f64,
+    /// Successful DELETEs per minute.
+    pub deletes_per_min: f64,
+    /// Uploaded bytes per minute.
+    pub upload_bytes_per_min: f64,
+}
+
+/// The single read API over metered cloud accounting.
+///
+/// Implemented by [`UsageLedger`] itself, by [`crate::MeteredStore`]
+/// (which delegates to its ledger) and by [`crate::ResilientStore`], so
+/// benches, stats, and the governor all consume exactly one interface
+/// instead of reaching into concrete wrappers.
+pub trait UsageMeter {
+    /// Current usage snapshot.
+    fn usage(&self) -> CloudUsage;
+
+    /// The retained PUT samples (most recent first-in order, cloned).
+    ///
+    /// The ring is bounded; consult [`UsageMeter::dropped_put_samples`]
+    /// for how many older samples were evicted.
+    fn put_samples(&self) -> Vec<PutSample>;
+
+    /// How many PUT samples were evicted because the ring was full.
+    fn dropped_put_samples(&self) -> u64;
+
+    /// Mean PUT latency over the retained samples, or zero when empty.
+    fn mean_put_latency(&self) -> Duration {
+        let samples = self.put_samples();
+        if samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = samples.iter().map(|s| s.latency).sum();
+        total / samples.len() as u32
+    }
+
+    /// Resets counters, samples, and the measurement epoch
+    /// (stored-size tracking is kept, as the objects remain in the
+    /// backend).
+    fn reset_counters(&self);
+
+    /// Wall-clock time since the ledger was created or last reset.
+    fn elapsed(&self) -> Duration;
+}
+
+/// Bounded ring of PUT samples with an eviction counter.
+#[derive(Debug)]
+struct SampleRing {
+    samples: VecDeque<PutSample>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl SampleRing {
+    fn new(capacity: usize) -> Self {
+        SampleRing {
+            samples: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, sample: PutSample) {
+        if self.samples.len() >= self.capacity {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+        self.samples.push_back(sample);
+    }
+}
+
+/// Monotonic counters sampled by the rate window.
+#[derive(Debug, Clone, Copy)]
+struct RateCounts {
+    puts: u64,
+    gets: u64,
+    deletes: u64,
+    bytes_uploaded: u64,
+}
+
+/// Ring of timestamped counter observations for windowed rates.
+#[derive(Debug)]
+struct RateWindow {
+    observations: VecDeque<(Instant, RateCounts)>,
+}
+
+const MAX_RATE_OBSERVATIONS: usize = 128;
+
+/// Shared, thread-safe cloud-usage accounting.
+///
+/// Cheap atomic counters plus a name → size map (so live stored bytes
+/// work over any backend), a bounded [`PutSample`] ring, and a windowed
+/// rate tracker. Clone the `Arc` and hand it to every layer that issues
+/// cloud operations — all of them land in one ledger.
+///
+/// ```rust
+/// use std::sync::Arc;
+/// use ginja_cloud::{UsageLedger, UsageMeter};
+/// use std::time::Duration;
+///
+/// let ledger = Arc::new(UsageLedger::new());
+/// ledger.record_put("a", 100, Duration::from_millis(3));
+/// ledger.record_get(100);
+/// let usage = ledger.usage();
+/// assert_eq!((usage.puts, usage.gets, usage.stored_bytes), (1, 1, 100));
+/// ```
+#[derive(Debug)]
+pub struct UsageLedger {
+    puts: AtomicU64,
+    gets: AtomicU64,
+    deletes: AtomicU64,
+    lists: AtomicU64,
+    failures: AtomicU64,
+    bytes_uploaded: AtomicU64,
+    bytes_downloaded: AtomicU64,
+    stored_bytes: AtomicU64,
+    peak_stored_bytes: AtomicU64,
+    sizes: Mutex<HashMap<String, u64>>,
+    ring: Mutex<SampleRing>,
+    window: Mutex<RateWindow>,
+    epoch: Mutex<Instant>,
+}
+
+impl Default for UsageLedger {
+    fn default() -> Self {
+        UsageLedger::new()
+    }
+}
+
+impl UsageLedger {
+    /// A fresh ledger with the default PUT-sample capacity.
+    pub fn new() -> Self {
+        UsageLedger::with_sample_capacity(DEFAULT_PUT_SAMPLE_CAPACITY)
+    }
+
+    /// A fresh ledger retaining at most `capacity` PUT samples.
+    pub fn with_sample_capacity(capacity: usize) -> Self {
+        UsageLedger {
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            lists: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            bytes_uploaded: AtomicU64::new(0),
+            bytes_downloaded: AtomicU64::new(0),
+            stored_bytes: AtomicU64::new(0),
+            peak_stored_bytes: AtomicU64::new(0),
+            sizes: Mutex::new(HashMap::new()),
+            ring: Mutex::new(SampleRing::new(capacity.max(1))),
+            window: Mutex::new(RateWindow {
+                observations: VecDeque::new(),
+            }),
+            epoch: Mutex::new(Instant::now()),
+        }
+    }
+
+    /// Records one successful PUT of `bytes` for object `name`.
+    pub fn record_put(&self, name: &str, bytes: u64, latency: Duration) {
+        self.puts.fetch_add(1, Ordering::SeqCst);
+        self.bytes_uploaded.fetch_add(bytes, Ordering::SeqCst);
+        self.update_stored(name, Some(bytes));
+        self.ring.lock().push(PutSample { bytes, latency });
+    }
+
+    /// Records one successful GET that downloaded `bytes`.
+    pub fn record_get(&self, bytes: u64) {
+        self.gets.fetch_add(1, Ordering::SeqCst);
+        self.bytes_downloaded.fetch_add(bytes, Ordering::SeqCst);
+    }
+
+    /// Records one successful DELETE of object `name`.
+    pub fn record_delete(&self, name: &str) {
+        self.deletes.fetch_add(1, Ordering::SeqCst);
+        self.update_stored(name, None);
+    }
+
+    /// Records one successful LIST.
+    pub fn record_list(&self) {
+        self.lists.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records one failed operation of any kind.
+    pub fn record_failure(&self) {
+        self.failures.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Takes a rate observation and returns the operation rates over
+    /// (roughly) the trailing `window`.
+    ///
+    /// Self-driving: each call records the current counters, so a
+    /// caller polling periodically (the governor) gets rates over its
+    /// own polling horizon with no background thread. Before a full
+    /// window has elapsed, rates since the epoch are returned.
+    pub fn observe_rates(&self, window: Duration) -> UsageRates {
+        let now = Instant::now();
+        let current = RateCounts {
+            puts: self.puts.load(Ordering::SeqCst),
+            gets: self.gets.load(Ordering::SeqCst),
+            deletes: self.deletes.load(Ordering::SeqCst),
+            bytes_uploaded: self.bytes_uploaded.load(Ordering::SeqCst),
+        };
+        let mut tracker = self.window.lock();
+        tracker.observations.push_back((now, current));
+        if tracker.observations.len() > MAX_RATE_OBSERVATIONS {
+            tracker.observations.pop_front();
+        }
+        // Keep exactly one anchor at-or-beyond the window boundary.
+        while tracker.observations.len() > 2
+            && now.duration_since(tracker.observations[1].0) >= window
+        {
+            tracker.observations.pop_front();
+        }
+        let (anchor_time, anchor) = tracker.observations[0];
+        let span = now.duration_since(anchor_time);
+        let span = if span.is_zero() {
+            // First observation: fall back to rates since the epoch.
+            now.duration_since(*self.epoch.lock())
+        } else {
+            span
+        };
+        let minutes = span.as_secs_f64() / 60.0;
+        if minutes <= 0.0 {
+            return UsageRates::default();
+        }
+        UsageRates {
+            span,
+            puts_per_min: (current.puts - anchor.puts) as f64 / minutes,
+            gets_per_min: (current.gets - anchor.gets) as f64 / minutes,
+            deletes_per_min: (current.deletes - anchor.deletes) as f64 / minutes,
+            upload_bytes_per_min: (current.bytes_uploaded - anchor.bytes_uploaded) as f64 / minutes,
+        }
+    }
+
+    fn update_stored(&self, name: &str, new_size: Option<u64>) {
+        let mut sizes = self.sizes.lock();
+        let old = match new_size {
+            Some(size) => sizes.insert(name.to_string(), size),
+            None => sizes.remove(name),
+        };
+        let old = old.unwrap_or(0);
+        let new = new_size.unwrap_or(0);
+        let stored = if new >= old {
+            self.stored_bytes.fetch_add(new - old, Ordering::SeqCst) + (new - old)
+        } else {
+            self.stored_bytes.fetch_sub(old - new, Ordering::SeqCst) - (old - new)
+        };
+        self.peak_stored_bytes.fetch_max(stored, Ordering::SeqCst);
+    }
+}
+
+impl UsageMeter for UsageLedger {
+    fn usage(&self) -> CloudUsage {
+        CloudUsage {
+            puts: self.puts.load(Ordering::SeqCst),
+            gets: self.gets.load(Ordering::SeqCst),
+            deletes: self.deletes.load(Ordering::SeqCst),
+            lists: self.lists.load(Ordering::SeqCst),
+            failures: self.failures.load(Ordering::SeqCst),
+            bytes_uploaded: self.bytes_uploaded.load(Ordering::SeqCst),
+            bytes_downloaded: self.bytes_downloaded.load(Ordering::SeqCst),
+            stored_bytes: self.stored_bytes.load(Ordering::SeqCst),
+            peak_stored_bytes: self.peak_stored_bytes.load(Ordering::SeqCst),
+        }
+    }
+
+    fn put_samples(&self) -> Vec<PutSample> {
+        self.ring.lock().samples.iter().copied().collect()
+    }
+
+    fn dropped_put_samples(&self) -> u64 {
+        self.ring.lock().dropped
+    }
+
+    fn reset_counters(&self) {
+        self.puts.store(0, Ordering::SeqCst);
+        self.gets.store(0, Ordering::SeqCst);
+        self.deletes.store(0, Ordering::SeqCst);
+        self.lists.store(0, Ordering::SeqCst);
+        self.failures.store(0, Ordering::SeqCst);
+        self.bytes_uploaded.store(0, Ordering::SeqCst);
+        self.bytes_downloaded.store(0, Ordering::SeqCst);
+        {
+            let mut ring = self.ring.lock();
+            ring.samples.clear();
+            ring.dropped = 0;
+        }
+        self.window.lock().observations.clear();
+        *self.epoch.lock() = Instant::now();
+        let stored = self.stored_bytes.load(Ordering::SeqCst);
+        self.peak_stored_bytes.store(stored, Ordering::SeqCst);
+    }
+
+    fn elapsed(&self) -> Duration {
+        self.epoch.lock().elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_records_ops() {
+        let ledger = UsageLedger::new();
+        ledger.record_put("a", 100, Duration::from_millis(1));
+        ledger.record_put("b", 50, Duration::from_millis(3));
+        ledger.record_get(100);
+        ledger.record_list();
+        ledger.record_delete("b");
+        ledger.record_failure();
+        let u = ledger.usage();
+        assert_eq!(u.puts, 2);
+        assert_eq!(u.gets, 1);
+        assert_eq!(u.lists, 1);
+        assert_eq!(u.deletes, 1);
+        assert_eq!(u.failures, 1);
+        assert_eq!(u.bytes_uploaded, 150);
+        assert_eq!(u.bytes_downloaded, 100);
+        assert_eq!(u.stored_bytes, 100);
+        assert_eq!(u.peak_stored_bytes, 150);
+    }
+
+    #[test]
+    fn sample_ring_caps_and_counts_drops() {
+        let ledger = UsageLedger::with_sample_capacity(4);
+        for i in 0..10 {
+            ledger.record_put(&format!("o{i}"), i, Duration::from_micros(i));
+        }
+        let samples = ledger.put_samples();
+        assert_eq!(samples.len(), 4);
+        assert_eq!(ledger.dropped_put_samples(), 6);
+        // The ring keeps the most recent samples.
+        assert_eq!(samples[0].bytes, 6);
+        assert_eq!(samples[3].bytes, 9);
+    }
+
+    #[test]
+    fn reset_clears_drops_and_epoch() {
+        let ledger = UsageLedger::with_sample_capacity(2);
+        ledger.record_put("a", 1, Duration::ZERO);
+        ledger.record_put("b", 1, Duration::ZERO);
+        ledger.record_put("c", 1, Duration::ZERO);
+        assert_eq!(ledger.dropped_put_samples(), 1);
+        ledger.reset_counters();
+        assert_eq!(ledger.dropped_put_samples(), 0);
+        assert!(ledger.put_samples().is_empty());
+        assert_eq!(ledger.usage().puts, 0);
+        // Stored bytes survive a reset: the objects are still there.
+        assert_eq!(ledger.usage().stored_bytes, 3);
+        assert!(ledger.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn mean_latency_zero_when_empty() {
+        let ledger = UsageLedger::new();
+        assert_eq!(ledger.mean_put_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn windowed_rates_reflect_traffic() {
+        let ledger = UsageLedger::new();
+        let window = Duration::from_millis(200);
+        ledger.observe_rates(window);
+        for i in 0..30 {
+            ledger.record_put(&format!("o{i}"), 1000, Duration::ZERO);
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        let rates = ledger.observe_rates(window);
+        assert!(rates.puts_per_min > 0.0, "rates: {rates:?}");
+        assert!(rates.upload_bytes_per_min >= 1000.0 * rates.puts_per_min * 0.99);
+    }
+
+    #[test]
+    fn rates_zero_before_time_passes() {
+        let ledger = UsageLedger::new();
+        let rates = ledger.observe_rates(Duration::from_secs(60));
+        // No panic, rates finite.
+        assert!(rates.puts_per_min >= 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_consistent() {
+        use std::sync::Arc;
+        let ledger = Arc::new(UsageLedger::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let ledger = ledger.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    ledger.record_put(&format!("o-{t}-{i}"), 10, Duration::ZERO);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let u = ledger.usage();
+        assert_eq!(u.puts, 200);
+        assert_eq!(u.bytes_uploaded, 2000);
+        assert_eq!(u.stored_bytes, 2000);
+    }
+}

@@ -2,6 +2,7 @@ use std::time::Duration;
 
 use ginja_cloud::RetryConfig;
 use ginja_codec::CodecConfig;
+use ginja_cost::BudgetConfig;
 
 use crate::GinjaError;
 
@@ -134,6 +135,14 @@ pub struct GinjaConfig {
     /// itself only carries the knobs; spawning the sentinel is the
     /// deployment's choice.
     pub sentinel: SentinelConfig,
+    /// Optional monthly spend budget. When set, Ginja runs the live
+    /// cost governor: real metered usage is projected to month-end
+    /// spend, and `batch`/`batch_timeout`/`dump_threshold`/sentinel
+    /// pacing are retuned at runtime to converge on the budget. The
+    /// configured `batch` becomes the governed floor; `safety` is the
+    /// hard ceiling the governor can never exceed (the RPO bound is
+    /// never loosened). `None` disables governing entirely.
+    pub budget: Option<BudgetConfig>,
 }
 
 impl GinjaConfig {
@@ -182,6 +191,9 @@ impl GinjaConfig {
         }
         self.retry.validate().map_err(GinjaError::Config)?;
         self.sentinel.validate().map_err(GinjaError::Config)?;
+        if let Some(budget) = &self.budget {
+            budget.validate().map_err(GinjaError::Config)?;
+        }
         Ok(())
     }
 }
@@ -216,6 +228,7 @@ impl GinjaConfigBuilder {
                 coalesce: true,
                 retry: RetryConfig::default(),
                 sentinel: SentinelConfig::default(),
+                budget: None,
             },
         }
     }
@@ -320,6 +333,13 @@ impl GinjaConfigBuilder {
     #[must_use]
     pub fn sentinel(mut self, sentinel: SentinelConfig) -> Self {
         self.config.sentinel = sentinel;
+        self
+    }
+
+    /// Enables the live cost governor against the given monthly budget.
+    #[must_use]
+    pub fn budget(mut self, budget: BudgetConfig) -> Self {
+        self.config.budget = Some(budget);
         self
     }
 
@@ -460,6 +480,31 @@ mod tests {
             .sentinel(zero_rehearsal)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn budget_carried_through_and_validated() {
+        let c = GinjaConfig::builder().build().unwrap();
+        assert!(c.budget.is_none(), "governing defaults off");
+
+        let c = GinjaConfig::builder()
+            .budget(BudgetConfig::new(1.0))
+            .build()
+            .unwrap();
+        let budget = c.budget.unwrap();
+        assert!((budget.monthly_usd - 1.0).abs() < 1e-9);
+        assert!((budget.target_usd() - 0.9).abs() < 1e-9, "10% headroom");
+
+        assert!(GinjaConfig::builder()
+            .budget(BudgetConfig::new(0.0))
+            .build()
+            .is_err());
+        let mut bad_headroom = BudgetConfig::new(1.0);
+        bad_headroom.headroom = 1.5;
+        assert!(GinjaConfig::builder().budget(bad_headroom).build().is_err());
+        let mut zero_month = BudgetConfig::new(1.0);
+        zero_month.month = Duration::ZERO;
+        assert!(GinjaConfig::builder().budget(zero_month).build().is_err());
     }
 
     #[test]

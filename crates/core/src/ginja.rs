@@ -18,8 +18,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use ginja_cloud::{BreakerState, ObjectStore, ResilientStore};
+use ginja_cloud::{BreakerState, ObjectStore, ResilientStore, UsageLedger, UsageMeter};
 use ginja_codec::Codec;
+use ginja_cost::governor::{self, GovernorAction, GovernorPolicy, KnobBounds, Knobs};
 use ginja_vfs::{DbmsProcessor, FileSystem, IoClass, IoProcessor, WriteEvent};
 use parking_lot::Mutex;
 
@@ -29,7 +30,7 @@ use crate::config::GinjaConfig;
 use crate::fanout::FanoutExecutor;
 use crate::names::{DbObjectKind, DbObjectName, WalObjectName};
 use crate::queue::{CommitQueue, WalWrite};
-use crate::stats::{GinjaStats, GinjaStatsSnapshot, SentinelStats};
+use crate::stats::{GinjaStats, GinjaStatsSnapshot, GovernorSnapshot, SentinelStats};
 use crate::view::CloudView;
 use crate::GinjaError;
 use ginja_codec::bufpool;
@@ -84,6 +85,16 @@ pub struct Exposure {
     /// seal failure) and stopped. The queue will no longer drain: the
     /// DBMS blocks at the Safety limit until the operator intervenes.
     pub fatal: bool,
+    /// Month-end spend projection from the live cost governor, in
+    /// integer micro-dollars; zero when no budget is configured. The
+    /// cost dimension of exposure: what this month's protection is on
+    /// track to cost.
+    pub projected_spend_microusd: u64,
+    /// Whether the governor's projection exceeds the configured monthly
+    /// budget even with every knob escalated — spend, like data loss,
+    /// is something the operator must be able to see at a glance.
+    /// Always `false` without a budget.
+    pub over_budget: bool,
 }
 
 /// Checkpoint accumulation state (the paper's Algorithm 3 lines 1–16).
@@ -122,6 +133,26 @@ struct Shared {
     /// Counters of an attached DR sentinel (`ginja-sentinel` crate),
     /// merged into [`Ginja::stats`] and [`Ginja::exposure`].
     sentinel: Mutex<Option<Arc<SentinelStats>>>,
+    /// The dump threshold currently in force, as f64 bits: the
+    /// checkpoint path reads it lock-free on every checkpoint end, and
+    /// the governor may raise it above `config.dump_threshold` (never
+    /// below) to defer dump cost.
+    dump_threshold_bits: AtomicU64,
+    /// The sentinel pace multiplier (≥ 1.0) currently in force, as f64
+    /// bits; an attached sentinel stretches its scrub cadence by it.
+    sentinel_pace_bits: AtomicU64,
+    /// Live cost-governor state; `None` without a configured budget.
+    governor: Option<GovernorState>,
+}
+
+/// Runtime state of the cost-governor thread.
+struct GovernorState {
+    policy: GovernorPolicy,
+    decisions: AtomicU64,
+    escalations: AtomicU64,
+    relaxations: AtomicU64,
+    spent_microusd: AtomicU64,
+    projected_microusd: AtomicU64,
 }
 
 /// The Ginja disaster-recovery middleware.
@@ -334,7 +365,34 @@ impl Ginja {
             config.batch_timeout,
             config.safety_timeout,
         );
+        // Knob bounds for the cost governor: the operator's configured
+        // Batch is the baseline (floor), Safety the hard ceiling — B may
+        // rise to S under budget pressure but the RPO bound itself is
+        // never loosened. TB may stretch up to TS for the same reason:
+        // the Safety timeout already bounds how stale an unconfirmed
+        // update may get, so a longer batch timeout within it trades
+        // latency, not durability.
+        let governor = config.budget.clone().map(|budget| GovernorState {
+            policy: GovernorPolicy::new(
+                budget,
+                KnobBounds {
+                    min_batch: config.batch,
+                    max_batch: config.safety,
+                    min_batch_timeout: config.batch_timeout,
+                    max_batch_timeout: config.safety_timeout.max(config.batch_timeout),
+                    min_dump_threshold: config.dump_threshold,
+                    max_dump_threshold: config.dump_threshold + 1.5,
+                    max_sentinel_pace: 16.0,
+                },
+            ),
+            decisions: AtomicU64::new(0),
+            escalations: AtomicU64::new(0),
+            relaxations: AtomicU64::new(0),
+            spent_microusd: AtomicU64::new(0),
+            projected_microusd: AtomicU64::new(0),
+        });
         let (ckpt_tx, ckpt_rx) = unbounded::<CkptJob>();
+        let dump_threshold_bits = AtomicU64::new(config.dump_threshold.to_bits());
         let shared = Arc::new(Shared {
             config,
             codec,
@@ -353,6 +411,9 @@ impl Ginja {
             threads: Mutex::new(Vec::new()),
             gc_backlog: Mutex::new(Vec::new()),
             sentinel: Mutex::new(None),
+            dump_threshold_bits,
+            sentinel_pace_bits: AtomicU64::new(1.0f64.to_bits()),
+            governor,
         });
 
         let (upload_tx, upload_rx) = unbounded::<UploadJob>();
@@ -399,6 +460,15 @@ impl Ginja {
                     .expect("spawn checkpointer"),
             );
         }
+        if shared.governor.is_some() {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ginja-governor".into())
+                    .spawn(move || governor_loop(&shared))
+                    .expect("spawn governor"),
+            );
+        }
         *shared.threads.lock() = threads;
         Ginja { shared }
     }
@@ -435,9 +505,11 @@ impl Ginja {
     }
 
     /// Statistics snapshot, with the resilience-layer counters (cloud
-    /// retries, hedges, breaker activity) merged in.
+    /// retries, hedges, breaker activity) and the cost-governor state
+    /// merged in.
     pub fn stats(&self) -> GinjaStatsSnapshot {
         let mut snap = self.shared.stats.snapshot();
+        snap.governor = self.governor_snapshot();
         let resilience = self.shared.cloud.snapshot();
         snap.cloud_retries = resilience.retries;
         snap.hedges_launched = resilience.hedges_launched;
@@ -465,6 +537,14 @@ impl Ginja {
     /// trade-off — `updates` is bounded by `S`, `oldest_age` by `TS`
     /// (plus one upload round-trip).
     pub fn exposure(&self) -> Exposure {
+        let (projected_spend_microusd, over_budget) = match &self.shared.governor {
+            Some(gov) => {
+                let projected = gov.projected_microusd.load(Ordering::Relaxed);
+                let budget = governor::to_microusd(gov.policy.budget.monthly_usd);
+                (projected, projected > budget)
+            }
+            None => (0, false),
+        };
         Exposure {
             updates: self.shared.queue.len(),
             pending_checkpoints: self.shared.pending_ckpt_jobs.load(Ordering::SeqCst),
@@ -477,7 +557,68 @@ impl Ginja {
                 .as_ref()
                 .is_some_and(|s| s.is_degraded()),
             fatal: self.shared.stats.pipeline_fatals.load(Ordering::Relaxed) > 0,
+            projected_spend_microusd,
+            over_budget,
         }
+    }
+
+    /// A point-in-time view of the cost governor: budget, live spend
+    /// projection, decision counts, and the knob settings currently in
+    /// force. The knob fields are filled even without a configured
+    /// budget (they then simply echo the static configuration).
+    pub fn governor_snapshot(&self) -> GovernorSnapshot {
+        let mut snap = GovernorSnapshot {
+            batch: self.shared.queue.batch() as u64,
+            batch_timeout_us: self.shared.queue.batch_timeout().as_micros() as u64,
+            dump_threshold_permille: (self.dump_threshold() * 1000.0).round() as u64,
+            sentinel_pace_permille: (self.sentinel_pace() * 1000.0).round() as u64,
+            ..GovernorSnapshot::default()
+        };
+        if let Some(gov) = &self.shared.governor {
+            snap.enabled = true;
+            snap.budget_microusd = governor::to_microusd(gov.policy.budget.monthly_usd);
+            snap.target_microusd = governor::to_microusd(gov.policy.budget.target_usd());
+            snap.spent_microusd = gov.spent_microusd.load(Ordering::Relaxed);
+            snap.projected_microusd = gov.projected_microusd.load(Ordering::Relaxed);
+            snap.decisions = gov.decisions.load(Ordering::Relaxed);
+            snap.escalations = gov.escalations.load(Ordering::Relaxed);
+            snap.relaxations = gov.relaxations.load(Ordering::Relaxed);
+        }
+        snap
+    }
+
+    /// The usage ledger every cloud operation of this instance lands
+    /// in (boot uploads, batch uploads, checkpoint merges, GC, and —
+    /// through [`Ginja::resilient_cloud`] — sentinel traffic). This is
+    /// the governor's input; tooling can price it through
+    /// `ginja_cost::governor::project_spend`.
+    pub fn usage_ledger(&self) -> Arc<UsageLedger> {
+        self.shared.cloud.ledger().clone()
+    }
+
+    /// The dump threshold currently in force: `config.dump_threshold`,
+    /// possibly raised (never lowered) by the cost governor to defer
+    /// dump uploads under budget pressure.
+    pub fn dump_threshold(&self) -> f64 {
+        f64::from_bits(self.shared.dump_threshold_bits.load(Ordering::Relaxed))
+    }
+
+    /// The sentinel pace multiplier currently in force (≥ 1.0; 1.0
+    /// without budget pressure).
+    pub fn sentinel_pace(&self) -> f64 {
+        f64::from_bits(self.shared.sentinel_pace_bits.load(Ordering::Relaxed))
+    }
+
+    /// The scrub interval an attached sentinel should honor right now:
+    /// `config.sentinel.scrub_interval` stretched by the governed pace.
+    /// Re-verification GETs are pure cost with no durability impact,
+    /// so they are the first thing the governor slows down.
+    pub fn governed_scrub_interval(&self) -> Duration {
+        self.shared
+            .config
+            .sentinel
+            .scrub_interval
+            .mul_f64(self.sentinel_pace())
     }
 
     /// A copy of the current cloud view (tests and tooling).
@@ -588,7 +729,7 @@ impl Ginja {
             let cloud_db_size = self.shared.view.lock().total_db_size();
             let local_db_size = self.local_db_size();
             let dump_due = local_db_size > 0
-                && cloud_db_size as f64 >= self.shared.config.dump_threshold * local_db_size as f64;
+                && cloud_db_size as f64 >= self.dump_threshold() * local_db_size as f64;
 
             if dump_due {
                 // Full dump, read synchronously here: this blocks the
@@ -951,6 +1092,64 @@ fn delete_with_retry(shared: &Shared, name: &str) -> bool {
         );
     }
     false
+}
+
+/// The cost-governor loop: every `budget.poll_interval`, price the
+/// usage ledger, project month-end spend, and — when the projection
+/// escapes the dead band — retune the pipeline through the runtime
+/// knobs. The queue's own clamp (`CommitQueue::set_batch` caps at S)
+/// backstops the policy's `KnobBounds`, so even a buggy policy cannot
+/// push B past the safety bound.
+fn governor_loop(shared: &Shared) {
+    let Some(gov) = shared.governor.as_ref() else {
+        return;
+    };
+    let ledger = shared.cloud.ledger().clone();
+    let poll = gov.policy.budget.poll_interval;
+    let mut next_poll = Instant::now() + poll;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        if Instant::now() < next_poll {
+            // Short sleeps keep shutdown responsive under long polls.
+            std::thread::sleep(poll.min(Duration::from_millis(2)));
+            continue;
+        }
+        next_poll = Instant::now() + poll;
+
+        let usage = ledger.usage();
+        let rates = ledger.observe_rates(poll);
+        let projection =
+            governor::project_spend(&usage, Some(&rates), ledger.elapsed(), &gov.policy.budget);
+        gov.spent_microusd.store(
+            governor::to_microusd(projection.spent_usd),
+            Ordering::Relaxed,
+        );
+        gov.projected_microusd.store(
+            governor::to_microusd(projection.projected_usd),
+            Ordering::Relaxed,
+        );
+
+        let current = Knobs {
+            batch: shared.queue.batch(),
+            batch_timeout: shared.queue.batch_timeout(),
+            dump_threshold: f64::from_bits(shared.dump_threshold_bits.load(Ordering::Relaxed)),
+            sentinel_pace: f64::from_bits(shared.sentinel_pace_bits.load(Ordering::Relaxed)),
+        };
+        if let Some((next, action)) = gov.policy.decide(&current, &projection) {
+            shared.queue.set_batch(next.batch);
+            shared.queue.set_batch_timeout(next.batch_timeout);
+            shared
+                .dump_threshold_bits
+                .store(next.dump_threshold.to_bits(), Ordering::Relaxed);
+            shared
+                .sentinel_pace_bits
+                .store(next.sentinel_pace.to_bits(), Ordering::Relaxed);
+            gov.decisions.fetch_add(1, Ordering::Relaxed);
+            match action {
+                GovernorAction::Escalate => gov.escalations.fetch_add(1, Ordering::Relaxed),
+                GovernorAction::Relax => gov.relaxations.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+    }
 }
 
 fn aggregator_loop(shared: &Shared, upload_tx: Sender<UploadJob>, unlock_tx: Sender<UnlockMsg>) {

@@ -71,15 +71,18 @@ pub use config::{GinjaConfig, GinjaConfigBuilder, PitrConfig, SentinelConfig};
 pub use error::GinjaError;
 pub use fanout::FanoutExecutor;
 pub use ginja::{Exposure, Ginja};
-pub use ginja_cloud::{BreakerState, ResilienceSnapshot, RetryConfig};
+pub use ginja_cloud::{
+    BreakerState, CloudUsage, ResilienceSnapshot, RetryConfig, UsageLedger, UsageMeter,
+};
+pub use ginja_cost::BudgetConfig;
 pub use names::{DbObjectKind, DbObjectName, WalObjectName};
 pub use recovery::{
     list_restore_points, recover_into, recover_to_point, RecoveryReport, RestorePoint,
     RestorePointKind,
 };
 pub use stats::{
-    CrashFsSnapshot, GinjaStats, GinjaStatsSnapshot, LatencyHisto, LatencySnapshot,
-    SentinelSnapshot, SentinelStats,
+    CrashFsSnapshot, GinjaStats, GinjaStatsSnapshot, GovernorSnapshot, LatencyHisto,
+    LatencySnapshot, SentinelSnapshot, SentinelStats,
 };
 pub use verify::{verify_backup, verify_backup_in_memory, VerifyReport};
 pub use view::CloudView;

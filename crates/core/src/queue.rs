@@ -12,6 +12,7 @@
 //! * **TB**: a partial batch is released once the batch timeout elapses
 //!   since the last synchronization ended.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -82,9 +83,15 @@ pub struct CommitQueue {
     /// Signalled when new items arrive or a flush is forced (the
     /// aggregator waits here).
     readable: Condvar,
-    batch: usize,
+    /// B — runtime-adjustable (the cost governor's backpressure hook),
+    /// always clamped to `[1, safety]`.
+    batch: AtomicUsize,
+    /// S — immutable for the queue's lifetime: the RPO bound is never
+    /// loosened at runtime, whatever the budget pressure.
     safety: usize,
-    batch_timeout: Duration,
+    /// TB in nanoseconds — runtime-adjustable alongside B.
+    batch_timeout_ns: AtomicU64,
+    /// TS — immutable, like S.
     safety_timeout: Duration,
 }
 
@@ -108,11 +115,46 @@ impl CommitQueue {
             }),
             not_full: Condvar::new(),
             readable: Condvar::new(),
-            batch,
+            batch: AtomicUsize::new(batch),
             safety,
-            batch_timeout,
+            batch_timeout_ns: AtomicU64::new(batch_timeout.as_nanos() as u64),
             safety_timeout,
         }
+    }
+
+    /// The batch size B currently in force.
+    pub fn batch(&self) -> usize {
+        self.batch.load(Ordering::SeqCst)
+    }
+
+    /// The batch timeout TB currently in force.
+    pub fn batch_timeout(&self) -> Duration {
+        Duration::from_nanos(self.batch_timeout_ns.load(Ordering::SeqCst))
+    }
+
+    /// The (immutable) safety bound S.
+    pub fn safety(&self) -> usize {
+        self.safety
+    }
+
+    /// Retunes B at runtime, clamped to `[1, S]`. Returns the value
+    /// actually applied. There is deliberately no `set_safety`: S and
+    /// TS bound the loss window and cannot be moved on a live queue.
+    pub fn set_batch(&self, batch: usize) -> usize {
+        let applied = batch.clamp(1, self.safety);
+        self.batch.store(applied, Ordering::SeqCst);
+        // A smaller B may make already-queued items a full batch.
+        self.readable.notify_all();
+        applied
+    }
+
+    /// Retunes TB at runtime. Returns the value actually applied.
+    pub fn set_batch_timeout(&self, batch_timeout: Duration) -> Duration {
+        self.batch_timeout_ns
+            .store(batch_timeout.as_nanos() as u64, Ordering::SeqCst);
+        // Wake the aggregator so a sleeping take_batch re-reads TB.
+        self.readable.notify_all();
+        batch_timeout
     }
 
     /// Enqueues a write, blocking while the Safety conditions are
@@ -160,7 +202,7 @@ impl CommitQueue {
     pub fn take_batch(&self) -> Option<Vec<WalWrite>> {
         let mut state = self.state.lock();
         loop {
-            if state.unread >= self.batch
+            if state.unread >= self.batch()
                 || (state.unread > 0 && (state.force_flush || state.closed))
             {
                 return Some(self.take_locked(&mut state));
@@ -169,7 +211,7 @@ impl CommitQueue {
                 // Partial batch: release when TB elapses since the last
                 // completed synchronization (or the last batch taken,
                 // whichever is later).
-                let deadline = state.last_sync_end.max(state.last_take) + self.batch_timeout;
+                let deadline = state.last_sync_end.max(state.last_take) + self.batch_timeout();
                 if Instant::now() >= deadline {
                     return Some(self.take_locked(&mut state));
                 }
@@ -188,7 +230,7 @@ impl CommitQueue {
 
     fn take_locked(&self, state: &mut State) -> Vec<WalWrite> {
         state.last_take = Instant::now();
-        let n = state.unread.min(self.batch);
+        let n = state.unread.min(self.batch());
         let start = state.items.len() - state.unread;
         let batch: Vec<WalWrite> = state
             .items
@@ -436,6 +478,43 @@ mod tests {
             q.ack_front(2);
         }
         assert_eq!(offsets, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn set_batch_retunes_live_queue_and_clamps_to_safety() {
+        let q = queue(2, 10);
+        assert_eq!(q.batch(), 2);
+        // Raising B changes what a take returns.
+        assert_eq!(q.set_batch(5), 5);
+        for i in 0..5 {
+            q.put(write(i)).unwrap();
+        }
+        assert_eq!(q.take_batch().unwrap().len(), 5);
+        q.ack_front(5);
+        // B can never exceed S, and never drop below 1.
+        assert_eq!(q.set_batch(100), 10);
+        assert_eq!(q.batch(), 10);
+        assert_eq!(q.set_batch(0), 1);
+        assert_eq!(q.safety(), 10, "S is immutable");
+    }
+
+    #[test]
+    fn set_batch_timeout_wakes_sleeping_aggregator() {
+        let q = Arc::new(CommitQueue::new(
+            100,
+            1000,
+            Duration::from_secs(60), // TB so long the partial batch would wait forever
+            Duration::from_secs(60),
+        ));
+        q.put(write(1)).unwrap();
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || q2.take_batch());
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!consumer.is_finished(), "partial batch held by long TB");
+        q.set_batch_timeout(Duration::from_millis(1));
+        let batch = consumer.join().unwrap().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(q.batch_timeout(), Duration::from_millis(1));
     }
 
     #[test]

@@ -159,6 +159,7 @@ impl GinjaStats {
             segments_archived: 0,
             archiver_exposed_updates: 0,
             crashfs: CrashFsSnapshot::default(),
+            governor: GovernorSnapshot::default(),
         }
     }
 }
@@ -393,6 +394,47 @@ pub struct GinjaStatsSnapshot {
     /// Local-fault / crash-point exploration counters, merged in via
     /// [`GinjaStatsSnapshot::merge_crashfs`]; zero otherwise.
     pub crashfs: CrashFsSnapshot,
+    /// Live cost-governor state (budget, spend projection, governed
+    /// knobs), merged in by `Ginja::stats`; default otherwise.
+    pub governor: GovernorSnapshot,
+}
+
+/// A point-in-time view of the live cost governor, embedded in
+/// [`GinjaStatsSnapshot`]. Money is integer micro-dollars and ratios
+/// are permille so the snapshot stays `Copy + Eq`. When no budget is
+/// configured (`GinjaConfig::budget == None`) the spend fields are zero
+/// and `enabled` is false, but the knob fields still report the live
+/// pipeline settings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorSnapshot {
+    /// Whether a budget is configured and the governor is running.
+    pub enabled: bool,
+    /// The configured monthly budget, in micro-dollars.
+    pub budget_microusd: u64,
+    /// The steering target (budget minus headroom), in micro-dollars.
+    pub target_microusd: u64,
+    /// Dollars spent so far this month, in micro-dollars (priced from
+    /// the live usage ledger at the governor's last poll).
+    pub spent_microusd: u64,
+    /// The month-end spend projection at the governor's last poll, in
+    /// micro-dollars.
+    pub projected_microusd: u64,
+    /// Knob adjustments the governor has applied.
+    pub decisions: u64,
+    /// Of those, spend-tightening escalations.
+    pub escalations: u64,
+    /// Of those, relaxations back towards the configured baseline.
+    pub relaxations: u64,
+    /// The batch size B currently in force (live, possibly governed).
+    pub batch: u64,
+    /// The batch timeout TB currently in force, in microseconds.
+    pub batch_timeout_us: u64,
+    /// The dump threshold currently in force, in permille (1500 = the
+    /// paper's 150 %).
+    pub dump_threshold_permille: u64,
+    /// The sentinel pace multiplier currently in force, in permille
+    /// (1000 = nominal cadence).
+    pub sentinel_pace_permille: u64,
 }
 
 /// Counters from the local-storage fault layer (`ginja-vfs`'s

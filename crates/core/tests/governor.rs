@@ -1,0 +1,140 @@
+//! Live cost-governor tests: a real pipeline under a budget, with the
+//! governor polling the usage ledger and retuning knobs at runtime.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ginja_cloud::{MemStore, UsageMeter};
+use ginja_core::{recover_into, BudgetConfig, Ginja, GinjaConfig};
+use ginja_db::{Database, DbProfile};
+use ginja_vfs::{FileSystem, InterceptFs, MemFs, PostgresProcessor};
+
+/// A budget so small that the first metered PUT blows it: every poll
+/// escalates until the knobs pin at their bounds.
+fn starvation_budget() -> BudgetConfig {
+    let mut budget = BudgetConfig::new(0.000_001);
+    budget.month = Duration::from_secs(60);
+    budget.poll_interval = Duration::from_millis(25);
+    budget
+}
+
+fn governed_config(budget: Option<BudgetConfig>) -> GinjaConfig {
+    let mut builder = GinjaConfig::builder()
+        .batch(2)
+        .safety(16)
+        .batch_timeout(Duration::from_millis(20))
+        .safety_timeout(Duration::from_secs(30))
+        .uploaders(2);
+    if let Some(budget) = budget {
+        builder = builder.budget(budget);
+    }
+    builder.build().unwrap()
+}
+
+fn protect(config: GinjaConfig, cloud: Arc<MemStore>) -> (Database, Ginja) {
+    let profile = DbProfile::postgres_small();
+    let local = Arc::new(MemFs::new());
+    let db = Database::create(local.clone(), profile.clone()).unwrap();
+    db.create_table(1, 64).unwrap();
+    drop(db);
+    let ginja = Ginja::boot(
+        local.clone(),
+        cloud,
+        Arc::new(PostgresProcessor::new()),
+        config,
+    )
+    .unwrap();
+    let intercepted: Arc<dyn FileSystem> =
+        Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+    let db = Database::open(intercepted, profile).unwrap();
+    (db, ginja)
+}
+
+#[test]
+fn governor_escalates_under_pressure_but_never_past_safety() {
+    let cloud = Arc::new(MemStore::new());
+    let config = governed_config(Some(starvation_budget()));
+    let (db, ginja) = protect(config.clone(), cloud.clone());
+
+    for i in 0..200u64 {
+        db.put(1, i, format!("row-{i}").into_bytes()).unwrap();
+    }
+    assert!(ginja.sync(Duration::from_secs(10)), "pipeline must drain");
+    // Give the governor a few poll intervals to observe and react.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let snap = ginja.stats().governor;
+    assert!(snap.enabled);
+    assert!(snap.spent_microusd > 0, "metered PUTs must price as spend");
+    assert!(snap.projected_microusd >= snap.spent_microusd);
+    assert!(snap.escalations >= 1, "an impossible budget must escalate");
+    assert_eq!(snap.decisions, snap.escalations + snap.relaxations);
+    // B escalated above the configured baseline — but S is sacred.
+    assert!(snap.batch > config.batch as u64, "batch {}", snap.batch);
+    assert!(snap.batch <= config.safety as u64);
+    assert!(ginja.governed_scrub_interval() >= config.sentinel.scrub_interval);
+    assert!(ginja.dump_threshold() >= config.dump_threshold);
+    assert!(ginja.sentinel_pace() >= 1.0);
+
+    let exposure = ginja.exposure();
+    assert!(
+        exposure.over_budget,
+        "projection must exceed the $1e-6 budget"
+    );
+    assert_eq!(exposure.projected_spend_microusd, snap.projected_microusd);
+
+    // Budget pressure must not cost data: everything acked recovers.
+    ginja.shutdown();
+    drop(db);
+    let rebuilt = Arc::new(MemFs::new());
+    recover_into(rebuilt.as_ref(), cloud.as_ref(), &config).unwrap();
+    let db = Database::open(rebuilt, DbProfile::postgres_small()).unwrap();
+    for i in 0..200u64 {
+        assert_eq!(
+            db.get(1, i).unwrap().unwrap(),
+            format!("row-{i}").into_bytes()
+        );
+    }
+}
+
+#[test]
+fn no_budget_means_no_governing() {
+    let cloud = Arc::new(MemStore::new());
+    let config = governed_config(None);
+    let (db, ginja) = protect(config.clone(), cloud);
+
+    for i in 0..50u64 {
+        db.put(1, i, b"v".to_vec()).unwrap();
+    }
+    assert!(ginja.sync(Duration::from_secs(10)));
+    std::thread::sleep(Duration::from_millis(100));
+
+    let snap = ginja.stats().governor;
+    assert!(!snap.enabled);
+    assert_eq!(snap.decisions, 0);
+    assert_eq!(snap.batch, config.batch as u64, "knobs stay at config");
+    assert_eq!(snap.projected_microusd, 0);
+    let exposure = ginja.exposure();
+    assert!(!exposure.over_budget);
+    assert_eq!(exposure.projected_spend_microusd, 0);
+    ginja.shutdown();
+}
+
+#[test]
+fn pipeline_traffic_lands_in_one_ledger() {
+    let cloud = Arc::new(MemStore::new());
+    let config = governed_config(None);
+    let (db, ginja) = protect(config, cloud);
+
+    for i in 0..50u64 {
+        db.put(1, i, b"v".to_vec()).unwrap();
+    }
+    assert!(ginja.sync(Duration::from_secs(10)));
+    let usage = ginja.usage_ledger().usage();
+    // Boot (WAL segments + dump) and the batch uploads all metered.
+    assert!(usage.puts > 0, "puts {}", usage.puts);
+    assert!(usage.bytes_uploaded > 0);
+    assert!(usage.stored_bytes > 0, "live objects tracked by size");
+    assert!(ginja.usage_ledger().mean_put_latency() > Duration::ZERO);
+    ginja.shutdown();
+}

@@ -5,71 +5,133 @@
 //! budget affords: `cost = size × C_Storage + syncs/month × C_PUT`.
 //! Example points from §3: 4.3 GB at 4 syncs/minute (setup C), 20 GB at
 //! 2 syncs/minute (setup B), 35 GB at one sync every 72 s (setup A).
+//!
+//! The API is the [`Budget`] type: construct one from a monthly dollar
+//! figure and a price sheet, then ask it for costs, affordable sizes,
+//! and the frontier series. The old free functions remain as deprecated
+//! shims for one release.
 
 use crate::pricing::S3Pricing;
 
 /// Hours per 30-day month.
-const HOURS_PER_MONTH: f64 = 30.0 * 24.0;
+pub(crate) const HOURS_PER_MONTH: f64 = 30.0 * 24.0;
 
-/// Monthly cost of the simple Figure 1 setup: storing `db_size_gb` and
-/// uploading `syncs_per_hour` batches per hour.
+/// A monthly dollar budget against a price sheet — the unit of account
+/// for Figure 1 and the live cost governor.
+///
+/// ```rust
+/// use ginja_cost::{Budget, S3Pricing};
+///
+/// let budget = Budget::new(1.0); // the paper's one dollar
+/// // Setup A from §3: 35 GB synchronized once every 72 s (50/hour).
+/// assert!((budget.monthly_cost_simple(35.0, 50.0) - 1.0).abs() < 0.05);
+/// assert!(budget.max_db_size_gb(50.0) > 30.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Budget {
+    /// Dollars per month.
+    pub monthly_usd: f64,
+    /// Price sheet the budget is spent against.
+    pub pricing: S3Pricing,
+}
+
+impl Budget {
+    /// A budget of `monthly_usd` against the paper's May-2017 S3 sheet.
+    pub fn new(monthly_usd: f64) -> Self {
+        Budget {
+            monthly_usd,
+            pricing: S3Pricing::may_2017(),
+        }
+    }
+
+    /// A budget against an explicit price sheet.
+    pub fn with_pricing(monthly_usd: f64, pricing: S3Pricing) -> Self {
+        Budget {
+            monthly_usd,
+            pricing,
+        }
+    }
+
+    /// Monthly cost of the simple Figure 1 setup: storing `db_size_gb`
+    /// and uploading `syncs_per_hour` batches per hour.
+    pub fn monthly_cost_simple(&self, db_size_gb: f64, syncs_per_hour: f64) -> f64 {
+        db_size_gb * self.pricing.storage_gb_month
+            + syncs_per_hour * HOURS_PER_MONTH * self.pricing.put_op
+    }
+
+    /// Largest database size affordable at `syncs_per_hour` under this
+    /// budget (the Figure 1 curve). Zero when the PUTs alone exceed the
+    /// budget.
+    pub fn max_db_size_gb(&self, syncs_per_hour: f64) -> f64 {
+        let put_cost = syncs_per_hour * HOURS_PER_MONTH * self.pricing.put_op;
+        ((self.monthly_usd - put_cost) / self.pricing.storage_gb_month).max(0.0)
+    }
+
+    /// Samples the frontier at each of `syncs_per_hour`, returning
+    /// `(syncs/hour, max DB size GB)` pairs — the series Figure 1 plots.
+    pub fn frontier(&self, syncs_per_hour: impl IntoIterator<Item = f64>) -> Vec<(f64, f64)> {
+        syncs_per_hour
+            .into_iter()
+            .map(|rate| (rate, self.max_db_size_gb(rate)))
+            .collect()
+    }
+}
+
+/// Monthly cost of the simple Figure 1 setup.
+#[deprecated(since = "0.1.0", note = "use Budget::monthly_cost_simple instead")]
 pub fn monthly_cost_simple(db_size_gb: f64, syncs_per_hour: f64, pricing: &S3Pricing) -> f64 {
-    db_size_gb * pricing.storage_gb_month + syncs_per_hour * HOURS_PER_MONTH * pricing.put_op
+    Budget::with_pricing(0.0, *pricing).monthly_cost_simple(db_size_gb, syncs_per_hour)
 }
 
 /// Largest database size affordable at `syncs_per_hour` under `budget`
-/// dollars per month (the Figure 1 curve). Zero when the PUTs alone
-/// exceed the budget.
+/// dollars per month.
+#[deprecated(since = "0.1.0", note = "use Budget::max_db_size_gb instead")]
 pub fn max_db_size_gb(syncs_per_hour: f64, budget: f64, pricing: &S3Pricing) -> f64 {
-    let put_cost = syncs_per_hour * HOURS_PER_MONTH * pricing.put_op;
-    ((budget - put_cost) / pricing.storage_gb_month).max(0.0)
+    Budget::with_pricing(budget, *pricing).max_db_size_gb(syncs_per_hour)
 }
 
-/// Samples the frontier at each of `syncs_per_hour`, returning
-/// `(syncs/hour, max DB size GB)` pairs — the series Figure 1 plots.
+/// Samples the frontier at each of `syncs_per_hour`.
+#[deprecated(since = "0.1.0", note = "use Budget::frontier instead")]
 pub fn budget_frontier(
     syncs_per_hour: impl IntoIterator<Item = f64>,
     budget: f64,
     pricing: &S3Pricing,
 ) -> Vec<(f64, f64)> {
-    syncs_per_hour
-        .into_iter()
-        .map(|rate| (rate, max_db_size_gb(rate, budget, pricing)))
-        .collect()
+    Budget::with_pricing(budget, *pricing).frontier(syncs_per_hour)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn pricing() -> S3Pricing {
-        S3Pricing::may_2017()
+    fn one_dollar() -> Budget {
+        Budget::new(1.0)
     }
 
     #[test]
     fn setup_c_from_section_3() {
         // "4.3GB with four synchronizations per minute" → 240/hour.
-        let cost = monthly_cost_simple(4.3, 240.0, &pricing());
+        let cost = one_dollar().monthly_cost_simple(4.3, 240.0);
         assert!((cost - 1.0).abs() < 0.05, "got {cost}");
     }
 
     #[test]
     fn setup_b_from_section_3() {
         // "a 20GB database with two synchronizations per minute".
-        let cost = monthly_cost_simple(20.0, 120.0, &pricing());
+        let cost = one_dollar().monthly_cost_simple(20.0, 120.0);
         assert!((cost - 1.0).abs() < 0.15, "got {cost}");
     }
 
     #[test]
     fn setup_a_from_section_3() {
         // "a 35GB database synchronized once every 72 seconds" → 50/hour.
-        let cost = monthly_cost_simple(35.0, 50.0, &pricing());
+        let cost = one_dollar().monthly_cost_simple(35.0, 50.0);
         assert!((cost - 1.0).abs() < 0.05, "got {cost}");
     }
 
     #[test]
     fn frontier_is_monotonically_decreasing() {
-        let series = budget_frontier((0..=250).step_by(10).map(|x| x as f64), 1.0, &pricing());
+        let series = one_dollar().frontier((0..=250).step_by(10).map(|x| x as f64));
         for pair in series.windows(2) {
             assert!(pair[1].1 <= pair[0].1, "{pair:?}");
         }
@@ -80,18 +142,37 @@ mod tests {
     #[test]
     fn budget_exhausted_by_puts_gives_zero_size() {
         // 280 syncs/hour ≈ $1.008 of PUTs alone.
-        assert_eq!(max_db_size_gb(300.0, 1.0, &pricing()), 0.0);
+        assert_eq!(one_dollar().max_db_size_gb(300.0), 0.0);
     }
 
     #[test]
     fn below_frontier_is_below_budget() {
-        let p = pricing();
+        let budget = one_dollar();
         for rate in [10.0, 60.0, 120.0, 240.0] {
-            let max = max_db_size_gb(rate, 1.0, &p);
+            let max = budget.max_db_size_gb(rate);
             if max > 0.5 {
-                assert!(monthly_cost_simple(max - 0.5, rate, &p) < 1.0);
+                assert!(budget.monthly_cost_simple(max - 0.5, rate) < 1.0);
             }
-            assert!(monthly_cost_simple(max + 1.0, rate, &p) > 1.0);
+            assert!(budget.monthly_cost_simple(max + 1.0, rate) > 1.0);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_budget_methods() {
+        let pricing = S3Pricing::may_2017();
+        let budget = Budget::new(1.0);
+        assert_eq!(
+            monthly_cost_simple(20.0, 120.0, &pricing),
+            budget.monthly_cost_simple(20.0, 120.0)
+        );
+        assert_eq!(
+            max_db_size_gb(120.0, 1.0, &pricing),
+            budget.max_db_size_gb(120.0)
+        );
+        assert_eq!(
+            budget_frontier([50.0, 120.0], 1.0, &pricing),
+            budget.frontier([50.0, 120.0])
+        );
     }
 }

@@ -1,0 +1,632 @@
+//! The live cost governor: spend projection and adaptive knob policy.
+//!
+//! The paper's entire pitch is the dollar (§3, §7, Figure 1) — yet a
+//! static configuration only *models* the month-end bill. This module
+//! closes the loop: given live usage from a
+//! [`ginja_cloud::UsageLedger`], it projects month-end spend through
+//! the same price sheet the §7.1 model uses, and recommends knob
+//! adjustments that converge the projection onto a configured
+//! [`BudgetConfig`].
+//!
+//! The policy is deliberately split from its application: everything
+//! here is pure arithmetic over snapshots (easy to test, easy to
+//! simulate offline for `ginja-cli budget`); `ginja-core` owns the
+//! thread that polls the ledger and applies [`Knobs`] to the pipeline.
+//!
+//! **The safety bound S is sacred.** The governor trades latency and
+//! cost — it raises the batch B (never beyond S), stretches the batch
+//! timeout, defers dumps, and slows sentinel re-verification. It never
+//! touches `safety`/`safety_timeout`: those bound the RPO (paper §4.2,
+//! "the size of the window of data that can be lost"), and no budget
+//! pressure is allowed to widen data loss. [`KnobBounds::max_batch`]
+//! (set to S by the caller) is a hard clamp on every decision.
+
+use std::time::Duration;
+
+use ginja_cloud::{CloudUsage, UsageRates};
+
+use crate::model::MINUTES_PER_MONTH;
+use crate::pricing::S3Pricing;
+
+/// The spend target the governor converges on.
+///
+/// `month` is the length of the governed "month" in wall-clock terms —
+/// 30 days in production, seconds in a scaled bench (the projection is
+/// linear in elapsed fraction, so the arithmetic is scale-free).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetConfig {
+    /// Dollars per month the deployment may spend on cloud usage.
+    pub monthly_usd: f64,
+    /// Fraction of the budget held in reserve: the governor steers the
+    /// projection towards `monthly_usd × (1 − headroom)` so forecast
+    /// error does not blow the bill. Must be in `[0, 1)`.
+    pub headroom: f64,
+    /// Wall-clock length of the governed month.
+    pub month: Duration,
+    /// How often the governor polls the ledger and reconsiders.
+    pub poll_interval: Duration,
+    /// Price sheet used for projection.
+    pub pricing: S3Pricing,
+}
+
+impl BudgetConfig {
+    /// A budget of `monthly_usd` with the paper's defaults: 10 %
+    /// headroom, a 30-day month, 5-second polling, May-2017 S3 prices.
+    pub fn new(monthly_usd: f64) -> Self {
+        BudgetConfig {
+            monthly_usd,
+            headroom: 0.1,
+            month: Duration::from_secs(30 * 24 * 60 * 60),
+            poll_interval: Duration::from_secs(5),
+            pricing: S3Pricing::may_2017(),
+        }
+    }
+
+    /// The projection the governor actually steers towards.
+    pub fn target_usd(&self) -> f64 {
+        self.monthly_usd * (1.0 - self.headroom)
+    }
+
+    /// Validates invariants, returning a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.monthly_usd.is_finite() && self.monthly_usd > 0.0) {
+            return Err(format!(
+                "budget.monthly_usd ({}) must be positive",
+                self.monthly_usd
+            ));
+        }
+        if !(0.0..1.0).contains(&self.headroom) {
+            return Err(format!(
+                "budget.headroom ({}) must be in [0, 1)",
+                self.headroom
+            ));
+        }
+        if self.month.is_zero() {
+            return Err("budget.month must be non-zero".into());
+        }
+        if self.poll_interval.is_zero() {
+            return Err("budget.poll_interval must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
+/// A month-end spend projection from live usage.
+///
+/// `spent_usd` prices what already happened (PUT/GET ops at sheet
+/// prices, plus storage pro-rated by elapsed month fraction);
+/// `projected_usd` adds the forecast for the remainder of the month
+/// from the windowed operation rates and the current storage level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpendProjection {
+    /// Fraction of the month elapsed, in `[0, 1]`.
+    pub elapsed_fraction: f64,
+    /// Dollars spent so far.
+    pub spent_usd: f64,
+    /// Forecast month-end total.
+    pub projected_usd: f64,
+    /// Of `spent_usd`, the operation (PUT/GET) part.
+    pub ops_usd: f64,
+    /// Of `spent_usd`, the pro-rated storage part.
+    pub storage_usd: f64,
+}
+
+/// Converts dollars to the integer micro-dollars used in `Copy + Eq`
+/// stats snapshots.
+pub fn to_microusd(usd: f64) -> u64 {
+    if usd.is_finite() && usd > 0.0 {
+        (usd * 1e6).round() as u64
+    } else {
+        0
+    }
+}
+
+/// Projects month-end spend from a usage snapshot.
+///
+/// `rates` carries windowed operation rates (from
+/// [`ginja_cloud::UsageLedger::observe_rates`]); pass `None` to fall
+/// back to the cumulative average implied by `usage` and `elapsed` —
+/// for a steady workload the two agree, which is what the differential
+/// test against [`crate::GinjaCostModel::total`] pins down.
+pub fn project_spend(
+    usage: &CloudUsage,
+    rates: Option<&UsageRates>,
+    elapsed: Duration,
+    config: &BudgetConfig,
+) -> SpendProjection {
+    let month_min = config.month.as_secs_f64() / 60.0;
+    let elapsed_min = elapsed.as_secs_f64() / 60.0;
+    let elapsed_fraction = (elapsed_min / month_min).clamp(0.0, 1.0);
+
+    let stored_gb = usage.stored_bytes as f64 / 1e9;
+    let ops_usd =
+        usage.puts as f64 * config.pricing.put_op + usage.gets as f64 * config.pricing.get_op;
+    let storage_usd = stored_gb * config.pricing.storage_gb_month * elapsed_fraction;
+    let spent_usd = ops_usd + storage_usd;
+
+    // Rates per wall-clock minute for the rest of the month. A real
+    // month and a bench-scaled one both work: the price sheet is per
+    // month, so op prices apply per op and storage applies per month
+    // fraction, whatever the wall-clock length of "month" is.
+    let (puts_per_min, gets_per_min) = match rates {
+        Some(r) if r.span > Duration::ZERO => (r.puts_per_min, r.gets_per_min),
+        _ if elapsed_min > 0.0 => (
+            usage.puts as f64 / elapsed_min,
+            usage.gets as f64 / elapsed_min,
+        ),
+        _ => (0.0, 0.0),
+    };
+    let remaining_min = (month_min - elapsed_min).max(0.0);
+    let remaining_fraction = 1.0 - elapsed_fraction;
+    let future_ops = puts_per_min * remaining_min * config.pricing.put_op
+        + gets_per_min * remaining_min * config.pricing.get_op;
+    let future_storage = stored_gb * config.pricing.storage_gb_month * remaining_fraction;
+
+    SpendProjection {
+        elapsed_fraction,
+        spent_usd,
+        projected_usd: spent_usd + future_ops + future_storage,
+        ops_usd,
+        storage_usd,
+    }
+}
+
+/// The pipeline knobs the governor may move. Never includes
+/// `safety`/`safety_timeout` — by construction the governor cannot
+/// loosen the RPO bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Knobs {
+    /// Batch size B: updates per cloud synchronization.
+    pub batch: usize,
+    /// TB: max age of a partial batch before it is flushed anyway.
+    pub batch_timeout: Duration,
+    /// Cloud-garbage ratio that triggers a fresh dump (the checkpoint
+    /// cadence lever): raising it defers expensive dump uploads.
+    pub dump_threshold: f64,
+    /// Multiplier (≥ 1) on the sentinel scrub interval: raising it
+    /// slows background re-verification GETs.
+    pub sentinel_pace: f64,
+}
+
+/// Clamps on every knob the governor may emit.
+///
+/// `max_batch` is the safety bound S and is the load-bearing clamp:
+/// B > S is meaningless (the queue can never hold more than S unacked
+/// updates) and would let budget pressure widen the loss window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnobBounds {
+    /// Baseline (and floor) for B — the operator's configured batch.
+    pub min_batch: usize,
+    /// Hard ceiling for B: the safety bound S.
+    pub max_batch: usize,
+    /// Baseline (and floor) for TB.
+    pub min_batch_timeout: Duration,
+    /// Ceiling for TB (kept under TS by the caller).
+    pub max_batch_timeout: Duration,
+    /// Baseline (and floor) for the dump threshold.
+    pub min_dump_threshold: f64,
+    /// Ceiling for the dump threshold.
+    pub max_dump_threshold: f64,
+    /// Ceiling for the sentinel pace multiplier (floor is 1.0).
+    pub max_sentinel_pace: f64,
+}
+
+impl KnobBounds {
+    /// Clamps `knobs` into these bounds.
+    pub fn clamp(&self, knobs: Knobs) -> Knobs {
+        Knobs {
+            batch: knobs.batch.clamp(self.min_batch.max(1), self.max_batch),
+            batch_timeout: knobs
+                .batch_timeout
+                .clamp(self.min_batch_timeout, self.max_batch_timeout),
+            dump_threshold: knobs
+                .dump_threshold
+                .clamp(self.min_dump_threshold, self.max_dump_threshold),
+            sentinel_pace: knobs.sentinel_pace.clamp(1.0, self.max_sentinel_pace),
+        }
+    }
+
+    /// The baseline (most latency-friendly) knob position.
+    pub fn baseline(&self) -> Knobs {
+        Knobs {
+            batch: self.min_batch.max(1),
+            batch_timeout: self.min_batch_timeout,
+            dump_threshold: self.min_dump_threshold,
+            sentinel_pace: 1.0,
+        }
+    }
+}
+
+/// What a governor decision did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GovernorAction {
+    /// Projection above target: tightened the spend (bigger B, longer
+    /// TB, deferred dumps, slower sentinel).
+    Escalate,
+    /// Projection comfortably below target: relaxed back towards the
+    /// operator's baseline latency posture.
+    Relax,
+}
+
+/// One applied decision, for trajectory reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GovernorDecision {
+    /// Month fraction at decision time.
+    pub at_fraction: f64,
+    /// What happened.
+    pub action: GovernorAction,
+    /// The knobs after the decision.
+    pub knobs: Knobs,
+    /// The projection that triggered it.
+    pub projected_usd: f64,
+}
+
+/// The pure decision policy: a multiplicative-increase /
+/// multiplicative-decrease controller with hysteresis.
+///
+/// Escalation doubles B (halving the dominant `C_WAL_PUT` term, §7.1)
+/// and stretches the secondary knobs; relaxation steps back towards
+/// the operator's baseline once the projection is comfortably under
+/// target. The dead band between `relax_below × target` and `target`
+/// prevents knob oscillation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorPolicy {
+    /// The budget being governed.
+    pub budget: BudgetConfig,
+    /// Clamps applied to every emitted knob set.
+    pub bounds: KnobBounds,
+    /// Relax only when `projected < relax_below × target` (hysteresis).
+    pub relax_below: f64,
+}
+
+impl GovernorPolicy {
+    /// A policy with default hysteresis (relax below 75 % of target).
+    pub fn new(budget: BudgetConfig, bounds: KnobBounds) -> Self {
+        GovernorPolicy {
+            budget,
+            bounds,
+            relax_below: 0.75,
+        }
+    }
+
+    /// Considers the current knobs against a projection; returns the
+    /// clamped new knobs, or `None` inside the dead band (or when the
+    /// clamped escalation/relaxation is a no-op, i.e. the knobs are
+    /// already pinned at a bound).
+    pub fn decide(
+        &self,
+        current: &Knobs,
+        projection: &SpendProjection,
+    ) -> Option<(Knobs, GovernorAction)> {
+        let target = self.budget.target_usd();
+        let proposed = if projection.projected_usd > target {
+            Knobs {
+                batch: current.batch.saturating_mul(2),
+                batch_timeout: current.batch_timeout.saturating_mul(2),
+                dump_threshold: current.dump_threshold + 0.25,
+                sentinel_pace: current.sentinel_pace * 2.0,
+            }
+        } else if projection.projected_usd < target * self.relax_below {
+            let baseline = self.bounds.baseline();
+            Knobs {
+                batch: (current.batch / 2).max(baseline.batch),
+                batch_timeout: std::cmp::max(current.batch_timeout / 2, baseline.batch_timeout),
+                dump_threshold: (current.dump_threshold - 0.25).max(baseline.dump_threshold),
+                sentinel_pace: (current.sentinel_pace / 2.0).max(1.0),
+            }
+        } else {
+            return None;
+        };
+        let action = if projection.projected_usd > target {
+            GovernorAction::Escalate
+        } else {
+            GovernorAction::Relax
+        };
+        let clamped = self.bounds.clamp(proposed);
+        if clamped == *current {
+            None
+        } else {
+            Some((clamped, action))
+        }
+    }
+}
+
+/// One sampled point of an offline month simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Month fraction at the sample.
+    pub at_fraction: f64,
+    /// Batch size in force.
+    pub batch: usize,
+    /// Dollars spent so far.
+    pub spent_usd: f64,
+    /// Month-end projection at the sample.
+    pub projected_usd: f64,
+    /// Whether the governor moved at this step, and how.
+    pub action: Option<GovernorAction>,
+}
+
+/// Result of [`simulate_steady_month`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonthSimulation {
+    /// Per-step samples.
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// Actual dollars spent by month end.
+    pub final_usd: f64,
+    /// Knobs in force at month end.
+    pub final_knobs: Knobs,
+}
+
+/// Offline, closed-form simulation of a governed month under a steady
+/// workload of `updates_per_minute` against a database of
+/// `db_size_gb` — what `ginja-cli budget` prints.
+///
+/// Each of `steps` equal slices of the month accrues cost from the §7.1
+/// model terms at the knobs currently in force; after each slice the
+/// governor projects and may move the knobs. Deterministic and
+/// wall-clock-free.
+pub fn simulate_steady_month(
+    db_size_gb: f64,
+    updates_per_minute: f64,
+    policy: &GovernorPolicy,
+    steps: usize,
+) -> MonthSimulation {
+    let steps = steps.max(1);
+    let mut knobs = policy.bounds.baseline();
+    let mut spent = 0.0;
+    let mut trajectory = Vec::with_capacity(steps);
+    let pricing = &policy.budget.pricing;
+
+    // Fixed storage level (steady workload): DB objects plus the small
+    // live-WAL tail, as in the §7.1 storage terms.
+    let mut model = crate::model::GinjaCostModel::paper_fig4(updates_per_minute, 1);
+    model.db_size_gb = db_size_gb;
+    model.pricing = *pricing;
+    let storage_per_month = model.c_db_storage() + model.c_wal_storage();
+    let ckpt_put_per_month = model.c_db_put();
+
+    for step in 0..steps {
+        let slice = 1.0 / steps as f64;
+        // WAL PUTs this slice at the *current* batch.
+        let wal_puts = updates_per_minute * MINUTES_PER_MONTH * slice / knobs.batch as f64;
+        spent += wal_puts * pricing.put_op + ckpt_put_per_month * slice + storage_per_month * slice;
+        let at_fraction = (step + 1) as f64 / steps as f64;
+
+        // Project: run-rate of the current slice carried to month end.
+        let slice_rate_usd =
+            (wal_puts * pricing.put_op + ckpt_put_per_month * slice + storage_per_month * slice)
+                / slice;
+        let projected = spent + slice_rate_usd * (1.0 - at_fraction);
+        let projection = SpendProjection {
+            elapsed_fraction: at_fraction,
+            spent_usd: spent,
+            projected_usd: projected,
+            ops_usd: 0.0,
+            storage_usd: 0.0,
+        };
+        let action = policy.decide(&knobs, &projection).map(|(next, action)| {
+            knobs = next;
+            action
+        });
+        trajectory.push(TrajectoryPoint {
+            at_fraction,
+            batch: knobs.batch,
+            spent_usd: spent,
+            projected_usd: projected,
+            action,
+        });
+    }
+
+    MonthSimulation {
+        trajectory,
+        final_usd: spent,
+        final_knobs: knobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GinjaCostModel;
+
+    fn test_bounds() -> KnobBounds {
+        KnobBounds {
+            min_batch: 100,
+            max_batch: 1000,
+            min_batch_timeout: Duration::from_millis(100),
+            max_batch_timeout: Duration::from_secs(2),
+            min_dump_threshold: 1.5,
+            max_dump_threshold: 3.0,
+            max_sentinel_pace: 8.0,
+        }
+    }
+
+    fn projection(projected_usd: f64) -> SpendProjection {
+        SpendProjection {
+            elapsed_fraction: 0.5,
+            spent_usd: projected_usd / 2.0,
+            projected_usd,
+            ops_usd: 0.0,
+            storage_usd: 0.0,
+        }
+    }
+
+    #[test]
+    fn budget_config_validation() {
+        assert!(BudgetConfig::new(1.0).validate().is_ok());
+        assert!(BudgetConfig::new(0.0).validate().is_err());
+        assert!(BudgetConfig::new(-1.0).validate().is_err());
+        assert!(BudgetConfig::new(f64::NAN).validate().is_err());
+        let mut c = BudgetConfig::new(1.0);
+        c.headroom = 1.0;
+        assert!(c.validate().is_err());
+        c.headroom = -0.1;
+        assert!(c.validate().is_err());
+        c.headroom = 0.0;
+        c.month = Duration::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn over_target_escalates_batch_up_to_safety() {
+        let policy = GovernorPolicy::new(BudgetConfig::new(1.0), test_bounds());
+        let mut knobs = policy.bounds.baseline();
+        // Way over budget: escalate repeatedly.
+        for _ in 0..10 {
+            if let Some((next, action)) = policy.decide(&knobs, &projection(10.0)) {
+                assert_eq!(action, GovernorAction::Escalate);
+                assert!(next.batch >= knobs.batch);
+                knobs = next;
+            }
+        }
+        assert_eq!(knobs.batch, 1000, "pins at max_batch = S");
+        // Further pressure is a no-op once pinned everywhere.
+        assert!(policy.decide(&knobs, &projection(100.0)).is_none());
+    }
+
+    #[test]
+    fn under_target_relaxes_to_baseline() {
+        let policy = GovernorPolicy::new(BudgetConfig::new(1.0), test_bounds());
+        let mut knobs = Knobs {
+            batch: 800,
+            batch_timeout: Duration::from_secs(1),
+            dump_threshold: 2.5,
+            sentinel_pace: 4.0,
+        };
+        for _ in 0..10 {
+            if let Some((next, action)) = policy.decide(&knobs, &projection(0.1)) {
+                assert_eq!(action, GovernorAction::Relax);
+                knobs = next;
+            }
+        }
+        assert_eq!(knobs, policy.bounds.baseline());
+    }
+
+    #[test]
+    fn dead_band_holds_knobs_still() {
+        let policy = GovernorPolicy::new(BudgetConfig::new(1.0), test_bounds());
+        let knobs = Knobs {
+            batch: 400,
+            batch_timeout: Duration::from_millis(500),
+            dump_threshold: 2.0,
+            sentinel_pace: 2.0,
+        };
+        // target = 0.9; dead band is [0.675, 0.9].
+        assert!(policy.decide(&knobs, &projection(0.8)).is_none());
+    }
+
+    #[test]
+    fn projection_fraction_clamps() {
+        let config = BudgetConfig::new(1.0);
+        let usage = CloudUsage::default();
+        let p = project_spend(&usage, None, config.month * 2, &config);
+        assert_eq!(p.elapsed_fraction, 1.0);
+        let p = project_spend(&usage, None, Duration::ZERO, &config);
+        assert_eq!(p.spent_usd, 0.0);
+        assert_eq!(p.projected_usd, 0.0);
+    }
+
+    #[test]
+    fn steady_projection_matches_cost_model_within_one_percent() {
+        // The differential anchor: a synthetic steady workload halfway
+        // through the month must project (through live-usage pricing)
+        // onto the closed-form §7.1 total.
+        let model = GinjaCostModel::paper_fig4(1000.0, 100);
+        let mut config = BudgetConfig::new(1.0);
+        config.pricing = model.pricing;
+
+        let elapsed = config.month / 2;
+        let elapsed_min = elapsed.as_secs_f64() / 60.0;
+
+        // Usage the model predicts at the half-month mark.
+        let wal_puts = model.updates_per_minute * elapsed_min / 100.0;
+        let ckpt_puts = (elapsed_min / model.ckpt_period_min)
+            * (model.ckpt_size_mb / model.object_cap_mb).ceil();
+        let stored_db_gb = model.db_size_gb * 1.25 / model.compression_ratio;
+        let wal_pages =
+            model.updates_per_minute * model.ckpt_time_min / model.records_per_page + 1.0;
+        let stored_wal_gb = wal_pages * model.wal_page_bytes / 1e9 / model.compression_ratio;
+        let usage = CloudUsage {
+            puts: (wal_puts + ckpt_puts).round() as u64,
+            stored_bytes: ((stored_db_gb + stored_wal_gb) * 1e9) as u64,
+            ..CloudUsage::default()
+        };
+
+        let p = project_spend(&usage, None, elapsed, &config);
+        let expected = model.total();
+        let error = (p.projected_usd - expected).abs() / expected;
+        assert!(
+            error < 0.01,
+            "projection {} vs model {} ({}% off)",
+            p.projected_usd,
+            expected,
+            error * 100.0
+        );
+        // And spend-so-far is half the projection for a steady load.
+        assert!((p.spent_usd - expected / 2.0).abs() / expected < 0.01);
+    }
+
+    #[test]
+    fn windowed_rates_drive_projection() {
+        let config = BudgetConfig::new(1.0);
+        let usage = CloudUsage {
+            puts: 100,
+            ..CloudUsage::default()
+        };
+        let rates = UsageRates {
+            span: Duration::from_secs(60),
+            puts_per_min: 10.0,
+            ..UsageRates::default()
+        };
+        let elapsed = config.month / 4;
+        let p = project_spend(&usage, Some(&rates), elapsed, &config);
+        let month_min = config.month.as_secs_f64() / 60.0;
+        let expected =
+            100.0 * config.pricing.put_op + 10.0 * month_min * 0.75 * config.pricing.put_op;
+        assert!((p.projected_usd - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_microusd_handles_edge_cases() {
+        assert_eq!(to_microusd(1.0), 1_000_000);
+        assert_eq!(to_microusd(0.0000005), 1);
+        assert_eq!(to_microusd(-3.0), 0);
+        assert_eq!(to_microusd(f64::NAN), 0);
+        assert_eq!(to_microusd(f64::INFINITY), 0);
+    }
+
+    #[test]
+    fn simulated_month_converges_under_budget() {
+        // Fig. 4's worst cell: 1000 upd/min at B=100 projects ≈ $2.4 —
+        // over a $1 budget. The governor must escalate B and land the
+        // month under $1, while a fixed B=100 run overshoots.
+        let bounds = KnobBounds {
+            min_batch: 100,
+            max_batch: 10_000,
+            ..test_bounds()
+        };
+        let policy = GovernorPolicy::new(BudgetConfig::new(1.0), bounds.clone());
+        let governed = simulate_steady_month(10.0, 1000.0, &policy, 120);
+        assert!(
+            governed.final_usd <= 1.0,
+            "governed month cost ${}",
+            governed.final_usd
+        );
+        assert!(governed.final_knobs.batch > 100);
+        assert!(governed.final_knobs.batch <= bounds.max_batch);
+
+        // The ungoverned baseline: same arithmetic, no decisions.
+        let frozen = GovernorPolicy {
+            relax_below: 0.0,
+            budget: BudgetConfig::new(f64::MAX),
+            bounds,
+        };
+        let fixed = simulate_steady_month(10.0, 1000.0, &frozen, 120);
+        assert!(
+            fixed.final_usd > 1.0,
+            "fixed-B month cost ${} should overshoot",
+            fixed.final_usd
+        );
+    }
+}

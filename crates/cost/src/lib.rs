@@ -8,11 +8,16 @@
 //!
 //! * the four cost terms of §7.1 — [`GinjaCostModel`]:
 //!   `C_Total = C_DB_Storage + C_DB_PUT + C_WAL_Storage + C_WAL_PUT`;
-//! * the $1/month capacity frontier of Figure 1 — [`budget_frontier`];
+//! * the $1/month capacity frontier of Figure 1 — [`Budget::frontier`];
 //! * the cost-vs-workload curves of Figure 4;
 //! * the real-application comparison of Table 2 (Ginja vs a
 //!   VM-based Pilot Light) — [`scenarios`];
-//! * the recovery cost of §7.3 — [`GinjaCostModel::recovery_cost`].
+//! * the recovery cost of §7.3 — [`GinjaCostModel::recovery_cost`];
+//! * the **live cost governor** — [`governor`]: projects month-end
+//!   spend from real metered usage (a `ginja_cloud::UsageLedger`) and
+//!   adaptively retunes B / TB / dump cadence / sentinel pacing to hold
+//!   a [`governor::BudgetConfig`], without ever touching the safety
+//!   bound S.
 //!
 //! ```rust
 //! use ginja_cost::{GinjaCostModel, S3Pricing};
@@ -25,10 +30,14 @@
 //! ```
 
 mod frontier;
+pub mod governor;
 mod model;
 mod pricing;
 pub mod scenarios;
 
+pub use frontier::Budget;
+#[allow(deprecated)]
 pub use frontier::{budget_frontier, max_db_size_gb, monthly_cost_simple};
-pub use model::{GinjaCostModel, SyncRate};
+pub use governor::{BudgetConfig, GovernorPolicy, KnobBounds, Knobs, SpendProjection};
+pub use model::{GinjaCostModel, SyncRate, MINUTES_PER_MONTH};
 pub use pricing::{Ec2Pricing, S3Pricing};

@@ -1,0 +1,92 @@
+//! Property: the governor never loosens the safety bound S.
+//!
+//! `KnobBounds::max_batch` is set to `config.safety` by the runtime;
+//! whatever budget pressure the projection reports — including
+//! adversarial sequences of wildly over-budget projections — every
+//! decision the policy emits must keep `batch ≤ max_batch` and every
+//! other knob inside its clamp. The governor trades latency and cost,
+//! never durability.
+
+use std::time::Duration;
+
+use ginja_cost::governor::{BudgetConfig, GovernorPolicy, KnobBounds, SpendProjection};
+use proptest::prelude::*;
+
+fn bounds_strategy() -> impl Strategy<Value = KnobBounds> {
+    // min_batch ≤ max_batch (= safety S), timeouts ordered likewise.
+    (1usize..500, 0usize..5000, 1u64..500, 0u64..5000).prop_map(
+        |(min_batch, batch_extra, min_to_ms, to_extra_ms)| KnobBounds {
+            min_batch,
+            max_batch: min_batch + batch_extra,
+            min_batch_timeout: Duration::from_millis(min_to_ms),
+            max_batch_timeout: Duration::from_millis(min_to_ms + to_extra_ms),
+            min_dump_threshold: 1.1,
+            max_dump_threshold: 4.0,
+            max_sentinel_pace: 16.0,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn batch_never_exceeds_safety_under_any_pressure(
+        bounds in bounds_strategy(),
+        // Projections from far under budget to absurdly over budget.
+        projections in proptest::collection::vec(0.0f64..1000.0, 1..64),
+        monthly_usd in 0.01f64..100.0,
+    ) {
+        let policy = GovernorPolicy::new(BudgetConfig::new(monthly_usd), bounds.clone());
+        let mut knobs = bounds.baseline();
+        for (i, projected_usd) in projections.into_iter().enumerate() {
+            let projection = SpendProjection {
+                elapsed_fraction: (i as f64 / 64.0).min(1.0),
+                spent_usd: projected_usd / 2.0,
+                projected_usd,
+                ops_usd: 0.0,
+                storage_usd: 0.0,
+            };
+            if let Some((next, _action)) = policy.decide(&knobs, &projection) {
+                knobs = next;
+            }
+            // S is sacred: the batch can never exceed the safety bound,
+            // and no knob escapes its clamp.
+            prop_assert!(knobs.batch <= bounds.max_batch,
+                "batch {} exceeded safety {}", knobs.batch, bounds.max_batch);
+            prop_assert!(knobs.batch >= bounds.min_batch.max(1));
+            prop_assert!(knobs.batch_timeout <= bounds.max_batch_timeout);
+            prop_assert!(knobs.dump_threshold <= bounds.max_dump_threshold);
+            prop_assert!(knobs.sentinel_pace <= bounds.max_sentinel_pace);
+            prop_assert!(knobs.sentinel_pace >= 1.0);
+        }
+    }
+
+    #[test]
+    fn escalation_is_monotone_in_batch(
+        projected in 10.0f64..1000.0,
+        batch in 1usize..1000,
+    ) {
+        // An over-budget projection never *shrinks* the batch.
+        let bounds = KnobBounds {
+            min_batch: 1,
+            max_batch: 2000,
+            min_batch_timeout: Duration::from_millis(1),
+            max_batch_timeout: Duration::from_secs(10),
+            min_dump_threshold: 1.1,
+            max_dump_threshold: 4.0,
+            max_sentinel_pace: 16.0,
+        };
+        let policy = GovernorPolicy::new(BudgetConfig::new(1.0), bounds.clone());
+        let mut knobs = bounds.baseline();
+        knobs.batch = batch;
+        let projection = SpendProjection {
+            elapsed_fraction: 0.5,
+            spent_usd: projected / 2.0,
+            projected_usd: projected,
+            ops_usd: 0.0,
+            storage_usd: 0.0,
+        };
+        if let Some((next, _)) = policy.decide(&knobs, &projection) {
+            prop_assert!(next.batch >= knobs.batch);
+        }
+    }
+}

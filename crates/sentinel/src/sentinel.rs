@@ -98,7 +98,9 @@ impl Sentinel {
     }
 
     /// Starts the background thread: scrub-and-repair every
-    /// `sentinel.scrub_interval`, rehearse every
+    /// `sentinel.scrub_interval` (stretched by the cost governor's pace
+    /// multiplier when budget pressure demands it — scrub GETs are pure
+    /// re-verification cost, never durability), rehearse every
     /// `sentinel.rehearsal_interval`. Idempotent.
     pub fn spawn(self: &Arc<Self>) {
         let mut slot = self.thread.lock();
@@ -111,7 +113,7 @@ impl Sentinel {
                 .name("ginja-sentinel".into())
                 .spawn(move || {
                     let cfg = sentinel.ginja.config().sentinel;
-                    let mut next_scrub = Instant::now() + cfg.scrub_interval;
+                    let mut next_scrub = Instant::now() + sentinel.ginja.governed_scrub_interval();
                     let mut next_rehearsal = Instant::now() + cfg.rehearsal_interval;
                     while !sentinel.shutdown.load(Ordering::SeqCst) {
                         let now = Instant::now();
@@ -119,9 +121,11 @@ impl Sentinel {
                             // A failed cycle (e.g. breaker open) is not
                             // fatal to the loop: the next interval
                             // retries against a hopefully-healthier
-                            // cloud.
+                            // cloud. The interval is re-read each cycle
+                            // so a governor retune takes effect at the
+                            // next scheduling decision.
                             let _ = sentinel.run_cycle();
-                            next_scrub = Instant::now() + cfg.scrub_interval;
+                            next_scrub = Instant::now() + sentinel.ginja.governed_scrub_interval();
                         }
                         if now >= next_rehearsal {
                             let _ = sentinel.rehearse();

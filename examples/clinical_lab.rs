@@ -14,7 +14,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ginja::cloud::{MemStore, MeteredStore};
+use ginja::cloud::{MemStore, MeteredStore, UsageMeter};
 use ginja::core::{Ginja, GinjaConfig};
 use ginja::cost::scenarios::laboratory;
 use ginja::cost::{Ec2Pricing, S3Pricing};

@@ -8,7 +8,7 @@
 //! Prints the monthly cost breakdown, the $1 budget frontier (Figure 1),
 //! and the comparison against a VM-based Pilot Light.
 
-use ginja::cost::{budget_frontier, Ec2Pricing, GinjaCostModel, S3Pricing};
+use ginja::cost::{Budget, Ec2Pricing, GinjaCostModel};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -56,11 +56,7 @@ fn main() {
     println!();
     println!("$1/month capacity frontier (Figure 1):");
     println!("  syncs/hour   max DB size");
-    for (rate, size) in budget_frontier(
-        [25.0, 50.0, 100.0, 150.0, 200.0, 250.0],
-        1.0,
-        &S3Pricing::may_2017(),
-    ) {
+    for (rate, size) in Budget::new(1.0).frontier([25.0, 50.0, 100.0, 150.0, 200.0, 250.0]) {
         println!("  {rate:>10.0}   {size:>8.1} GB");
     }
 }

@@ -19,6 +19,16 @@ cargo run -q --release --bin ginja-cli -- crashtest --profile mysql --ops 6 --st
 # and a warm, allocation-free bufpool, and archives its headline
 # numbers (objects/s sealed, recovery wall-clock at fan-out 1/4/8).
 GINJA_BENCH_SCALE=0.02 cargo bench -q -p ginja-bench --bench codec_micro
-GINJA_BENCH_SCALE=0.02 BENCH_PR4_OUT=BENCH_PR4.json \
+# Output paths are absolute: cargo runs bench binaries with the
+# package directory (crates/bench) as cwd, not the repo root.
+GINJA_BENCH_SCALE=0.02 BENCH_PR4_OUT="$PWD/BENCH_PR4.json" \
     cargo bench -q -p ginja-bench --bench ablation_fanout
 test -s BENCH_PR4.json
+# Budget-governor smoke: fixed B vs. governed under bursty TPC-C — the
+# governed run must land under its budget without touching the safety
+# bound, and its bucket must still recover (DESIGN.md §13).
+GINJA_BENCH_SCALE=0.02 BENCH_PR6_OUT="$PWD/BENCH_PR6.json" \
+    cargo bench -q -p ginja-bench --bench ablation_budget
+test -s BENCH_PR6.json
+# The offline planning view of the same policy must run clean.
+cargo run -q --release --bin ginja-cli -- budget 1.0 10 1000 --batch 10 --safety 2000 > /dev/null

@@ -10,8 +10,14 @@
 //! ginja-cli drill <bucket-dir> [--password <pw>]
 //! ginja-cli recover <bucket-dir> <target-dir> [--point <ts>] [--password <pw>]
 //! ginja-cli cost <db-gb> <updates-per-min> <batch>
+//! ginja-cli budget <monthly-usd> <db-gb> <updates-per-min> [--batch <B>] [--safety <S>] [--headroom <f>] [--steps <n>]
 //! ginja-cli crashtest [--profile <postgres|mysql>] [--seed <n>] [--ops <n>] [--stride <n>] [--no-torn]
 //! ```
+//!
+//! `budget` is the offline view of the live cost governor (`DESIGN.md`
+//! §13): it simulates a governed month under a steady workload and
+//! prints the knob trajectory, next to the fixed-B §7.1 cost and the
+//! Figure 1 capacity frontier for the same budget.
 //!
 //! `crashtest` needs no bucket: it runs the CrashFs crash-point sweep
 //! (see `DESIGN.md` §11) against in-memory stores and exits non-zero if
@@ -36,10 +42,11 @@ fn main() -> ExitCode {
         Some("drill") => drill(&args[1..]),
         Some("recover") => recover(&args[1..]),
         Some("cost") => cost(&args[1..]),
+        Some("budget") => budget(&args[1..]),
         Some("crashtest") => crashtest(&args[1..]),
         _ => {
             eprintln!(
-                "usage: ginja-cli <status|restore-points|verify|drill|recover|cost|crashtest> ..."
+                "usage: ginja-cli <status|restore-points|verify|drill|recover|cost|budget|crashtest> ..."
             );
             eprintln!("  status <bucket-dir>");
             eprintln!("  restore-points <bucket-dir>");
@@ -47,6 +54,9 @@ fn main() -> ExitCode {
             eprintln!("  drill <bucket-dir> [--password <pw>]");
             eprintln!("  recover <bucket-dir> <target-dir> [--point <ts>] [--password <pw>]");
             eprintln!("  cost <db-gb> <updates-per-min> <batch>");
+            eprintln!(
+                "  budget <monthly-usd> <db-gb> <updates-per-min> [--batch <B>] [--safety <S>] [--headroom <f>] [--steps <n>]"
+            );
             eprintln!(
                 "  crashtest [--profile <postgres|mysql>] [--seed <n>] [--ops <n>] [--stride <n>] [--no-torn]"
             );
@@ -252,6 +262,130 @@ fn cost(args: &[String]) -> Result<(), String> {
     println!(
         "recovery      = ${:>9.3} (free intra-region)",
         model.recovery_cost()
+    );
+    Ok(())
+}
+
+/// Plans a governed month offline: the same [`GovernorPolicy`] the live
+/// governor runs, stepped through a steady workload with the §7.1 cost
+/// terms — prints the knob trajectory, the fixed-B cost it beats, and
+/// where the deployment sits on the budget's capacity frontier.
+fn budget(args: &[String]) -> Result<(), String> {
+    use ginja::cost::governor::{
+        simulate_steady_month, BudgetConfig, GovernorAction, GovernorPolicy, KnobBounds,
+    };
+    use ginja::cost::Budget;
+    use std::time::Duration;
+
+    let parse = |i: usize, what: &str| -> Result<f64, String> {
+        args.get(i)
+            .ok_or(format!("missing {what}"))?
+            .parse::<f64>()
+            .map_err(|_| format!("bad {what}: {}", args[i]))
+    };
+    let monthly_usd = parse(0, "monthly-usd")?;
+    let db_gb = parse(1, "db-gb")?;
+    let updates = parse(2, "updates-per-min")?;
+    let parse_flag = |flag: &str, default: f64| -> Result<f64, String> {
+        match flag_value(args, flag) {
+            Some(raw) => raw.parse().map_err(|_| format!("bad {flag} value: {raw}")),
+            None => Ok(default),
+        }
+    };
+    let batch = parse_flag("--batch", 100.0)? as usize;
+    let safety = parse_flag("--safety", 1000.0)? as usize;
+    let headroom = parse_flag("--headroom", 0.1)?;
+    let steps = parse_flag("--steps", 64.0)? as usize;
+    if batch == 0 || safety < batch {
+        return Err("need 1 <= batch <= safety".into());
+    }
+
+    let mut config = BudgetConfig::new(monthly_usd);
+    config.headroom = headroom;
+    config.validate().map_err(|e| e.to_string())?;
+    let target = config.target_usd();
+    let pricing = config.pricing;
+    let bounds = KnobBounds {
+        min_batch: batch,
+        max_batch: safety,
+        min_batch_timeout: Duration::from_secs(1),
+        max_batch_timeout: Duration::from_secs(5),
+        min_dump_threshold: 1.5,
+        max_dump_threshold: 3.0,
+        max_sentinel_pace: 16.0,
+    };
+    let policy = GovernorPolicy::new(config, bounds);
+
+    println!("Ginja budget plan (S3 May-2017 prices)");
+    println!(
+        "  budget:           ${monthly_usd:.2}/month (target ${target:.2} after {:.0}% headroom)",
+        headroom * 100.0
+    );
+    println!("  database size:    {db_gb} GB");
+    println!("  workload:         {updates} updates/minute");
+    println!("  baseline B/S:     {batch}/{safety}");
+    println!();
+
+    let mut fixed = ginja::cost::GinjaCostModel::paper_fig4(updates, batch as u64);
+    fixed.db_size_gb = db_gb;
+    fixed.pricing = pricing;
+    let fixed_total = fixed.total();
+    println!(
+        "fixed B={batch} month-end (§7.1):  ${fixed_total:.3}  [{}]",
+        if fixed_total <= monthly_usd {
+            "under budget"
+        } else {
+            "OVER BUDGET"
+        }
+    );
+
+    let sim = simulate_steady_month(db_gb, updates, &policy, steps);
+    println!("\ngoverned month ({steps} steps):");
+    println!("  month%   B      spent$    projected$  action");
+    for point in &sim.trajectory {
+        let action = match point.action {
+            Some(GovernorAction::Escalate) => "escalate",
+            Some(GovernorAction::Relax) => "relax",
+            None => continue, // print only the steps where the governor moved
+        };
+        println!(
+            "  {:>5.1}  {:>5}  {:>8.3}  {:>10.3}  {action}",
+            point.at_fraction * 100.0,
+            point.batch,
+            point.spent_usd,
+            point.projected_usd,
+        );
+    }
+    let moves = sim.trajectory.iter().filter(|p| p.action.is_some()).count();
+    if moves == 0 {
+        println!("  (no knob movement: baseline already fits the target)");
+    }
+    println!(
+        "  month-end: ${:.3} with B={} — {}",
+        sim.final_usd,
+        sim.final_knobs.batch,
+        if sim.final_usd <= monthly_usd {
+            "within budget"
+        } else {
+            "cannot fit: raise the budget, raise S, or shrink the workload"
+        }
+    );
+
+    println!("\ncapacity frontier at ${monthly_usd:.2}/month (Figure 1):");
+    let per_hour = updates * 60.0 / batch as f64;
+    let budget = Budget::with_pricing(monthly_usd, pricing);
+    println!("  syncs/hour   max DB size");
+    for (rate, size) in budget.frontier([25.0, 50.0, 100.0, 150.0, 200.0, 250.0]) {
+        println!("  {rate:>10.0}   {size:>8.1} GB");
+    }
+    println!(
+        "  this deployment: {per_hour:.0} syncs/hour at baseline B → max {:.1} GB ({db_gb} GB {})",
+        budget.max_db_size_gb(per_hour),
+        if db_gb <= budget.max_db_size_gb(per_hour) {
+            "fits"
+        } else {
+            "does not fit at baseline B — the governor will escalate"
+        }
     );
     Ok(())
 }
