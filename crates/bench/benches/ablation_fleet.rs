@@ -1,0 +1,248 @@
+//! Ablation: one shared fair-share executor vs per-tenant pools.
+//!
+//! Two rigs run the same eight-tenant TPC-C load at the same *total*
+//! transfer concurrency:
+//!
+//! * **fleet** — eight tenants in one [`Fleet`]: one bucket under
+//!   `tenants/<name>/` prefixes, one width-8 deficit-round-robin
+//!   executor multiplexing every tenant's upload and checkpoint waves;
+//! * **per-tenant pools** — eight fully independent Ginja stacks, each
+//!   with its own bucket and its own width-1 solo pool (8 × 1 = the
+//!   fleet's width).
+//!
+//! Acceptance: fair-share holds — the worst tenant's p99 commit latency
+//! in the fleet stays within 2× the best tenant's (plus a small
+//! absolute floor for scheduler noise on shared runners) — the
+//! executor never exceeds its width, the total concurrency budget is
+//! identical across rigs, and every fleet tenant's traffic really was
+//! multiplexed (every lane got grants).
+//!
+//! With `BENCH_PR7_OUT=<path>` the headline numbers are written as a
+//! small JSON document (CI smoke archives a trend point from it).
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ginja_bench::table::{fmt, Table};
+use ginja_bench::timescale::{run_wall_duration, time_scale, to_sim_duration};
+use ginja_cloud::MemStore;
+use ginja_core::{Ginja, GinjaConfig};
+use ginja_db::{Database, DbProfile};
+use ginja_fleet::{Fleet, FleetConfig, TenantSpec};
+use ginja_vfs::{FileSystem, InterceptFs, MemFs, PostgresProcessor};
+use ginja_workload::{Tpcc, TpccScale};
+
+const TENANTS: usize = 8;
+/// Total concurrent cloud transfers, identical in both rigs: one
+/// width-8 fair executor vs eight width-1 solo pools.
+const WIDTH: usize = 8;
+
+fn config(scale: f64) -> GinjaConfig {
+    GinjaConfig::builder()
+        .batch(4)
+        .safety(64)
+        .batch_timeout(Duration::from_secs_f64(0.2 * scale))
+        .uploaders(1)
+        .recovery_fanout(1) // solo pool width in the per-tenant rig
+        .build()
+        .expect("valid config")
+}
+
+/// Runs `deadline`-bounded TPC-C against `db`, timing each commit.
+/// Returns sorted latencies.
+fn drive(db: &Database, seed: u64, deadline: Instant) -> Vec<Duration> {
+    let mut tpcc = Tpcc::new(1, seed, TpccScale::tiny());
+    tpcc.create_schema(db).expect("schema");
+    tpcc.load(db).expect("load");
+    let mut latencies = Vec::new();
+    while Instant::now() < deadline {
+        let t = Instant::now();
+        tpcc.run_transaction(db).expect("transaction");
+        latencies.push(t.elapsed());
+    }
+    latencies.sort();
+    latencies
+}
+
+fn p99(sorted: &[Duration]) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() - 1) * 99 / 100]
+}
+
+fn main() {
+    let scale = time_scale();
+    let wall = run_wall_duration();
+    println!("time scale: {scale}");
+    println!("== Ablation: shared fair executor vs {TENANTS} per-tenant pools ==\n");
+    println!(
+        "{TENANTS} TPC-C tenants, {:.2}s wall each rig, total width {WIDTH} both ways",
+        wall.as_secs_f64()
+    );
+
+    // -- Rig 1: the fleet (one bucket, one fair executor). -----------
+    let fleet = Fleet::new(
+        Arc::new(MemStore::new()),
+        FleetConfig {
+            width: WIDTH,
+            ..FleetConfig::default()
+        },
+    );
+    for i in 0..TENANTS {
+        fleet
+            .attach(TenantSpec::new(
+                format!("t{i}"),
+                DbProfile::postgres_small(),
+                config(scale),
+            ))
+            .expect("attach tenant");
+    }
+    let deadline = Instant::now() + wall;
+    let handles: Vec<_> = fleet
+        .tenants()
+        .into_iter()
+        .enumerate()
+        .map(|(i, tenant)| {
+            std::thread::spawn(move || drive(tenant.db(), 0xF0A + i as u64, deadline))
+        })
+        .collect();
+    let fleet_lat: Vec<Vec<Duration>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("fleet tenant"))
+        .collect();
+    assert!(
+        fleet.sync_all(Duration::from_secs(60)),
+        "fleet pipelines must drain"
+    );
+    let snap = fleet.snapshot();
+    fleet.shutdown();
+
+    // -- Rig 2: eight independent stacks, width 1 each. --------------
+    let mut indep = Vec::new();
+    for i in 0..TENANTS {
+        let local = Arc::new(MemFs::new());
+        let db = Database::create(local.clone(), DbProfile::postgres_small()).expect("create");
+        drop(db);
+        let ginja = Ginja::boot(
+            local.clone(),
+            Arc::new(MemStore::new()),
+            Arc::new(PostgresProcessor::new()),
+            config(scale),
+        )
+        .expect("boot");
+        let fs: Arc<dyn FileSystem> = Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+        let db = Database::open(fs, DbProfile::postgres_small()).expect("open");
+        indep.push((ginja, Arc::new(db), i as u64));
+    }
+    let pool_total: usize = indep.iter().map(|(g, _, _)| g.fanout().width()).sum();
+    let deadline = Instant::now() + wall;
+    let handles: Vec<_> = indep
+        .iter()
+        .map(|(_, db, i)| {
+            let db = db.clone();
+            let seed = 0xF0A + *i;
+            std::thread::spawn(move || drive(&db, seed, deadline))
+        })
+        .collect();
+    let indep_lat: Vec<Vec<Duration>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("indep tenant"))
+        .collect();
+    for (ginja, _, _) in &indep {
+        assert!(ginja.sync(Duration::from_secs(60)), "indep pipeline drains");
+        ginja.shutdown();
+    }
+
+    // -- Report. -----------------------------------------------------
+    let sim_ms = |d: Duration| to_sim_duration(d).as_secs_f64() * 1000.0;
+    let mut t = Table::new(&[
+        "tenant",
+        "fleet txns",
+        "fleet p99 ms",
+        "pool txns",
+        "pool p99 ms",
+    ]);
+    for i in 0..TENANTS {
+        t.row(&[
+            format!("t{i}"),
+            fleet_lat[i].len().to_string(),
+            fmt(sim_ms(p99(&fleet_lat[i])), 2),
+            indep_lat[i].len().to_string(),
+            fmt(sim_ms(p99(&indep_lat[i])), 2),
+        ]);
+    }
+    t.print();
+
+    let fleet_p99s: Vec<Duration> = fleet_lat.iter().map(|l| p99(l)).collect();
+    let best = *fleet_p99s.iter().min().expect("tenants");
+    let worst = *fleet_p99s.iter().max().expect("tenants");
+    let fleet_txns: usize = fleet_lat.iter().map(Vec::len).sum();
+    let indep_txns: usize = indep_lat.iter().map(Vec::len).sum();
+    println!(
+        "\nfleet: {} txns total, worst/best tenant p99 {:.2}/{:.2} ms (sim), \
+         max in-flight {}/{}; pools: {} txns total, {} threads",
+        fleet_txns,
+        sim_ms(worst),
+        sim_ms(best),
+        snap.max_in_flight,
+        snap.width,
+        indep_txns,
+        pool_total,
+    );
+
+    // -- Acceptance. -------------------------------------------------
+    // Same total concurrency budget in both rigs.
+    assert_eq!(snap.width, WIDTH);
+    assert_eq!(
+        pool_total, WIDTH,
+        "per-tenant pools must sum to the fleet width"
+    );
+    assert!(
+        snap.max_in_flight <= WIDTH,
+        "fair executor exceeded its width: {}",
+        snap.max_in_flight
+    );
+    // Every tenant's traffic really went through the shared scheduler.
+    for tenant in &snap.tenants {
+        let lane = tenant.scheduler.expect("lane snapshot");
+        assert!(
+            lane.granted > 0,
+            "tenant {} never got a grant from the shared executor",
+            tenant.name
+        );
+    }
+    // The fair-share claim: no tenant's commit tail blows past its
+    // neighbors'. The absolute floor keeps sub-millisecond p99s from
+    // flaking the ratio on noisy shared runners.
+    let cap = worst.min(best.mul_f64(2.0) + Duration::from_millis(2).mul_f64(scale.max(0.05)));
+    assert!(
+        worst <= best.mul_f64(2.0) + Duration::from_millis(2).mul_f64(scale.max(0.05)),
+        "worst tenant p99 {:?} exceeds 2x best {:?} (+floor, cap {:?})",
+        worst,
+        best,
+        cap
+    );
+
+    println!(
+        "\nshape check: one width-{WIDTH} fair executor serves {TENANTS} tenants with \
+         worst-tenant p99 within 2x best — no tenant starves behind a neighbor"
+    );
+
+    if let Ok(path) = std::env::var("BENCH_PR7_OUT") {
+        let json = format!(
+            "{{\n  \"tenants\": {TENANTS},\n  \"width\": {WIDTH},\n  \
+             \"fleet_txns\": {fleet_txns},\n  \"indep_txns\": {indep_txns},\n  \
+             \"fleet_best_p99_sim_ms\": {:.3},\n  \"fleet_worst_p99_sim_ms\": {:.3},\n  \
+             \"fleet_max_in_flight\": {},\n  \"pool_threads\": {pool_total}\n}}\n",
+            sim_ms(best),
+            sim_ms(worst),
+            snap.max_in_flight,
+        );
+        let mut file = std::fs::File::create(&path).expect("create BENCH_PR7_OUT");
+        file.write_all(json.as_bytes())
+            .expect("write BENCH_PR7_OUT");
+        println!("\nwrote {path}");
+    }
+}

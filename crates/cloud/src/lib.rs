@@ -45,6 +45,7 @@ pub mod gf256;
 mod latency;
 mod mem;
 mod metered;
+mod prefix;
 mod replicated;
 mod resilient;
 mod store;
@@ -57,6 +58,7 @@ pub use fault::{FaultKind, FaultPlan, FaultStore, OpKind};
 pub use latency::{LatencyModel, LatencyStore};
 pub use mem::MemStore;
 pub use metered::MeteredStore;
+pub use prefix::PrefixStore;
 pub use replicated::ReplicatedStore;
 pub use resilient::{BreakerState, ResilienceSnapshot, ResilientStore, RetryConfig};
 pub use store::ObjectStore;

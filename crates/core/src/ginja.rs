@@ -27,7 +27,7 @@ use parking_lot::Mutex;
 use crate::agg::{self, AggregatedRange};
 use crate::bundle::{self, FileRange};
 use crate::config::GinjaConfig;
-use crate::fanout::FanoutExecutor;
+use crate::fanout::FanoutHandle;
 use crate::names::{DbObjectKind, DbObjectName, WalObjectName};
 use crate::queue::{CommitQueue, WalWrite};
 use crate::stats::{GinjaStats, GinjaStatsSnapshot, GovernorSnapshot, SentinelStats};
@@ -117,10 +117,12 @@ struct Shared {
     view: Mutex<CloudView>,
     queue: CommitQueue,
     stats: GinjaStats,
-    /// Shared fan-out executor (width = `config.recovery_fanout`) for
-    /// bulk transfer waves: checkpoint part uploads, reboot resync and
-    /// sentinel repair.
-    fanout: FanoutExecutor,
+    /// Lane-scoped handle to the fan-out executor for bulk transfer
+    /// waves (checkpoint part uploads, reboot resync, sentinel repair)
+    /// and — on a fair shared executor — for admitting every uploader
+    /// PUT. Solo (width = `config.recovery_fanout`) unless an executor
+    /// was injected via [`Ginja::boot_with`]/[`Ginja::reboot_with`].
+    fanout: FanoutHandle,
     accum: Mutex<CkptAccum>,
     ckpt_tx: Mutex<Option<Sender<CkptJob>>>,
     pending_ckpt_jobs: AtomicUsize,
@@ -194,6 +196,20 @@ impl Ginja {
         processor: Arc<dyn DbmsProcessor>,
         config: GinjaConfig,
     ) -> Result<Self, GinjaError> {
+        let fanout = FanoutHandle::solo(config.recovery_fanout);
+        Self::boot_with(fs, cloud, processor, config, fanout)
+    }
+
+    /// [`Ginja::boot`] with an injected fan-out handle — the fleet
+    /// configuration, where many tenants share one fair executor and
+    /// each boots on its own scheduler lane.
+    pub fn boot_with(
+        fs: Arc<dyn FileSystem>,
+        cloud: Arc<dyn ObjectStore>,
+        processor: Arc<dyn DbmsProcessor>,
+        config: GinjaConfig,
+        fanout: FanoutHandle,
+    ) -> Result<Self, GinjaError> {
         config.validate()?;
         // Wrap the cloud in the resilience layer *before* the first
         // operation: boot uploads (WAL segments + the initial dump) get
@@ -211,7 +227,6 @@ impl Ginja {
         }
         let codec = Codec::new(config.codec.clone());
         let stats = GinjaStats::default();
-        let fanout = FanoutExecutor::new(config.recovery_fanout);
         let mut view = CloudView::new();
         let direct_put = |name: &str, sealed: &[u8]| -> Result<(), GinjaError> {
             cloud.put(name, sealed).map_err(GinjaError::from)
@@ -321,11 +336,23 @@ impl Ginja {
         processor: Arc<dyn DbmsProcessor>,
         config: GinjaConfig,
     ) -> Result<Self, GinjaError> {
+        let fanout = FanoutHandle::solo(config.recovery_fanout);
+        Self::reboot_with(fs, cloud, processor, config, fanout)
+    }
+
+    /// [`Ginja::reboot`] with an injected fan-out handle (see
+    /// [`Ginja::boot_with`]).
+    pub fn reboot_with(
+        fs: Arc<dyn FileSystem>,
+        cloud: Arc<dyn ObjectStore>,
+        processor: Arc<dyn DbmsProcessor>,
+        config: GinjaConfig,
+        fanout: FanoutHandle,
+    ) -> Result<Self, GinjaError> {
         config.validate()?;
         let cloud = Arc::new(ResilientStore::new(cloud, config.retry.clone()));
         let codec = Codec::new(config.codec.clone());
         let stats = GinjaStats::default();
-        let fanout = FanoutExecutor::new(config.recovery_fanout);
         let mut view = CloudView::from_listing(cloud.list("")?)?;
         let (resync_objects, resync_bytes) = resync_local_wal(
             fs.as_ref(),
@@ -357,7 +384,7 @@ impl Ginja {
         codec: Codec,
         view: CloudView,
         stats: GinjaStats,
-        fanout: FanoutExecutor,
+        fanout: FanoutHandle,
     ) -> Self {
         let queue = CommitQueue::new(
             config.batch,
@@ -373,18 +400,7 @@ impl Ginja {
         // update may get, so a longer batch timeout within it trades
         // latency, not durability.
         let governor = config.budget.clone().map(|budget| GovernorState {
-            policy: GovernorPolicy::new(
-                budget,
-                KnobBounds {
-                    min_batch: config.batch,
-                    max_batch: config.safety,
-                    min_batch_timeout: config.batch_timeout,
-                    max_batch_timeout: config.safety_timeout.max(config.batch_timeout),
-                    min_dump_threshold: config.dump_threshold,
-                    max_dump_threshold: config.dump_threshold + 1.5,
-                    max_sentinel_pace: 16.0,
-                },
-            ),
+            policy: GovernorPolicy::new(budget, knob_bounds_for(&config)),
             decisions: AtomicU64::new(0),
             escalations: AtomicU64::new(0),
             relaxations: AtomicU64::new(0),
@@ -609,6 +625,32 @@ impl Ginja {
         f64::from_bits(self.shared.sentinel_pace_bits.load(Ordering::Relaxed))
     }
 
+    /// The tunable knobs currently in force — the cost governor's view
+    /// of the pipeline (live B/TB plus the governed dump threshold and
+    /// sentinel pace).
+    pub fn current_knobs(&self) -> Knobs {
+        current_knobs_of(&self.shared)
+    }
+
+    /// Applies a governor decision to the live pipeline: retunes B and
+    /// TB on the queue and stores the dump threshold and sentinel pace.
+    /// This is the one application path — the in-process governor and a
+    /// fleet-level arbiter both go through it — and it cannot loosen the
+    /// RPO bound: `CommitQueue::set_batch` hard-clamps B to `[1, S]`
+    /// whatever the caller asks for, and S/TS themselves have no setter.
+    pub fn apply_knobs(&self, knobs: &Knobs) {
+        apply_knobs_to(&self.shared, knobs);
+    }
+
+    /// The knob bounds a budget governor must respect for this instance:
+    /// the operator's configured Batch is the baseline (floor), Safety
+    /// the hard ceiling — B may rise to S under budget pressure but the
+    /// RPO bound itself is never loosened. TB may stretch up to TS for
+    /// the same reason.
+    pub fn knob_bounds(&self) -> KnobBounds {
+        knob_bounds_for(&self.shared.config)
+    }
+
     /// The scrub interval an attached sentinel should honor right now:
     /// `config.sentinel.scrub_interval` stretched by the governed pace.
     /// Re-verification GETs are pure cost with no durability impact,
@@ -640,12 +682,13 @@ impl Ginja {
         self.shared.cloud.clone()
     }
 
-    /// The shared fan-out executor (width = `config.recovery_fanout`).
-    /// The checkpointer, reboot resync and sentinel repair all issue
-    /// their bulk transfer waves through this one executor, so the
-    /// middleware's total out-of-band cloud concurrency stays bounded by
-    /// one knob.
-    pub fn fanout(&self) -> &FanoutExecutor {
+    /// The fan-out handle for this instance's bulk transfer waves. The
+    /// checkpointer, reboot resync and sentinel repair all issue their
+    /// waves through it, so the middleware's total out-of-band cloud
+    /// concurrency stays bounded by one knob — and, on a shared fair
+    /// executor, every wave and uploader PUT is billed to this
+    /// instance's scheduler lane.
+    pub fn fanout(&self) -> &FanoutHandle {
         &self.shared.fanout
     }
 
@@ -827,6 +870,42 @@ impl IoProcessor for Ginja {
     }
 }
 
+/// See [`Ginja::current_knobs`].
+fn current_knobs_of(shared: &Shared) -> Knobs {
+    Knobs {
+        batch: shared.queue.batch(),
+        batch_timeout: shared.queue.batch_timeout(),
+        dump_threshold: f64::from_bits(shared.dump_threshold_bits.load(Ordering::Relaxed)),
+        sentinel_pace: f64::from_bits(shared.sentinel_pace_bits.load(Ordering::Relaxed)),
+    }
+}
+
+/// See [`Ginja::apply_knobs`].
+fn apply_knobs_to(shared: &Shared, knobs: &Knobs) {
+    shared.queue.set_batch(knobs.batch);
+    shared.queue.set_batch_timeout(knobs.batch_timeout);
+    shared
+        .dump_threshold_bits
+        .store(knobs.dump_threshold.to_bits(), Ordering::Relaxed);
+    shared
+        .sentinel_pace_bits
+        .store(knobs.sentinel_pace.to_bits(), Ordering::Relaxed);
+}
+
+/// The governor's tuning envelope for a configuration — see
+/// [`Ginja::knob_bounds`].
+fn knob_bounds_for(config: &GinjaConfig) -> KnobBounds {
+    KnobBounds {
+        min_batch: config.batch,
+        max_batch: config.safety,
+        min_batch_timeout: config.batch_timeout,
+        max_batch_timeout: config.safety_timeout.max(config.batch_timeout),
+        min_dump_threshold: config.dump_threshold,
+        max_dump_threshold: config.dump_threshold + 1.5,
+        max_sentinel_pace: 16.0,
+    }
+}
+
 fn ranges_to_entries(
     ranges: std::collections::BTreeMap<String, std::collections::BTreeMap<u64, Vec<u8>>>,
 ) -> Vec<FileRange> {
@@ -864,7 +943,7 @@ type PutFn<'a> = &'a (dyn Fn(&str, &[u8]) -> Result<(), GinjaError> + Sync);
 /// marker only ever lands after every part at a lower index is durable.
 /// The first error aborts the wave.
 fn seal_put_wave(
-    exec: &FanoutExecutor,
+    exec: &FanoutHandle,
     codec: &Codec,
     stats: &GinjaStats,
     put: PutFn<'_>,
@@ -919,7 +998,7 @@ fn resync_local_wal(
     processor: &dyn DbmsProcessor,
     config: &GinjaConfig,
     codec: &Codec,
-    exec: &FanoutExecutor,
+    exec: &FanoutHandle,
     stats: &GinjaStats,
     view: &mut CloudView,
 ) -> Result<(u64, u64), GinjaError> {
@@ -1128,21 +1207,9 @@ fn governor_loop(shared: &Shared) {
             Ordering::Relaxed,
         );
 
-        let current = Knobs {
-            batch: shared.queue.batch(),
-            batch_timeout: shared.queue.batch_timeout(),
-            dump_threshold: f64::from_bits(shared.dump_threshold_bits.load(Ordering::Relaxed)),
-            sentinel_pace: f64::from_bits(shared.sentinel_pace_bits.load(Ordering::Relaxed)),
-        };
+        let current = current_knobs_of(shared);
         if let Some((next, action)) = gov.policy.decide(&current, &projection) {
-            shared.queue.set_batch(next.batch);
-            shared.queue.set_batch_timeout(next.batch_timeout);
-            shared
-                .dump_threshold_bits
-                .store(next.dump_threshold.to_bits(), Ordering::Relaxed);
-            shared
-                .sentinel_pace_bits
-                .store(next.sentinel_pace.to_bits(), Ordering::Relaxed);
+            apply_knobs_to(shared, &next);
             gov.decisions.fetch_add(1, Ordering::Relaxed);
             match action {
                 GovernorAction::Escalate => gov.escalations.fetch_add(1, Ordering::Relaxed),
@@ -1230,7 +1297,19 @@ fn uploader_loop(shared: &Shared, upload_rx: Receiver<UploadJob>, unlock_tx: Sen
             .seal_micros
             .fetch_add(seal_elapsed.as_micros() as u64, Ordering::Relaxed);
 
-        if !put_with_retry(shared, &name, &sealed) {
+        // The commit-path PUT is one fair-scheduled job: on a shared
+        // executor it competes through the tenant's lane against other
+        // tenants' waves, so a neighbor's bulk dump cannot crowd out
+        // this commit. (Solo executors pass through unchanged.) The
+        // permit spans the retry loop — during a persistent outage the
+        // shared cloud is down for every tenant anyway. `put_with_retry`
+        // itself never acquires a permit: the checkpointer calls it from
+        // inside an already-gated wave job, and a nested acquire there
+        // could deadlock the gate.
+        if !shared
+            .fanout
+            .with_permit(|| put_with_retry(shared, &name, &sealed))
+        {
             return; // shutdown while retrying
         }
         shared

@@ -67,14 +67,15 @@ mod error;
 mod ginja;
 mod stats;
 
+pub use agg::{rollup, SnapshotTotals};
 pub use config::{GinjaConfig, GinjaConfigBuilder, PitrConfig, SentinelConfig};
 pub use error::GinjaError;
-pub use fanout::FanoutExecutor;
+pub use fanout::{FanoutExecutor, FanoutHandle, LaneSnapshot};
 pub use ginja::{Exposure, Ginja};
 pub use ginja_cloud::{
     BreakerState, CloudUsage, ResilienceSnapshot, RetryConfig, UsageLedger, UsageMeter,
 };
-pub use ginja_cost::BudgetConfig;
+pub use ginja_cost::{BudgetConfig, KnobBounds, Knobs};
 pub use names::{DbObjectKind, DbObjectName, WalObjectName};
 pub use recovery::{
     list_restore_points, recover_into, recover_to_point, RecoveryReport, RestorePoint,

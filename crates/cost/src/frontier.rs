@@ -9,7 +9,8 @@
 //! The API is the [`Budget`] type: construct one from a monthly dollar
 //! figure and a price sheet, then ask it for costs, affordable sizes,
 //! and the frontier series. The old free functions remain as deprecated
-//! shims for one release.
+//! `#[doc(hidden)]` shims for one release; nothing in the workspace
+//! calls them anymore.
 
 use crate::pricing::S3Pricing;
 
@@ -78,6 +79,7 @@ impl Budget {
 }
 
 /// Monthly cost of the simple Figure 1 setup.
+#[doc(hidden)]
 #[deprecated(since = "0.1.0", note = "use Budget::monthly_cost_simple instead")]
 pub fn monthly_cost_simple(db_size_gb: f64, syncs_per_hour: f64, pricing: &S3Pricing) -> f64 {
     Budget::with_pricing(0.0, *pricing).monthly_cost_simple(db_size_gb, syncs_per_hour)
@@ -85,12 +87,14 @@ pub fn monthly_cost_simple(db_size_gb: f64, syncs_per_hour: f64, pricing: &S3Pri
 
 /// Largest database size affordable at `syncs_per_hour` under `budget`
 /// dollars per month.
+#[doc(hidden)]
 #[deprecated(since = "0.1.0", note = "use Budget::max_db_size_gb instead")]
 pub fn max_db_size_gb(syncs_per_hour: f64, budget: f64, pricing: &S3Pricing) -> f64 {
     Budget::with_pricing(budget, *pricing).max_db_size_gb(syncs_per_hour)
 }
 
 /// Samples the frontier at each of `syncs_per_hour`.
+#[doc(hidden)]
 #[deprecated(since = "0.1.0", note = "use Budget::frontier instead")]
 pub fn budget_frontier(
     syncs_per_hour: impl IntoIterator<Item = f64>,
@@ -158,21 +162,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_budget_methods() {
-        let pricing = S3Pricing::may_2017();
-        let budget = Budget::new(1.0);
+    fn explicit_pricing_agrees_with_default_sheet() {
+        // `Budget::new` and `Budget::with_pricing(May-2017)` must be
+        // the same budget — the path every migrated shim caller takes.
+        let budget = Budget::with_pricing(1.0, S3Pricing::may_2017());
         assert_eq!(
-            monthly_cost_simple(20.0, 120.0, &pricing),
-            budget.monthly_cost_simple(20.0, 120.0)
+            budget.monthly_cost_simple(20.0, 120.0),
+            one_dollar().monthly_cost_simple(20.0, 120.0)
         );
         assert_eq!(
-            max_db_size_gb(120.0, 1.0, &pricing),
-            budget.max_db_size_gb(120.0)
+            budget.max_db_size_gb(120.0),
+            one_dollar().max_db_size_gb(120.0)
         );
         assert_eq!(
-            budget_frontier([50.0, 120.0], 1.0, &pricing),
-            budget.frontier([50.0, 120.0])
+            budget.frontier([50.0, 120.0]),
+            one_dollar().frontier([50.0, 120.0])
         );
     }
 }

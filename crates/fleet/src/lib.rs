@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! Multi-tenant fleet management for Ginja.
+//!
+//! The paper protects *one* database for a dollar a month. This crate
+//! protects *N* of them for N dollars — without provisioning N of
+//! everything. A [`Fleet`] owns many tenants, each a complete Ginja
+//! deployment (its own database, its own `tenants/<name>/` prefix in
+//! one shared bucket, its own B/TB and — immutably — its own S/TS),
+//! multiplexed over shared infrastructure:
+//!
+//! * one **fair-share executor**: a weighted deficit-round-robin
+//!   scheduler bounds the fleet's total concurrent cloud transfers and
+//!   guarantees a starvation bound per tenant, so one tenant's bulk
+//!   dump cannot blow another's commit latency;
+//! * one **usage ledger** behind a single resilient store: exact
+//!   fleet-wide metering, one retry policy, one circuit breaker;
+//! * one **budget arbiter**: the fleet's monthly budget splits into
+//!   per-tenant sub-budgets by weight, and each tenant's cost knobs
+//!   are steered MIMD-style against its own metered spend — its
+//!   Safety bound is never loosened;
+//! * one **sentinel rotation**: round-robin offline scrubs across
+//!   tenant prefixes on the shared store.
+//!
+//! ```rust
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use ginja_cloud::MemStore;
+//! use ginja_core::GinjaConfig;
+//! use ginja_db::DbProfile;
+//! use ginja_fleet::{Fleet, FleetConfig, TenantSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fleet = Fleet::new(Arc::new(MemStore::new()), FleetConfig::default());
+//! let config = GinjaConfig::builder().batch(2).safety(16).build()?;
+//! let a = fleet.attach(TenantSpec::new(
+//!     "alpha",
+//!     DbProfile::postgres_small(),
+//!     config.clone(),
+//! ))?;
+//! a.db().create_table(1, 64)?;
+//! a.db().put(1, 7, b"hello".to_vec())?;
+//! assert!(fleet.sync_all(Duration::from_secs(10)));
+//! let snap = fleet.snapshot();
+//! assert!(snap.healthy());
+//! assert!(snap.tenant("alpha").unwrap().stats.updates_intercepted >= 1);
+//! fleet.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+mod fleet;
+mod snapshot;
+
+pub use fleet::{Fleet, FleetConfig, FleetError, Tenant, TenantSpec};
+pub use snapshot::{FleetSnapshot, TenantSnapshot};

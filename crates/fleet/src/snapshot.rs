@@ -1,0 +1,79 @@
+//! Fleet-wide observability: per-tenant snapshots rolled up into one
+//! exact aggregate, plus the shared scheduler's counters.
+
+use ginja_core::{Exposure, GinjaStatsSnapshot, LaneSnapshot, SnapshotTotals};
+
+/// One tenant's slice of a [`FleetSnapshot`].
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// Tenant name (unique within the fleet).
+    pub name: String,
+    /// Fair-share weight (DRR quantum on the shared executor).
+    pub weight: f64,
+    /// Scheduler lane index on the shared executor.
+    pub lane: usize,
+    /// The tenant's full middleware snapshot (pipeline, resilience,
+    /// sentinel and governor counters).
+    pub stats: GinjaStatsSnapshot,
+    /// The tenant's lane counters on the shared fair executor: waves,
+    /// jobs, grants, preemptions and the fractional deficit carry.
+    /// `None` only if the lane was never registered (solo executors).
+    pub scheduler: Option<LaneSnapshot>,
+    /// The tenant's live disaster exposure.
+    pub exposure: Exposure,
+    /// The monthly sub-budget arbitration derives from this tenant's
+    /// weight, in micro-dollars. Zero without a fleet budget.
+    pub sub_budget_microusd: u64,
+    /// Dollars this tenant has spent so far, in micro-dollars.
+    pub spent_microusd: u64,
+    /// This tenant's month-end spend projection, in micro-dollars.
+    pub projected_microusd: u64,
+    /// Knob adjustments the fleet arbiter has applied to this tenant.
+    pub decisions: u64,
+    /// Of those, spend-tightening escalations.
+    pub escalations: u64,
+    /// Of those, relaxations back toward the tenant's baseline.
+    pub relaxations: u64,
+}
+
+/// A point-in-time view of the whole fleet: every tenant's snapshot,
+/// the exact roll-up of their counters, the shared scheduler's global
+/// bounds, and the fleet-level budget position.
+#[derive(Debug, Clone)]
+pub struct FleetSnapshot {
+    /// Per-tenant snapshots, in attach order.
+    pub tenants: Vec<TenantSnapshot>,
+    /// Exact (u128, order-independent) roll-up of the per-tenant
+    /// counters — see [`ginja_core::rollup`].
+    pub totals: SnapshotTotals,
+    /// The shared executor's width (the global concurrency bound).
+    pub width: usize,
+    /// High-water mark of concurrently running jobs across all
+    /// tenants — never exceeds `width` on a fair executor.
+    pub max_in_flight: usize,
+    /// The fleet's monthly budget, in micro-dollars (zero if none).
+    pub budget_microusd: u64,
+    /// Fleet-wide dollars spent so far, in micro-dollars (priced from
+    /// the shared ledger; zero without a budget).
+    pub spent_microusd: u64,
+    /// Fleet-wide month-end projection, in micro-dollars.
+    pub projected_microusd: u64,
+    /// Whether the fleet projection exceeds the monthly budget.
+    pub over_budget: bool,
+    /// Round-robin scrub passes completed across tenant prefixes.
+    pub scrub_cycles: u64,
+}
+
+impl FleetSnapshot {
+    /// Aggregate health, `Exposure`-style: no tenant's pipeline has
+    /// died, no repair or rehearsal has failed, no sentinel flags
+    /// degradation, and the fleet is not projected over budget.
+    pub fn healthy(&self) -> bool {
+        self.totals.healthy() && !self.over_budget
+    }
+
+    /// The tenant snapshot with the given name.
+    pub fn tenant(&self, name: &str) -> Option<&TenantSnapshot> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+}

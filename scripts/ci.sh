@@ -32,3 +32,12 @@ GINJA_BENCH_SCALE=0.02 BENCH_PR6_OUT="$PWD/BENCH_PR6.json" \
 test -s BENCH_PR6.json
 # The offline planning view of the same policy must run clean.
 cargo run -q --release --bin ginja-cli -- budget 1.0 10 1000 --batch 10 --safety 2000 > /dev/null
+# Fleet smoke: three TPC-C tenants over one bucket / executor / budget —
+# must attach, arbitrate, scrub clean, and recover every tenant with
+# zero acked loss and spend under budget (DESIGN.md §14).
+cargo run -q --release --bin ginja-cli -- fleet --tenants 3 --txns 30 | grep -q "fleet OK"
+# Fair-share ablation: eight tenants on one shared width-8 executor vs.
+# eight width-1 pools — worst-tenant p99 must stay within 2x best.
+GINJA_BENCH_SCALE=0.02 BENCH_PR7_OUT="$PWD/BENCH_PR7.json" \
+    cargo bench -q -p ginja-bench --bench ablation_fleet
+test -s BENCH_PR7.json

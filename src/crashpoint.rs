@@ -35,7 +35,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ginja_cloud::{FaultPlan, FaultStore, MemStore, ObjectStore, RetryConfig};
+use ginja_cloud::{FaultPlan, FaultStore, MemStore, ObjectStore, PrefixStore, RetryConfig};
 use ginja_core::{recover_into, CrashFsSnapshot, Ginja, GinjaConfig};
 use ginja_db::{Database, DbError, DbProfile, ProfileKind};
 use ginja_sentinel::scrub_bucket;
@@ -96,6 +96,11 @@ pub struct ExplorerConfig {
     /// test (`GinjaConfig::recovery_fanout`). 1 = serial; larger widths
     /// exercise the reorder buffer under out-of-order fetch completion.
     pub recovery_fanout: usize,
+    /// Tenant prefix the sweep runs under (empty = the whole bucket).
+    /// When set, the middleware, every recovery, and every scrub go
+    /// through a [`PrefixStore`] view — the sweep then also proves the
+    /// crash invariants hold for a tenant of a shared bucket.
+    pub prefix: String,
 }
 
 impl ExplorerConfig {
@@ -112,6 +117,7 @@ impl ExplorerConfig {
             sector_size: 128,
             fault: None,
             recovery_fanout: 1,
+            prefix: String::new(),
         }
     }
 }
@@ -274,7 +280,9 @@ fn profile_for(kind: ProfileKind) -> DbProfile {
 struct Stack {
     journal: Arc<JournaledFs>,
     vplan: Arc<VfsFaultPlan>,
-    mem: Arc<MemStore>,
+    /// Fault-free view of the surviving bucket contents, scoped to
+    /// `ExplorerConfig::prefix` — what recoveries and scrubs read.
+    view: Arc<dyn ObjectStore>,
     cplan: Arc<FaultPlan>,
     ginja: Ginja,
     db_fs: Arc<dyn FileSystem>,
@@ -315,7 +323,15 @@ fn build_stack(cfg: &ExplorerConfig) -> Stack {
 
     let mem = Arc::new(MemStore::new());
     let cplan = Arc::new(FaultPlan::new());
-    let cloud = Arc::new(FaultStore::new(mem.clone(), cplan.clone()));
+    let faulted: Arc<dyn ObjectStore> = Arc::new(FaultStore::new(mem.clone(), cplan.clone()));
+    let (cloud, view): (Arc<dyn ObjectStore>, Arc<dyn ObjectStore>) = if cfg.prefix.is_empty() {
+        (faulted, mem)
+    } else {
+        (
+            Arc::new(PrefixStore::new(faulted, cfg.prefix.clone())),
+            Arc::new(PrefixStore::new(mem, cfg.prefix.clone())),
+        )
+    };
     let ginja = Ginja::boot(
         journal.clone() as Arc<dyn FileSystem>,
         cloud,
@@ -331,7 +347,7 @@ fn build_stack(cfg: &ExplorerConfig) -> Stack {
     Stack {
         journal,
         vplan,
-        mem,
+        view,
         cplan,
         ginja,
         db_fs,
@@ -491,7 +507,7 @@ fn run_crash_point(
 
     // ---- Invariant 2: disaster recovery from the cloud is a prefix of
     // the acknowledged history with at most S steps lost.
-    match recovered_rows(stack.mem.as_ref(), &stack.config, &stack.profile) {
+    match recovered_rows(stack.view.as_ref(), &stack.config, &stack.profile) {
         Err(e) => report.violate(point, mode, "cloud-prefix", e),
         Ok(cloud_rows) => {
             let mut matched = if with_inflight.as_ref() == Some(&cloud_rows) {
@@ -525,7 +541,7 @@ fn run_crash_point(
     }
 
     // ---- Invariant 3: the bucket the crash left behind scrubs clean.
-    match scrub_bucket(stack.mem.as_ref(), &stack.config) {
+    match scrub_bucket(stack.view.as_ref(), &stack.config) {
         Err(e) => report.violate(point, mode, "scrub", format!("scrub failed: {e}")),
         Ok(scrub) if !scrub.is_clean() => report.violate(
             point,
@@ -546,7 +562,7 @@ fn run_crash_point(
     drop(local);
     let ginja2 = match Ginja::reboot(
         stack.journal.clone() as Arc<dyn FileSystem>,
-        stack.mem.clone() as Arc<dyn ObjectStore>,
+        stack.view.clone(),
         processor_for(cfg.profile),
         stack.config.clone(),
     ) {
@@ -601,7 +617,7 @@ fn run_crash_point(
             }
             ginja2.shutdown();
             drop(db);
-            match recovered_rows(stack.mem.as_ref(), &stack.config, &stack.profile) {
+            match recovered_rows(stack.view.as_ref(), &stack.config, &stack.profile) {
                 Err(e) => report.violate(point, mode, "reboot-resync", e),
                 Ok(final_rows) => {
                     if final_rows != expected {
@@ -685,6 +701,25 @@ mod tests {
         let points = census(&cfg, &steps);
         // Every workload step performs at least one mutating fs op.
         assert!(points >= cfg.steps as u64, "{points} crash points");
+    }
+
+    #[test]
+    fn prefixed_sweep_upholds_the_tenant_invariants() {
+        // The same sweep through a `tenants/<name>/` view: every
+        // invariant must survive the namespace translation, which is
+        // what lets `ginja-cli crashtest --prefix` certify one tenant
+        // of a shared bucket.
+        let cfg = ExplorerConfig {
+            steps: 4,
+            stride: 9,
+            torn: false,
+            prefix: "tenants/crash-a/".into(),
+            ..ExplorerConfig::new(ProfileKind::Postgres)
+        };
+        let report = explore(&cfg);
+        assert!(report.explored > 0);
+        let violations: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+        assert!(report.is_clean(), "{violations:#?}");
     }
 
     #[test]
