@@ -843,6 +843,101 @@ mod tests {
     }
 
     #[test]
+    fn half_open_probe_success_recloses_under_concurrent_load() {
+        // A fleet's worth of uploader threads all hit the store the
+        // moment the cooldown elapses. The first caller through
+        // `allow()` flips Open → HalfOpen; every concurrent caller is
+        // then admitted as a probe (the transition serializes on the
+        // breaker mutex, so none of them fast-fails), the probe quota
+        // re-closes the breaker, and the trip counter stays exact —
+        // the concurrent successes must not be double-counted into
+        // extra transitions.
+        let (store, plan) = faulty_store(breaker_config());
+        plan.fail_next(OpKind::Put, 3);
+        for _ in 0..3 {
+            assert!(store.put("a", b"1").is_err());
+        }
+        assert_eq!(store.breaker_state(), BreakerState::Open);
+        let fast_fails_before = store.snapshot().breaker_fast_fails;
+        std::thread::sleep(Duration::from_millis(35));
+
+        let store = Arc::new(store);
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let workers: Vec<_> = (0..8)
+            .map(|i| {
+                let store = store.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    store.put(&format!("w{i}"), b"x")
+                })
+            })
+            .collect();
+        for worker in workers {
+            assert!(
+                worker.join().unwrap().is_ok(),
+                "a healthy backend after the cooldown must admit every caller"
+            );
+        }
+        assert_eq!(store.breaker_state(), BreakerState::Closed);
+        let snapshot = store.snapshot();
+        assert_eq!(snapshot.breaker_trips, 1, "reclose must not re-trip");
+        assert_eq!(
+            snapshot.breaker_fast_fails, fast_fails_before,
+            "no caller may fast-fail once the cooldown has elapsed"
+        );
+
+        // The reclose reset the failure streak: threshold-1 fresh
+        // failures plus a success must leave the breaker closed.
+        plan.fail_next(OpKind::Put, 2);
+        assert!(store.put("b", b"1").is_err());
+        assert!(store.put("b", b"1").is_err());
+        store.put("b", b"1").unwrap();
+        assert_eq!(store.breaker_state(), BreakerState::Closed);
+        assert_eq!(store.snapshot().breaker_trips, 1);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_under_concurrent_load() {
+        // Same concurrent burst against a backend that is still down:
+        // however many callers were admitted into the half-open
+        // window, the first failure re-trips and the rest land on the
+        // already-open breaker — exactly ONE new trip per window, not
+        // one per failed probe.
+        let (store, plan) = faulty_store(breaker_config());
+        plan.fail_next(OpKind::Put, usize::MAX);
+        for _ in 0..3 {
+            assert!(store.put("a", b"1").is_err());
+        }
+        assert_eq!(store.breaker_state(), BreakerState::Open);
+        assert_eq!(store.snapshot().breaker_trips, 1);
+        std::thread::sleep(Duration::from_millis(35));
+
+        let store = Arc::new(store);
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let workers: Vec<_> = (0..8)
+            .map(|i| {
+                let store = store.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    store.put(&format!("w{i}"), b"x").is_err()
+                })
+            })
+            .collect();
+        for worker in workers {
+            assert!(worker.join().unwrap(), "backend is down: every put fails");
+        }
+        assert_eq!(store.breaker_state(), BreakerState::Open);
+        assert_eq!(
+            store.snapshot().breaker_trips,
+            2,
+            "one half-open window, one re-trip — concurrent probe \
+             failures must not inflate the count"
+        );
+    }
+
+    #[test]
     fn open_breaker_fails_fast_and_nonretryable() {
         // With in-layer retries enabled, an open breaker must not burn
         // the backoff schedule before surfacing: the fast-fail is

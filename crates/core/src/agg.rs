@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::outage::OutageState;
 use crate::queue::WalWrite;
 use crate::stats::GinjaStatsSnapshot;
 
@@ -168,8 +169,23 @@ pub struct SnapshotTotals {
     pub projected_microusd: u128,
     /// Sum of `governor.decisions`.
     pub governor_decisions: u128,
+    /// Sum of `outage.outages` (outage episodes entered).
+    pub outages: u128,
+    /// Sum of `outage.sheds` (spill-ceiling shed events).
+    pub outage_sheds: u128,
+    /// Sum of `outage.spill_records` (a gauge per tenant; the sum is
+    /// the fleet's outstanding spilled-but-unuploaded backlog).
+    pub spill_records: u128,
+    /// Sum of `outage.spill_bytes` (gauge, like `spill_records`).
+    pub spill_bytes: u128,
+    /// Sum of `gc_backlog_dropped`.
+    pub gc_backlog_dropped: u128,
     /// Tenants whose sentinel flags the backup as degraded.
     pub degraded_tenants: u64,
+    /// Tenants currently enduring an outage (`Enduring` or `Shedding`).
+    pub enduring_tenants: u64,
+    /// Tenants currently shedding (spill backlog at the disk ceiling).
+    pub shedding_tenants: u64,
 }
 
 impl SnapshotTotals {
@@ -208,7 +224,17 @@ impl SnapshotTotals {
         self.spent_microusd += u128::from(snap.governor.spent_microusd);
         self.projected_microusd += u128::from(snap.governor.projected_microusd);
         self.governor_decisions += u128::from(snap.governor.decisions);
+        self.outages += u128::from(snap.outage.outages);
+        self.outage_sheds += u128::from(snap.outage.sheds);
+        self.spill_records += u128::from(snap.outage.spill_records);
+        self.spill_bytes += u128::from(snap.outage.spill_bytes);
+        self.gc_backlog_dropped += u128::from(snap.gc_backlog_dropped);
         self.degraded_tenants += u64::from(snap.sentinel.degraded);
+        self.enduring_tenants += u64::from(matches!(
+            snap.outage.state,
+            OutageState::Enduring | OutageState::Shedding
+        ));
+        self.shedding_tenants += u64::from(snap.outage.state == OutageState::Shedding);
     }
 
     /// Whether the fleet looks healthy in aggregate: no pipeline stage

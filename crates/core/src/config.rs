@@ -77,6 +77,90 @@ impl SentinelConfig {
     }
 }
 
+/// Outage-endurance policy: the bounded upload ring, the spill-to-disk
+/// overflow queue, and the Healthy → Degraded → Enduring → Shedding
+/// state machine (see `DESIGN.md` §15).
+///
+/// The paper's pipeline implicitly assumes the cloud returns before
+/// local state overwhelms the host. These knobs make a prolonged outage
+/// a bounded, observable mode instead: RAM backlog is capped at
+/// `ring_capacity` jobs, overflow goes to a durable on-disk queue up to
+/// `spill_ceiling` bytes, and the state machine widens B/TB toward S
+/// (and pauses dumps and scrub) while the outage lasts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutageConfig {
+    /// In-memory upload ring capacity, in WAL objects. The old behavior
+    /// (an unbounded channel) does not exist any more: beyond this many
+    /// queued uploads, jobs spill to disk.
+    pub ring_capacity: usize,
+    /// Checkpoint queue capacity, in jobs. Beyond it, an incoming
+    /// checkpoint *coalesces* into the newest queued one (checkpoint
+    /// jobs are mergeable by construction), so checkpoint RAM stays
+    /// bounded at `ckpt_capacity` jobs no matter how long the cloud is
+    /// gone.
+    pub ckpt_capacity: usize,
+    /// Directory (on the DBMS's local file system) holding the spill
+    /// queue's records.
+    pub spill_dir: String,
+    /// Spill-queue disk ceiling in payload bytes. At the ceiling the
+    /// policy enters Shedding: the aggregator blocks on the ring (the
+    /// DBMS saturates at S as usual) and `Exposure::fatal` turns on.
+    pub spill_ceiling: u64,
+    /// How long sustained pressure (breaker open) lasts before Degraded
+    /// escalates to Enduring even without any spill.
+    pub enduring_after: Duration,
+    /// Outage-policy poll interval.
+    pub poll_interval: Duration,
+    /// Fair-share weight of the catch-up drain lane on a shared fan-out
+    /// executor (fleet deployments): relative to tenant lane weights,
+    /// so catch-up cannot starve live commit traffic.
+    pub catchup_weight: f64,
+}
+
+impl Default for OutageConfig {
+    fn default() -> Self {
+        OutageConfig {
+            ring_capacity: 256,
+            ckpt_capacity: 8,
+            spill_dir: ".ginja_spill".into(),
+            spill_ceiling: 1 << 30,
+            enduring_after: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(50),
+            catchup_weight: 1.0,
+        }
+    }
+}
+
+impl OutageConfig {
+    /// Validates invariants, returning a description of the first
+    /// violation.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ring_capacity == 0 {
+            return Err("outage.ring_capacity must be at least 1".into());
+        }
+        if self.ckpt_capacity == 0 {
+            return Err("outage.ckpt_capacity must be at least 1".into());
+        }
+        if self.spill_dir.is_empty() {
+            return Err("outage.spill_dir must be nonempty".into());
+        }
+        if self.spill_ceiling == 0 {
+            return Err("outage.spill_ceiling must be nonzero".into());
+        }
+        if self.poll_interval.is_zero() {
+            return Err("outage.poll_interval must be nonzero".into());
+        }
+        if !self.catchup_weight.is_finite() || self.catchup_weight <= 0.0 {
+            return Err("outage.catchup_weight must be positive and finite".into());
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of the Ginja middleware.
 ///
 /// The two headline parameters come straight from §5.1:
@@ -143,6 +227,9 @@ pub struct GinjaConfig {
     /// hard ceiling the governor can never exceed (the RPO bound is
     /// never loosened). `None` disables governing entirely.
     pub budget: Option<BudgetConfig>,
+    /// Outage endurance: bounded in-memory backlog, spill-to-disk
+    /// overflow, adaptive backpressure and catch-up resync.
+    pub outage: OutageConfig,
 }
 
 impl GinjaConfig {
@@ -194,6 +281,7 @@ impl GinjaConfig {
         if let Some(budget) = &self.budget {
             budget.validate().map_err(GinjaError::Config)?;
         }
+        self.outage.validate().map_err(GinjaError::Config)?;
         Ok(())
     }
 }
@@ -229,6 +317,7 @@ impl GinjaConfigBuilder {
                 retry: RetryConfig::default(),
                 sentinel: SentinelConfig::default(),
                 budget: None,
+                outage: OutageConfig::default(),
             },
         }
     }
@@ -343,6 +432,14 @@ impl GinjaConfigBuilder {
         self
     }
 
+    /// Sets the outage-endurance policy (ring capacity, spill ceiling,
+    /// state-machine thresholds).
+    #[must_use]
+    pub fn outage(mut self, outage: OutageConfig) -> Self {
+        self.config.outage = outage;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -408,6 +505,58 @@ mod tests {
     #[test]
     fn tiny_object_size_rejected() {
         assert!(GinjaConfig::builder().max_object_size(100).build().is_err());
+    }
+
+    #[test]
+    fn outage_carried_through_and_validated() {
+        let c = GinjaConfig::builder().build().unwrap();
+        assert_eq!(c.outage.ring_capacity, 256, "default ring capacity");
+        assert_eq!(c.outage.ckpt_capacity, 8);
+        assert_eq!(c.outage.spill_dir, ".ginja_spill");
+
+        let c = GinjaConfig::builder()
+            .outage(OutageConfig {
+                ring_capacity: 8,
+                spill_ceiling: 4096,
+                ..OutageConfig::default()
+            })
+            .build()
+            .unwrap();
+        assert_eq!(c.outage.ring_capacity, 8);
+        assert_eq!(c.outage.spill_ceiling, 4096);
+
+        for bad in [
+            OutageConfig {
+                ring_capacity: 0,
+                ..OutageConfig::default()
+            },
+            OutageConfig {
+                ckpt_capacity: 0,
+                ..OutageConfig::default()
+            },
+            OutageConfig {
+                spill_dir: String::new(),
+                ..OutageConfig::default()
+            },
+            OutageConfig {
+                spill_ceiling: 0,
+                ..OutageConfig::default()
+            },
+            OutageConfig {
+                poll_interval: Duration::ZERO,
+                ..OutageConfig::default()
+            },
+            OutageConfig {
+                catchup_weight: 0.0,
+                ..OutageConfig::default()
+            },
+            OutageConfig {
+                catchup_weight: f64::NAN,
+                ..OutageConfig::default()
+            },
+        ] {
+            assert!(GinjaConfig::builder().outage(bad).build().is_err());
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! Checkpointer: DB objects (dump | incremental) → PUT → garbage collection
 //! ```
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -21,7 +22,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use ginja_cloud::{BreakerState, ObjectStore, ResilientStore, UsageLedger, UsageMeter};
 use ginja_codec::Codec;
 use ginja_cost::governor::{self, GovernorAction, GovernorPolicy, KnobBounds, Knobs};
-use ginja_vfs::{DbmsProcessor, FileSystem, IoClass, IoProcessor, WriteEvent};
+use ginja_vfs::{DbmsProcessor, FileSystem, IoClass, IoProcessor, SpillQueue, WriteEvent};
 use parking_lot::Mutex;
 
 use crate::agg::{self, AggregatedRange};
@@ -29,18 +30,21 @@ use crate::bundle::{self, FileRange};
 use crate::config::GinjaConfig;
 use crate::fanout::FanoutHandle;
 use crate::names::{DbObjectKind, DbObjectName, WalObjectName};
+use crate::outage::{
+    decode_spill_record, encode_spill_record, CkptJob, CkptPush, CkptQueue, OutageObservation,
+    OutagePolicy, OutageState, UploadJob, UploadRing,
+};
 use crate::queue::{CommitQueue, WalWrite};
 use crate::stats::{GinjaStats, GinjaStatsSnapshot, GovernorSnapshot, SentinelStats};
 use crate::view::CloudView;
 use crate::GinjaError;
 use ginja_codec::bufpool;
 
-/// An upload job for one WAL object.
-struct UploadJob {
-    batch_id: u64,
-    name: WalObjectName,
-    raw: Vec<u8>,
-}
+/// Deferred-GC backlog cap: beyond this many distinct garbage names the
+/// oldest leak-retry candidates win and newcomers are dropped (counted
+/// in `gc_backlog_dropped`). A dropped name is a bounded cost leak, not
+/// a correctness problem — the sentinel's orphan sweep deletes it later.
+const GC_BACKLOG_CAP: usize = 4096;
 
 /// Messages feeding the Unlocker.
 enum UnlockMsg {
@@ -53,13 +57,6 @@ enum UnlockMsg {
     },
     /// One object of `batch_id` is durable.
     Ack { batch_id: u64 },
-}
-
-/// A checkpoint ready to become a DB object.
-struct CkptJob {
-    ts: u64,
-    kind: DbObjectKind,
-    entries: Vec<FileRange>,
 }
 
 /// A point-in-time measurement of how much a disaster would cost —
@@ -82,9 +79,21 @@ pub struct Exposure {
     /// no sentinel is attached.
     pub degraded: bool,
     /// Set when a pipeline stage hit a fatal data-path error (e.g. a
-    /// seal failure) and stopped. The queue will no longer drain: the
-    /// DBMS blocks at the Safety limit until the operator intervenes.
+    /// seal failure) and stopped, or when the outage policy is
+    /// [`OutageState::Shedding`]. The queue will no longer drain: the
+    /// DBMS blocks at the Safety limit until the operator intervenes
+    /// (or, for shedding, until catch-up drains the spill backlog below
+    /// the disk ceiling).
     pub fatal: bool,
+    /// Where the pipeline stands relative to a cloud outage: `Healthy`,
+    /// `Degraded` (pressure seen, not yet an outage), `Enduring` (spill
+    /// backlog on disk or sustained pressure — knobs escalated), or
+    /// `Shedding` (spill at the configured disk ceiling — also raises
+    /// `fatal`).
+    pub outage: OutageState,
+    /// Times the outage policy entered `Shedding` — each one a loud,
+    /// operator-visible event (never a silent drop).
+    pub outage_sheds: u64,
     /// Month-end spend projection from the live cost governor, in
     /// integer micro-dollars; zero when no budget is configured. The
     /// cost dimension of exposure: what this month's protection is on
@@ -124,14 +133,29 @@ struct Shared {
     /// was injected via [`Ginja::boot_with`]/[`Ginja::reboot_with`].
     fanout: FanoutHandle,
     accum: Mutex<CkptAccum>,
-    ckpt_tx: Mutex<Option<Sender<CkptJob>>>,
+    /// Bounded, coalescing checkpoint queue (replaces the old unbounded
+    /// channel, whose jobs each carry up to a whole database of pages).
+    ckpt_queue: CkptQueue,
+    /// Bounded in-memory ring between the aggregator and the uploader
+    /// pool; overflow spills to `spill` instead of growing RAM.
+    upload_ring: UploadRing<UploadJob>,
+    /// The durable spill-to-disk overflow queue (journaled, crash-safe;
+    /// recovered at Reboot). Records hold WAL upload jobs whose queue
+    /// entries are still un-acked, so spilling never touches the
+    /// at-most-S contract.
+    spill: SpillQueue,
+    /// The outage policy's current state, published lock-free
+    /// (`OutageState::as_u64` encoding) by the outage thread.
+    outage_state_bits: AtomicU64,
     pending_ckpt_jobs: AtomicUsize,
     batch_counter: AtomicU64,
     shutdown: AtomicBool,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Garbage objects whose delete exhausted its retry budget; retried
     /// at the next checkpoint's GC pass instead of leaking forever.
-    gc_backlog: Mutex<Vec<String>>,
+    /// Deduplicated and capped at [`GC_BACKLOG_CAP`] — overflow is
+    /// dropped (counted) for the sentinel's orphan sweep to collect.
+    gc_backlog: Mutex<BTreeSet<String>>,
     /// Counters of an attached DR sentinel (`ginja-sentinel` crate),
     /// merged into [`Ginja::stats`] and [`Ginja::exposure`].
     sentinel: Mutex<Option<Arc<SentinelStats>>>,
@@ -304,7 +328,14 @@ impl Ginja {
             Ok(())
         })?;
 
-        let ginja = Self::assemble(fs, cloud, processor, config, codec, view, stats, fanout);
+        // Boot starts a fresh protection history: records spilled under
+        // a previous history must not leak into the new bucket.
+        let spill = SpillQueue::open(fs.clone(), &config.outage.spill_dir)?;
+        spill.clear()?;
+
+        let ginja = Self::assemble(
+            fs, cloud, processor, config, codec, view, stats, fanout, spill,
+        );
         ginja
             .shared
             .stats
@@ -354,6 +385,45 @@ impl Ginja {
         let codec = Codec::new(config.codec.clone());
         let stats = GinjaStats::default();
         let mut view = CloudView::from_listing(cloud.list("")?)?;
+
+        // Recover the spill queue a previous incarnation left behind and
+        // upload its records *before* the resync pass: spilled WAL is
+        // un-acked commit content the cloud never received, and when the
+        // DBMS has since recycled the segment it is the only copy left.
+        // Records are re-timestamped from the rebuilt view (their
+        // original allocations died with the old process); FIFO drain
+        // order keeps them ascending. A spilled tail block the DBMS
+        // later rewrote is re-introduced stale here — harmless, because
+        // the resync pass below compares the *current* local bytes
+        // against the cloud image and uploads a fresher object that
+        // wins at recovery.
+        let spill = SpillQueue::open(fs.clone(), &config.outage.spill_dir)?;
+        while let Some((seq, payload)) = spill.front()? {
+            if let Some(job) = decode_spill_record(&payload) {
+                let ts = view.alloc_wal_ts();
+                let name = WalObjectName {
+                    ts,
+                    file: job.name.file,
+                    offset: job.name.offset,
+                    len: job.name.len,
+                };
+                let wire = name.to_name();
+                let mut sealed = bufpool::take();
+                codec.seal_into(&wire, &job.raw, &mut sealed)?;
+                cloud.put(&wire, &sealed)?;
+                bufpool::recycle(sealed);
+                view.add_wal(name);
+                stats.wal_resync_objects.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .wal_resync_bytes
+                    .fetch_add(job.raw.len() as u64, Ordering::Relaxed);
+            }
+            // An undecodable record (external tampering — the queue's
+            // checksum already rejects torn writes) is dropped: the
+            // resync pass re-uploads the range from the local WAL file.
+            spill.ack(seq)?;
+        }
+
         let (resync_objects, resync_bytes) = resync_local_wal(
             fs.as_ref(),
             &cloud,
@@ -371,7 +441,7 @@ impl Ginja {
             .wal_resync_bytes
             .fetch_add(resync_bytes, Ordering::Relaxed);
         Ok(Self::assemble(
-            fs, cloud, processor, config, codec, view, stats, fanout,
+            fs, cloud, processor, config, codec, view, stats, fanout, spill,
         ))
     }
 
@@ -385,6 +455,7 @@ impl Ginja {
         view: CloudView,
         stats: GinjaStats,
         fanout: FanoutHandle,
+        spill: SpillQueue,
     ) -> Self {
         let queue = CommitQueue::new(
             config.batch,
@@ -407,9 +478,22 @@ impl Ginja {
             spent_microusd: AtomicU64::new(0),
             projected_microusd: AtomicU64::new(0),
         });
-        let (ckpt_tx, ckpt_rx) = unbounded::<CkptJob>();
         let dump_threshold_bits = AtomicU64::new(config.dump_threshold.to_bits());
+        // The catch-up lane: on a fair shared executor the spill drain
+        // competes through its own scheduler lane (weight
+        // `outage.catchup_weight`), so a tenant catching up after an
+        // outage cannot crowd out its neighbors' commit traffic. On a
+        // solo executor it shares the instance's own permits.
+        let catchup = if fanout.executor().is_fair() {
+            FanoutHandle::shared(fanout.executor().clone(), config.outage.catchup_weight)
+        } else {
+            fanout.clone()
+        };
         let shared = Arc::new(Shared {
+            ckpt_queue: CkptQueue::new(config.outage.ckpt_capacity),
+            upload_ring: UploadRing::new(config.outage.ring_capacity),
+            spill,
+            outage_state_bits: AtomicU64::new(OutageState::Healthy.as_u64()),
             config,
             codec,
             cloud,
@@ -420,19 +504,17 @@ impl Ginja {
             stats,
             fanout,
             accum: Mutex::new(CkptAccum::default()),
-            ckpt_tx: Mutex::new(Some(ckpt_tx)),
             pending_ckpt_jobs: AtomicUsize::new(0),
             batch_counter: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
-            gc_backlog: Mutex::new(Vec::new()),
+            gc_backlog: Mutex::new(BTreeSet::new()),
             sentinel: Mutex::new(None),
             dump_threshold_bits,
             sentinel_pace_bits: AtomicU64::new(1.0f64.to_bits()),
             governor,
         });
 
-        let (upload_tx, upload_rx) = unbounded::<UploadJob>();
         let (unlock_tx, unlock_rx) = unbounded::<UnlockMsg>();
 
         let mut threads = Vec::new();
@@ -442,19 +524,28 @@ impl Ginja {
             threads.push(
                 std::thread::Builder::new()
                     .name("ginja-aggregator".into())
-                    .spawn(move || aggregator_loop(&shared, upload_tx, unlock_tx))
+                    .spawn(move || aggregator_loop(&shared, unlock_tx))
                     .expect("spawn aggregator"),
             );
         }
         for i in 0..shared.config.uploaders {
             let shared = shared.clone();
-            let upload_rx = upload_rx.clone();
             let unlock_tx = unlock_tx.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("ginja-uploader-{i}"))
-                    .spawn(move || uploader_loop(&shared, upload_rx, unlock_tx))
+                    .spawn(move || uploader_loop(&shared, unlock_tx))
                     .expect("spawn uploader"),
+            );
+        }
+        {
+            let shared = shared.clone();
+            let unlock_tx = unlock_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ginja-catchup".into())
+                    .spawn(move || catchup_loop(&shared, &catchup, unlock_tx))
+                    .expect("spawn catchup"),
             );
         }
         drop(unlock_tx);
@@ -472,8 +563,17 @@ impl Ginja {
             threads.push(
                 std::thread::Builder::new()
                     .name("ginja-checkpointer".into())
-                    .spawn(move || checkpointer_loop(&shared, ckpt_rx))
+                    .spawn(move || checkpointer_loop(&shared))
                     .expect("spawn checkpointer"),
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ginja-outage".into())
+                    .spawn(move || outage_loop(&shared))
+                    .expect("spawn outage"),
             );
         }
         if shared.governor.is_some() {
@@ -513,7 +613,8 @@ impl Ginja {
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.queue.close();
-        *self.shared.ckpt_tx.lock() = None;
+        self.shared.ckpt_queue.close();
+        self.shared.upload_ring.close();
         let threads = std::mem::take(&mut *self.shared.threads.lock());
         for handle in threads {
             let _ = handle.join();
@@ -537,10 +638,27 @@ impl Ginja {
         snap.gc_backlog = self.shared.gc_backlog.lock().len() as u64;
         snap.fanout_waves = self.shared.fanout.waves();
         snap.fanout_jobs = self.shared.fanout.jobs();
+        // Outage gauges live on the ring/spill structures; the counters
+        // were already filled from `GinjaStats` by `snapshot()`.
+        snap.outage.state = self.outage_state();
+        snap.outage.ring_len = self.shared.upload_ring.len() as u64;
+        snap.outage.ring_capacity = self.shared.upload_ring.capacity() as u64;
+        snap.outage.ring_bytes = self.shared.upload_ring.bytes();
+        snap.outage.spill_records = self.shared.spill.len();
+        snap.outage.spill_bytes = self.shared.spill.bytes();
+        snap.outage.spill_pushed = self.shared.spill.pushed();
+        snap.outage.spill_acked = self.shared.spill.acked();
+        snap.outage.spill_torn_discarded = self.shared.spill.torn_discarded();
         if let Some(sentinel) = self.shared.sentinel.lock().as_ref() {
             snap.sentinel = sentinel.snapshot();
         }
         snap
+    }
+
+    /// The outage policy's current state (published by the outage
+    /// thread, refreshed every `outage.poll_interval`).
+    pub fn outage_state(&self) -> OutageState {
+        OutageState::from_u64(self.shared.outage_state_bits.load(Ordering::Relaxed))
     }
 
     /// Number of updates currently unconfirmed by the cloud.
@@ -561,6 +679,7 @@ impl Ginja {
             }
             None => (0, false),
         };
+        let outage = self.outage_state();
         Exposure {
             updates: self.shared.queue.len(),
             pending_checkpoints: self.shared.pending_ckpt_jobs.load(Ordering::SeqCst),
@@ -572,7 +691,13 @@ impl Ginja {
                 .lock()
                 .as_ref()
                 .is_some_and(|s| s.is_degraded()),
-            fatal: self.shared.stats.pipeline_fatals.load(Ordering::Relaxed) > 0,
+            // Shedding is fatal-loud by design: the spill backlog hit
+            // its disk ceiling and the pipeline is holding the line in
+            // RAM — the operator must see it, never infer it.
+            fatal: self.shared.stats.pipeline_fatals.load(Ordering::Relaxed) > 0
+                || outage == OutageState::Shedding,
+            outage,
+            outage_sheds: self.shared.stats.outage_sheds.load(Ordering::Relaxed),
             projected_spend_microusd,
             over_budget,
         }
@@ -721,7 +846,7 @@ impl Ginja {
             return Err(GinjaError::ShutDown);
         }
         let entries = read_db_files(self.shared.fs.as_ref(), self.shared.processor.as_ref())?;
-        let ts = self.shared.view.lock().last_wal_ts();
+        let ts = self.shared.view.lock().watermark();
         let job = CkptJob {
             ts,
             kind: DbObjectKind::Dump,
@@ -732,10 +857,19 @@ impl Ginja {
             .dumps_uploaded
             .fetch_add(1, Ordering::Relaxed);
         self.shared.pending_ckpt_jobs.fetch_add(1, Ordering::SeqCst);
-        let tx = self.shared.ckpt_tx.lock();
-        match tx.as_ref().map(|tx| tx.send(job)) {
-            Some(Ok(())) => Ok(()),
-            _ => {
+        match self.shared.ckpt_queue.push(job) {
+            CkptPush::Queued => Ok(()),
+            CkptPush::Coalesced => {
+                // Absorbed into a queued job: two logical checkpoints
+                // complete as one, so this one's pending count goes.
+                self.shared
+                    .stats
+                    .ckpt_coalesced
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.pending_ckpt_jobs.fetch_sub(1, Ordering::SeqCst);
+                Ok(())
+            }
+            CkptPush::Closed => {
                 self.shared.pending_ckpt_jobs.fetch_sub(1, Ordering::SeqCst);
                 Err(GinjaError::ShutDown)
             }
@@ -746,7 +880,7 @@ impl Ginja {
         let mut accum = self.shared.accum.lock();
         if !accum.in_checkpoint {
             accum.in_checkpoint = true;
-            accum.ts = self.shared.view.lock().last_wal_ts();
+            accum.ts = self.shared.view.lock().watermark();
         }
         let ranges = accum.ranges.entry(event.path.clone()).or_default();
         agg::apply(ranges, event.offset, &event.data);
@@ -759,7 +893,7 @@ impl Ginja {
                 // A checkpoint that flushed no data pages still moves
                 // the control record; it forms a (tiny) DB object.
                 accum.in_checkpoint = true;
-                accum.ts = self.shared.view.lock().last_wal_ts();
+                accum.ts = self.shared.view.lock().watermark();
             }
             let ranges = accum.ranges.entry(event.path.clone()).or_default();
             agg::apply(ranges, event.offset, &event.data);
@@ -821,10 +955,19 @@ impl Ginja {
                 .fetch_add(1, Ordering::Relaxed);
         }
         self.shared.pending_ckpt_jobs.fetch_add(1, Ordering::SeqCst);
-        let tx = self.shared.ckpt_tx.lock();
-        match tx.as_ref().map(|tx| tx.send(job)) {
-            Some(Ok(())) => {}
-            _ => {
+        match self.shared.ckpt_queue.push(job) {
+            CkptPush::Queued => {}
+            CkptPush::Coalesced => {
+                // The queue was at capacity and the newest queued job
+                // absorbed this one: two logical checkpoints complete as
+                // one upload, so this one's pending count goes with it.
+                self.shared
+                    .stats
+                    .ckpt_coalesced
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.pending_ckpt_jobs.fetch_sub(1, Ordering::SeqCst);
+            }
+            CkptPush::Closed => {
                 // Shut down: the job is dropped (protection has ended).
                 self.shared.pending_ckpt_jobs.fetch_sub(1, Ordering::SeqCst);
             }
@@ -1115,11 +1258,22 @@ fn read_db_files(
 /// DBMS at the Safety limit forever, which is exactly the intended
 /// behavior (block, don't lose data) — but it paces itself by any
 /// `retry_after` hint the cloud attached to the error.
-fn put_with_retry(shared: &Shared, name: &str, sealed: &[u8]) -> bool {
+///
+/// When `gate` is given, each PUT *attempt* runs under one of its
+/// permits, released across the backoff sleep — a caller stuck in a
+/// long outage never camps on shared executor capacity. Callers already
+/// inside a gated wave job pass `None` (a nested acquire could deadlock
+/// the gate).
+fn put_with_retry(shared: &Shared, gate: Option<&FanoutHandle>, name: &str, sealed: &[u8]) -> bool {
     let mut delay = Duration::from_millis(10);
     let start = Instant::now();
     loop {
-        let err = match shared.cloud.put(name, sealed) {
+        let attempt = || shared.cloud.put(name, sealed);
+        let result = match gate {
+            Some(gate) => gate.with_permit(attempt),
+            None => attempt(),
+        };
+        let err = match result {
             Ok(()) => {
                 // Time-to-durable including retries: that is what the
                 // queue (and so the DBMS) actually waits on.
@@ -1134,6 +1288,50 @@ fn put_with_retry(shared: &Shared, name: &str, sealed: &[u8]) -> bool {
         }
         // A throttling cloud told us when to come back: honor it as a
         // floor so we never hammer a provider that asked for pacing.
+        std::thread::sleep(delay.max(err.retry_after().unwrap_or(Duration::ZERO)));
+        delay = (delay * 2).min(Duration::from_secs(1));
+    }
+}
+
+/// Outcome of fetching one part of an existing DB object for a
+/// timestamp-collision merge.
+enum PartFetch {
+    /// The part was fetched and unsealed.
+    Bytes(Vec<u8>),
+    /// The part is gone or undecodable — recovery could not have used
+    /// the old generation either, so replacing it outright is safe.
+    Unusable,
+    /// Shutdown was requested mid-retry.
+    Shutdown,
+}
+
+/// Fetches one DB-object part with unbounded retry on *retryable*
+/// errors, exactly as stubborn as [`put_with_retry`]. Giving up on a
+/// transient error here is not an option: a skipped collision merge
+/// uploads a non-superset object at the same timestamp, which can
+/// outrank the old generation at recovery while lacking the only image
+/// of some of its pages (silent data loss).
+fn get_part_with_retry(shared: &Shared, name: &str) -> PartFetch {
+    let mut delay = Duration::from_millis(10);
+    let start = Instant::now();
+    loop {
+        let err = match shared.cloud.get(name) {
+            Ok(sealed) => {
+                shared.stats.get_histo.record(start.elapsed());
+                return match shared.codec.open(name, &sealed) {
+                    Ok(raw) => PartFetch::Bytes(raw),
+                    // Tampered or corrupt: unusable for recovery too.
+                    Err(_) => PartFetch::Unusable,
+                };
+            }
+            Err(err) => err,
+        };
+        if !err.is_retryable() {
+            return PartFetch::Unusable;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return PartFetch::Shutdown;
+        }
         std::thread::sleep(delay.max(err.retry_after().unwrap_or(Duration::ZERO)));
         delay = (delay * 2).min(Duration::from_secs(1));
     }
@@ -1219,7 +1417,35 @@ fn governor_loop(shared: &Shared) {
     }
 }
 
-fn aggregator_loop(shared: &Shared, upload_tx: Sender<UploadJob>, unlock_tx: Sender<UnlockMsg>) {
+/// Hands one upload job to the uploader pool: the bounded ring first;
+/// on overflow, the durable spill queue (the catch-up thread drains it
+/// back); at the spill ceiling or on a spill write failure, a blocking
+/// ring push — which saturates the aggregator, then the commit queue,
+/// then the DBMS at the Safety limit. RAM stays bounded in every case.
+/// Returns `false` only on shutdown.
+fn push_or_spill(shared: &Shared, job: UploadJob) -> bool {
+    let bytes = job.raw.len();
+    let Err(job) = shared.upload_ring.try_push(job, bytes) else {
+        return true;
+    };
+    if !shared.shutdown.load(Ordering::SeqCst)
+        && shared.spill.bytes() < shared.config.outage.spill_ceiling
+        && shared.spill.push(&encode_spill_record(&job)).is_ok()
+    {
+        shared.stats.upload_spilled.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .upload_spilled_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        return true;
+    }
+    // At the spill ceiling, on a spill write failure (local disk
+    // trouble), or during shutdown: hold the line in RAM rather than
+    // drop the job.
+    shared.upload_ring.push(job, bytes)
+}
+
+fn aggregator_loop(shared: &Shared, unlock_tx: Sender<UnlockMsg>) {
     while let Some(batch) = shared.queue.take_batch() {
         let items = batch.len();
         let ranges: Vec<AggregatedRange> = if shared.config.coalesce {
@@ -1256,23 +1482,23 @@ fn aggregator_loop(shared: &Shared, upload_tx: Sender<UploadJob>, unlock_tx: Sen
                 offset: range.offset,
                 len: range.data.len() as u64,
             };
-            if upload_tx
-                .send(UploadJob {
+            if !push_or_spill(
+                shared,
+                UploadJob {
                     batch_id,
                     name,
                     raw: range.data,
-                })
-                .is_err()
-            {
+                },
+            ) {
                 return;
             }
         }
     }
-    // Queue closed: dropping the senders lets the downstream drain.
+    // Queue closed: the ring closes at shutdown, letting downstream drain.
 }
 
-fn uploader_loop(shared: &Shared, upload_rx: Receiver<UploadJob>, unlock_tx: Sender<UnlockMsg>) {
-    for job in upload_rx.iter() {
+fn uploader_loop(shared: &Shared, unlock_tx: Sender<UnlockMsg>) {
+    while let Some(job) = shared.upload_ring.pop(|j| j.raw.len()) {
         let name = job.name.to_name();
         let mut sealed = bufpool::take();
         let seal_start = Instant::now();
@@ -1301,15 +1527,13 @@ fn uploader_loop(shared: &Shared, upload_rx: Receiver<UploadJob>, unlock_tx: Sen
         // executor it competes through the tenant's lane against other
         // tenants' waves, so a neighbor's bulk dump cannot crowd out
         // this commit. (Solo executors pass through unchanged.) The
-        // permit spans the retry loop — during a persistent outage the
-        // shared cloud is down for every tenant anyway. `put_with_retry`
-        // itself never acquires a permit: the checkpointer calls it from
-        // inside an already-gated wave job, and a nested acquire there
-        // could deadlock the gate.
-        if !shared
-            .fanout
-            .with_permit(|| put_with_retry(shared, &name, &sealed))
-        {
+        // permit is acquired *per attempt* inside `put_with_retry` —
+        // a tenant whose prefix is down must not camp on shared permits
+        // across its backoff sleeps, or its outage would starve healthy
+        // neighbors of executor capacity. The checkpointer instead
+        // passes no gate: it calls from inside an already-gated wave
+        // job, and a nested acquire there could deadlock the gate.
+        if !put_with_retry(shared, Some(&shared.fanout), &name, &sealed) {
             return; // shutdown while retrying
         }
         shared
@@ -1389,42 +1613,231 @@ fn unlocker_loop(shared: &Shared, unlock_rx: Receiver<UnlockMsg>) {
     }
 }
 
-fn checkpointer_loop(shared: &Shared, ckpt_rx: Receiver<CkptJob>) {
-    for mut job in ckpt_rx.iter() {
+/// The catch-up resync drain: replays the durable spill queue into the
+/// cloud, strictly FIFO, whenever it holds records. During the outage
+/// itself `put_with_retry` simply blocks here (backing off, permits
+/// released between attempts), so the drain starts the moment the cloud
+/// answers again. Each record only leaves the spill — and its commit
+/// queue entry only acks — after its object is durable in the cloud,
+/// exactly the uploader's contract; a crash mid-drain re-drains at the
+/// next Reboot.
+///
+/// `catchup` is the drain's fan-out gate: a dedicated fair-share lane
+/// (weight `outage.catchup_weight`) on a shared executor, so a tenant
+/// catching up cannot crowd out its neighbors' commit traffic.
+fn catchup_loop(shared: &Shared, catchup: &FanoutHandle, unlock_tx: Sender<UnlockMsg>) {
+    let poll = shared.config.outage.poll_interval;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let front = match shared.spill.front() {
+            Ok(Some(front)) => front,
+            Ok(None) => {
+                std::thread::sleep(poll);
+                continue;
+            }
+            Err(_) => {
+                // Local-disk read trouble: the record stays queued;
+                // retry at the next poll rather than losing it.
+                std::thread::sleep(poll);
+                continue;
+            }
+        };
+        let (seq, payload) = front;
+        let Some(job) = decode_spill_record(&payload) else {
+            // The spill queue's checksum already rejects torn writes, so
+            // an undecodable record means external tampering. Its queue
+            // entry can never ack: stop loudly instead of spinning.
+            shared.stats.pipeline_fatals.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let name = job.name.to_name();
+        let mut sealed = bufpool::take();
+        let seal_start = Instant::now();
+        if shared
+            .codec
+            .seal_into(&name, &job.raw, &mut sealed)
+            .is_err()
+        {
+            // Same stance as the uploader: a seal failure must surface
+            // as a stopped stage, never as a silently dropped object.
+            shared.stats.pipeline_fatals.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let seal_elapsed = seal_start.elapsed();
+        shared.stats.seal_histo.record(seal_elapsed);
+        shared
+            .stats
+            .seal_micros
+            .fetch_add(seal_elapsed.as_micros() as u64, Ordering::Relaxed);
+        if !put_with_retry(shared, Some(catchup), &name, &sealed) {
+            return; // shutdown while retrying
+        }
+        shared
+            .stats
+            .wal_objects_uploaded
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .wal_bytes_raw
+            .fetch_add(job.raw.len() as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .wal_bytes_sealed
+            .fetch_add(sealed.len() as u64, Ordering::Relaxed);
+        shared.stats.catchup_drained.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .catchup_drained_bytes
+            .fetch_add(job.raw.len() as u64, Ordering::Relaxed);
+        bufpool::recycle(sealed);
+        shared.view.lock().add_wal(job.name.clone());
+        if shared.spill.ack(seq).is_err() {
+            // Ack (delete) failed: the record re-drains next iteration —
+            // a duplicate PUT of the same name and bytes, idempotent.
+            // Pace the retry so a dying disk doesn't spin this loop.
+            std::thread::sleep(poll);
+        }
+        let _ = unlock_tx.send(UnlockMsg::Ack {
+            batch_id: job.batch_id,
+        });
+    }
+}
+
+/// The outage policy thread: every `outage.poll_interval` it feeds the
+/// breaker state and spill gauges to the [`OutagePolicy`] state machine,
+/// publishes the state for `exposure()`/`stats()`, counts
+/// outages/sheds/outage time, and applies adaptive backpressure through
+/// the one-knob path — B/TB widened to the envelope's maxima (never past
+/// S/TS), dumps deferred, sentinel scrub paced down. The pre-outage
+/// knobs are restored when the policy returns to Healthy.
+fn outage_loop(shared: &Shared) {
+    let mut policy = OutagePolicy::new(
+        shared.config.outage.enduring_after,
+        shared.config.outage.spill_ceiling,
+    );
+    let poll = shared.config.outage.poll_interval;
+    let mut baseline: Option<Knobs> = None;
+    let mut last_tick = Instant::now();
+    let mut next_poll = Instant::now() + poll;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        if Instant::now() < next_poll {
+            // Short sleeps keep shutdown responsive under long polls.
+            std::thread::sleep(poll.min(Duration::from_millis(2)));
+            continue;
+        }
+        next_poll = Instant::now() + poll;
+
+        let now = Instant::now();
+        let obs = OutageObservation {
+            breaker_open: shared.cloud.snapshot().breaker_state == BreakerState::Open,
+            spill_records: shared.spill.len(),
+            spill_bytes: shared.spill.bytes(),
+        };
+        let prev = policy.state();
+        let state = policy.tick(&obs, now);
+        shared
+            .outage_state_bits
+            .store(state.as_u64(), Ordering::Relaxed);
+
+        let was_outage = matches!(prev, OutageState::Enduring | OutageState::Shedding);
+        let is_outage = matches!(state, OutageState::Enduring | OutageState::Shedding);
+        if is_outage && !was_outage {
+            shared.stats.outages.fetch_add(1, Ordering::Relaxed);
+        }
+        if state == OutageState::Shedding && prev != OutageState::Shedding {
+            shared.stats.outage_sheds.fetch_add(1, Ordering::Relaxed);
+        }
+        let dt = now.duration_since(last_tick);
+        last_tick = now;
+        if is_outage {
+            shared
+                .stats
+                .outage_micros
+                .fetch_add(dt.as_micros() as u64, Ordering::Relaxed);
+        }
+
+        if is_outage {
+            if baseline.is_none() {
+                baseline = Some(current_knobs_of(shared));
+            }
+            // Escalate to the tuning envelope's maxima — B/TB widened
+            // toward S (fewer, fuller PUTs once the cloud answers),
+            // dumps deferred, scrub paced down. S/TS are never touched:
+            // the RPO bound holds through the outage. Re-applied every
+            // poll so a concurrent governor decision cannot quietly
+            // unwind it while the outage lasts.
+            let bounds = knob_bounds_for(&shared.config);
+            apply_knobs_to(
+                shared,
+                &Knobs {
+                    batch: bounds.max_batch,
+                    batch_timeout: bounds.max_batch_timeout,
+                    dump_threshold: bounds.max_dump_threshold,
+                    sentinel_pace: bounds.max_sentinel_pace,
+                },
+            );
+        } else if let Some(knobs) = baseline.take() {
+            // Outage over: hand the pipeline back its pre-outage tuning.
+            apply_knobs_to(shared, &knobs);
+        }
+    }
+}
+
+fn checkpointer_loop(shared: &Shared) {
+    while let Some(mut job) = shared.ckpt_queue.pop() {
         // Timestamp collision (two checkpoints with no commits between
         // them): merge with the existing DB object at this ts so the
         // view keeps one entry per timestamp.
+        //
+        // The generation rule the view and recovery share — same ts,
+        // larger size wins — is only sound because the later upload is
+        // a strict superset of the earlier one. A failed merge fetch
+        // must therefore NOT silently degrade to "skip the merge": the
+        // resulting non-superset can out-size (and so outrank) the old
+        // object while lacking the only durable image of some of its
+        // pages, whose WAL a later GC deletes — silent page-level row
+        // loss. (Observed in the wild as the chaos_short_postgres
+        // flake: an open circuit breaker fail-fasted the merge GETs.)
+        // Transient errors are retried as stubbornly as put_with_retry;
+        // a generation that is provably unusable (gone or undecodable —
+        // recovery could not use it either) is instead replaced
+        // outright: removed from the view and deleted, so it can never
+        // outrank this upload.
         let existing = shared.view.lock().db_entry(job.ts).cloned();
         let mut replaced_parts = Vec::new();
         if let Some(entry) = existing {
-            // Fetch the existing object's parts as one concurrent wave;
-            // an unreadable part means the merge is skipped (as before).
             let part_names: Vec<String> = entry.parts.iter().map(|p| p.to_name()).collect();
             let fetched = shared
                 .fanout
                 .run_collect(part_names, |_, name| {
-                    let get_start = Instant::now();
-                    let opened = shared
-                        .cloud
-                        .get(&name)
-                        .ok()
-                        .and_then(|sealed| shared.codec.open(&name, &sealed).ok());
-                    shared.stats.get_histo.record(get_start.elapsed());
-                    Ok::<_, GinjaError>(opened)
+                    Ok::<_, GinjaError>(get_part_with_retry(shared, &name))
                 })
                 .unwrap_or_default();
-            let ok = fetched.len() == entry.parts.len() && fetched.iter().all(Option::is_some);
-            let old_parts: Vec<Vec<u8>> = fetched.into_iter().flatten().collect();
-            if ok {
+            if fetched.iter().any(|f| matches!(f, PartFetch::Shutdown)) {
+                shared.pending_ckpt_jobs.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+            let usable = fetched.len() == entry.parts.len()
+                && fetched.iter().all(|f| matches!(f, PartFetch::Bytes(_)));
+            if usable {
+                let old_parts: Vec<Vec<u8>> = fetched
+                    .into_iter()
+                    .map(|f| match f {
+                        PartFetch::Bytes(b) => b,
+                        _ => unreachable!("checked above"),
+                    })
+                    .collect();
                 if let Ok(mut old_entries) = bundle::decode(&bundle::reassemble(old_parts)) {
                     old_entries.extend(job.entries);
                     job.entries = old_entries;
                     if entry.kind == DbObjectKind::Dump {
                         job.kind = DbObjectKind::Dump;
                     }
-                    replaced_parts = entry.parts.iter().map(|p| p.to_name()).collect();
                 }
+                // An unreassemblable bundle is unusable garbage: fall
+                // through and replace it.
             }
+            // Merged or replaced, the old generation is superseded.
+            replaced_parts = entry.parts.iter().map(|p| p.to_name()).collect();
         }
 
         let bytes = bundle::encode(&job.entries);
@@ -1458,7 +1871,7 @@ fn checkpointer_loop(shared: &Shared, ckpt_rx: Receiver<CkptJob>) {
             names.push(name);
         }
         let retry_put = |name: &str, sealed: &[u8]| -> Result<(), GinjaError> {
-            if put_with_retry(shared, name, sealed) {
+            if put_with_retry(shared, None, name, sealed) {
                 Ok(())
             } else {
                 Err(GinjaError::ShutDown)
@@ -1570,7 +1983,7 @@ fn checkpointer_loop(shared: &Shared, ckpt_rx: Receiver<CkptJob>) {
         // but "forever" is not an acceptable leak duration), then the
         // garbage this checkpoint produced. Whatever still fails is
         // deferred to the next checkpoint.
-        let backlog: Vec<String> = std::mem::take(&mut *shared.gc_backlog.lock());
+        let backlog: BTreeSet<String> = std::mem::take(&mut *shared.gc_backlog.lock());
         let mut deferred = Vec::new();
         for name in backlog
             .iter()
@@ -1586,7 +1999,24 @@ fn checkpointer_loop(shared: &Shared, ckpt_rx: Receiver<CkptJob>) {
             }
         }
         if !deferred.is_empty() {
-            shared.gc_backlog.lock().extend(deferred);
+            // Re-queue deduplicated (a name can be deferred repeatedly
+            // during an outage) and capped: past GC_BACKLOG_CAP the
+            // newcomer is dropped and counted — a bounded cost leak the
+            // sentinel's orphan sweep collects, never unbounded RAM.
+            let mut gc_backlog = shared.gc_backlog.lock();
+            for name in deferred {
+                if gc_backlog.contains(&name) {
+                    continue;
+                }
+                if gc_backlog.len() >= GC_BACKLOG_CAP {
+                    shared
+                        .stats
+                        .gc_backlog_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                } else {
+                    gc_backlog.insert(name);
+                }
+            }
         }
         shared.pending_ckpt_jobs.fetch_sub(1, Ordering::SeqCst);
     }

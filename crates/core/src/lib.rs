@@ -65,10 +65,11 @@ pub mod view;
 mod config;
 mod error;
 mod ginja;
+mod outage;
 mod stats;
 
 pub use agg::{rollup, SnapshotTotals};
-pub use config::{GinjaConfig, GinjaConfigBuilder, PitrConfig, SentinelConfig};
+pub use config::{GinjaConfig, GinjaConfigBuilder, OutageConfig, PitrConfig, SentinelConfig};
 pub use error::GinjaError;
 pub use fanout::{FanoutExecutor, FanoutHandle, LaneSnapshot};
 pub use ginja::{Exposure, Ginja};
@@ -77,13 +78,14 @@ pub use ginja_cloud::{
 };
 pub use ginja_cost::{BudgetConfig, KnobBounds, Knobs};
 pub use names::{DbObjectKind, DbObjectName, WalObjectName};
+pub use outage::{OutageObservation, OutagePolicy, OutageState};
 pub use recovery::{
     list_restore_points, recover_into, recover_to_point, RecoveryReport, RestorePoint,
     RestorePointKind,
 };
 pub use stats::{
     CrashFsSnapshot, GinjaStats, GinjaStatsSnapshot, GovernorSnapshot, LatencyHisto,
-    LatencySnapshot, SentinelSnapshot, SentinelStats,
+    LatencySnapshot, OutageSnapshot, SentinelSnapshot, SentinelStats,
 };
 pub use verify::{verify_backup, verify_backup_in_memory, VerifyReport};
 pub use view::CloudView;

@@ -4,6 +4,8 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
+use crate::outage::OutageState;
+
 /// A lock-free latency histogram with power-of-two microsecond buckets.
 ///
 /// Bucket `b` holds samples whose microsecond value has bit-width `b`
@@ -106,6 +108,15 @@ pub struct GinjaStats {
     pub(crate) wal_resync_objects: AtomicU64,
     pub(crate) wal_resync_bytes: AtomicU64,
     pub(crate) pipeline_fatals: AtomicU64,
+    pub(crate) gc_backlog_dropped: AtomicU64,
+    pub(crate) upload_spilled: AtomicU64,
+    pub(crate) upload_spilled_bytes: AtomicU64,
+    pub(crate) catchup_drained: AtomicU64,
+    pub(crate) catchup_drained_bytes: AtomicU64,
+    pub(crate) ckpt_coalesced: AtomicU64,
+    pub(crate) outages: AtomicU64,
+    pub(crate) outage_sheds: AtomicU64,
+    pub(crate) outage_micros: AtomicU64,
     pub(crate) seal_histo: LatencyHisto,
     pub(crate) put_histo: LatencyHisto,
     pub(crate) get_histo: LatencyHisto,
@@ -143,6 +154,20 @@ impl GinjaStats {
             wal_resync_objects: self.wal_resync_objects.load(Ordering::Relaxed),
             wal_resync_bytes: self.wal_resync_bytes.load(Ordering::Relaxed),
             pipeline_fatals: self.pipeline_fatals.load(Ordering::Relaxed),
+            gc_backlog_dropped: self.gc_backlog_dropped.load(Ordering::Relaxed),
+            // Outage counters come from these atomics; the ring/spill
+            // gauges and the live state are merged in by `Ginja::stats`.
+            outage: OutageSnapshot {
+                spilled: self.upload_spilled.load(Ordering::Relaxed),
+                spilled_bytes: self.upload_spilled_bytes.load(Ordering::Relaxed),
+                drained: self.catchup_drained.load(Ordering::Relaxed),
+                drained_bytes: self.catchup_drained_bytes.load(Ordering::Relaxed),
+                ckpt_coalesced: self.ckpt_coalesced.load(Ordering::Relaxed),
+                outages: self.outages.load(Ordering::Relaxed),
+                sheds: self.outage_sheds.load(Ordering::Relaxed),
+                outage_time: Duration::from_micros(self.outage_micros.load(Ordering::Relaxed)),
+                ..OutageSnapshot::default()
+            },
             seal_latency: self.seal_histo.snapshot(),
             put_latency: self.put_histo.snapshot(),
             get_latency: self.get_histo.snapshot(),
@@ -336,6 +361,10 @@ pub struct GinjaStatsSnapshot {
     /// Deferred GC DELETEs currently waiting for the next checkpoint
     /// (a gauge, not a counter).
     pub gc_backlog: u64,
+    /// Garbage names dropped because the deferred-delete backlog was at
+    /// its cap — each one a bounded cost leak left to the sentinel's
+    /// orphan sweep, never unbounded RAM growth.
+    pub gc_backlog_dropped: u64,
     /// Upload attempts that failed and were retried.
     pub upload_retries: u64,
     /// CPU-ish time spent sealing objects (compression + encryption +
@@ -397,6 +426,53 @@ pub struct GinjaStatsSnapshot {
     /// Live cost-governor state (budget, spend projection, governed
     /// knobs), merged in by `Ginja::stats`; default otherwise.
     pub governor: GovernorSnapshot,
+    /// Outage-endurance state: policy state, backlog depth in RAM and
+    /// on disk, spill/drain counters, outage count and duration.
+    pub outage: OutageSnapshot,
+}
+
+/// A point-in-time view of the outage-endurance subsystem, embedded in
+/// [`GinjaStatsSnapshot`]: where the backlog stands (RAM ring vs disk
+/// spill), how much has spilled and drained over the run, and how long
+/// the pipeline has spent enduring outages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutageSnapshot {
+    /// The outage policy's current state.
+    pub state: OutageState,
+    /// Outage episodes entered (transitions into `Enduring`/`Shedding`).
+    pub outages: u64,
+    /// Times the spill backlog hit the disk ceiling (`Shedding`).
+    pub sheds: u64,
+    /// Cumulative time spent in `Enduring`/`Shedding`.
+    pub outage_time: Duration,
+    /// Upload jobs currently queued in the in-memory ring (gauge).
+    pub ring_len: u64,
+    /// The ring's configured capacity, in jobs.
+    pub ring_capacity: u64,
+    /// Payload bytes currently held by the ring (gauge).
+    pub ring_bytes: u64,
+    /// Records currently in the durable spill queue (gauge).
+    pub spill_records: u64,
+    /// Payload bytes currently in the spill queue (gauge).
+    pub spill_bytes: u64,
+    /// Records the spill queue accepted over this instance's lifetime.
+    pub spill_pushed: u64,
+    /// Records acked (drained and deleted) over this instance's
+    /// lifetime.
+    pub spill_acked: u64,
+    /// Torn records discarded when the spill queue was recovered.
+    pub spill_torn_discarded: u64,
+    /// Upload jobs the aggregator spilled to disk (ring overflow).
+    pub spilled: u64,
+    /// Raw payload bytes those spilled jobs carried.
+    pub spilled_bytes: u64,
+    /// Spilled jobs the catch-up drain uploaded to the cloud.
+    pub drained: u64,
+    /// Raw payload bytes the catch-up drain uploaded.
+    pub drained_bytes: u64,
+    /// Checkpoint jobs absorbed into a queued one because the bounded
+    /// checkpoint queue was at capacity.
+    pub ckpt_coalesced: u64,
 }
 
 /// A point-in-time view of the live cost governor, embedded in

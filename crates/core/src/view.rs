@@ -75,6 +75,17 @@ impl CloudView {
     /// Algorithm 1). Unknown names are rejected — a foreign object in
     /// the bucket is a configuration error worth surfacing.
     ///
+    /// Colliding generations (several DB objects sharing a timestamp)
+    /// are resolved with the benefit of the *whole* listing, and
+    /// completeness comes first: an aborted merge upload can leave a
+    /// partial generation in the bucket that outranks the registered
+    /// one on kind/size alone, yet can never be applied — letting it
+    /// win would evict the complete generation that recovery actually
+    /// needs (and whose covering WAL is already collected). The online
+    /// [`CloudView::add_db_part`] path keeps its kind/size rule: there
+    /// the checkpointer registers a generation only after every part
+    /// is durable.
+    ///
     /// # Errors
     ///
     /// [`GinjaError::BadObjectName`] for unparseable names.
@@ -84,15 +95,40 @@ impl CloudView {
         S: AsRef<str>,
     {
         let mut view = CloudView::new();
+        let mut generations: BTreeMap<u64, Vec<DbEntry>> = BTreeMap::new();
         for name in names {
             let name = name.as_ref();
             if name.starts_with(crate::names::WAL_PREFIX) {
                 view.add_wal(WalObjectName::parse(name)?);
             } else if name.starts_with(crate::names::DB_PREFIX) {
-                view.add_db_part(DbObjectName::parse(name)?);
+                let part = DbObjectName::parse(name)?;
+                let gens = generations.entry(part.ts).or_default();
+                match gens
+                    .iter_mut()
+                    .find(|g| g.kind == part.kind && g.size == part.size)
+                {
+                    Some(gen) => {
+                        if !gen.parts.iter().any(|p| p.part == part.part) {
+                            gen.parts.push(part);
+                            gen.parts.sort_by_key(|p| p.part);
+                        }
+                    }
+                    None => gens.push(DbEntry {
+                        kind: part.kind,
+                        size: part.size,
+                        parts: vec![part],
+                    }),
+                }
             } else {
                 return Err(GinjaError::BadObjectName(name.to_string()));
             }
+        }
+        for (ts, gens) in generations {
+            let winner = gens
+                .into_iter()
+                .max_by_key(|g| (g.is_complete(), g.kind == DbObjectKind::Dump, g.size))
+                .expect("at least one generation per occupied timestamp");
+            view.db.insert(ts, winner);
         }
         Ok(view)
     }
@@ -161,6 +197,21 @@ impl CloudView {
     /// `cloudView.getLastWALts()` in Algorithm 3.
     pub fn last_wal_ts(&self) -> u64 {
         self.wal.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Checkpoint/dump watermark: the timestamp a freshly flushed DB
+    /// object should claim. Normally this is `last_wal_ts()`, but it
+    /// never regresses below the newest DB object: after a checkpoint's
+    /// GC empties the WAL map, `last_wal_ts()` falls back to 0 and a
+    /// naive caller would stamp the *next* checkpoint below the dump it
+    /// must follow — `checkpoints_after` would then never apply it on
+    /// recovery, and a later GC of the covering WAL silently loses the
+    /// pages. Clamping to the newest DB timestamp instead makes the
+    /// post-GC checkpoint collide with its predecessor, which the
+    /// checkpointer resolves with a superset merge.
+    pub fn watermark(&self) -> u64 {
+        self.last_wal_ts()
+            .max(self.db.keys().next_back().copied().unwrap_or(0))
     }
 
     /// Number of tracked WAL objects.
@@ -361,6 +412,34 @@ mod tests {
     #[test]
     fn last_wal_ts_empty_is_zero() {
         assert_eq!(CloudView::new().last_wal_ts(), 0);
+    }
+
+    #[test]
+    fn watermark_tracks_wal_while_wal_exists() {
+        let mut v = CloudView::new();
+        v.add_db_part(db(3, DbObjectKind::Dump, 100));
+        v.add_wal(wal(7));
+        assert_eq!(v.watermark(), 7);
+    }
+
+    #[test]
+    fn watermark_never_regresses_below_newest_db_object() {
+        // Checkpoint GC empties the WAL map; last_wal_ts falls back to
+        // 0 but the watermark must stay at the newest DB ts, or the
+        // next checkpoint would be stamped *before* the dump and
+        // recovery (`checkpoints_after`) would never apply it.
+        let mut v = CloudView::new();
+        v.add_db_part(db(3, DbObjectKind::Dump, 100));
+        v.add_wal(wal(4));
+        v.add_db_part(db(4, DbObjectKind::Checkpoint, 50));
+        v.remove_wal_up_to(4);
+        assert_eq!(v.last_wal_ts(), 0);
+        assert_eq!(v.watermark(), 4);
+    }
+
+    #[test]
+    fn watermark_empty_view_is_zero() {
+        assert_eq!(CloudView::new().watermark(), 0);
     }
 
     #[test]
@@ -599,6 +678,84 @@ mod tests {
             assert_eq!(entry.size, 260);
             assert!(entry.is_complete());
         }
+    }
+
+    #[test]
+    fn listing_prefers_complete_generation_over_larger_partial() {
+        // An aborted merge upload left a partial (but larger) generation
+        // at ts 5 next to the registered complete one. From a listing,
+        // the complete generation must win: the partial one can never be
+        // applied, and the complete one's covering WAL is already gone.
+        let complete = DbObjectName {
+            ts: 5,
+            kind: DbObjectKind::Checkpoint,
+            size: 100,
+            part: 0,
+            parts: 1,
+        };
+        let partial = DbObjectName {
+            ts: 5,
+            kind: DbObjectKind::Checkpoint,
+            size: 260,
+            part: 0,
+            parts: 2, // part 1 of 2 never made it
+        };
+        for order in [
+            [complete.to_name(), partial.to_name()],
+            [partial.to_name(), complete.to_name()],
+        ] {
+            let v = CloudView::from_listing(&order).unwrap();
+            let entry = v.db_entry(5).unwrap();
+            assert_eq!(entry.size, 100, "partial generation won: {entry:?}");
+            assert!(entry.is_complete());
+            assert_eq!(v.checkpoints_after(0).len(), 1);
+        }
+    }
+
+    #[test]
+    fn listing_still_prefers_size_between_complete_generations() {
+        // Both generations complete (a replaced object's DELETE failed):
+        // the kind/size order still decides, exactly as online.
+        let old_gen = DbObjectName {
+            ts: 5,
+            kind: DbObjectKind::Checkpoint,
+            size: 100,
+            part: 0,
+            parts: 1,
+        };
+        let new_gen = DbObjectName {
+            ts: 5,
+            kind: DbObjectKind::Checkpoint,
+            size: 260,
+            part: 0,
+            parts: 1,
+        };
+        let v = CloudView::from_listing([old_gen.to_name(), new_gen.to_name()]).unwrap();
+        assert_eq!(v.db_entry(5).unwrap().size, 260);
+    }
+
+    #[test]
+    fn listing_prefers_complete_checkpoint_over_partial_dump() {
+        // Even the kind rule yields to completeness: a dump that never
+        // finished uploading is garbage, not a base image.
+        let ckpt = DbObjectName {
+            ts: 5,
+            kind: DbObjectKind::Checkpoint,
+            size: 300,
+            part: 0,
+            parts: 1,
+        };
+        let partial_dump = DbObjectName {
+            ts: 5,
+            kind: DbObjectKind::Dump,
+            size: 900,
+            part: 0,
+            parts: 3,
+        };
+        let v = CloudView::from_listing([ckpt.to_name(), partial_dump.to_name()]).unwrap();
+        let entry = v.db_entry(5).unwrap();
+        assert_eq!(entry.kind, DbObjectKind::Checkpoint);
+        assert!(entry.is_complete());
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod journal;
 mod mem;
 mod mysql;
 mod postgres;
+mod spill;
 
 pub use delay::{precise_sleep, DelayFs};
 pub use dir::DirFs;
@@ -48,3 +49,4 @@ pub use journal::{JournaledFs, DEFAULT_SECTOR_SIZE};
 pub use mem::MemFs;
 pub use mysql::MySqlProcessor;
 pub use postgres::PostgresProcessor;
+pub use spill::SpillQueue;

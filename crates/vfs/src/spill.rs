@@ -1,0 +1,434 @@
+//! A durable spill-to-disk overflow queue for pipeline backlog.
+//!
+//! During a prolonged cloud outage the upload pipeline cannot drain; its
+//! in-memory ring fills, and without a pressure valve the process grows
+//! without bound until the OOM killer delivers a worse disaster than the
+//! one Ginja insures against. `SpillQueue` is that valve: a strict-FIFO
+//! queue of opaque records persisted one-per-file on the local
+//! [`FileSystem`], so backlog moves from RAM to the same durable tier the
+//! WAL already lives on.
+//!
+//! Durability contract (matching [`crate::JournaledFs`]'s ext4-ordered
+//! model): every record is written in a single `write(sync = true)` call,
+//! which promotes the whole file to the durable tier before `push`
+//! returns, and metadata operations (create/delete) are journaled. A
+//! record is therefore crash-safe the moment `push` returns, and acked
+//! records stay deleted. A crash *during* a push can leave a torn record
+//! on disk; each record carries a length + checksum header so recovery
+//! detects the tear, discards that record, and keeps everything else.
+//! Discarding a torn record is safe by construction: its `push` never
+//! returned, so the producer never released the in-memory copy it was
+//! spilling.
+//!
+//! Record files are named by a zero-padded monotone sequence number under
+//! a caller-chosen directory prefix, so lexical listing order (what
+//! [`FileSystem::list`] guarantees) *is* FIFO order and recovery is a
+//! single list-and-validate pass.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{FileSystem, FsError};
+
+/// Magic prefix of every spill record (`"GSP1"`).
+const MAGIC: u32 = 0x4753_5031;
+
+/// Header: magic (4) + payload length (4) + FNV-1a checksum (8).
+const HEADER: usize = 16;
+
+/// FNV-1a 64-bit — cheap, dependency-free tear detection. The threat is a
+/// sector-prefix tear from a power cut, not an adversary; the codec layer
+/// above authenticates payload content.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[derive(Debug, Default)]
+struct SpillState {
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// Live records: sequence number → payload length in bytes.
+    records: BTreeMap<u64, u64>,
+}
+
+/// A durable FIFO of opaque records, one file per record, under a
+/// directory prefix on a local [`FileSystem`].
+///
+/// Producers [`push`](Self::push); a consumer [`front`](Self::front)s the
+/// oldest record, uploads it, and [`ack`](Self::ack)s to delete it. The
+/// queue never drops a pushed record on its own — bounding is the
+/// caller's policy, informed by the [`len`](Self::len) and
+/// [`bytes`](Self::bytes) gauges.
+pub struct SpillQueue {
+    fs: Arc<dyn FileSystem>,
+    dir: String,
+    state: Mutex<SpillState>,
+    /// Live record count, readable without the lock.
+    len: AtomicU64,
+    /// Live payload bytes, readable without the lock.
+    bytes: AtomicU64,
+    /// Records pushed over this instance's lifetime.
+    pushed: AtomicU64,
+    /// Records acked (deleted) over this instance's lifetime.
+    acked: AtomicU64,
+    /// Torn records discarded during recovery.
+    torn_discarded: u64,
+}
+
+impl std::fmt::Debug for SpillQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillQueue")
+            .field("dir", &self.dir)
+            .field("len", &self.len())
+            .field("bytes", &self.bytes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpillQueue {
+    /// Opens (or creates) the queue under `dir`, recovering any records a
+    /// previous incarnation left behind. Torn records — a crash mid-push —
+    /// fail their checksum and are deleted; everything intact is retained
+    /// in sequence order.
+    ///
+    /// # Errors
+    ///
+    /// Backend listing/read failures.
+    pub fn open(fs: Arc<dyn FileSystem>, dir: &str) -> Result<Self, FsError> {
+        let dir = dir.trim_end_matches('/').to_string();
+        let prefix = format!("{dir}/");
+        let mut records = BTreeMap::new();
+        let mut next_seq = 0u64;
+        let mut bytes = 0u64;
+        let mut torn = 0u64;
+        for path in fs.list(&prefix)? {
+            let Some(seq) = path
+                .strip_prefix(&prefix)
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue; // foreign file under our prefix: not ours to touch
+            };
+            next_seq = next_seq.max(seq + 1);
+            match Self::validate(&*fs, &path) {
+                Some(len) => {
+                    bytes += len;
+                    records.insert(seq, len);
+                }
+                None => {
+                    // Torn mid-push: the push never returned, the producer
+                    // still holds the data. Discard, count, move on.
+                    fs.delete(&path)?;
+                    torn += 1;
+                }
+            }
+        }
+        Ok(SpillQueue {
+            fs,
+            dir,
+            len: AtomicU64::new(records.len() as u64),
+            bytes: AtomicU64::new(bytes),
+            state: Mutex::new(SpillState { next_seq, records }),
+            pushed: AtomicU64::new(0),
+            acked: AtomicU64::new(0),
+            torn_discarded: torn,
+        })
+    }
+
+    /// Checks a record file's header and checksum; returns the payload
+    /// length if intact.
+    fn validate(fs: &dyn FileSystem, path: &str) -> Option<u64> {
+        let data = fs.read_all(path).ok()?;
+        if data.len() < HEADER {
+            return None;
+        }
+        let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+        let len = u32::from_le_bytes(data[4..8].try_into().unwrap()) as usize;
+        let sum = u64::from_le_bytes(data[8..16].try_into().unwrap());
+        if magic != MAGIC || data.len() != HEADER + len {
+            return None;
+        }
+        (fnv1a(&data[HEADER..]) == sum).then_some(len as u64)
+    }
+
+    fn path_of(&self, seq: u64) -> String {
+        // 20 digits holds all of u64: lexical order == numeric order.
+        format!("{}/{seq:020}", self.dir)
+    }
+
+    /// Appends a record, durable before return. Returns its sequence
+    /// number.
+    ///
+    /// # Errors
+    ///
+    /// Backend write failures; the record is not enqueued on error.
+    pub fn push(&self, payload: &[u8]) -> Result<u64, FsError> {
+        let mut record = Vec::with_capacity(HEADER + payload.len());
+        record.extend_from_slice(&MAGIC.to_le_bytes());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        record.extend_from_slice(payload);
+
+        let mut state = self.state.lock();
+        let seq = state.next_seq;
+        let path = self.path_of(seq);
+        self.fs.write(&path, 0, &record, true)?;
+        state.next_seq += 1;
+        state.records.insert(seq, payload.len() as u64);
+        self.len.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        Ok(seq)
+    }
+
+    /// The oldest record, without removing it: `(sequence, payload)`.
+    /// `None` when empty.
+    ///
+    /// # Errors
+    ///
+    /// Backend read failures.
+    pub fn front(&self) -> Result<Option<(u64, Vec<u8>)>, FsError> {
+        let seq = {
+            let state = self.state.lock();
+            match state.records.keys().next() {
+                Some(&seq) => seq,
+                None => return Ok(None),
+            }
+        };
+        let data = self.fs.read_all(&self.path_of(seq))?;
+        Ok(Some((seq, data[HEADER..].to_vec())))
+    }
+
+    /// Deletes an uploaded record. Acking an unknown sequence is a no-op
+    /// (idempotent, like deleting a missing file).
+    ///
+    /// # Errors
+    ///
+    /// Backend delete failures; the record stays queued on error.
+    pub fn ack(&self, seq: u64) -> Result<(), FsError> {
+        let mut state = self.state.lock();
+        let Some(len) = state.records.get(&seq).copied() else {
+            return Ok(());
+        };
+        self.fs.delete(&self.path_of(seq))?;
+        state.records.remove(&seq);
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        self.bytes.fetch_sub(len, Ordering::Relaxed);
+        self.acked.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the queue holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total payload bytes across live records (headers excluded).
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Records pushed since this instance opened.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Records acked since this instance opened.
+    pub fn acked(&self) -> u64 {
+        self.acked.load(Ordering::Relaxed)
+    }
+
+    /// Torn records discarded when this instance opened.
+    pub fn torn_discarded(&self) -> u64 {
+        self.torn_discarded
+    }
+
+    /// Deletes every live record without acking it — for Boot, which
+    /// starts a fresh protection history: records spilled under a
+    /// previous history must not leak into the new bucket.
+    ///
+    /// # Errors
+    ///
+    /// Backend delete failures; already-deleted records are skipped.
+    pub fn clear(&self) -> Result<(), FsError> {
+        let mut state = self.state.lock();
+        let seqs: Vec<u64> = state.records.keys().copied().collect();
+        for seq in seqs {
+            self.fs.delete(&self.path_of(seq))?;
+            let len = state.records.remove(&seq).unwrap_or(0);
+            self.len.fetch_sub(1, Ordering::Relaxed);
+            self.bytes.fetch_sub(len, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JournaledFs, MemFs};
+
+    const DIR: &str = ".ginja_spill";
+
+    #[test]
+    fn fifo_push_front_ack() {
+        let fs = Arc::new(MemFs::new());
+        let q = SpillQueue::open(fs.clone() as Arc<dyn FileSystem>, DIR).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.front().unwrap(), None);
+
+        let s0 = q.push(b"alpha").unwrap();
+        let s1 = q.push(b"beta").unwrap();
+        let s2 = q.push(b"gamma").unwrap();
+        assert!(s0 < s1 && s1 < s2);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.bytes(), 5 + 4 + 5);
+
+        let (seq, payload) = q.front().unwrap().unwrap();
+        assert_eq!((seq, payload.as_slice()), (s0, b"alpha".as_slice()));
+        q.ack(seq).unwrap();
+        let (seq, payload) = q.front().unwrap().unwrap();
+        assert_eq!((seq, payload.as_slice()), (s1, b"beta".as_slice()));
+        q.ack(seq).unwrap();
+        q.ack(seq).unwrap(); // idempotent
+        let (seq, payload) = q.front().unwrap().unwrap();
+        assert_eq!((seq, payload.as_slice()), (s2, b"gamma".as_slice()));
+        q.ack(seq).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.bytes(), 0);
+        assert_eq!((q.pushed(), q.acked()), (3, 3));
+    }
+
+    #[test]
+    fn survives_reopen_in_order() {
+        let fs = Arc::new(MemFs::new());
+        {
+            let q = SpillQueue::open(fs.clone() as Arc<dyn FileSystem>, DIR).unwrap();
+            for i in 0..5u32 {
+                q.push(format!("record-{i}").as_bytes()).unwrap();
+            }
+            let (front, _) = q.front().unwrap().unwrap();
+            q.ack(front).unwrap();
+        }
+        let q = SpillQueue::open(fs as Arc<dyn FileSystem>, DIR).unwrap();
+        assert_eq!(q.len(), 4);
+        let mut drained = Vec::new();
+        while let Some((seq, payload)) = q.front().unwrap() {
+            drained.push(String::from_utf8(payload).unwrap());
+            q.ack(seq).unwrap();
+        }
+        assert_eq!(drained, ["record-1", "record-2", "record-3", "record-4"]);
+        // Sequence numbering resumes past everything ever seen.
+        assert!(q.push(b"new").unwrap() >= 5);
+    }
+
+    #[test]
+    fn synced_records_survive_power_cut() {
+        let journaled = Arc::new(JournaledFs::new());
+        {
+            let q = SpillQueue::open(journaled.clone() as Arc<dyn FileSystem>, DIR).unwrap();
+            q.push(b"durable-one").unwrap();
+            q.push(b"durable-two").unwrap();
+        }
+        journaled.power_cut();
+        let q = SpillQueue::open(journaled as Arc<dyn FileSystem>, DIR).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.torn_discarded(), 0);
+        let (seq, payload) = q.front().unwrap().unwrap();
+        assert_eq!(payload, b"durable-one");
+        q.ack(seq).unwrap();
+        assert_eq!(q.front().unwrap().unwrap().1, b"durable-two");
+    }
+
+    #[test]
+    fn acks_stay_deleted_across_power_cut() {
+        let journaled = Arc::new(JournaledFs::new());
+        let q = SpillQueue::open(journaled.clone() as Arc<dyn FileSystem>, DIR).unwrap();
+        let seq = q.push(b"uploaded").unwrap();
+        q.push(b"pending").unwrap();
+        q.ack(seq).unwrap();
+        journaled.power_cut();
+        let q = SpillQueue::open(journaled as Arc<dyn FileSystem>, DIR).unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.front().unwrap().unwrap().1, b"pending");
+    }
+
+    #[test]
+    fn torn_record_is_discarded_and_counted() {
+        let fs = Arc::new(MemFs::new());
+        let record_path;
+        {
+            let q = SpillQueue::open(fs.clone() as Arc<dyn FileSystem>, DIR).unwrap();
+            q.push(b"intact").unwrap();
+            let seq = q.push(b"to-be-torn-by-a-crash").unwrap();
+            record_path = format!("{DIR}/{seq:020}");
+        }
+        // Simulate a sector-prefix tear of the second record's file.
+        let len = fs.len(&record_path).unwrap();
+        fs.truncate(&record_path, len / 2).unwrap();
+
+        let q = SpillQueue::open(fs.clone() as Arc<dyn FileSystem>, DIR).unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.torn_discarded(), 1);
+        assert_eq!(q.front().unwrap().unwrap().1, b"intact");
+        assert!(!fs.exists(&record_path), "torn record deleted");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let fs = Arc::new(MemFs::new());
+        let record_path;
+        {
+            let q = SpillQueue::open(fs.clone() as Arc<dyn FileSystem>, DIR).unwrap();
+            let seq = q.push(b"will-flip-a-bit").unwrap();
+            record_path = format!("{DIR}/{seq:020}");
+        }
+        let mut data = fs.read_all(&record_path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0x80;
+        fs.write(&record_path, 0, &data, true).unwrap();
+
+        let q = SpillQueue::open(fs as Arc<dyn FileSystem>, DIR).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.torn_discarded(), 1);
+    }
+
+    #[test]
+    fn clear_deletes_all_records() {
+        let fs = Arc::new(MemFs::new());
+        let q = SpillQueue::open(fs.clone() as Arc<dyn FileSystem>, DIR).unwrap();
+        q.push(b"one").unwrap();
+        q.push(b"two").unwrap();
+        q.clear().unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.bytes(), 0);
+        assert_eq!(fs.list(&format!("{DIR}/")).unwrap().len(), 0);
+        // The sequence counter is untouched: new pushes stay ordered.
+        assert!(q.push(b"three").unwrap() >= 2);
+    }
+
+    #[test]
+    fn foreign_files_under_the_prefix_are_ignored() {
+        let fs = Arc::new(MemFs::new());
+        fs.write(&format!("{DIR}/README"), 0, b"not a record", true)
+            .unwrap();
+        let q = SpillQueue::open(fs.clone() as Arc<dyn FileSystem>, DIR).unwrap();
+        assert!(q.is_empty());
+        q.push(b"real").unwrap();
+        assert_eq!(q.len(), 1);
+        assert!(fs.exists(&format!("{DIR}/README")), "foreign file kept");
+    }
+}

@@ -41,3 +41,11 @@ cargo run -q --release --bin ginja-cli -- fleet --tenants 3 --txns 30 | grep -q 
 GINJA_BENCH_SCALE=0.02 BENCH_PR7_OUT="$PWD/BENCH_PR7.json" \
     cargo bench -q -p ginja-bench --bench ablation_fleet
 test -s BENCH_PR7.json
+# Outage-endurance smoke (DESIGN.md §15): the chaos suite (bounded RAM
+# + spill, loud shedding, crash-mid-outage reboot, fleet neighbor
+# isolation), the operator drill, and the spill-vs-RAM ablation.
+cargo test -q --test outage
+cargo run -q --release --bin ginja-cli -- outage --rows 120 --ring 4 | grep -q "outage drill PASSED"
+GINJA_BENCH_SCALE=0.02 BENCH_PR8_OUT="$PWD/BENCH_PR8.json" \
+    cargo bench -q -p ginja-bench --bench ablation_outage
+test -s BENCH_PR8.json

@@ -13,6 +13,7 @@
 //! ginja-cli budget <monthly-usd> <db-gb> <updates-per-min> [--batch <B>] [--safety <S>] [--headroom <f>] [--steps <n>]
 //! ginja-cli crashtest [--profile <postgres|mysql>] [--seed <n>] [--ops <n>] [--stride <n>] [--no-torn] [--prefix <p>]
 //! ginja-cli fleet [--tenants <n>] [--txns <n>] [--width <w>] [--budget <usd>] [--month-secs <s>]
+//! ginja-cli outage [--rows <n>] [--ring <n>] [--spill-ceiling <bytes>]
 //! ```
 //!
 //! `budget` is the offline view of the live cost governor (`DESIGN.md`
@@ -29,6 +30,13 @@
 //! bucket behind one fair-share executor and one fleet budget — then
 //! proves every tenant scrubs clean and recovers from its own prefix
 //! with nothing acknowledged lost, and exits non-zero otherwise.
+//!
+//! `outage` is the outage endurance drill (`DESIGN.md` §15), also
+//! in-process: it cuts the cloud out from under a live pipeline, shows
+//! the outage policy escalating (Healthy → Degraded → Enduring) while
+//! the RAM backlog stays bounded and the overflow spills to disk, then
+//! restores the cloud and proves catch-up drains to a scrub-clean
+//! bucket with zero acknowledged loss — exiting non-zero otherwise.
 //!
 //! On shared (multi-tenant) buckets, `--prefix tenants/<name>/` scopes
 //! `drill` and `crashtest` to one tenant's namespace: the scoped drill
@@ -56,9 +64,10 @@ fn main() -> ExitCode {
         Some("budget") => budget(&args[1..]),
         Some("crashtest") => crashtest(&args[1..]),
         Some("fleet") => fleet(&args[1..]),
+        Some("outage") => outage(&args[1..]),
         _ => {
             eprintln!(
-                "usage: ginja-cli <status|restore-points|verify|drill|recover|cost|budget|crashtest|fleet> ..."
+                "usage: ginja-cli <status|restore-points|verify|drill|recover|cost|budget|crashtest|fleet|outage> ..."
             );
             eprintln!("  status <bucket-dir>");
             eprintln!("  restore-points <bucket-dir>");
@@ -75,6 +84,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "  fleet [--tenants <n>] [--txns <n>] [--width <w>] [--budget <usd>] [--month-secs <s>]"
             );
+            eprintln!("  outage [--rows <n>] [--ring <n>] [--spill-ceiling <bytes>]");
             return ExitCode::from(2);
         }
     };
@@ -688,5 +698,238 @@ fn fleet(args: &[String]) -> Result<(), String> {
         return Err("fleet snapshot reports unhealthy tenants".into());
     }
     println!("\nfleet OK — {tenants} tenant(s) protected, zero acked loss, spend under budget");
+    Ok(())
+}
+
+/// The outage endurance drill: boots a solo pipeline over an
+/// in-process bucket, takes the cloud away mid-traffic, and narrates
+/// the outage subsystem doing its job — the policy escalating to
+/// `Enduring`, the RAM ring holding its bound while the overflow
+/// spills to disk, checkpoints coalescing, B widening toward S — then
+/// restores the cloud and verifies the catch-up drain ends with an
+/// empty spill, a scrub-clean bucket, and a lossless recovery. Exits
+/// non-zero if any of that fails. CI smoke-tests the outage subsystem
+/// through this command.
+fn outage(args: &[String]) -> Result<(), String> {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use ginja::cloud::{FaultPlan, FaultStore, MemStore, RetryConfig};
+    use ginja::core::{recover_into, Ginja, OutageConfig, OutageState, SentinelConfig};
+    use ginja::db::{Database, DbProfile};
+    use ginja::sentinel::Sentinel;
+    use ginja::vfs::{FileSystem, InterceptFs, MemFs, PostgresProcessor};
+
+    /// Table the drill writes its rows into.
+    const TABLE: u32 = 42;
+
+    let parse_num = |flag: &str, default: u64| -> Result<u64, String> {
+        match flag_value(args, flag) {
+            Some(raw) => raw.parse().map_err(|_| format!("bad {flag} value: {raw}")),
+            None => Ok(default),
+        }
+    };
+    let rows = parse_num("--rows", 200)?.max(8);
+    let ring = parse_num("--ring", 8)?.max(1) as usize;
+    let ceiling = parse_num("--spill-ceiling", 1 << 30)?;
+
+    let wait_for = |timeout: Duration, mut probe: Box<dyn FnMut() -> bool + '_>| -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if probe() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        probe()
+    };
+
+    let profile = DbProfile::postgres_small().with_checkpoint_every(1_000_000);
+    let local = Arc::new(MemFs::new());
+    let db = Database::create(local.clone(), profile.clone()).map_err(|e| e.to_string())?;
+    db.create_table(TABLE, 256).map_err(|e| e.to_string())?;
+    drop(db);
+
+    let mem = Arc::new(MemStore::new());
+    let plan = Arc::new(FaultPlan::new());
+    let cloud = Arc::new(FaultStore::new(mem.clone(), plan.clone()));
+    let config = GinjaConfig::builder()
+        .batch(2)
+        .safety((rows as usize) * 2 + 64)
+        .batch_timeout(Duration::from_millis(5))
+        .safety_timeout(Duration::from_secs(60))
+        // A real outage compressed to milliseconds: the breaker opens
+        // within a few failed attempts and the policy only measures
+        // time through `enduring_after`, scaled down to match.
+        .retry(RetryConfig {
+            max_attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(50),
+            breaker_probes: 1,
+            ..RetryConfig::default()
+        })
+        .sentinel(SentinelConfig {
+            scrub_sample: 0, // verify every payload
+            ..SentinelConfig::default()
+        })
+        .outage(OutageConfig {
+            ring_capacity: ring,
+            ckpt_capacity: 2,
+            spill_ceiling: ceiling,
+            enduring_after: Duration::from_millis(50),
+            poll_interval: Duration::from_millis(5),
+            ..OutageConfig::default()
+        })
+        .build()
+        .map_err(|e| e.to_string())?;
+    let ginja = Ginja::boot(
+        local.clone(),
+        cloud,
+        Arc::new(PostgresProcessor::new()),
+        config.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    let fs: Arc<dyn FileSystem> = Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+    let db = Database::open(fs, profile.clone()).map_err(|e| e.to_string())?;
+
+    // Healthy phase: a slice of the rows lands in the cloud normally.
+    let healthy_rows = rows / 4;
+    for seq in 0..healthy_rows {
+        db.put(TABLE, seq, format!("healthy-{seq}").into_bytes())
+            .map_err(|e| e.to_string())?;
+    }
+    if !ginja.sync(Duration::from_secs(30)) {
+        return Err("healthy phase failed to drain".into());
+    }
+    // A burst can transiently spill even with a healthy cloud; give
+    // the policy a tick to walk back before reporting.
+    wait_for(
+        Duration::from_secs(5),
+        Box::new(|| ginja.stats().outage.state == OutageState::Healthy),
+    );
+    println!(
+        "healthy phase:     {healthy_rows} row(s) uploaded, state {:?}",
+        ginja.stats().outage.state
+    );
+
+    // The outage: every cloud op fails from here on, commits keep
+    // coming, and a burst of checkpoints overflows the coalescing
+    // queue on purpose.
+    plan.outage();
+    println!("cloud outage:      injected (every op fails)");
+    for seq in healthy_rows..rows {
+        db.put(TABLE, seq, format!("enduring-{seq}").into_bytes())
+            .map_err(|e| e.to_string())?;
+    }
+    for _ in 0..4 {
+        db.checkpoint().map_err(|e| e.to_string())?;
+    }
+
+    let mut ring_bound_held = true;
+    let escalated = wait_for(
+        Duration::from_secs(30),
+        Box::new(|| {
+            let snap = ginja.stats().outage;
+            ring_bound_held &= snap.ring_len <= ring as u64;
+            matches!(snap.state, OutageState::Enduring | OutageState::Shedding)
+        }),
+    );
+    let mid = ginja.stats();
+    println!("under outage:      state {:?}", mid.outage.state);
+    println!(
+        "  ring:            {} / {} slot(s) (bound held: {ring_bound_held})",
+        mid.outage.ring_len, mid.outage.ring_capacity
+    );
+    println!(
+        "  spill:           {} record(s), {} byte(s) on disk",
+        mid.outage.spill_records, mid.outage.spill_bytes
+    );
+    println!("  ckpt coalesced:  {}", mid.outage.ckpt_coalesced);
+    println!(
+        "  knobs:           B {} -> {} (S stays {})",
+        config.batch,
+        ginja.current_knobs().batch,
+        config.safety
+    );
+    if !escalated {
+        return Err(format!("policy never escalated: {:?}", mid.outage));
+    }
+    if !ring_bound_held {
+        return Err("RAM ring exceeded its capacity during the outage".into());
+    }
+    if mid.outage.spill_records == 0 {
+        return Err("backlog never spilled to disk".into());
+    }
+
+    // The cloud returns: the catch-up lane drains the spill in order,
+    // the policy walks back to Healthy, and the knobs restore.
+    plan.restore();
+    println!("cloud restored:    catch-up draining...");
+    if !ginja.sync(Duration::from_secs(120)) {
+        return Err("catch-up failed to drain after the cloud returned".into());
+    }
+    if !wait_for(
+        Duration::from_secs(15),
+        Box::new(|| ginja.exposure().outage == OutageState::Healthy),
+    ) {
+        return Err(format!("policy stuck at {:?}", ginja.exposure().outage));
+    }
+    let fin = ginja.stats();
+    println!("after catch-up:    state {:?}", fin.outage.state);
+    println!(
+        "  drained:         {} record(s), {} byte(s)",
+        fin.outage.drained, fin.outage.drained_bytes
+    );
+    println!(
+        "  outage time:     {:.1?} across {} outage(s)",
+        fin.outage.outage_time, fin.outage.outages
+    );
+    if fin.outage.spill_records != 0 || fin.outage.spill_bytes != 0 {
+        return Err(format!("spill not empty after catch-up: {:?}", fin.outage));
+    }
+    if ginja.exposure().fatal {
+        return Err("exposure still fatal after recovery".into());
+    }
+
+    // The bucket the outage left behind must be scrub-clean, and a
+    // disaster recovery from it must see every acknowledged row.
+    let cycle = Sentinel::new(&ginja)
+        .run_cycle()
+        .map_err(|e| e.to_string())?;
+    if !cycle.scrub.is_clean() {
+        return Err(format!(
+            "dirty bucket after catch-up: {:?}",
+            cycle.scrub.anomalies
+        ));
+    }
+    println!(
+        "scrub:             clean ({} object(s) verified)",
+        cycle.scrub.objects_listed
+    );
+    if !ginja.sync(Duration::from_secs(30)) {
+        return Err("final sync failed".into());
+    }
+    ginja.shutdown();
+    let reference = db.dump_table(TABLE).map_err(|e| e.to_string())?;
+    drop(db);
+
+    let rebuilt = Arc::new(MemFs::new());
+    recover_into(rebuilt.as_ref(), mem.as_ref(), &config).map_err(|e| e.to_string())?;
+    let recovered = Database::open(rebuilt, profile).map_err(|e| e.to_string())?;
+    let rows_back = recovered.dump_table(TABLE).map_err(|e| e.to_string())?;
+    if rows_back != reference {
+        return Err(format!(
+            "LOSS: recovered {} row(s), expected {}",
+            rows_back.len(),
+            reference.len()
+        ));
+    }
+    println!(
+        "recovery:          {} row(s), zero acknowledged loss",
+        rows_back.len()
+    );
+    println!("outage drill PASSED");
     Ok(())
 }
