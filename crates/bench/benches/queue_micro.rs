@@ -11,7 +11,7 @@ use ginja_core::queue::{CommitQueue, WalWrite};
 
 fn write(i: u64, len: usize) -> WalWrite {
     WalWrite {
-        file: "pg_xlog/000000000000000000000001".to_string(),
+        file: "pg_xlog/000000000000000000000001".into(),
         offset: (i % 64) * 8192,
         data: Arc::from(vec![i as u8; len].as_slice()),
     }
@@ -38,7 +38,7 @@ fn bench_aggregate(c: &mut Criterion) {
 
     let disjoint: Vec<WalWrite> = (0..100)
         .map(|i| WalWrite {
-            file: format!("seg{}", i % 4),
+            file: format!("seg{}", i % 4).into(),
             offset: i * 100_000,
             data: Arc::from(vec![i as u8; 512].as_slice()),
         })

@@ -1,0 +1,184 @@
+//! The pre-PR-9 `CommitQueue`, frozen verbatim as the ablation baseline
+//! for `benches/ablation_ingest.rs`.
+//!
+//! This is the single-`Mutex<State>` + two-`Condvar` implementation the
+//! ingest fast path replaced: every `put` locks the global state,
+//! re-checks both Safety conditions under the lock, and `notify_all`s
+//! the aggregator; every `ack_front` broadcasts to *all* parked
+//! producers. Keeping it compilable (against the current `WalWrite`)
+//! lets the bench measure exactly what the rewrite bought, on the same
+//! machine, in the same process.
+//!
+//! Do not "improve" this file — its value is being frozen.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use ginja_core::queue::{PutOutcome, WalWrite};
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct Item {
+    write: WalWrite,
+    enqueued_at: Instant,
+}
+
+#[derive(Debug)]
+struct State {
+    /// All unacknowledged items, oldest first. The first `len - unread`
+    /// have been handed to the aggregator; the last `unread` have not.
+    items: std::collections::VecDeque<Item>,
+    unread: usize,
+    last_sync_end: Instant,
+    last_take: Instant,
+    force_flush: bool,
+    closed: bool,
+}
+
+/// The old big-lock commit queue (B/S/TB/TS semantics identical to
+/// [`ginja_core::queue::CommitQueue`]).
+#[derive(Debug)]
+pub struct MutexCommitQueue {
+    state: Mutex<State>,
+    not_full: Condvar,
+    readable: Condvar,
+    batch: AtomicUsize,
+    safety: usize,
+    batch_timeout_ns: AtomicU64,
+    safety_timeout: Duration,
+}
+
+impl MutexCommitQueue {
+    /// Creates a queue with the given B/S/TB/TS parameters.
+    pub fn new(
+        batch: usize,
+        safety: usize,
+        batch_timeout: Duration,
+        safety_timeout: Duration,
+    ) -> Self {
+        assert!(batch >= 1 && safety >= batch);
+        MutexCommitQueue {
+            state: Mutex::new(State {
+                items: std::collections::VecDeque::new(),
+                unread: 0,
+                last_sync_end: Instant::now(),
+                last_take: Instant::now(),
+                force_flush: false,
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            readable: Condvar::new(),
+            batch: AtomicUsize::new(batch),
+            safety,
+            batch_timeout_ns: AtomicU64::new(batch_timeout.as_nanos() as u64),
+            safety_timeout,
+        }
+    }
+
+    fn batch_timeout(&self) -> Duration {
+        Duration::from_nanos(self.batch_timeout_ns.load(Ordering::SeqCst))
+    }
+
+    fn batch(&self) -> usize {
+        self.batch.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues a write, blocking while the Safety conditions are
+    /// violated (the old implementation, verbatim).
+    pub fn put(&self, write: WalWrite) -> Option<PutOutcome> {
+        let start = Instant::now();
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return None;
+            }
+            let over_safety = state.items.len() >= self.safety;
+            let ts_expired = state
+                .items
+                .front()
+                .is_some_and(|item| item.enqueued_at.elapsed() >= self.safety_timeout);
+            if !over_safety && !ts_expired {
+                break;
+            }
+            state.force_flush = true;
+            self.readable.notify_all();
+            self.not_full
+                .wait_for(&mut state, Duration::from_millis(50));
+        }
+        state.items.push_back(Item {
+            write,
+            enqueued_at: Instant::now(),
+        });
+        state.unread += 1;
+        self.readable.notify_all();
+        Some(PutOutcome {
+            blocked_for: start.elapsed(),
+        })
+    }
+
+    /// Takes the next batch without removing it (old implementation).
+    pub fn take_batch(&self) -> Option<Vec<WalWrite>> {
+        let mut state = self.state.lock();
+        loop {
+            if state.unread >= self.batch()
+                || (state.unread > 0 && (state.force_flush || state.closed))
+            {
+                return Some(self.take_locked(&mut state));
+            }
+            if state.unread > 0 {
+                let deadline = state.last_sync_end.max(state.last_take) + self.batch_timeout();
+                if Instant::now() >= deadline {
+                    return Some(self.take_locked(&mut state));
+                }
+                if self.readable.wait_until(&mut state, deadline).timed_out() {
+                    continue;
+                }
+            } else {
+                if state.closed {
+                    return None;
+                }
+                self.readable
+                    .wait_for(&mut state, Duration::from_millis(100));
+            }
+        }
+    }
+
+    fn take_locked(&self, state: &mut State) -> Vec<WalWrite> {
+        state.last_take = Instant::now();
+        let n = state.unread.min(self.batch());
+        let start = state.items.len() - state.unread;
+        let batch: Vec<WalWrite> = state
+            .items
+            .iter()
+            .skip(start)
+            .take(n)
+            .map(|i| i.write.clone())
+            .collect();
+        state.unread -= n;
+        if state.unread == 0 {
+            state.force_flush = false;
+        }
+        batch
+    }
+
+    /// Acknowledges the `n` oldest items (old implementation: a
+    /// `notify_all` broadcast to every parked producer, every time).
+    pub fn ack_front(&self, n: usize) {
+        let mut state = self.state.lock();
+        debug_assert!(n <= state.items.len() - state.unread);
+        for _ in 0..n {
+            state.items.pop_front();
+        }
+        state.last_sync_end = Instant::now();
+        self.not_full.notify_all();
+        self.readable.notify_all();
+    }
+
+    /// Closes the queue (old implementation).
+    pub fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        self.not_full.notify_all();
+        self.readable.notify_all();
+    }
+}

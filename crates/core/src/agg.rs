@@ -10,6 +10,8 @@
 
 use std::collections::BTreeMap;
 
+use ginja_codec::bufpool;
+
 use crate::outage::OutageState;
 use crate::queue::WalWrite;
 use crate::stats::GinjaStatsSnapshot;
@@ -31,30 +33,47 @@ pub struct AggregatedRange {
 pub fn aggregate(writes: &[WalWrite], max_chunk: usize) -> Vec<AggregatedRange> {
     let mut files: BTreeMap<&str, BTreeMap<u64, Vec<u8>>> = BTreeMap::new();
     for w in writes {
-        let ranges = files.entry(w.file.as_str()).or_default();
+        let ranges = files.entry(&*w.file).or_default();
         apply(ranges, w.offset, &w.data);
     }
 
     let mut out = Vec::new();
     for (file, ranges) in files {
         for (offset, data) in ranges {
-            // Split oversized ranges at the object-size cap.
+            if data.len() <= max_chunk {
+                // Common case (the paper's "typically one object per
+                // batch"): move the merged buffer straight into the
+                // output instead of copying it.
+                out.push(AggregatedRange {
+                    file: file.to_string(),
+                    offset,
+                    data,
+                });
+                continue;
+            }
+            // Split oversized ranges at the object-size cap, chunks
+            // drawn from the pool; the merged source buffer goes back.
             let mut chunk_off = offset;
             let mut rest: &[u8] = &data;
             while rest.len() > max_chunk {
+                let mut chunk = bufpool::take();
+                chunk.extend_from_slice(&rest[..max_chunk]);
                 out.push(AggregatedRange {
                     file: file.to_string(),
                     offset: chunk_off,
-                    data: rest[..max_chunk].to_vec(),
+                    data: chunk,
                 });
                 chunk_off += max_chunk as u64;
                 rest = &rest[max_chunk..];
             }
+            let mut tail = bufpool::take();
+            tail.extend_from_slice(rest);
             out.push(AggregatedRange {
                 file: file.to_string(),
                 offset: chunk_off,
-                data: rest.to_vec(),
+                data: tail,
             });
+            bufpool::recycle(data);
         }
     }
     out
@@ -73,7 +92,9 @@ pub fn apply(ranges: &mut BTreeMap<u64, Vec<u8>>, offset: u64, data: &[u8]) {
         .collect();
 
     if touching.is_empty() {
-        ranges.insert(offset, data.to_vec());
+        let mut fresh = bufpool::take();
+        fresh.extend_from_slice(data);
+        ranges.insert(offset, fresh);
         return;
     }
 
@@ -84,11 +105,17 @@ pub fn apply(ranges: &mut BTreeMap<u64, Vec<u8>>, offset: u64, data: &[u8]) {
         merged_start = merged_start.min(*start);
         merged_end = merged_end.max(start + len);
     }
-    let mut buf = vec![0u8; (merged_end - merged_start) as usize];
+    // Pooled merge buffer: under a steady WAL stream the aggregator
+    // thread re-merges the tail range every batch, so this buffer (and
+    // the superseded ranges recycled below) cycle through the
+    // thread-local pool instead of the allocator.
+    let mut buf = bufpool::take();
+    buf.resize((merged_end - merged_start) as usize, 0);
     for start in touching {
         let old = ranges.remove(&start).expect("candidate vanished");
         let at = (start - merged_start) as usize;
         buf[at..at + old.len()].copy_from_slice(&old);
+        bufpool::recycle(old);
     }
     let at = (offset - merged_start) as usize;
     buf[at..at + data.len()].copy_from_slice(data);
@@ -180,6 +207,17 @@ pub struct SnapshotTotals {
     pub spill_bytes: u128,
     /// Sum of `gc_backlog_dropped`.
     pub gc_backlog_dropped: u128,
+    /// Sum of `ingest.put_parks` (producers that exhausted their spin
+    /// budget and slept on the Safety bound).
+    pub ingest_put_parks: u128,
+    /// Sum of `ingest.credit_retries` (CAS retries on the admission
+    /// credit counter — the fleet's ingest-contention gauge).
+    pub ingest_credit_retries: u128,
+    /// Sum of `ingest.ack_wakeups` (targeted post-durability wakeups).
+    pub ingest_ack_wakeups: u128,
+    /// Sum of `ingest.adaptive_seals` (partial batches sealed early for
+    /// parked producers).
+    pub ingest_adaptive_seals: u128,
     /// Tenants whose sentinel flags the backup as degraded.
     pub degraded_tenants: u64,
     /// Tenants currently enduring an outage (`Enduring` or `Shedding`).
@@ -229,6 +267,10 @@ impl SnapshotTotals {
         self.spill_records += u128::from(snap.outage.spill_records);
         self.spill_bytes += u128::from(snap.outage.spill_bytes);
         self.gc_backlog_dropped += u128::from(snap.gc_backlog_dropped);
+        self.ingest_put_parks += u128::from(snap.ingest.put_parks);
+        self.ingest_credit_retries += u128::from(snap.ingest.credit_retries);
+        self.ingest_ack_wakeups += u128::from(snap.ingest.ack_wakeups);
+        self.ingest_adaptive_seals += u128::from(snap.ingest.adaptive_seals);
         self.degraded_tenants += u64::from(snap.sentinel.degraded);
         self.enduring_tenants += u64::from(matches!(
             snap.outage.state,
@@ -268,7 +310,7 @@ mod tests {
 
     fn w(file: &str, offset: u64, data: &[u8]) -> WalWrite {
         WalWrite {
-            file: file.to_string(),
+            file: file.into(),
             offset,
             data: Arc::from(data),
         }
@@ -454,7 +496,7 @@ mod tests {
 #[cfg(test)]
 mod rollup_props {
     use super::*;
-    use crate::stats::{GovernorSnapshot, SentinelSnapshot};
+    use crate::stats::{GovernorSnapshot, IngestSnapshot, SentinelSnapshot};
     use proptest::prelude::*;
     use std::time::Duration;
 
@@ -489,6 +531,13 @@ mod rollup_props {
                 spent_microusd: h,
                 projected_microusd: a,
                 decisions: b % 1000,
+                ..Default::default()
+            },
+            ingest: IngestSnapshot {
+                put_parks: c,
+                credit_retries: d,
+                ack_wakeups: e,
+                adaptive_seals: f,
                 ..Default::default()
             },
             ..Default::default()
@@ -547,6 +596,10 @@ mod rollup_props {
             prop_assert_eq!(totals.upload_retries, expect(&|v| v[6]));
             prop_assert_eq!(totals.fanout_jobs, expect(&|v| v[7]));
             prop_assert_eq!(totals.spent_microusd, expect(&|v| v[7]));
+            prop_assert_eq!(totals.ingest_put_parks, expect(&|v| v[2]));
+            prop_assert_eq!(totals.ingest_credit_retries, expect(&|v| v[3]));
+            prop_assert_eq!(totals.ingest_ack_wakeups, expect(&|v| v[4]));
+            prop_assert_eq!(totals.ingest_adaptive_seals, expect(&|v| v[5]));
             prop_assert_eq!(
                 totals.scrub_anomalies,
                 expect(&|v| v[2] % 11) + expect(&|v| v[3] % 7) + expect(&|v| v[4] % 5)

@@ -142,14 +142,14 @@ impl IoProcessor for SegmentArchiver {
             let mut inner = self.inner.lock();
             inner.stats.updates_since_last_archive += 1;
             match inner.current.clone() {
-                Some(current) if current != event.path => {
+                Some(current) if *current != *event.path => {
                     // The log moved to a new segment: the previous one is
                     // complete and eligible for archiving.
-                    inner.current = Some(event.path.clone());
+                    inner.current = Some(event.path.to_string());
                     (!inner.archived.contains(&current)).then_some(current)
                 }
                 None => {
-                    inner.current = Some(event.path.clone());
+                    inner.current = Some(event.path.to_string());
                     None
                 }
                 _ => None,

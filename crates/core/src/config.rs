@@ -161,6 +161,51 @@ impl OutageConfig {
     }
 }
 
+/// Ingest fast-path tuning: how producers (DBMS threads blocked inside
+/// an intercepted WAL write) wait for commit-queue credit, and whether
+/// the aggregator may seal a partial batch early on their behalf (see
+/// `DESIGN.md` §16).
+///
+/// These knobs shape *latency*, never *safety*: S and TS are enforced
+/// by the queue's credit counters regardless of what is set here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// How many spin iterations a producer burns waiting for the acked
+    /// watermark to advance before parking on a condvar. Spinning wins
+    /// when acks arrive within microseconds (local-SSD-fast stores);
+    /// parking wins when the cloud round-trip dominates. 0 parks
+    /// immediately.
+    pub spin: u32,
+    /// Whether the aggregator seals a partial batch early when
+    /// producers are parked against the Safety bound — trading B for
+    /// latency inside the existing `KnobBounds` (S is never raised).
+    pub adaptive_seal: bool,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            spin: 64,
+            adaptive_seal: true,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// Validates invariants, returning a description of the first
+    /// violation.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.spin > 1 << 20 {
+            return Err("ingest.spin above 2^20 would burn a core per blocked producer".into());
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of the Ginja middleware.
 ///
 /// The two headline parameters come straight from §5.1:
@@ -230,6 +275,9 @@ pub struct GinjaConfig {
     /// Outage endurance: bounded in-memory backlog, spill-to-disk
     /// overflow, adaptive backpressure and catch-up resync.
     pub outage: OutageConfig,
+    /// Ingest fast-path tuning: producer spin budget and adaptive
+    /// partial-batch sealing.
+    pub ingest: IngestConfig,
 }
 
 impl GinjaConfig {
@@ -282,6 +330,7 @@ impl GinjaConfig {
             budget.validate().map_err(GinjaError::Config)?;
         }
         self.outage.validate().map_err(GinjaError::Config)?;
+        self.ingest.validate().map_err(GinjaError::Config)?;
         Ok(())
     }
 }
@@ -318,6 +367,7 @@ impl GinjaConfigBuilder {
                 sentinel: SentinelConfig::default(),
                 budget: None,
                 outage: OutageConfig::default(),
+                ingest: IngestConfig::default(),
             },
         }
     }
@@ -440,6 +490,14 @@ impl GinjaConfigBuilder {
         self
     }
 
+    /// Sets the ingest fast-path tuning (producer spin budget, adaptive
+    /// partial-batch sealing).
+    #[must_use]
+    pub fn ingest(mut self, ingest: IngestConfig) -> Self {
+        self.config.ingest = ingest;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -557,6 +615,31 @@ mod tests {
         ] {
             assert!(GinjaConfig::builder().outage(bad).build().is_err());
         }
+    }
+
+    #[test]
+    fn ingest_carried_through_and_validated() {
+        let c = GinjaConfig::builder().build().unwrap();
+        assert_eq!(c.ingest.spin, 64, "default spin budget");
+        assert!(c.ingest.adaptive_seal, "adaptive sealing defaults on");
+
+        let c = GinjaConfig::builder()
+            .ingest(IngestConfig {
+                spin: 0,
+                adaptive_seal: false,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(c.ingest.spin, 0);
+        assert!(!c.ingest.adaptive_seal);
+
+        assert!(GinjaConfig::builder()
+            .ingest(IngestConfig {
+                spin: (1 << 20) + 1,
+                ..IngestConfig::default()
+            })
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -457,11 +457,12 @@ impl Ginja {
         fanout: FanoutHandle,
         spill: SpillQueue,
     ) -> Self {
-        let queue = CommitQueue::new(
+        let queue = CommitQueue::with_ingest(
             config.batch,
             config.safety,
             config.batch_timeout,
             config.safety_timeout,
+            config.ingest,
         );
         // Knob bounds for the cost governor: the operator's configured
         // Batch is the baseline (floor), Safety the hard ceiling — B may
@@ -652,6 +653,9 @@ impl Ginja {
         if let Some(sentinel) = self.shared.sentinel.lock().as_ref() {
             snap.sentinel = sentinel.snapshot();
         }
+        // Ingest fast-path histograms and contention counters live on
+        // the CommitQueue itself (recorded where the hot path runs).
+        snap.ingest = self.shared.queue.ingest_snapshot();
         snap
     }
 
@@ -882,7 +886,7 @@ impl Ginja {
             accum.in_checkpoint = true;
             accum.ts = self.shared.view.lock().watermark();
         }
-        let ranges = accum.ranges.entry(event.path.clone()).or_default();
+        let ranges = accum.ranges.entry(event.path.to_string()).or_default();
         agg::apply(ranges, event.offset, &event.data);
     }
 
@@ -895,7 +899,7 @@ impl Ginja {
                 accum.in_checkpoint = true;
                 accum.ts = self.shared.view.lock().watermark();
             }
-            let ranges = accum.ranges.entry(event.path.clone()).or_default();
+            let ranges = accum.ranges.entry(event.path.to_string()).or_default();
             agg::apply(ranges, event.offset, &event.data);
 
             // Checkpoint end: decide dump vs incremental (Alg. 3 l. 8–16).
@@ -1437,6 +1441,9 @@ fn push_or_spill(shared: &Shared, job: UploadJob) -> bool {
             .stats
             .upload_spilled_bytes
             .fetch_add(bytes as u64, Ordering::Relaxed);
+        // The payload is durable in the spill file now; its heap buffer
+        // goes back to the pool for the next aggregated range.
+        bufpool::recycle(job.raw);
         return true;
     }
     // At the spill ceiling, on a spill write failure (local disk
@@ -1451,13 +1458,19 @@ fn aggregator_loop(shared: &Shared, unlock_tx: Sender<UnlockMsg>) {
         let ranges: Vec<AggregatedRange> = if shared.config.coalesce {
             agg::aggregate(&batch, shared.config.max_object_size)
         } else {
-            // Ablation mode: one object per intercepted write.
+            // Ablation mode: one object per intercepted write. Pooled
+            // buffers instead of fresh `to_vec` allocations — the same
+            // thread recycles them in `push_or_spill`/the uploader.
             batch
                 .iter()
-                .map(|w| AggregatedRange {
-                    file: w.file.clone(),
-                    offset: w.offset,
-                    data: w.data.to_vec(),
+                .map(|w| {
+                    let mut data = bufpool::take();
+                    data.extend_from_slice(&w.data);
+                    AggregatedRange {
+                        file: w.file.to_string(),
+                        offset: w.offset,
+                        data,
+                    }
                 })
                 .collect()
         };
@@ -1498,7 +1511,7 @@ fn aggregator_loop(shared: &Shared, unlock_tx: Sender<UnlockMsg>) {
 }
 
 fn uploader_loop(shared: &Shared, unlock_tx: Sender<UnlockMsg>) {
-    while let Some(job) = shared.upload_ring.pop(|j| j.raw.len()) {
+    while let Some(mut job) = shared.upload_ring.pop(|j| j.raw.len()) {
         let name = job.name.to_name();
         let mut sealed = bufpool::take();
         let seal_start = Instant::now();
@@ -1549,6 +1562,10 @@ fn uploader_loop(shared: &Shared, unlock_tx: Sender<UnlockMsg>) {
             .wal_bytes_sealed
             .fetch_add(sealed.len() as u64, Ordering::Relaxed);
         bufpool::recycle(sealed);
+        // The raw payload was sealed and uploaded; recycling it here
+        // feeds this thread's next `bufpool::take` in `seal_into`, so
+        // the steady-state upload path stops allocating per object.
+        bufpool::recycle(std::mem::take(&mut job.raw));
         shared.view.lock().add_wal(job.name.clone());
         if unlock_tx
             .send(UnlockMsg::Ack {
@@ -1642,7 +1659,7 @@ fn catchup_loop(shared: &Shared, catchup: &FanoutHandle, unlock_tx: Sender<Unloc
             }
         };
         let (seq, payload) = front;
-        let Some(job) = decode_spill_record(&payload) else {
+        let Some(mut job) = decode_spill_record(&payload) else {
             // The spill queue's checksum already rejects torn writes, so
             // an undecodable record means external tampering. Its queue
             // entry can never ack: stop loudly instead of spinning.
@@ -1689,6 +1706,7 @@ fn catchup_loop(shared: &Shared, catchup: &FanoutHandle, unlock_tx: Sender<Unloc
             .catchup_drained_bytes
             .fetch_add(job.raw.len() as u64, Ordering::Relaxed);
         bufpool::recycle(sealed);
+        bufpool::recycle(std::mem::take(&mut job.raw));
         shared.view.lock().add_wal(job.name.clone());
         if shared.spill.ack(seq).is_err() {
             // Ack (delete) failed: the record re-drains next iteration —

@@ -69,7 +69,9 @@ mod outage;
 mod stats;
 
 pub use agg::{rollup, SnapshotTotals};
-pub use config::{GinjaConfig, GinjaConfigBuilder, OutageConfig, PitrConfig, SentinelConfig};
+pub use config::{
+    GinjaConfig, GinjaConfigBuilder, IngestConfig, OutageConfig, PitrConfig, SentinelConfig,
+};
 pub use error::GinjaError;
 pub use fanout::{FanoutExecutor, FanoutHandle, LaneSnapshot};
 pub use ginja::{Exposure, Ginja};
@@ -84,8 +86,8 @@ pub use recovery::{
     RestorePointKind,
 };
 pub use stats::{
-    CrashFsSnapshot, GinjaStats, GinjaStatsSnapshot, GovernorSnapshot, LatencyHisto,
-    LatencySnapshot, OutageSnapshot, SentinelSnapshot, SentinelStats,
+    CrashFsSnapshot, GinjaStats, GinjaStatsSnapshot, GovernorSnapshot, IngestSnapshot,
+    LatencyHisto, LatencySnapshot, OutageSnapshot, SentinelSnapshot, SentinelStats,
 };
 pub use verify::{verify_backup, verify_backup_in_memory, VerifyReport};
 pub use view::CloudView;

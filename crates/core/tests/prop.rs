@@ -21,7 +21,9 @@ fn arb_write() -> impl Strategy<Value = (u8, u64, Vec<u8>)> {
 fn replay(writes: &[WalWrite], size: usize) -> std::collections::HashMap<String, Vec<u8>> {
     let mut files: std::collections::HashMap<String, Vec<u8>> = std::collections::HashMap::new();
     for w in writes {
-        let file = files.entry(w.file.clone()).or_insert_with(|| vec![0; size]);
+        let file = files
+            .entry(w.file.to_string())
+            .or_insert_with(|| vec![0; size]);
         let at = w.offset as usize;
         file[at..at + w.data.len()].copy_from_slice(&w.data);
     }
@@ -52,7 +54,7 @@ proptest! {
         let writes: Vec<WalWrite> = raw
             .into_iter()
             .map(|(f, offset, data)| WalWrite {
-                file: format!("seg{f}"),
+                file: format!("seg{f}").into(),
                 offset,
                 data: Arc::from(data.as_slice()),
             })

@@ -8,8 +8,11 @@ use crate::{FileSystem, FsError};
 /// write(WAL_segment, offset, content) is intercepted".
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WriteEvent {
-    /// Virtual path of the file written.
-    pub path: String,
+    /// Virtual path of the file written. Shared (`Arc<str>`) so the
+    /// intercept → commit-queue handoff clones a refcount, not a heap
+    /// string — the DB-facing write path allocates nothing per record
+    /// beyond the one event it must build.
+    pub path: Arc<str>,
     /// Byte offset of the write.
     pub offset: u64,
     /// The written bytes.
@@ -126,7 +129,7 @@ impl<F: FileSystem> FileSystem for InterceptFs<F> {
         // processor (which may block the caller for Safety enforcement).
         self.inner.write(path, offset, data, sync)?;
         let event = WriteEvent {
-            path: path.to_string(),
+            path: Arc::from(path),
             offset,
             data: Arc::from(data),
             sync,
@@ -205,7 +208,7 @@ mod tests {
         assert_eq!(fs.inner().read("wal/1", 8, 4).unwrap(), b"data");
         let writes = rec.writes.lock();
         assert_eq!(writes.len(), 1);
-        assert_eq!(writes[0].path, "wal/1");
+        assert_eq!(&*writes[0].path, "wal/1");
         assert_eq!(writes[0].offset, 8);
         assert_eq!(&writes[0].data[..], b"data");
         assert!(writes[0].sync);

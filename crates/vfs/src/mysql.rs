@@ -60,7 +60,7 @@ impl DbmsProcessor for MySqlProcessor {
             return IoClass::Other;
         }
         if event.path.starts_with(&self.log_prefix) {
-            if event.path == self.first_log {
+            if *event.path == *self.first_log {
                 if self.touches_checkpoint_block(event) {
                     return IoClass::ControlFile;
                 }
@@ -97,7 +97,7 @@ mod tests {
 
     fn event(path: &str, offset: u64, len: usize, sync: bool) -> WriteEvent {
         WriteEvent {
-            path: path.to_string(),
+            path: path.into(),
             offset,
             data: Arc::from(vec![0u8; len].as_slice()),
             sync,

@@ -53,7 +53,7 @@ impl DbmsProcessor for PostgresProcessor {
         if event.path.starts_with(&self.wal_prefix) {
             return IoClass::WalAppend;
         }
-        if event.path == self.control_path {
+        if *event.path == *self.control_path {
             return IoClass::ControlFile;
         }
         if event.path.starts_with(&self.clog_prefix) || event.path.starts_with(&self.table_prefix) {
@@ -90,7 +90,7 @@ mod tests {
 
     fn event(path: &str, offset: u64, sync: bool) -> WriteEvent {
         WriteEvent {
-            path: path.to_string(),
+            path: path.into(),
             offset,
             data: Arc::from(&b"x"[..]),
             sync,

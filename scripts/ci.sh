@@ -49,3 +49,12 @@ cargo run -q --release --bin ginja-cli -- outage --rows 120 --ring 4 | grep -q "
 GINJA_BENCH_SCALE=0.02 BENCH_PR8_OUT="$PWD/BENCH_PR8.json" \
     cargo bench -q -p ginja-bench --bench ablation_outage
 test -s BENCH_PR8.json
+# Ingest fast-path smoke (DESIGN.md §16): the N-producer commit-queue
+# property test (FIFO acks, never >S unacked, no lost/duplicated
+# writes), then the old-vs-new queue ablation, which asserts the
+# width-16 win (>=1.5x throughput or >=2x lower p99 put latency) with
+# single-producer blocked p99 no worse.
+cargo test -q -p ginja-core --test queue_prop
+GINJA_BENCH_SCALE=0.02 BENCH_PR9_OUT="$PWD/BENCH_PR9.json" \
+    cargo bench -q -p ginja-bench --bench ablation_ingest
+test -s BENCH_PR9.json

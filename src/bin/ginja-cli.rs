@@ -641,7 +641,7 @@ fn fleet(args: &[String]) -> Result<(), String> {
     let snap = fleet.snapshot();
     fleet.shutdown();
     println!(
-        "\n{:<8} {:>6} {:>4} {:>8} {:>6} {:>8} {:>10} {:>10} {:>10} {:>4}",
+        "\n{:<8} {:>6} {:>4} {:>8} {:>6} {:>8} {:>10} {:>10} {:>10} {:>4} {:>9} {:>5} {:>5}",
         "tenant",
         "weight",
         "lane",
@@ -651,7 +651,10 @@ fn fleet(args: &[String]) -> Result<(), String> {
         "spent $",
         "proj $",
         "budget $",
-        "esc"
+        "esc",
+        "put p99",
+        "parks",
+        "seals"
     );
     for t in &snap.tenants {
         let (waves, granted) = t
@@ -659,7 +662,7 @@ fn fleet(args: &[String]) -> Result<(), String> {
             .map(|l| (l.waves, l.granted))
             .unwrap_or_default();
         println!(
-            "{:<8} {:>6.1} {:>4} {:>8} {:>6} {:>8} {:>10.6} {:>10.6} {:>10.6} {:>4}",
+            "{:<8} {:>6.1} {:>4} {:>8} {:>6} {:>8} {:>10.6} {:>10.6} {:>10.6} {:>4} {:>9.1?} {:>5} {:>5}",
             t.name,
             t.weight,
             t.lane,
@@ -670,6 +673,9 @@ fn fleet(args: &[String]) -> Result<(), String> {
             t.projected_microusd as f64 / 1e6,
             t.sub_budget_microusd as f64 / 1e6,
             t.escalations,
+            t.stats.ingest.put_latency.p99,
+            t.stats.ingest.put_parks,
+            t.stats.ingest.adaptive_seals,
         );
     }
     println!(
@@ -683,6 +689,14 @@ fn fleet(args: &[String]) -> Result<(), String> {
         snap.spent_microusd as f64 / 1e6,
         snap.projected_microusd as f64 / 1e6,
         budget_usd,
+    );
+    println!(
+        "ingest:    {} park(s), {} credit retry(ies), {} targeted wakeup(s), \
+         {} adaptive seal(s) across the fleet",
+        snap.totals.ingest_put_parks,
+        snap.totals.ingest_credit_retries,
+        snap.totals.ingest_ack_wakeups,
+        snap.totals.ingest_adaptive_seals,
     );
 
     if anomalies > 0 {
@@ -885,6 +899,25 @@ fn outage(args: &[String]) -> Result<(), String> {
     println!(
         "  outage time:     {:.1?} across {} outage(s)",
         fin.outage.outage_time, fin.outage.outages
+    );
+    println!(
+        "  ingest put:      p50 {:.1?} / p99 {:.1?} over {} put(s)",
+        fin.ingest.put_latency.p50, fin.ingest.put_latency.p99, fin.ingest.put_latency.count
+    );
+    println!(
+        "  ingest stalls:   {} blocked (p99 {:.1?}), {} spin(s), {} park(s)",
+        fin.ingest.blocked_latency.count,
+        fin.ingest.blocked_latency.p99,
+        fin.ingest.put_spins,
+        fin.ingest.put_parks
+    );
+    println!(
+        "  ingest acks:     {} targeted wakeup(s), {} broadcast(s) suppressed",
+        fin.ingest.ack_wakeups, fin.ingest.wakeups_suppressed
+    );
+    println!(
+        "  ingest seals:    {} adaptive, {} by TB expiry ({} credit retry(ies))",
+        fin.ingest.adaptive_seals, fin.ingest.timeout_seals, fin.ingest.credit_retries
     );
     if fin.outage.spill_records != 0 || fin.outage.spill_bytes != 0 {
         return Err(format!("spill not empty after catch-up: {:?}", fin.outage));
