@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+mod delta;
 mod dir;
 mod erasure;
 mod error;
@@ -51,6 +52,7 @@ mod resilient;
 mod store;
 mod usage;
 
+pub use delta::{DeltaLister, ListingDelta};
 pub use dir::DirStore;
 pub use erasure::{decode as erasure_decode, encode as erasure_encode, ErasureStore};
 pub use error::StoreError;

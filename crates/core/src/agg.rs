@@ -218,6 +218,18 @@ pub struct SnapshotTotals {
     /// Sum of `ingest.adaptive_seals` (partial batches sealed early for
     /// parked producers).
     pub ingest_adaptive_seals: u128,
+    /// Sum of `standby.tail_cycles` (warm-standby tail polls).
+    pub standby_tail_cycles: u128,
+    /// Sum of `standby.gets` (objects the standby tails fetched — the
+    /// fleet's standby GET spend).
+    pub standby_gets: u128,
+    /// Sum of `standby.lag_objects` (a gauge per tenant; the sum is
+    /// the fleet's total unabsorbed backlog behind its standbys).
+    pub standby_lag_objects: u128,
+    /// Sum of `standby.lag_bytes` (gauge, like `standby_lag_objects`).
+    pub standby_lag_bytes: u128,
+    /// Sum of `standby.promotions`.
+    pub standby_promotions: u128,
     /// Tenants whose sentinel flags the backup as degraded.
     pub degraded_tenants: u64,
     /// Tenants currently enduring an outage (`Enduring` or `Shedding`).
@@ -271,6 +283,11 @@ impl SnapshotTotals {
         self.ingest_credit_retries += u128::from(snap.ingest.credit_retries);
         self.ingest_ack_wakeups += u128::from(snap.ingest.ack_wakeups);
         self.ingest_adaptive_seals += u128::from(snap.ingest.adaptive_seals);
+        self.standby_tail_cycles += u128::from(snap.standby.tail_cycles);
+        self.standby_gets += u128::from(snap.standby.gets);
+        self.standby_lag_objects += u128::from(snap.standby.lag_objects);
+        self.standby_lag_bytes += u128::from(snap.standby.lag_bytes);
+        self.standby_promotions += u128::from(snap.standby.promotions);
         self.degraded_tenants += u64::from(snap.sentinel.degraded);
         self.enduring_tenants += u64::from(matches!(
             snap.outage.state,
@@ -496,7 +513,7 @@ mod tests {
 #[cfg(test)]
 mod rollup_props {
     use super::*;
-    use crate::stats::{GovernorSnapshot, IngestSnapshot, SentinelSnapshot};
+    use crate::stats::{GovernorSnapshot, IngestSnapshot, SentinelSnapshot, StandbySnapshot};
     use proptest::prelude::*;
     use std::time::Duration;
 
@@ -538,6 +555,14 @@ mod rollup_props {
                 credit_retries: d,
                 ack_wakeups: e,
                 adaptive_seals: f,
+                ..Default::default()
+            },
+            standby: StandbySnapshot {
+                tail_cycles: g,
+                gets: h,
+                lag_objects: a % 13,
+                lag_bytes: b,
+                promotions: c % 9,
                 ..Default::default()
             },
             ..Default::default()
@@ -600,6 +625,11 @@ mod rollup_props {
             prop_assert_eq!(totals.ingest_credit_retries, expect(&|v| v[3]));
             prop_assert_eq!(totals.ingest_ack_wakeups, expect(&|v| v[4]));
             prop_assert_eq!(totals.ingest_adaptive_seals, expect(&|v| v[5]));
+            prop_assert_eq!(totals.standby_tail_cycles, expect(&|v| v[6]));
+            prop_assert_eq!(totals.standby_gets, expect(&|v| v[7]));
+            prop_assert_eq!(totals.standby_lag_objects, expect(&|v| v[0] % 13));
+            prop_assert_eq!(totals.standby_lag_bytes, expect(&|v| v[1]));
+            prop_assert_eq!(totals.standby_promotions, expect(&|v| v[2] % 9));
             prop_assert_eq!(
                 totals.scrub_anomalies,
                 expect(&|v| v[2] % 11) + expect(&|v| v[3] % 7) + expect(&|v| v[4] % 5)

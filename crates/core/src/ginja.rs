@@ -35,7 +35,7 @@ use crate::outage::{
     OutagePolicy, OutageState, UploadJob, UploadRing,
 };
 use crate::queue::{CommitQueue, WalWrite};
-use crate::stats::{GinjaStats, GinjaStatsSnapshot, GovernorSnapshot, SentinelStats};
+use crate::stats::{GinjaStats, GinjaStatsSnapshot, GovernorSnapshot, SentinelStats, StandbyStats};
 use crate::view::CloudView;
 use crate::GinjaError;
 use ginja_codec::bufpool;
@@ -159,6 +159,9 @@ struct Shared {
     /// Counters of an attached DR sentinel (`ginja-sentinel` crate),
     /// merged into [`Ginja::stats`] and [`Ginja::exposure`].
     sentinel: Mutex<Option<Arc<SentinelStats>>>,
+    /// Counters of an attached warm standby (`ginja-standby` crate),
+    /// merged into [`Ginja::stats`].
+    standby: Mutex<Option<Arc<StandbyStats>>>,
     /// The dump threshold currently in force, as f64 bits: the
     /// checkpoint path reads it lock-free on every checkpoint end, and
     /// the governor may raise it above `config.dump_threshold` (never
@@ -511,6 +514,7 @@ impl Ginja {
             threads: Mutex::new(Vec::new()),
             gc_backlog: Mutex::new(BTreeSet::new()),
             sentinel: Mutex::new(None),
+            standby: Mutex::new(None),
             dump_threshold_bits,
             sentinel_pace_bits: AtomicU64::new(1.0f64.to_bits()),
             governor,
@@ -652,6 +656,9 @@ impl Ginja {
         snap.outage.spill_torn_discarded = self.shared.spill.torn_discarded();
         if let Some(sentinel) = self.shared.sentinel.lock().as_ref() {
             snap.sentinel = sentinel.snapshot();
+        }
+        if let Some(standby) = self.shared.standby.lock().as_ref() {
+            snap.standby = standby.snapshot();
         }
         // Ingest fast-path histograms and contention counters live on
         // the CommitQueue itself (recorded where the hot path runs).
@@ -802,6 +809,14 @@ impl Ginja {
     /// surfaces in [`Ginja::exposure`]. Replaces any previous sentinel.
     pub fn attach_sentinel(&self, stats: Arc<SentinelStats>) {
         *self.shared.sentinel.lock() = Some(stats);
+    }
+
+    /// Registers a warm standby's counters with this instance: its
+    /// snapshot (tail cycles, lag gauges, promotions) is merged into
+    /// [`Ginja::stats`], so one snapshot reports the pipeline and the
+    /// shadow tracking it. Replaces any previous standby.
+    pub fn attach_standby(&self, stats: Arc<StandbyStats>) {
+        *self.shared.standby.lock() = Some(stats);
     }
 
     /// The resilient cloud handle the pipeline itself uses. A sentinel

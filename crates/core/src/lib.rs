@@ -53,6 +53,7 @@
 //! [`verify`] the backup-verification procedure of §5.4.
 
 pub mod agg;
+pub mod apply;
 pub mod archiver;
 pub mod bundle;
 pub mod fanout;
@@ -69,6 +70,7 @@ mod outage;
 mod stats;
 
 pub use agg::{rollup, SnapshotTotals};
+pub use apply::{ApplyEngine, ApplyProgress};
 pub use config::{
     GinjaConfig, GinjaConfigBuilder, IngestConfig, OutageConfig, PitrConfig, SentinelConfig,
 };
@@ -79,7 +81,7 @@ pub use ginja_cloud::{
     BreakerState, CloudUsage, ResilienceSnapshot, RetryConfig, UsageLedger, UsageMeter,
 };
 pub use ginja_cost::{BudgetConfig, KnobBounds, Knobs};
-pub use names::{DbObjectKind, DbObjectName, WalObjectName};
+pub use names::{DbObjectKind, DbObjectName, WalObjectName, DB_PREFIX, WAL_PREFIX};
 pub use outage::{OutageObservation, OutagePolicy, OutageState};
 pub use recovery::{
     list_restore_points, recover_into, recover_to_point, RecoveryReport, RestorePoint,
@@ -88,6 +90,7 @@ pub use recovery::{
 pub use stats::{
     CrashFsSnapshot, GinjaStats, GinjaStatsSnapshot, GovernorSnapshot, IngestSnapshot,
     LatencyHisto, LatencySnapshot, OutageSnapshot, SentinelSnapshot, SentinelStats,
+    StandbySnapshot, StandbyStats,
 };
 pub use verify::{verify_backup, verify_backup_in_memory, VerifyReport};
-pub use view::CloudView;
+pub use view::{CloudView, DbEntry};

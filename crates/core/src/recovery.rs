@@ -34,10 +34,10 @@ use ginja_cloud::ObjectStore;
 use ginja_codec::Codec;
 use ginja_vfs::FileSystem;
 
-use crate::bundle;
+use crate::apply::{ApplyEngine, ApplyProgress};
 use crate::config::GinjaConfig;
-use crate::fanout::FanoutExecutor;
-use crate::view::{CloudView, DbEntry};
+use crate::fanout::FanoutHandle;
+use crate::view::CloudView;
 use crate::GinjaError;
 
 /// What a recovery did — for operator visibility and tests.
@@ -89,117 +89,16 @@ pub fn recover_to_point(
     // Recovery is GET-latency bound (the paper's Figure 7): fan the
     // fetches out `recovery_fanout` wide while keeping every *apply*
     // strictly in timestamp order through the executor's reorder buffer.
-    let exec = FanoutExecutor::new(config.recovery_fanout);
+    let fanout = FanoutHandle::solo(config.recovery_fanout);
     let names = cloud.list("")?;
     let view = CloudView::from_listing(&names)?;
-    let mut report = RecoveryReport::default();
-    let mut files_written = std::collections::BTreeSet::new();
-
-    // 2. Most recent dump at or before the requested point.
-    let (dump_ts, dump_entry) = view
-        .db_entries()
-        .rfind(|(ts, e)| {
-            *ts <= point && e.kind == crate::names::DbObjectKind::Dump && e.is_complete()
-        })
-        .ok_or_else(|| GinjaError::Recovery("no usable dump in the cloud".into()))?;
-    report.dump_ts = dump_ts;
-    let dump_bundle = fetch_bundle(&exec, cloud, &codec, dump_entry, &mut report)?;
-    for range in &dump_bundle {
-        // Dumps carry whole files: replace any stale local content, but
-        // only on the first entry for each path (a merged dump may carry
-        // later incremental ranges for the same file).
-        if files_written.insert(range.path.clone()) {
-            fs.delete(&range.path)?;
-        }
-        fs.write(&range.path, range.offset, &range.data, false)?;
-    }
-
-    // 3. Every surviving WAL object, in timestamp order (see the module
-    // docs: even objects older than the dump may hold the only copy of
-    // records for pages a fuzzy checkpointer had not flushed when the
-    // dump was taken, and gaps do not stop application). Workers
-    // prefetch GET+open up to `recovery_fanout` ahead; the reorder
-    // buffer delivers each object to the apply step strictly in
-    // timestamp order, so the rebuilt file content is byte-identical to
-    // the serial pass.
-    let wal_jobs: Vec<crate::names::WalObjectName> = view
-        .wal_entries()
-        .take_while(|wal| wal.ts <= point)
-        .cloned()
-        .collect();
-    exec.run_ordered(
-        wal_jobs,
-        |_, wal| {
-            let name = wal.to_name();
-            let sealed = cloud.get(&name)?;
-            let data = codec.open(&name, &sealed)?;
-            Ok::<_, GinjaError>((wal, sealed.len() as u64, data))
-        },
-        |_, (wal, sealed_len, data)| {
-            report.bytes_downloaded += sealed_len;
-            fs.write(&wal.file, wal.offset, &data, false)?;
-            files_written.insert(wal.file.clone());
-            report.wal_objects_applied += 1;
-            report.max_wal_ts = wal.ts;
-            Ok(())
-        },
-    )?;
-
-    // 4. The dump's entries again (writes only, no delete): its
-    // checkpoint control block — which for InnoDB lives inside a WAL
-    // file — must override whatever pre-dump log images just rewrote
-    // it. Dump entries never overlap WAL *record* regions (they target
-    // database files and the control offsets), so only ordering
-    // matters here.
-    for range in &dump_bundle {
-        fs.write(&range.path, range.offset, &range.data, false)?;
-    }
-
-    // 5. Incremental checkpoints newer than the dump, ascending — last,
-    // so their data pages and checkpoint control blocks are the final
-    // word. Checkpoints are typically many small single-part objects, so
-    // the parts are flattened across entries into one fan-out wave —
-    // the reorder buffer hands them back grouped by entry, oldest
-    // first, and each bundle is decoded and applied as soon as its last
-    // part arrives.
-    let mut ckpt_jobs: Vec<(usize, usize, String)> = Vec::new();
-    let mut ckpt_parts: Vec<Vec<Vec<u8>>> = Vec::new();
-    for (ts, entry) in view.checkpoints_after(dump_ts) {
-        if ts > point {
-            break;
-        }
-        let idx = ckpt_parts.len();
-        ckpt_parts.push(vec![Vec::new(); entry.parts.len()]);
-        for (j, part) in entry.parts.iter().enumerate() {
-            ckpt_jobs.push((idx, j, part.to_name()));
-        }
-    }
-    let n_ckpts = ckpt_parts.len();
-    exec.run_ordered(
-        ckpt_jobs,
-        |_, (entry_idx, part_idx, name)| {
-            let sealed = cloud.get(&name)?;
-            let data = codec.open(&name, &sealed)?;
-            Ok::<_, GinjaError>((entry_idx, part_idx, sealed.len() as u64, data))
-        },
-        |_, (entry_idx, part_idx, sealed_len, data)| {
-            report.bytes_downloaded += sealed_len;
-            ckpt_parts[entry_idx][part_idx] = data;
-            Ok(())
-        },
-    )?;
-    // Decode and apply ascending only after the wave: a decode error on
-    // entry k must not leave entries > k half-applied out of order.
-    for parts in ckpt_parts {
-        for range in bundle::decode(&bundle::reassemble(parts))? {
-            fs.write(&range.path, range.offset, &range.data, false)?;
-            files_written.insert(range.path);
-        }
-    }
-    report.checkpoints_applied = n_ckpts as u64;
-
-    report.files_written = files_written.len() as u64;
-    Ok(report)
+    // Steps 2–5 live in the apply engine, shared with the continuous
+    // standby (`ginja-standby`), which drives the same methods one
+    // bucket delta at a time instead of in one cold pass.
+    let engine = ApplyEngine::new(fs, cloud, &codec, &fanout);
+    let mut progress = ApplyProgress::new();
+    engine.cold_apply(&view, point, &mut progress)?;
+    Ok(progress.report())
 }
 
 /// A state the cloud can restore (for `recover_to_point`).
@@ -264,30 +163,10 @@ pub fn list_restore_points(cloud: &dyn ObjectStore) -> Result<Vec<RestorePoint>,
     Ok(points)
 }
 
-fn fetch_bundle(
-    exec: &FanoutExecutor,
-    cloud: &dyn ObjectStore,
-    codec: &Codec,
-    entry: &DbEntry,
-    report: &mut RecoveryReport,
-) -> Result<Vec<bundle::FileRange>, GinjaError> {
-    let names: Vec<String> = entry.parts.iter().map(|p| p.to_name()).collect();
-    let fetched = exec.run_collect(names, |_, name| {
-        let sealed = cloud.get(&name)?;
-        let data = codec.open(&name, &sealed)?;
-        Ok::<_, GinjaError>((sealed.len() as u64, data))
-    })?;
-    let mut parts = Vec::with_capacity(fetched.len());
-    for (sealed_len, data) in fetched {
-        report.bytes_downloaded += sealed_len;
-        parts.push(data);
-    }
-    bundle::decode(&bundle::reassemble(parts))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bundle;
     use crate::names::{DbObjectKind, DbObjectName, WalObjectName};
     use ginja_cloud::MemStore;
     use ginja_vfs::MemFs;

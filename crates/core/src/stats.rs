@@ -229,6 +229,7 @@ impl GinjaStats {
             // (the hot path records where it runs); `Ginja::stats`
             // merges them in.
             ingest: IngestSnapshot::default(),
+            standby: StandbySnapshot::default(),
         }
     }
 }
@@ -370,6 +371,145 @@ pub struct SentinelSnapshot {
     pub degraded: bool,
 }
 
+/// Shared atomic counters updated by a warm standby (`ginja-standby`).
+///
+/// Like [`SentinelStats`], the standby lives in its own crate but its
+/// counters belong next to the pipeline's: hand one to
+/// [`crate::Ginja::attach_standby`] (or read it standalone on the
+/// recovery site) and one [`GinjaStatsSnapshot`] tells the whole DR
+/// story — uploads, backup health, *and* how far behind the warm
+/// shadow currently is.
+#[derive(Debug)]
+pub struct StandbyStats {
+    tail_cycles: AtomicU64,
+    gets: AtomicU64,
+    bytes_fetched: AtomicU64,
+    tail_errors: AtomicU64,
+    lag_objects: AtomicU64,
+    lag_bytes: AtomicU64,
+    lag_micros: AtomicU64,
+    resets: AtomicU64,
+    promotions: AtomicU64,
+    pace_permille: AtomicU64,
+    promotion_histo: LatencyHisto,
+}
+
+impl Default for StandbyStats {
+    fn default() -> Self {
+        StandbyStats {
+            tail_cycles: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            bytes_fetched: AtomicU64::new(0),
+            tail_errors: AtomicU64::new(0),
+            lag_objects: AtomicU64::new(0),
+            lag_bytes: AtomicU64::new(0),
+            lag_micros: AtomicU64::new(0),
+            resets: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            // Nominal poll cadence until the governor says otherwise.
+            pace_permille: AtomicU64::new(1000),
+            promotion_histo: LatencyHisto::default(),
+        }
+    }
+}
+
+impl StandbyStats {
+    /// Records one completed tail cycle: objects fetched and sealed
+    /// bytes downloaded by it.
+    pub fn record_cycle(&self, gets: u64, bytes: u64) {
+        self.tail_cycles.fetch_add(1, Ordering::Relaxed);
+        self.gets.fetch_add(gets, Ordering::Relaxed);
+        self.bytes_fetched.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one failed tail cycle (cloud unreachable, breaker open).
+    pub fn record_error(&self) {
+        self.tail_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the lag gauges: objects and bytes in the bucket the shadow
+    /// has not absorbed yet, and how stale the shadow is in wall time.
+    pub fn set_lag(&self, objects: u64, bytes: u64, age: Duration) {
+        self.lag_objects.store(objects, Ordering::Relaxed);
+        self.lag_bytes.store(bytes, Ordering::Relaxed);
+        self.lag_micros.store(
+            age.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Records one shadow reset (a new dump generation forced a full
+    /// re-apply).
+    pub fn record_reset(&self) {
+        self.resets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one promotion and its wall-clock residual-replay time —
+    /// the *achieved* RTO of the standby path.
+    pub fn record_promotion(&self, rto: Duration) {
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+        self.promotion_histo.record(rto);
+    }
+
+    /// Sets the governed poll-pace multiplier, in permille (1000 =
+    /// nominal cadence, 4000 = polling 4x slower to protect a budget).
+    pub fn set_pace(&self, permille: u64) {
+        self.pace_permille.store(permille, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> StandbySnapshot {
+        StandbySnapshot {
+            tail_cycles: self.tail_cycles.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            bytes_fetched: self.bytes_fetched.load(Ordering::Relaxed),
+            tail_errors: self.tail_errors.load(Ordering::Relaxed),
+            lag_objects: self.lag_objects.load(Ordering::Relaxed),
+            lag_bytes: self.lag_bytes.load(Ordering::Relaxed),
+            lag: Duration::from_micros(self.lag_micros.load(Ordering::Relaxed)),
+            resets: self.resets.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            pace_permille: self.pace_permille.load(Ordering::Relaxed),
+            promotion_latency: self.promotion_histo.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`StandbyStats`], embedded in
+/// [`GinjaStatsSnapshot`]. All-zero (including `pace_permille`) when no
+/// standby is attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandbySnapshot {
+    /// Completed tail cycles (each one LIST delta + the GETs it
+    /// implied).
+    pub tail_cycles: u64,
+    /// Objects fetched by the tail (the standby's GET count — the
+    /// spend the governor meters).
+    pub gets: u64,
+    /// Sealed bytes the tail downloaded.
+    pub bytes_fetched: u64,
+    /// Tail cycles that failed outright (cloud unreachable, circuit
+    /// breaker open) — lag grows across these.
+    pub tail_errors: u64,
+    /// Objects in the bucket the shadow has not absorbed yet (gauge).
+    pub lag_objects: u64,
+    /// Bytes those unabsorbed objects carry (gauge).
+    pub lag_bytes: u64,
+    /// Wall-clock staleness of the shadow: how long the tail has been
+    /// behind the bucket (gauge; zero when fully drained).
+    pub lag: Duration,
+    /// Shadow resets forced by a new dump generation.
+    pub resets: u64,
+    /// Promotions performed (normally 0 or 1; drills may add more).
+    pub promotions: u64,
+    /// The governed poll-pace multiplier in force, in permille (1000 =
+    /// nominal; higher = polling slower to protect the budget).
+    pub pace_permille: u64,
+    /// Distribution of promotion residual-replay times — the achieved
+    /// RTO histogram the ablation reads.
+    pub promotion_latency: LatencySnapshot,
+}
+
 /// A point-in-time copy of [`GinjaStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GinjaStatsSnapshot {
@@ -476,6 +616,10 @@ pub struct GinjaStatsSnapshot {
     /// Ingest fast-path state: put/blocked latency histograms and
     /// staging-ring contention counters, merged in by `Ginja::stats`.
     pub ingest: IngestSnapshot,
+    /// Warm-standby counters (tail cycles, lag gauges, promotions),
+    /// merged in by `Ginja::stats` when a standby is attached; zero
+    /// otherwise.
+    pub standby: StandbySnapshot,
 }
 
 /// A point-in-time view of the outage-endurance subsystem, embedded in
@@ -670,6 +814,31 @@ mod tests {
         assert_eq!(snap.last_rpo_updates, 7);
         assert!(snap.last_rpo_within_bound);
         assert!(snap.degraded && s.is_degraded());
+    }
+
+    #[test]
+    fn standby_stats_accumulate_and_snapshot() {
+        let s = StandbyStats::default();
+        assert_eq!(s.snapshot().pace_permille, 1000, "nominal pace by default");
+        s.record_cycle(3, 900);
+        s.record_cycle(0, 0);
+        s.record_error();
+        s.set_lag(5, 4096, Duration::from_millis(250));
+        s.record_reset();
+        s.record_promotion(Duration::from_millis(12));
+        s.set_pace(2000);
+        let snap = s.snapshot();
+        assert_eq!(snap.tail_cycles, 2);
+        assert_eq!(snap.gets, 3);
+        assert_eq!(snap.bytes_fetched, 900);
+        assert_eq!(snap.tail_errors, 1);
+        assert_eq!(snap.lag_objects, 5);
+        assert_eq!(snap.lag_bytes, 4096);
+        assert_eq!(snap.lag, Duration::from_millis(250));
+        assert_eq!(snap.resets, 1);
+        assert_eq!(snap.promotions, 1);
+        assert_eq!(snap.pace_permille, 2000);
+        assert_eq!(snap.promotion_latency.count, 1);
     }
 
     #[test]

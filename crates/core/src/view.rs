@@ -371,6 +371,38 @@ impl CloudView {
         self.db.remove(&ts).map(|e| e.parts).unwrap_or_default()
     }
 
+    /// Removes a single object *by its cloud name* — the standby's
+    /// incremental-view maintenance path, driven by the DELETE half of
+    /// a listing delta (garbage collection on the live side). Returns
+    /// whether anything was removed: a name this view never tracked, a
+    /// WAL timestamp now owned by a different generation, or an
+    /// unparseable name are all quietly `false` (the object was already
+    /// not part of this view's state).
+    pub fn remove_object(&mut self, name: &str) -> bool {
+        if name.starts_with(crate::names::WAL_PREFIX) {
+            if let Ok(parsed) = WalObjectName::parse(name) {
+                if self.wal.get(&parsed.ts) == Some(&parsed) {
+                    self.wal.remove(&parsed.ts);
+                    return true;
+                }
+            }
+            return false;
+        }
+        let Ok(parsed) = DbObjectName::parse(name) else {
+            return false;
+        };
+        let Some(entry) = self.db.get_mut(&parsed.ts) else {
+            return false;
+        };
+        let before = entry.parts.len();
+        entry.parts.retain(|p| *p != parsed);
+        let removed = entry.parts.len() != before;
+        if entry.parts.is_empty() {
+            self.db.remove(&parsed.ts);
+        }
+        removed
+    }
+
     /// All WAL object names, ascending by ts.
     pub fn wal_entries(&self) -> impl Iterator<Item = &WalObjectName> {
         self.wal.values()
@@ -566,6 +598,42 @@ mod tests {
         assert_eq!(v.total_wal_bytes(), 150);
         v.remove_wal_up_to(1);
         assert_eq!(v.total_wal_bytes(), 50);
+    }
+
+    #[test]
+    fn remove_object_by_name() {
+        let mut v = CloudView::new();
+        v.add_wal(wal_range(1, "log", 0, 100));
+        v.add_db_part(DbObjectName {
+            ts: 2,
+            kind: DbObjectKind::Checkpoint,
+            size: 10,
+            part: 0,
+            parts: 2,
+        });
+        v.add_db_part(DbObjectName {
+            ts: 2,
+            kind: DbObjectKind::Checkpoint,
+            size: 10,
+            part: 1,
+            parts: 2,
+        });
+
+        // Unknown / unparseable names are quietly ignored.
+        assert!(!v.remove_object("WAL/9_log_0_100"));
+        assert!(!v.remove_object("garbage"));
+        assert_eq!(v.wal_count(), 1);
+
+        // Removing one part leaves an incomplete entry; removing the
+        // last part drops the entry.
+        assert!(v.remove_object("DB/2_checkpoint_10_0_2"));
+        assert!(!v.db_entry(2).unwrap().is_complete());
+        assert!(!v.remove_object("DB/2_checkpoint_10_0_2"), "already gone");
+        assert!(v.remove_object("DB/2_checkpoint_10_1_2"));
+        assert!(v.db_entry(2).is_none());
+
+        assert!(v.remove_object("WAL/1_log_0_100"));
+        assert_eq!(v.wal_count(), 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use ginja_cost::governor::{project_spend, to_microusd, GovernorAction, GovernorP
 use ginja_cost::BudgetConfig;
 use ginja_db::{Database, DbError, DbProfile, ProfileKind};
 use ginja_sentinel::{scrub_bucket, AnomalyKind, ScrubReport};
+use ginja_standby::{Standby, StandbyConfig};
 use ginja_vfs::{DbmsProcessor, FileSystem, InterceptFs, MemFs, MySqlProcessor, PostgresProcessor};
 
 use crate::snapshot::{FleetSnapshot, TenantSnapshot};
@@ -130,6 +131,9 @@ pub struct TenantSpec {
     pub config: GinjaConfig,
     /// The tenant's local file system; a fresh in-memory one if `None`.
     pub local: Option<Arc<dyn FileSystem>>,
+    /// Whether to attach a warm standby tailing this tenant's prefix
+    /// into a shadow directory (driven by [`Fleet::standby_pass`]).
+    pub standby: bool,
 }
 
 impl TenantSpec {
@@ -141,6 +145,7 @@ impl TenantSpec {
             profile,
             config,
             local: None,
+            standby: false,
         }
     }
 
@@ -148,6 +153,13 @@ impl TenantSpec {
     #[must_use]
     pub fn weight(mut self, weight: f64) -> Self {
         self.weight = weight;
+        self
+    }
+
+    /// Attaches a warm standby to the tenant.
+    #[must_use]
+    pub fn standby(mut self, enabled: bool) -> Self {
+        self.standby = enabled;
         self
     }
 }
@@ -171,6 +183,7 @@ pub struct Tenant {
     db: Database,
     ginja: Ginja,
     sentinel: Arc<SentinelStats>,
+    standby: Option<Arc<Standby>>,
     decisions: AtomicU64,
     escalations: AtomicU64,
     relaxations: AtomicU64,
@@ -221,6 +234,11 @@ impl Tenant {
     /// The tenant's middleware.
     pub fn ginja(&self) -> &Ginja {
         &self.ginja
+    }
+
+    /// The tenant's warm standby, when the spec asked for one.
+    pub fn standby(&self) -> Option<&Arc<Standby>> {
+        self.standby.as_ref()
     }
 }
 
@@ -339,6 +357,7 @@ impl Fleet {
         let mut config = spec.config;
         config.retry = RetryConfig::disabled();
         config.budget = None;
+        let standby_config = spec.standby.then(|| config.clone());
 
         let local: Arc<dyn FileSystem> = spec.local.unwrap_or_else(|| Arc::new(MemFs::new()));
         // Initialize (or crash-recover) the database files first so the
@@ -362,6 +381,33 @@ impl Fleet {
         )?;
         let sentinel = Arc::new(SentinelStats::default());
         ginja.attach_sentinel(sentinel.clone());
+        // The standby tails the tenant's prefix through its own
+        // resilient wrapper (fresh ledger → per-standby read
+        // attribution; retries stay disabled like the tenant's own
+        // lane) but shares the fleet executor, so tail GETs compete
+        // under the same fair-share weight as the tenant's uploads.
+        let standby = match standby_config {
+            Some(standby_cfg) => {
+                let tail_store = Arc::new(ResilientStore::new(
+                    Arc::new(store.clone()) as Arc<dyn ObjectStore>,
+                    RetryConfig::disabled(),
+                ));
+                let tail_fanout = FanoutHandle::shared(self.exec.clone(), spec.weight);
+                let standby = Standby::attach_with(
+                    tail_store,
+                    tail_fanout,
+                    Arc::new(MemFs::new()),
+                    standby_cfg,
+                    StandbyConfig {
+                        lane_weight: spec.weight,
+                        ..StandbyConfig::default()
+                    },
+                )?;
+                ginja.attach_standby(standby.counters());
+                Some(standby)
+            }
+            None => None,
+        };
         let intercepted: Arc<dyn FileSystem> =
             Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
         let db = Database::open(intercepted, spec.profile)?;
@@ -374,6 +420,7 @@ impl Fleet {
             db,
             ginja,
             sentinel,
+            standby,
             decisions: AtomicU64::new(0),
             escalations: AtomicU64::new(0),
             relaxations: AtomicU64::new(0),
@@ -415,6 +462,9 @@ impl Fleet {
             tenants.remove(idx)
         };
         let drained = tenant.ginja.sync(timeout);
+        if let Some(standby) = tenant.standby() {
+            standby.shutdown();
+        }
         tenant.ginja.shutdown();
         if purge {
             for object in self.shared.list(&tenant.prefix)? {
@@ -438,8 +488,28 @@ impl Fleet {
     /// [`Fleet::sync_all`] first if tail durability matters).
     pub fn shutdown(&self) {
         for tenant in self.tenants() {
+            if let Some(standby) = tenant.standby() {
+                standby.shutdown();
+            }
             tenant.ginja.shutdown();
         }
+    }
+
+    /// One warm-standby tail pass: runs a delta poll + apply cycle on
+    /// every standby-equipped tenant. Cycle failures (e.g. the shared
+    /// breaker is open during an outage) are tolerated — the standby
+    /// records the error and its lag gauges keep aging. Returns the
+    /// number of cycles that completed cleanly.
+    pub fn standby_pass(&self) -> usize {
+        let mut clean = 0;
+        for tenant in self.tenants() {
+            if let Some(standby) = tenant.standby() {
+                if standby.run_cycle().is_ok() {
+                    clean += 1;
+                }
+            }
+        }
+        clean
     }
 
     /// This tenant's monthly sub-budget: the fleet budget split by
@@ -836,6 +906,55 @@ mod tests {
         assert!(fleet.sync_all(SYNC));
         assert_eq!(fleet.governor_pass(), 0);
         assert_eq!(fleet.snapshot().tenant("a").unwrap().decisions, 0);
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn standby_tenants_tail_and_promote_within_the_fleet() {
+        let fleet = fleet_on(Arc::new(MemStore::new()), None);
+        let a = fleet.attach(spec("a").standby(true)).unwrap();
+        let plain = fleet.attach(spec("b")).unwrap();
+        assert!(a.standby().is_some(), "spec asked for a standby");
+        assert!(plain.standby().is_none(), "and b did not");
+
+        write_rows(&a, 12);
+        write_rows(&plain, 4);
+        assert!(fleet.sync_all(SYNC));
+
+        assert_eq!(fleet.standby_pass(), 1, "only a's standby cycles");
+        assert_eq!(fleet.standby_pass(), 1);
+
+        let snap = fleet.snapshot();
+        let stats = &snap.tenant("a").unwrap().stats;
+        let tail = stats.standby;
+        assert!(tail.tail_cycles >= 2, "cycles recorded: {tail:?}");
+        assert!(tail.gets > 0, "the tail fetched objects");
+        assert_eq!(tail.lag_objects, 0, "drained after the passes");
+        assert_eq!(
+            snap.tenant("b").unwrap().stats.standby.tail_cycles,
+            0,
+            "no standby gauges on a plain tenant"
+        );
+        assert_eq!(
+            snap.totals.standby_tail_cycles,
+            u128::from(tail.tail_cycles)
+        );
+        assert_eq!(snap.totals.standby_gets, u128::from(tail.gets));
+
+        // Promote a's shadow: the result must be a bootable directory
+        // holding everything the tenant had synced.
+        let standby = a.standby().unwrap().clone();
+        let report = standby.promote().unwrap();
+        assert!(report.caught_up, "nothing was in flight: {report:?}");
+        let db = Database::open(standby.shadow(), DbProfile::postgres_small()).unwrap();
+        for i in 0..12u64 {
+            assert_eq!(
+                db.get(1, i).unwrap().unwrap(),
+                format!("a-{i}").into_bytes()
+            );
+        }
+        assert_eq!(fleet.standby_pass(), 0, "a fenced standby stops cycling");
+        assert!(fleet.snapshot().totals.standby_promotions >= 1);
         fleet.shutdown();
     }
 }

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ginja_cloud::{ObjectStore, StoreError};
+use ginja_cloud::{DeltaLister, ObjectStore, StoreError};
 use ginja_codec::Codec;
 use ginja_core::{Ginja, GinjaError, SentinelSnapshot, SentinelStats, WalObjectName};
 use parking_lot::Mutex;
@@ -48,6 +48,10 @@ struct ScrubState {
     /// Round-robin position in the sorted tracked-object list for
     /// payload verification.
     cursor: usize,
+    /// The incrementally maintained bucket listing: one LIST per
+    /// cycle, O(delta) processing instead of rebuilding an O(bucket)
+    /// name set every scrub.
+    lister: DeltaLister,
 }
 
 /// The DR sentinel attached to a live [`Ginja`] instance.
@@ -187,16 +191,21 @@ impl Sentinel {
     pub fn run_cycle(&self) -> Result<CycleReport, GinjaError> {
         let cfg = self.ginja.config().sentinel;
         let cloud = self.ginja.resilient_cloud();
+        let mut state = self.state.lock();
 
         // -------- scrub --------
         let before = tracked_names(&self.ginja);
-        let listing: BTreeSet<String> = cloud.list("")?.into_iter().collect();
+        // One LIST, folded into the incrementally maintained name set:
+        // steady state costs O(delta) processing, not an O(bucket)
+        // set rebuild per cycle.
+        let delta = state.lister.poll(cloud.as_ref())?;
         let after = tracked_names(&self.ginja);
 
         let mut scrub = ScrubReport {
-            objects_listed: listing.len(),
+            objects_listed: delta.total,
             ..ScrubReport::default()
         };
+        let listing = state.lister.seen();
         for name in before.intersection(&after) {
             if !listing.contains(name) {
                 let kind = if name.starts_with("WAL/") {
@@ -210,7 +219,7 @@ impl Sentinel {
                 });
             }
         }
-        for name in &listing {
+        for name in listing {
             if !before.contains(name) && !after.contains(name) {
                 scrub.anomalies.push(Anomaly {
                     kind: AnomalyKind::Orphan,
@@ -221,13 +230,13 @@ impl Sentinel {
 
         // Round-robin payload verification over the objects both the
         // view and the bucket agree exist.
-        let tracked: Vec<&String> = after.intersection(&listing).collect();
+        let tracked: Vec<&String> = after.intersection(listing).collect();
         let sample = if cfg.scrub_sample == 0 {
             tracked.len()
         } else {
             cfg.scrub_sample.min(tracked.len())
         };
-        let cursor = self.state.lock().cursor;
+        let cursor = state.cursor;
         for i in 0..sample {
             let name = tracked[(cursor + i) % tracked.len()];
             match cloud.get(name) {
@@ -249,8 +258,10 @@ impl Sentinel {
                 Err(err) => return Err(err.into()),
             }
         }
-        if !tracked.is_empty() {
-            self.state.lock().cursor = (cursor + sample) % tracked.len();
+        let tracked_len = tracked.len();
+        drop(tracked);
+        if tracked_len > 0 {
+            state.cursor = (cursor + sample) % tracked_len;
         }
         self.stats.record_scrub(
             scrub.objects_listed as u64,
@@ -304,6 +315,9 @@ impl Sentinel {
             .unwrap_or_default();
         for (name, ok) in outcomes {
             if ok {
+                // Our own PUT: note it so the next poll's delta does
+                // not re-report the repaired object as newly added.
+                state.lister.note_put(&name);
                 repair.uploaded.push(name);
             } else {
                 repair.failed.push(name);
@@ -331,17 +345,17 @@ impl Sentinel {
             .map(|a| a.name.clone())
             .collect();
         if cfg.delete_orphans {
-            let confirmed: Vec<String> = {
-                let state = self.state.lock();
-                state
-                    .quarantine
-                    .intersection(&orphans_now)
-                    .cloned()
-                    .collect()
-            };
+            let confirmed: Vec<String> = state
+                .quarantine
+                .intersection(&orphans_now)
+                .cloned()
+                .collect();
             for name in confirmed {
                 match cloud.delete(&name) {
-                    Ok(()) | Err(StoreError::NotFound(_)) => repair.orphans_deleted.push(name),
+                    Ok(()) | Err(StoreError::NotFound(_)) => {
+                        state.lister.note_delete(&name);
+                        repair.orphans_deleted.push(name);
+                    }
                     Err(_) => {
                         repair.failed.push(name);
                         unrepaired += 1;
@@ -349,15 +363,12 @@ impl Sentinel {
                 }
             }
         }
-        {
-            let mut state = self.state.lock();
-            state.quarantine = &orphans_now
-                - &repair
-                    .orphans_deleted
-                    .iter()
-                    .cloned()
-                    .collect::<BTreeSet<_>>();
-        }
+        state.quarantine = &orphans_now
+            - &repair
+                .orphans_deleted
+                .iter()
+                .cloned()
+                .collect::<BTreeSet<_>>();
 
         self.stats.record_repair(
             repair.uploaded.len() as u64,
@@ -403,6 +414,23 @@ impl Sentinel {
         self.stats
             .record_rehearsal(report.rto, rpo as u64, within, report.restorable());
         Ok(report)
+    }
+
+    /// Records a rehearsal performed outside this sentinel's own loop
+    /// — e.g. a warm-standby promotion drill (`ginja-standby`), which
+    /// proves restorability with the standby's residual RTO instead of
+    /// a full cold rebuild — into the same counters, so
+    /// [`Ginja::stats`] carries one rehearsal history no matter who
+    /// rehearsed.
+    pub fn record_external_rehearsal(
+        &self,
+        rto: Duration,
+        rpo_updates: u64,
+        within_bound: bool,
+        ok: bool,
+    ) {
+        self.stats
+            .record_rehearsal(rto, rpo_updates, within_bound, ok);
     }
 }
 

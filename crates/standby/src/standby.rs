@@ -1,0 +1,899 @@
+//! The standby daemon: delta tail, incremental apply, promotion.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ginja_cloud::{DeltaLister, ObjectStore, ResilientStore, UsageLedger, UsageMeter};
+use ginja_codec::Codec;
+use ginja_core::{
+    ApplyEngine, ApplyProgress, CloudView, DbObjectKind, DbObjectName, FanoutHandle, Ginja,
+    GinjaConfig, GinjaError, RecoveryReport, StandbySnapshot, StandbyStats, WalObjectName,
+    DB_PREFIX, WAL_PREFIX,
+};
+use ginja_cost::governor::project_spend;
+use ginja_cost::BudgetConfig;
+use ginja_vfs::FileSystem;
+use parking_lot::Mutex;
+
+/// Tuning for the standby tail. Validated by [`StandbyConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandbyConfig {
+    /// Nominal interval between tail polls; the cost governor may
+    /// stretch it (never below nominal) via the pace multiplier.
+    pub poll_interval: Duration,
+    /// GET fan-out width when the standby owns its executor
+    /// ([`Standby::attach`]); ignored when a shared handle is supplied.
+    pub fanout: usize,
+    /// Fair-share lane weight when tailing through a shared executor
+    /// ([`Standby::for_instance`]) — relative to the pipeline's upload
+    /// lanes, so catch-up GETs cannot starve live commit traffic.
+    pub lane_weight: f64,
+    /// Upper clamp on the budget-pressure pace multiplier.
+    pub max_pace: f64,
+    /// Window for the spend-rate observation fed to the projection.
+    pub spend_window: Duration,
+}
+
+impl Default for StandbyConfig {
+    fn default() -> Self {
+        StandbyConfig {
+            poll_interval: Duration::from_millis(500),
+            fanout: 8,
+            lane_weight: 1.0,
+            max_pace: 16.0,
+            spend_window: Duration::from_secs(60),
+        }
+    }
+}
+
+impl StandbyConfig {
+    /// Validates invariants, returning a description of the first
+    /// violation.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.poll_interval.is_zero() {
+            return Err("standby.poll_interval must be nonzero".into());
+        }
+        if self.fanout == 0 {
+            return Err("standby.fanout must be at least 1".into());
+        }
+        if !self.lane_weight.is_finite() || self.lane_weight <= 0.0 {
+            return Err("standby.lane_weight must be positive".into());
+        }
+        if !self.max_pace.is_finite() || self.max_pace < 1.0 {
+            return Err("standby.max_pace must be at least 1.0".into());
+        }
+        Ok(())
+    }
+}
+
+/// What one tail cycle did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TailReport {
+    /// Objects that appeared in the bucket since the previous poll.
+    pub delta_added: usize,
+    /// Objects that disappeared (garbage collection) since the
+    /// previous poll.
+    pub delta_removed: usize,
+    /// WAL objects fetched and applied this cycle.
+    pub wal_applied: u64,
+    /// Complete checkpoint entries applied this cycle.
+    pub checkpoints_applied: u64,
+    /// Whether this cycle wiped the shadow and cold-applied (first
+    /// base, new dump generation, or an out-of-order straggler).
+    pub rebased: bool,
+    /// Objects GETted this cycle.
+    pub gets: u64,
+    /// Sealed bytes downloaded this cycle.
+    pub bytes_fetched: u64,
+    /// Tracked-but-unapplied objects after this cycle (normally parts
+    /// of a bundle still mid-upload).
+    pub lag_objects: u64,
+}
+
+/// The outcome of a promotion: the shadow is now the recovered data
+/// directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromotionReport {
+    /// Achieved RTO: wall-clock time from the promotion call to a
+    /// bootable directory — the residual catch-up, not a full rebuild.
+    pub rto: Duration,
+    /// Whether the final catch-up poll-and-apply fully succeeded. Under
+    /// a cloud outage the promotion still completes from the last
+    /// applied state (`false` here), losing at most the unsynchronized
+    /// suffix the Safety bound `S` already allowed for.
+    pub caught_up: bool,
+    /// Tracked-but-unapplied objects left behind (0 when `caught_up`).
+    pub residual_objects: u64,
+    /// Estimated sealed bytes of the residual.
+    pub residual_bytes: u64,
+    /// Cumulative apply counters for the whole tail session — the same
+    /// shape cold recovery reports, for side-by-side comparison.
+    pub recovery: RecoveryReport,
+}
+
+/// Tail state carried across cycles, under one lock.
+struct TailState {
+    lister: DeltaLister,
+    view: CloudView,
+    progress: ApplyProgress,
+    /// Whether a cold base has been applied to the shadow yet.
+    based: bool,
+    /// Timestamps of incremental checkpoints applied since the base.
+    applied_ckpts: std::collections::BTreeSet<u64>,
+    /// Last instant at which the shadow had nothing left to apply.
+    drained_at: Instant,
+}
+
+/// A warm standby attached to a Ginja bucket. See the crate docs.
+pub struct Standby {
+    cloud: Arc<ResilientStore>,
+    shadow: Arc<dyn FileSystem>,
+    config: GinjaConfig,
+    tail: StandbyConfig,
+    codec: Codec,
+    fanout: FanoutHandle,
+    budget: Option<BudgetConfig>,
+    started: Instant,
+    stats: Arc<StandbyStats>,
+    pace_bits: AtomicU64,
+    fenced: AtomicBool,
+    state: Mutex<TailState>,
+    shutdown: AtomicBool,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Standby {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Standby")
+            .field("snapshot", &self.stats.snapshot())
+            .finish()
+    }
+}
+
+impl Standby {
+    /// Attaches a standalone standby to `bucket` (the recovery-site
+    /// deployment): its own [`ResilientStore`] with a fresh ledger and
+    /// its own solo GET executor of `tail.fanout` workers.
+    ///
+    /// # Errors
+    ///
+    /// [`GinjaError::Config`] when `tail` or `config` is invalid.
+    pub fn attach(
+        bucket: Arc<dyn ObjectStore>,
+        shadow: Arc<dyn FileSystem>,
+        config: GinjaConfig,
+        tail: StandbyConfig,
+    ) -> Result<Arc<Self>, GinjaError> {
+        tail.validate().map_err(GinjaError::Config)?;
+        config.validate()?;
+        let store = Arc::new(ResilientStore::new(bucket, config.retry.clone()));
+        let fanout = FanoutHandle::solo(tail.fanout);
+        Ok(Self::build(store, fanout, shadow, config, tail))
+    }
+
+    /// Attaches a standby over a prebuilt [`ResilientStore`] and
+    /// fan-out handle — the fleet path, where many tenants share one
+    /// ledger, breaker and fair executor.
+    ///
+    /// # Errors
+    ///
+    /// [`GinjaError::Config`] when `tail` or `config` is invalid.
+    pub fn attach_with(
+        store: Arc<ResilientStore>,
+        fanout: FanoutHandle,
+        shadow: Arc<dyn FileSystem>,
+        config: GinjaConfig,
+        tail: StandbyConfig,
+    ) -> Result<Arc<Self>, GinjaError> {
+        tail.validate().map_err(GinjaError::Config)?;
+        config.validate()?;
+        Ok(Self::build(store, fanout, shadow, config, tail))
+    }
+
+    /// Attaches a standby beside a live [`Ginja`] instance: same
+    /// resilient store (shared circuit breaker *and* usage ledger — the
+    /// cost governor sees standby GETs as first-class spend), a
+    /// weighted lane on the pipeline's fan-out executor, and counters
+    /// registered so [`Ginja::stats`] carries the lag gauges.
+    ///
+    /// # Errors
+    ///
+    /// [`GinjaError::Config`] when `tail` is invalid.
+    pub fn for_instance(
+        ginja: &Ginja,
+        shadow: Arc<dyn FileSystem>,
+        tail: StandbyConfig,
+    ) -> Result<Arc<Self>, GinjaError> {
+        tail.validate().map_err(GinjaError::Config)?;
+        let store = ginja.resilient_cloud();
+        let fanout = FanoutHandle::shared(ginja.fanout().executor().clone(), tail.lane_weight);
+        let standby = Self::build(store, fanout, shadow, ginja.config().clone(), tail);
+        ginja.attach_standby(standby.stats.clone());
+        Ok(standby)
+    }
+
+    fn build(
+        cloud: Arc<ResilientStore>,
+        fanout: FanoutHandle,
+        shadow: Arc<dyn FileSystem>,
+        config: GinjaConfig,
+        tail: StandbyConfig,
+    ) -> Arc<Self> {
+        let codec = Codec::new(config.codec.clone());
+        let budget = config.budget.clone();
+        Arc::new(Standby {
+            cloud,
+            shadow,
+            config,
+            tail,
+            codec,
+            fanout,
+            budget,
+            started: Instant::now(),
+            stats: Arc::new(StandbyStats::default()),
+            pace_bits: AtomicU64::new(1.0f64.to_bits()),
+            fenced: AtomicBool::new(false),
+            state: Mutex::new(TailState {
+                lister: DeltaLister::new(""),
+                view: CloudView::new(),
+                progress: ApplyProgress::new(),
+                based: false,
+                applied_ckpts: std::collections::BTreeSet::new(),
+                drained_at: Instant::now(),
+            }),
+            shutdown: AtomicBool::new(false),
+            thread: Mutex::new(None),
+        })
+    }
+
+    /// The standby's counters (shared with an attached [`Ginja`]
+    /// when created via [`Standby::for_instance`]).
+    pub fn snapshot(&self) -> StandbySnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The live counter handle, for registering with a [`Ginja`]
+    /// instance this standby was not built from (e.g. a fleet tenant:
+    /// `ginja.attach_standby(standby.counters())` merges the lag
+    /// gauges into that tenant's stats).
+    pub fn counters(&self) -> Arc<StandbyStats> {
+        self.stats.clone()
+    }
+
+    /// The shadow file system the tail applies into (the bootable
+    /// directory after [`Standby::promote`]).
+    pub fn shadow(&self) -> Arc<dyn FileSystem> {
+        self.shadow.clone()
+    }
+
+    /// The ledger metering this standby's cloud reads.
+    pub fn ledger(&self) -> Arc<UsageLedger> {
+        self.cloud.ledger().clone()
+    }
+
+    /// The pipeline configuration of the deployment this standby
+    /// shadows (its Safety bound `S` caps what a promotion can lose).
+    pub fn config(&self) -> &GinjaConfig {
+        &self.config
+    }
+
+    /// The pace multiplier currently stretching the poll interval
+    /// (≥ 1.0; 1.0 without budget pressure).
+    pub fn pace(&self) -> f64 {
+        f64::from_bits(self.pace_bits.load(Ordering::Relaxed))
+    }
+
+    /// The poll interval currently in force: nominal × pace.
+    pub fn poll_interval(&self) -> Duration {
+        self.tail.poll_interval.mul_f64(self.pace())
+    }
+
+    /// Whether [`Standby::promote`] has fenced the tail.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::SeqCst)
+    }
+
+    /// One tail cycle: poll the listing delta, fold it into the view,
+    /// apply whatever became applicable, refresh the lag gauges, and
+    /// let budget pressure retune the pace.
+    ///
+    /// # Errors
+    ///
+    /// Cloud failures (including breaker fast-fails) propagate after
+    /// being counted; [`GinjaError::ShutDown`] once fenced.
+    pub fn run_cycle(&self) -> Result<TailReport, GinjaError> {
+        if self.is_fenced() {
+            return Err(GinjaError::ShutDown);
+        }
+        let mut state = self.state.lock();
+        let report = self.cycle_locked(&mut state, false)?;
+        self.govern_pace();
+        Ok(report)
+    }
+
+    /// Fences the tail and finishes the job: one final best-effort
+    /// catch-up cycle, then the shadow *is* the recovered data
+    /// directory. The wall-clock of this call is the achieved RTO.
+    ///
+    /// Under a cloud outage the catch-up may fail; promotion still
+    /// completes from the last applied state (`caught_up = false`),
+    /// losing at most the suffix the Safety bound `S` already allowed
+    /// for — exactly the paper's disaster semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`GinjaError::Recovery`] when called twice, or when no base was
+    /// ever applied (an empty standby has nothing to promote; the
+    /// fence is released so a later attempt can succeed).
+    pub fn promote(&self) -> Result<PromotionReport, GinjaError> {
+        if self.fenced.swap(true, Ordering::SeqCst) {
+            return Err(GinjaError::Recovery("standby already promoted".into()));
+        }
+        let start = Instant::now();
+        let mut state = self.state.lock();
+        let caught_up = self.cycle_locked(&mut state, true).is_ok();
+        if !state.based {
+            self.fenced.store(false, Ordering::SeqCst);
+            return Err(GinjaError::Recovery(
+                "standby has no applied base to promote".into(),
+            ));
+        }
+        let (residual_objects, residual_bytes) = pending(&state);
+        let rto = start.elapsed();
+        self.stats.record_promotion(rto);
+        Ok(PromotionReport {
+            rto,
+            caught_up: caught_up && residual_objects == 0,
+            residual_objects,
+            residual_bytes,
+            recovery: state.progress.report(),
+        })
+    }
+
+    /// Starts the background tail thread (idempotent). The loop
+    /// re-reads [`Standby::poll_interval`] every cycle, so a governor
+    /// pace change takes effect at the next scheduling decision; a
+    /// failed cycle (outage, open breaker) is counted and retried at
+    /// the next interval.
+    pub fn spawn(self: &Arc<Self>) {
+        let mut slot = self.thread.lock();
+        if slot.is_some() {
+            return;
+        }
+        let standby = self.clone();
+        *slot = Some(
+            std::thread::Builder::new()
+                .name("ginja-standby".into())
+                .spawn(move || {
+                    let mut next = Instant::now();
+                    while !standby.shutdown.load(Ordering::SeqCst) && !standby.is_fenced() {
+                        if Instant::now() >= next {
+                            let _ = standby.run_cycle();
+                            next = Instant::now() + standby.poll_interval();
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                })
+                .expect("spawn standby"),
+        );
+    }
+
+    /// Stops the background thread (if running) and joins it.
+    /// Idempotent; direct calls to `run_cycle`/`promote` still work
+    /// afterwards.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// The cycle body, under the state lock. `best_effort` (promotion)
+    /// pushes past poll/apply failures instead of propagating them.
+    fn cycle_locked(
+        &self,
+        state: &mut TailState,
+        best_effort: bool,
+    ) -> Result<TailReport, GinjaError> {
+        let mut report = TailReport::default();
+        let mut straggler = false;
+
+        match state.lister.poll(self.cloud.as_ref()) {
+            Ok(delta) => {
+                report.delta_added = delta.added.len();
+                report.delta_removed = delta.removed.len();
+                for name in &delta.removed {
+                    state.view.remove_object(name);
+                }
+                for name in &delta.added {
+                    if name.starts_with(WAL_PREFIX) {
+                        if let Ok(wal) = WalObjectName::parse(name) {
+                            if state.based && wal.ts <= state.progress.max_wal_ts() {
+                                straggler = true;
+                            }
+                            state.view.add_wal(wal);
+                        }
+                    } else if name.starts_with(DB_PREFIX) {
+                        if let Ok(db) = DbObjectName::parse(name) {
+                            state.view.add_db_part(db);
+                        }
+                    }
+                    // Anything else in the bucket is not Ginja's
+                    // (the sentinel calls it an orphan); ignore it.
+                }
+            }
+            Err(err) => {
+                self.stats.record_error();
+                if !best_effort {
+                    self.refresh_lag(state, &mut report);
+                    self.stats.record_cycle(0, 0);
+                    return Err(err.into());
+                }
+            }
+        }
+
+        match self.apply_locked(state, straggler, &mut report) {
+            Ok(()) => {}
+            Err(err) => {
+                self.stats.record_error();
+                if !best_effort {
+                    self.refresh_lag(state, &mut report);
+                    self.stats.record_cycle(report.gets, report.bytes_fetched);
+                    return Err(err);
+                }
+            }
+        }
+
+        self.refresh_lag(state, &mut report);
+        self.stats.record_cycle(report.gets, report.bytes_fetched);
+        Ok(report)
+    }
+
+    /// Applies whatever the updated view makes applicable, preserving
+    /// cold-recovery order.
+    fn apply_locked(
+        &self,
+        state: &mut TailState,
+        straggler: bool,
+        report: &mut TailReport,
+    ) -> Result<(), GinjaError> {
+        // A dump generation newer than our base supersedes the shadow;
+        // a straggler below the applied frontier would apply out of
+        // cold order. Both rebase: correctness first, resets counted.
+        let newest_dump = state
+            .view
+            .db_entries()
+            .rfind(|(_, e)| e.kind == DbObjectKind::Dump && e.is_complete())
+            .map(|(ts, _)| ts);
+        let needs_base = !state.based;
+        let new_generation =
+            state.based && newest_dump.is_some_and(|ts| ts != state.progress.dump_ts());
+        let ckpt_straggler = state.based
+            && state
+                .view
+                .checkpoints_after(state.progress.dump_ts())
+                .iter()
+                .any(|(ts, _)| {
+                    !state.applied_ckpts.contains(ts)
+                        && state.applied_ckpts.last().is_some_and(|max| ts < max)
+                });
+
+        if needs_base || new_generation || straggler || ckpt_straggler {
+            if newest_dump.is_none() {
+                // Nothing restorable yet (a bucket with no complete
+                // dump); keep waiting — the lag gauges say everything.
+                return Ok(());
+            }
+            return self.rebase(state, report);
+        }
+
+        // Incremental: new WAL in timestamp order...
+        let frontier = state.progress.max_wal_ts();
+        let wal_jobs: Vec<WalObjectName> = state
+            .view
+            .wal_entries()
+            .filter(|w| w.ts > frontier)
+            .cloned()
+            .collect();
+        if !wal_jobs.is_empty() {
+            let engine = self.engine();
+            let n = wal_jobs.len() as u64;
+            let before = state.progress.report().bytes_downloaded;
+            engine.apply_wal_objects(wal_jobs, &mut state.progress)?;
+            report.wal_applied += n;
+            report.gets += n;
+            report.bytes_fetched += state.progress.report().bytes_downloaded - before;
+        }
+
+        // ...then newly complete checkpoints, ascending — the same
+        // order a cold recovery of this bucket would use.
+        let new_ckpts: Vec<u64> = state
+            .view
+            .checkpoints_after(state.progress.dump_ts())
+            .iter()
+            .map(|(ts, _)| *ts)
+            .filter(|ts| !state.applied_ckpts.contains(ts))
+            .collect();
+        for ts in new_ckpts {
+            let before = state.progress.report().bytes_downloaded;
+            let entry = state
+                .view
+                .db_entry(ts)
+                .ok_or_else(|| GinjaError::Recovery("checkpoint vanished mid-cycle".into()))?
+                .clone();
+            self.engine()
+                .apply_checkpoints(&[(ts, &entry)], &mut state.progress)?;
+            state.applied_ckpts.insert(ts);
+            report.checkpoints_applied += 1;
+            report.gets += entry.parts.len() as u64;
+            report.bytes_fetched += state.progress.report().bytes_downloaded - before;
+        }
+        Ok(())
+    }
+
+    /// Wipes the shadow and cold-applies the current view.
+    fn rebase(&self, state: &mut TailState, report: &mut TailReport) -> Result<(), GinjaError> {
+        if state.based {
+            self.stats.record_reset();
+        }
+        for file in self.shadow.list("")? {
+            self.shadow.delete(&file)?;
+        }
+        state.progress = ApplyProgress::new();
+        state.applied_ckpts.clear();
+        state.based = false;
+
+        self.engine()
+            .cold_apply(&state.view, u64::MAX, &mut state.progress)?;
+
+        state.based = true;
+        state.applied_ckpts = state
+            .view
+            .checkpoints_after(state.progress.dump_ts())
+            .iter()
+            .map(|(ts, _)| *ts)
+            .collect();
+        let done = state.progress.report();
+        report.rebased = true;
+        report.wal_applied += done.wal_objects_applied;
+        report.checkpoints_applied += done.checkpoints_applied;
+        report.bytes_fetched += done.bytes_downloaded;
+        // GETs of the base: every WAL object plus every DB part that
+        // went into the dump and the applied checkpoints.
+        let dump_parts = state
+            .view
+            .db_entry(done.dump_ts)
+            .map_or(0, |e| e.parts.len() as u64);
+        let ckpt_parts: u64 = state
+            .applied_ckpts
+            .iter()
+            .filter_map(|ts| state.view.db_entry(*ts))
+            .map(|e| e.parts.len() as u64)
+            .sum();
+        report.gets += done.wal_objects_applied + dump_parts + ckpt_parts;
+        Ok(())
+    }
+
+    fn engine(&self) -> ApplyEngine<'_> {
+        ApplyEngine::new(
+            self.shadow.as_ref(),
+            self.cloud.as_ref(),
+            &self.codec,
+            &self.fanout,
+        )
+    }
+
+    /// Recomputes the lag gauges from the view against the applied
+    /// frontiers.
+    fn refresh_lag(&self, state: &mut TailState, report: &mut TailReport) {
+        let (objects, bytes) = pending(state);
+        let now = Instant::now();
+        if objects == 0 {
+            state.drained_at = now;
+        }
+        let age = now.duration_since(state.drained_at);
+        report.lag_objects = objects;
+        self.stats.set_lag(objects, bytes, age);
+    }
+
+    /// Budget-pressure pace control, mirroring the primary's sentinel
+    /// pace: projected spend over target stretches the poll interval
+    /// multiplicatively; comfortable headroom relaxes it back toward
+    /// nominal. The Safety bound `S` is never touched — a standby can
+    /// only get *staler* under pressure, never let the primary lose
+    /// more.
+    fn govern_pace(&self) {
+        let Some(budget) = &self.budget else { return };
+        let ledger = self.cloud.ledger();
+        let usage = ledger.usage();
+        let rates = ledger.observe_rates(self.tail.spend_window);
+        let projection = project_spend(&usage, Some(&rates), self.started.elapsed(), budget);
+        let target = budget.target_usd();
+        let mut pace = self.pace();
+        if projection.projected_usd > target {
+            pace = (pace * 1.5).min(self.tail.max_pace);
+        } else if projection.projected_usd < target * 0.7 {
+            pace = (pace / 1.5).max(1.0);
+        }
+        self.pace_bits.store(pace.to_bits(), Ordering::Relaxed);
+        self.stats.set_pace((pace * 1000.0).round() as u64);
+    }
+}
+
+/// Tracked-but-unapplied (objects, estimated sealed bytes) in `state`.
+fn pending(state: &TailState) -> (u64, u64) {
+    let mut objects = 0u64;
+    let mut bytes = 0u64;
+    if !state.based {
+        for wal in state.view.wal_entries() {
+            objects += 1;
+            bytes += wal.len;
+        }
+        for (_, entry) in state.view.db_entries() {
+            objects += entry.parts.len() as u64;
+            bytes += entry.size;
+        }
+        return (objects, bytes);
+    }
+    let frontier = state.progress.max_wal_ts();
+    for wal in state.view.wal_entries() {
+        if wal.ts > frontier {
+            objects += 1;
+            bytes += wal.len;
+        }
+    }
+    for (ts, entry) in state.view.db_entries() {
+        if ts <= state.progress.dump_ts() || state.applied_ckpts.contains(&ts) {
+            continue;
+        }
+        // A complete unapplied entry (a dump generation or checkpoint
+        // awaiting the next cycle) or a bundle still mid-upload: its
+        // present parts are work the shadow has not absorbed.
+        objects += entry.parts.len() as u64;
+        let per_part = entry
+            .parts
+            .first()
+            .map_or(0, |p| p.size / u64::from(p.parts.max(1)));
+        bytes += per_part * entry.parts.len() as u64;
+    }
+    (objects, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ginja_cloud::MemStore;
+    use ginja_core::bundle;
+    use ginja_vfs::MemFs;
+
+    fn config() -> GinjaConfig {
+        GinjaConfig::builder().build().unwrap()
+    }
+
+    fn seal_wal(cloud: &dyn ObjectStore, codec: &Codec, ts: u64, offset: u64, data: &[u8]) {
+        let name = WalObjectName {
+            ts,
+            file: "pg_xlog/0001".into(),
+            offset,
+            len: data.len() as u64,
+        };
+        let sealed = codec.seal(&name.to_name(), data).unwrap();
+        cloud.put(&name.to_name(), &sealed).unwrap();
+    }
+
+    fn seal_db(
+        cloud: &dyn ObjectStore,
+        codec: &Codec,
+        ts: u64,
+        kind: DbObjectKind,
+        path: &str,
+        data: &[u8],
+    ) {
+        let bytes = bundle::encode(&[bundle::FileRange {
+            path: path.into(),
+            offset: 0,
+            data: data.to_vec(),
+        }]);
+        let name = DbObjectName {
+            ts,
+            kind,
+            size: bytes.len() as u64,
+            part: 0,
+            parts: 1,
+        };
+        let sealed = codec.seal(&name.to_name(), &bytes).unwrap();
+        cloud.put(&name.to_name(), &sealed).unwrap();
+    }
+
+    fn assert_matches_cold(bucket: &Arc<MemStore>, shadow: &Arc<MemFs>, config: &GinjaConfig) {
+        let cold = MemFs::new();
+        ginja_core::recover_into(&cold, bucket.as_ref(), config).unwrap();
+        let mut cold_files = cold.list("").unwrap();
+        let mut shadow_files = shadow.list("").unwrap();
+        cold_files.sort();
+        shadow_files.sort();
+        assert_eq!(cold_files, shadow_files);
+        for file in &cold_files {
+            assert_eq!(
+                cold.read_all(file).unwrap(),
+                shadow.read_all(file).unwrap(),
+                "divergence in {file}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_applies_incrementally_and_promotes() {
+        let config = config();
+        let codec = Codec::new(config.codec.clone());
+        let bucket = Arc::new(MemStore::new());
+        seal_db(
+            bucket.as_ref(),
+            &codec,
+            0,
+            DbObjectKind::Dump,
+            "base/1",
+            b"AAAA",
+        );
+        seal_wal(bucket.as_ref(), &codec, 1, 0, b"w1");
+
+        let shadow = Arc::new(MemFs::new());
+        let standby = Standby::attach(
+            bucket.clone(),
+            shadow.clone(),
+            config.clone(),
+            StandbyConfig::default(),
+        )
+        .unwrap();
+
+        let first = standby.run_cycle().unwrap();
+        assert!(first.rebased);
+        assert_eq!(first.wal_applied, 1);
+        assert_matches_cold(&bucket, &shadow, &config);
+
+        // New tail objects arrive; the next cycle fetches only them.
+        seal_wal(bucket.as_ref(), &codec, 2, 2, b"w2");
+        seal_db(
+            bucket.as_ref(),
+            &codec,
+            2,
+            DbObjectKind::Checkpoint,
+            "base/1",
+            b"BB",
+        );
+        let second = standby.run_cycle().unwrap();
+        assert!(!second.rebased);
+        assert_eq!(second.wal_applied, 1);
+        assert_eq!(second.checkpoints_applied, 1);
+        assert_eq!(second.gets, 2);
+        assert_matches_cold(&bucket, &shadow, &config);
+
+        // Steady state: an unchanged bucket costs one LIST, zero GETs.
+        let idle = standby.run_cycle().unwrap();
+        assert_eq!(idle.gets, 0);
+        assert_eq!(idle.lag_objects, 0);
+
+        let promotion = standby.promote().unwrap();
+        assert!(promotion.caught_up);
+        assert_eq!(promotion.residual_objects, 0);
+        assert_eq!(promotion.recovery.wal_objects_applied, 2);
+        assert_matches_cold(&bucket, &shadow, &config);
+
+        let snap = standby.snapshot();
+        assert_eq!(snap.promotions, 1);
+        assert!(snap.tail_cycles >= 3);
+        assert!(matches!(standby.run_cycle(), Err(GinjaError::ShutDown)));
+        assert!(standby.promote().is_err());
+    }
+
+    #[test]
+    fn new_dump_generation_rebases() {
+        let config = config();
+        let codec = Codec::new(config.codec.clone());
+        let bucket = Arc::new(MemStore::new());
+        seal_db(
+            bucket.as_ref(),
+            &codec,
+            0,
+            DbObjectKind::Dump,
+            "base/1",
+            b"old",
+        );
+        let shadow = Arc::new(MemFs::new());
+        let standby = Standby::attach(
+            bucket.clone(),
+            shadow.clone(),
+            config.clone(),
+            StandbyConfig::default(),
+        )
+        .unwrap();
+        standby.run_cycle().unwrap();
+
+        seal_db(
+            bucket.as_ref(),
+            &codec,
+            5,
+            DbObjectKind::Dump,
+            "base/1",
+            b"newer",
+        );
+        let report = standby.run_cycle().unwrap();
+        assert!(report.rebased);
+        assert_eq!(standby.snapshot().resets, 1);
+        assert_matches_cold(&bucket, &shadow, &config);
+        assert_eq!(shadow.read_all("base/1").unwrap(), b"newer");
+    }
+
+    #[test]
+    fn empty_bucket_waits_without_a_base() {
+        let config = config();
+        let bucket = Arc::new(MemStore::new());
+        let standby = Standby::attach(
+            bucket,
+            Arc::new(MemFs::new()),
+            config,
+            StandbyConfig::default(),
+        )
+        .unwrap();
+        let report = standby.run_cycle().unwrap();
+        assert!(!report.rebased);
+        assert_eq!(report.gets, 0);
+        let err = standby.promote().unwrap_err();
+        assert!(matches!(err, GinjaError::Recovery(_)));
+        assert!(
+            !standby.is_fenced(),
+            "failed promotion must release the fence"
+        );
+    }
+
+    #[test]
+    fn budget_pressure_stretches_the_poll_interval() {
+        let mut config = config();
+        config.budget = Some(BudgetConfig::new(1e-6));
+        let codec = Codec::new(config.codec.clone());
+        let bucket = Arc::new(MemStore::new());
+        seal_db(
+            bucket.as_ref(),
+            &codec,
+            0,
+            DbObjectKind::Dump,
+            "base/1",
+            b"AAAA",
+        );
+        let standby = Standby::attach(
+            bucket.clone(),
+            Arc::new(MemFs::new()),
+            config,
+            StandbyConfig::default(),
+        )
+        .unwrap();
+        for ts in 1..6 {
+            seal_wal(bucket.as_ref(), &codec, ts, (ts - 1) * 2, b"ww");
+            standby.run_cycle().unwrap();
+        }
+        assert!(standby.pace() > 1.0, "pace = {}", standby.pace());
+        assert!(standby.poll_interval() > StandbyConfig::default().poll_interval);
+        assert!(standby.snapshot().pace_permille > 1000);
+    }
+
+    #[test]
+    fn config_validation_is_enforced() {
+        let bad = StandbyConfig {
+            poll_interval: Duration::ZERO,
+            ..StandbyConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(StandbyConfig {
+            max_pace: 0.5,
+            ..StandbyConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(StandbyConfig::default().validate().is_ok());
+    }
+}

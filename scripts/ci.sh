@@ -58,3 +58,13 @@ cargo test -q -p ginja-core --test queue_prop
 GINJA_BENCH_SCALE=0.02 BENCH_PR9_OUT="$PWD/BENCH_PR9.json" \
     cargo bench -q -p ginja-bench --bench ablation_ingest
 test -s BENCH_PR9.json
+# Warm-standby smoke (DESIGN.md §17): the chaos acceptance suite
+# (outage-riding tail, mid-outage promotion bounded by S, promoted
+# shadow byte-equal to cold recovery), the operator drill, and the
+# cold-vs-promotion ablation, which asserts the >=3x RTO cut at the
+# largest database size.
+cargo test -q --test standby
+cargo run -q --release --bin ginja-cli -- standby --rows 80 --waves 4 --promote | grep -q "standby drill PASSED"
+GINJA_BENCH_SCALE=0.02 BENCH_PR10_OUT="$PWD/BENCH_PR10.json" \
+    cargo bench -q -p ginja-bench --bench ablation_standby
+test -s BENCH_PR10.json

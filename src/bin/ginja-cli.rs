@@ -14,6 +14,7 @@
 //! ginja-cli crashtest [--profile <postgres|mysql>] [--seed <n>] [--ops <n>] [--stride <n>] [--no-torn] [--prefix <p>]
 //! ginja-cli fleet [--tenants <n>] [--txns <n>] [--width <w>] [--budget <usd>] [--month-secs <s>]
 //! ginja-cli outage [--rows <n>] [--ring <n>] [--spill-ceiling <bytes>]
+//! ginja-cli standby [--rows <n>] [--waves <n>] [--promote]
 //! ```
 //!
 //! `budget` is the offline view of the live cost governor (`DESIGN.md`
@@ -37,6 +38,15 @@
 //! the RAM backlog stays bounded and the overflow spills to disk, then
 //! restores the cloud and proves catch-up drains to a scrub-clean
 //! bucket with zero acknowledged loss — exiting non-zero otherwise.
+//!
+//! `standby` is the warm-standby drill (`DESIGN.md` §17), in-process
+//! too: it protects a database, attaches a continuous cloud-tail
+//! standby, and prints a live lag table as commit waves land and the
+//! tail absorbs them. With `--promote` it then fences the tail,
+//! promotes the shadow into a bootable directory, and prints the
+//! achieved RPO (updates lost, against the Safety bound `S`) and the
+//! achieved RTO next to a cold recovery of the same bucket — exiting
+//! non-zero on any lost acknowledged update.
 //!
 //! On shared (multi-tenant) buckets, `--prefix tenants/<name>/` scopes
 //! `drill` and `crashtest` to one tenant's namespace: the scoped drill
@@ -65,9 +75,10 @@ fn main() -> ExitCode {
         Some("crashtest") => crashtest(&args[1..]),
         Some("fleet") => fleet(&args[1..]),
         Some("outage") => outage(&args[1..]),
+        Some("standby") => standby(&args[1..]),
         _ => {
             eprintln!(
-                "usage: ginja-cli <status|restore-points|verify|drill|recover|cost|budget|crashtest|fleet|outage> ..."
+                "usage: ginja-cli <status|restore-points|verify|drill|recover|cost|budget|crashtest|fleet|outage|standby> ..."
             );
             eprintln!("  status <bucket-dir>");
             eprintln!("  restore-points <bucket-dir>");
@@ -85,6 +96,7 @@ fn main() -> ExitCode {
                 "  fleet [--tenants <n>] [--txns <n>] [--width <w>] [--budget <usd>] [--month-secs <s>]"
             );
             eprintln!("  outage [--rows <n>] [--ring <n>] [--spill-ceiling <bytes>]");
+            eprintln!("  standby [--rows <n>] [--waves <n>] [--promote]");
             return ExitCode::from(2);
         }
     };
@@ -964,5 +976,141 @@ fn outage(args: &[String]) -> Result<(), String> {
         rows_back.len()
     );
     println!("outage drill PASSED");
+    Ok(())
+}
+
+fn standby(args: &[String]) -> Result<(), String> {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use ginja::cloud::MemStore;
+    use ginja::core::{recover_into, Ginja};
+    use ginja::db::{Database, DbProfile};
+    use ginja::standby::{Standby, StandbyConfig};
+    use ginja::vfs::{FileSystem, InterceptFs, MemFs, PostgresProcessor};
+
+    /// Table the drill writes its rows into.
+    const TABLE: u32 = 17;
+
+    let parse_num = |flag: &str, default: u64| -> Result<u64, String> {
+        match flag_value(args, flag) {
+            Some(raw) => raw.parse().map_err(|_| format!("bad {flag} value: {raw}")),
+            None => Ok(default),
+        }
+    };
+    let rows = parse_num("--rows", 200)?.max(8);
+    let waves = parse_num("--waves", 4)?.max(1);
+    let promote = args.iter().any(|a| a == "--promote");
+
+    let profile = DbProfile::postgres_small();
+    let local = Arc::new(MemFs::new());
+    let db = Database::create(local.clone(), profile.clone()).map_err(|e| e.to_string())?;
+    db.create_table(TABLE, 256).map_err(|e| e.to_string())?;
+    drop(db);
+
+    let mem = Arc::new(MemStore::new());
+    let config = GinjaConfig::builder()
+        .batch(2)
+        .safety((rows as usize) * 2 + 64)
+        .batch_timeout(Duration::from_millis(5))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let ginja = Ginja::boot(
+        local.clone(),
+        mem.clone(),
+        Arc::new(PostgresProcessor::new()),
+        config.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    let fs: Arc<dyn FileSystem> = Arc::new(InterceptFs::new(local, Arc::new(ginja.clone())));
+    let db = Database::open(fs, profile.clone()).map_err(|e| e.to_string())?;
+
+    // The standby shares the instance's resilient store (one ledger,
+    // one breaker) and tails into its own shadow directory.
+    let standby = Standby::for_instance(&ginja, Arc::new(MemFs::new()), StandbyConfig::default())
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "standby drill:     {rows} row(s) across {waves} wave(s), S = {}",
+        config.safety
+    );
+    println!("wave    delta  gets     bytes  lag-objs  lag-bytes  pace");
+    let per_wave = rows.div_ceil(waves);
+    let mut written = 0u64;
+    for wave in 0..waves {
+        let until = ((wave + 1) * per_wave).min(rows);
+        while written < until {
+            db.put(TABLE, written, format!("standby-{written}").into_bytes())
+                .map_err(|e| e.to_string())?;
+            written += 1;
+        }
+        if !ginja.sync(Duration::from_secs(30)) {
+            return Err(format!("wave {wave} failed to drain"));
+        }
+        let report = standby.run_cycle().map_err(|e| e.to_string())?;
+        let snap = standby.snapshot();
+        println!(
+            "{wave:>4}  {:>7}  {:>4}  {:>8}  {:>8}  {:>9}  {:.2}x",
+            report.delta_added,
+            report.gets,
+            report.bytes_fetched,
+            snap.lag_objects,
+            snap.lag_bytes,
+            snap.pace_permille as f64 / 1000.0
+        );
+    }
+    let idle = standby.run_cycle().map_err(|e| e.to_string())?;
+    if idle.gets != 0 {
+        return Err(format!("idle cycle still fetched: {idle:?}"));
+    }
+    let snap = standby.snapshot();
+    if snap.lag_objects != 0 {
+        return Err(format!("tail never drained: {snap:?}"));
+    }
+    println!(
+        "tail drained:      {} cycle(s), {} GET(s), {} byte(s), {} reset(s)",
+        snap.tail_cycles, snap.gets, snap.bytes_fetched, snap.resets
+    );
+
+    let reference = db.dump_table(TABLE).map_err(|e| e.to_string())?;
+    if promote {
+        // Cold baseline on the same bucket: full dump + WAL replay
+        // into a fresh directory, timed the same way promotion is.
+        let cold_start = Instant::now();
+        let cold_fs = Arc::new(MemFs::new());
+        recover_into(cold_fs.as_ref(), mem.as_ref(), &config).map_err(|e| e.to_string())?;
+        let cold = cold_start.elapsed();
+
+        let report = standby.promote().map_err(|e| e.to_string())?;
+        ginja.shutdown();
+        let promoted =
+            Database::open(standby.shadow(), profile.clone()).map_err(|e| e.to_string())?;
+        let rows_back = promoted.dump_table(TABLE).map_err(|e| e.to_string())?;
+        let lost = reference.len().saturating_sub(rows_back.len());
+        println!(
+            "promotion:         caught_up {} ({} residual object(s), {} byte(s))",
+            report.caught_up, report.residual_objects, report.residual_bytes
+        );
+        println!(
+            "achieved RTO:      {:.1?} (cold recovery of the same bucket: {:.1?})",
+            report.rto, cold
+        );
+        println!(
+            "achieved RPO:      {lost} update(s) lost of {} (Safety bound S = {})",
+            reference.len(),
+            config.safety
+        );
+        if rows_back != reference {
+            return Err(format!(
+                "LOSS: promoted shadow has {} row(s), expected {}",
+                rows_back.len(),
+                reference.len()
+            ));
+        }
+    } else {
+        ginja.shutdown();
+        standby.shutdown();
+    }
+    println!("standby drill PASSED");
     Ok(())
 }

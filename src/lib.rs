@@ -32,6 +32,9 @@
 //! * [`fleet`] (`ginja-fleet`) — the multi-tenant fleet manager:
 //!   fair-share upload scheduling and budget arbitration across many
 //!   protected databases sharing one bucket.
+//! * [`standby`] (`ginja-standby`) — the warm standby: continuous
+//!   cloud-tail apply into a shadow directory and bounded-RTO
+//!   promotion.
 //!
 //! ## Quickstart
 //!
@@ -72,6 +75,7 @@ pub use ginja_cost as cost;
 pub use ginja_db as db;
 pub use ginja_fleet as fleet;
 pub use ginja_sentinel as sentinel;
+pub use ginja_standby as standby;
 pub use ginja_vfs as vfs;
 pub use ginja_workload as workload;
 
